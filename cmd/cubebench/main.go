@@ -1,0 +1,47 @@
+// Command cubebench runs the full experiment suite — one experiment per
+// figure and efficiency claim of Shoshani's OLAP-vs-SDB survey — and
+// prints the paper-shaped result tables recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	cubebench           run every experiment
+//	cubebench E5 E9     run selected experiments by ID
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"statcube/internal/experiments"
+)
+
+func main() {
+	want := map[string]bool{}
+	for _, arg := range os.Args[1:] {
+		want[strings.ToUpper(arg)] = true
+	}
+	known := map[string]bool{}
+	failed := 0
+	for _, exp := range experiments.All() {
+		known[exp.ID] = true
+		if len(want) > 0 && !want[exp.ID] {
+			continue
+		}
+		rep := exp.Run()
+		fmt.Println(rep)
+		if rep.Err != nil {
+			failed++
+		}
+	}
+	for id := range want {
+		if !known[id] {
+			fmt.Fprintf(os.Stderr, "cubebench: unknown experiment %q (have E1..E15)\n", id)
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiments failed\n", failed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,396 @@
+// Command statcli loads a dataset — a built-in demo or a CSV file — into a
+// statistical object and runs concise statistical queries against it
+// (Section 5.1's automatic aggregation), optionally rendering 2-D tables
+// with marginals.
+//
+// Usage:
+//
+//	statcli -demo employment 'SHOW employment WHERE year = 1992'
+//	statcli -demo retail -schema
+//	statcli -demo employment -table 'sex,year:profession'
+//	statcli -csv sales.csv -dims product,region -measure 'amount:sum:flow' \
+//	        'SHOW amount BY region'
+//
+// CSV files need a header row; dimension columns hold category values, the
+// measure column numbers.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"statcube"
+	"statcube/internal/workload"
+)
+
+func main() {
+	demo := flag.String("demo", "", "built-in dataset: employment, retail, census, hmo")
+	csvPath := flag.String("csv", "", "load a CSV file (header row required)")
+	dims := flag.String("dims", "", "comma-separated dimension columns for -csv")
+	measure := flag.String("measure", "", "measure spec for -csv: name:func:type (func: sum|count|avg|min|max; type: flow|stock|vpu)")
+	tableSpec := flag.String("table", "", "render a 2-D table: rowdims:coldims (comma-separated)")
+	showSchema := flag.Bool("schema", false, "print the schema graph and conceptual structure")
+	list := flag.Bool("list", false, "list the built-in demo datasets (directory-style)")
+	flag.Parse()
+
+	if *list {
+		if err := listDemos(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "statcli:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	obj, err := loadObject(*demo, *csvPath, *dims, *measure)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "statcli:", err)
+		os.Exit(1)
+	}
+	if *showSchema {
+		fmt.Print(obj.Schema().String())
+		fmt.Println()
+		fmt.Print(obj)
+		fmt.Printf("cells: %d\n", obj.Cells())
+	}
+	if *tableSpec != "" {
+		layout, err := parseLayout(*tableSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "statcli:", err)
+			os.Exit(1)
+		}
+		out, err := statcube.RenderTable(obj, layout, statcube.TableOptions{Marginals: true})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "statcli:", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+	}
+	for _, q := range flag.Args() {
+		res, err := statcube.Query(obj, q)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "statcli: %q: %v\n", q, err)
+			os.Exit(1)
+		}
+		fmt.Printf("> %s\n", q)
+		if res.Cells() == 1 && res.Schema().NumDims() >= 1 {
+			printCells(res)
+			continue
+		}
+		printCells(res)
+	}
+	if *demo == "" && *csvPath == "" {
+		flag.Usage()
+	}
+}
+
+// printCells dumps a result object as "coords = value" lines.
+func printCells(o *statcube.StatObject) {
+	measures := o.Measures()
+	o.ForEach(func(coords []statcube.Value, vals []float64) bool {
+		var parts []string
+		for i, d := range o.Schema().Dimensions() {
+			parts = append(parts, fmt.Sprintf("%s=%s", d.Name, coords[i]))
+		}
+		line := strings.Join(parts, " ")
+		for i, m := range measures {
+			line += fmt.Sprintf("  %s=%s", m.Name, strconv.FormatFloat(vals[i], 'f', -1, 64))
+		}
+		fmt.Println(" ", line)
+		return true
+	})
+}
+
+func parseLayout(spec string) (statcube.Layout2D, error) {
+	parts := strings.SplitN(spec, ":", 2)
+	if len(parts) != 2 {
+		return statcube.Layout2D{}, fmt.Errorf("layout must be rowdims:coldims, got %q", spec)
+	}
+	return statcube.Layout2D{
+		Rows: strings.Split(parts[0], ","),
+		Cols: strings.Split(parts[1], ","),
+	}, nil
+}
+
+func loadObject(demo, csvPath, dims, measure string) (*statcube.StatObject, error) {
+	switch {
+	case demo != "" && csvPath != "":
+		return nil, fmt.Errorf("use either -demo or -csv, not both")
+	case demo != "":
+		return loadDemo(demo)
+	case csvPath != "":
+		return loadCSV(csvPath, dims, measure)
+	default:
+		return loadDemo("employment")
+	}
+}
+
+// demoSubjects maps the built-in datasets into a subject directory, the
+// [CS81]-style organization the catalog provides.
+var demoSubjects = map[string]struct{ subject, desc string }{
+	"employment": {"socio-economic/labor", "Figure 1: employment in California by sex, year, profession"},
+	"retail":     {"business/retail", "Figure 2: quantity sold by product, store, day"},
+	"census":     {"socio-economic/census", "synthetic census macro-data over a county→state hierarchy"},
+	"hmo":        {"health/hmo", "visit costs under a non-strict physician→specialty classification"},
+}
+
+// listDemos renders the built-in datasets as a catalog directory listing.
+func listDemos(w io.Writer) error {
+	cat := statcube.NewCatalog()
+	for name, meta := range demoSubjects {
+		obj, err := loadDemo(name)
+		if err != nil {
+			return err
+		}
+		if err := cat.Register(statcube.CatalogEntry{
+			Name: name, Subject: meta.subject, Description: meta.desc, Object: obj,
+		}); err != nil {
+			return err
+		}
+	}
+	for _, subject := range cat.Subjects() {
+		fmt.Fprintln(w, subject)
+		for _, name := range cat.UnderSubject(subject) {
+			desc, err := cat.Describe(name)
+			if err != nil {
+				return err
+			}
+			for _, line := range strings.Split(strings.TrimRight(desc, "\n"), "\n") {
+				fmt.Fprintln(w, "  "+line)
+			}
+		}
+	}
+	return nil
+}
+
+func loadDemo(name string) (*statcube.StatObject, error) {
+	switch name {
+	case "employment":
+		return buildEmployment()
+	case "retail":
+		r, err := workload.NewRetail(40, 12, 60, 20000, 1)
+		if err != nil {
+			return nil, err
+		}
+		return r.Object, nil
+	case "census":
+		c, err := workload.NewCensus(20000, 5, 4, 1)
+		if err != nil {
+			return nil, err
+		}
+		return statcube.MacroFromMicro(c.Micro, c.Schema,
+			[]statcube.Measure{
+				{Name: "population", Func: statcube.Count, Type: statcube.Stock},
+				{Name: "avg income", Unit: "dollars", Func: statcube.Avg, Type: statcube.ValuePerUnit},
+			},
+			map[string]string{"population": "", "avg income": "income"})
+	case "hmo":
+		h, err := workload.NewHMO(100, 10000, 0.25, 1)
+		if err != nil {
+			return nil, err
+		}
+		return h.Object, nil
+	default:
+		return nil, fmt.Errorf("unknown demo %q (have employment, retail, census, hmo)", name)
+	}
+}
+
+// buildEmployment assembles the Figure 1 dataset.
+func buildEmployment() (*statcube.StatObject, error) {
+	prof, err := statcube.NewHierarchy("profession", "profession",
+		"chemical engineer", "civil engineer",
+		"junior secretary", "executive secretary",
+		"elementary teacher", "high school teacher").
+		Level("professional class", "engineer", "secretary", "teacher").
+		Parent("chemical engineer", "engineer").
+		Parent("civil engineer", "engineer").
+		Parent("junior secretary", "secretary").
+		Parent("executive secretary", "secretary").
+		Parent("elementary teacher", "teacher").
+		Parent("high school teacher", "teacher").
+		Build()
+	if err != nil {
+		return nil, err
+	}
+	sch, err := statcube.NewSchema("employment in california",
+		statcube.FlatDimension("sex", "male", "female"),
+		statcube.Dimension{Name: "year",
+			Class:    statcube.FlatDimension("year", "1991", "1992").Class,
+			Temporal: true},
+		statcube.Dimension{Name: "profession", Class: prof},
+	)
+	if err != nil {
+		return nil, err
+	}
+	obj, err := statcube.New(sch, []statcube.Measure{
+		{Name: "employment", Func: statcube.Sum, Type: statcube.Stock},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range []struct {
+		sex, year, prof string
+		v               float64
+	}{
+		{"male", "1991", "chemical engineer", 197700},
+		{"male", "1991", "civil engineer", 241100},
+		{"male", "1991", "junior secretary", 534300},
+		{"male", "1991", "executive secretary", 154100},
+		{"male", "1991", "elementary teacher", 212943},
+		{"male", "1991", "high school teacher", 123740},
+		{"male", "1992", "chemical engineer", 209900},
+		{"male", "1992", "civil engineer", 278000},
+		{"male", "1992", "junior secretary", 542100},
+		{"male", "1992", "executive secretary", 169800},
+		{"male", "1992", "elementary teacher", 213521},
+		{"male", "1992", "high school teacher", 145766},
+		{"female", "1991", "chemical engineer", 25800},
+		{"female", "1991", "civil engineer", 112000},
+		{"female", "1991", "junior secretary", 667300},
+		{"female", "1991", "executive secretary", 162300},
+		{"female", "1991", "elementary teacher", 216071},
+		{"female", "1991", "high school teacher", 275123},
+		{"female", "1992", "chemical engineer", 28900},
+		{"female", "1992", "civil engineer", 127600},
+		{"female", "1992", "junior secretary", 692500},
+		{"female", "1992", "executive secretary", 174400},
+		{"female", "1992", "elementary teacher", 217520},
+		{"female", "1992", "high school teacher", 299344},
+	} {
+		err := obj.SetCell(map[string]statcube.Value{
+			"sex": c.sex, "year": c.year, "profession": c.prof,
+		}, map[string]float64{"employment": c.v})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return obj, nil
+}
+
+// loadCSV builds a statistical object from a CSV file: the named dims
+// become flat dimensions (values discovered from the data) and the measure
+// column is observed per row.
+func loadCSV(path, dims, measureSpec string) (*statcube.StatObject, error) {
+	if dims == "" || measureSpec == "" {
+		return nil, fmt.Errorf("-csv needs -dims and -measure")
+	}
+	m, err := parseMeasure(measureSpec)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rd := csv.NewReader(f)
+	header, err := rd.Read()
+	if err != nil {
+		return nil, fmt.Errorf("reading header: %w", err)
+	}
+	colIdx := map[string]int{}
+	for i, h := range header {
+		colIdx[strings.TrimSpace(h)] = i
+	}
+	dimNames := strings.Split(dims, ",")
+	for _, d := range dimNames {
+		if _, ok := colIdx[d]; !ok {
+			return nil, fmt.Errorf("dimension column %q not in header %v", d, header)
+		}
+	}
+	mIdx, ok := colIdx[m.Name]
+	if !ok && m.Func != statcube.Count {
+		return nil, fmt.Errorf("measure column %q not in header %v", m.Name, header)
+	}
+	// First pass: collect rows and dimension values.
+	var rows [][]string
+	valueSets := make([]map[string]bool, len(dimNames))
+	valueOrder := make([][]statcube.Value, len(dimNames))
+	for i := range valueSets {
+		valueSets[i] = map[string]bool{}
+	}
+	for {
+		rec, err := rd.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, rec)
+		for i, d := range dimNames {
+			v := strings.TrimSpace(rec[colIdx[d]])
+			if !valueSets[i][v] {
+				valueSets[i][v] = true
+				valueOrder[i] = append(valueOrder[i], v)
+			}
+		}
+	}
+	var sdims []statcube.Dimension
+	for i, d := range dimNames {
+		sdims = append(sdims, statcube.FlatDimension(d, valueOrder[i]...))
+	}
+	sch, err := statcube.NewSchema(path, sdims...)
+	if err != nil {
+		return nil, err
+	}
+	obj, err := statcube.New(sch, []statcube.Measure{m})
+	if err != nil {
+		return nil, err
+	}
+	for ri, rec := range rows {
+		coords := map[string]statcube.Value{}
+		for _, d := range dimNames {
+			coords[d] = strings.TrimSpace(rec[colIdx[d]])
+		}
+		obs := map[string]float64{}
+		if m.Func != statcube.Count {
+			x, err := strconv.ParseFloat(strings.TrimSpace(rec[mIdx]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("row %d: bad measure value %q", ri+2, rec[mIdx])
+			}
+			obs[m.Name] = x
+		}
+		if err := obj.Observe(coords, obs); err != nil {
+			return nil, fmt.Errorf("row %d: %w", ri+2, err)
+		}
+	}
+	return obj, nil
+}
+
+func parseMeasure(spec string) (statcube.Measure, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return statcube.Measure{}, fmt.Errorf("measure spec must be name:func:type, got %q", spec)
+	}
+	m := statcube.Measure{Name: parts[0]}
+	switch parts[1] {
+	case "sum":
+		m.Func = statcube.Sum
+	case "count":
+		m.Func = statcube.Count
+	case "avg":
+		m.Func = statcube.Avg
+	case "min":
+		m.Func = statcube.Min
+	case "max":
+		m.Func = statcube.Max
+	default:
+		return m, fmt.Errorf("unknown function %q", parts[1])
+	}
+	switch parts[2] {
+	case "flow":
+		m.Type = statcube.Flow
+	case "stock":
+		m.Type = statcube.Stock
+	case "vpu":
+		m.Type = statcube.ValuePerUnit
+	default:
+		return m, fmt.Errorf("unknown measure type %q", parts[2])
+	}
+	return m, nil
+}

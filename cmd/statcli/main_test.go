@@ -1,0 +1,123 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"statcube"
+)
+
+func TestParseMeasure(t *testing.T) {
+	m, err := parseMeasure("amount:sum:flow")
+	if err != nil || m.Name != "amount" || m.Func != statcube.Sum || m.Type != statcube.Flow {
+		t.Errorf("parseMeasure = %+v, %v", m, err)
+	}
+	m, err = parseMeasure("price:avg:vpu")
+	if err != nil || m.Func != statcube.Avg || m.Type != statcube.ValuePerUnit {
+		t.Errorf("parseMeasure = %+v, %v", m, err)
+	}
+	for _, bad := range []string{"", "a:b", "a:median:flow", "a:sum:liquid", "a:sum:flow:extra"} {
+		if _, err := parseMeasure(bad); err == nil {
+			t.Errorf("parseMeasure(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseLayout(t *testing.T) {
+	l, err := parseLayout("a,b:c")
+	if err != nil || len(l.Rows) != 2 || len(l.Cols) != 1 {
+		t.Errorf("parseLayout = %+v, %v", l, err)
+	}
+	if _, err := parseLayout("no-colon"); err == nil {
+		t.Error("missing colon should fail")
+	}
+}
+
+func TestLoadDemos(t *testing.T) {
+	for _, name := range []string{"employment", "retail", "census", "hmo"} {
+		obj, err := loadDemo(name)
+		if err != nil {
+			t.Fatalf("loadDemo(%s): %v", name, err)
+		}
+		if obj.Cells() == 0 {
+			t.Errorf("demo %s is empty", name)
+		}
+	}
+	if _, err := loadDemo("nope"); err == nil {
+		t.Error("unknown demo should fail")
+	}
+}
+
+func TestLoadObjectValidation(t *testing.T) {
+	if _, err := loadObject("employment", "x.csv", "", ""); err == nil {
+		t.Error("demo+csv should fail")
+	}
+	// Default falls back to employment.
+	obj, err := loadObject("", "", "", "")
+	if err != nil || obj.Cells() == 0 {
+		t.Errorf("default load: %v", err)
+	}
+}
+
+func TestLoadCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sales.csv")
+	csv := "product,region,amount\napple,west,10\napple,east,5\nbanana,west,7\n"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	obj, err := loadCSV(path, "product,region", "amount:sum:flow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Cells() != 3 {
+		t.Errorf("cells = %d", obj.Cells())
+	}
+	v, err := statcube.QueryScalar(obj, "SHOW amount WHERE product = apple")
+	if err != nil || v != 15 {
+		t.Errorf("query = %v, %v", v, err)
+	}
+	// Count measure needs no column.
+	obj, err = loadCSV(path, "product,region", "n:count:flow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, _ := obj.Total("n")
+	if total != 3 {
+		t.Errorf("count total = %v", total)
+	}
+	// Errors.
+	if _, err := loadCSV(path, "", "amount:sum:flow"); err == nil {
+		t.Error("missing dims should fail")
+	}
+	if _, err := loadCSV(path, "nope", "amount:sum:flow"); err == nil {
+		t.Error("unknown dim column should fail")
+	}
+	if _, err := loadCSV(path, "product", "nope:sum:flow"); err == nil {
+		t.Error("unknown measure column should fail")
+	}
+	if _, err := loadCSV(filepath.Join(dir, "absent.csv"), "product", "amount:sum:flow"); err == nil {
+		t.Error("missing file should fail")
+	}
+	// Bad numeric value.
+	bad := filepath.Join(dir, "bad.csv")
+	_ = os.WriteFile(bad, []byte("product,amount\nx,notanumber\n"), 0o644)
+	if _, err := loadCSV(bad, "product", "amount:sum:flow"); err == nil {
+		t.Error("bad numeric should fail")
+	}
+}
+
+func TestListDemos(t *testing.T) {
+	var buf strings.Builder
+	if err := listDemos(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"socio-economic/labor", "employment", "business/retail", "Summary measure"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Command census walks the paper's flagship SDB application (Section 3.1):
+// census micro-data summarized into macro-data over a geographic
+// classification hierarchy, released only through privacy controls
+// (Section 7). It derives macro-data from micro-data (Section 3.3.3),
+// shows the one-sided size restriction falling to the age-65 attack, the
+// two-sided restriction falling to the Denning–Schlörer tracker [DS80],
+// the defenses that stop it, and cell suppression on a published table.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"statcube"
+	"statcube/internal/privacy"
+	"statcube/internal/relstore"
+	"statcube/internal/workload"
+)
+
+func main() {
+	census, err := workload.NewCensus(5000, 5, 4, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== Micro-data to macro-data (Section 3.3.3) ==")
+	macro, err := statcube.MacroFromMicro(census.Micro, census.Schema,
+		[]statcube.Measure{
+			{Name: "population", Func: statcube.Count, Type: statcube.Stock},
+			{Name: "avg income", Unit: "dollars", Func: statcube.Avg, Type: statcube.ValuePerUnit},
+		},
+		map[string]string{"population": "", "avg income": "income"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d individuals -> %d macro cells over %d dimensions\n",
+		census.Micro.NumRows(), macro.Cells(), macro.Schema().NumDims())
+	states, err := macro.SAggregate("county", "state")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pop, err := statcube.QueryScalar(states, "SHOW population WHERE state = state-00")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("population of state-00 (county rollup): %.0f\n\n", pop)
+
+	guard := census.Privacy
+	fmt.Println("== One-sided size restriction falls to the age-65 trick ==")
+	g1 := statcube.NewGuard(guard, statcube.WithMinQuerySetSize(5))
+	old := statcube.C(statcube.Term{Attr: "age_group", Value: "65-120"})
+	sumAll, err := g1.Sum(statcube.Formula{statcube.Conj{}}, "income")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sumYoung, err := g1.Sum(statcube.C(statcube.Not(statcube.Term{Attr: "age_group", Value: "65-120"})), "income")
+	if err != nil {
+		log.Fatal(err)
+	}
+	trueOld, _ := guard.TrueSum(old, "income")
+	fmt.Printf("sum(all) - sum(not 65-120) = %.0f  (true restricted value: %.0f)\n\n",
+		sumAll-sumYoung, trueOld)
+
+	fmt.Println("== Two-sided restriction falls to the tracker [DS80] ==")
+	g2 := statcube.NewGuard(guard, statcube.WithSizeRestriction(10))
+	tr, err := statcube.FindGeneralTracker(g2, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tracker found: %s = %s (inferred n = %.0f)\n", tr.T.Attr, tr.T.Value, tr.N)
+	// A conjunction that isolates few individuals: the restricted query is
+	// refused, the tracker answers it anyway.
+	target := statcube.Conj{
+		{Attr: "county", Value: "county-00-00"},
+		{Attr: "race", Value: "native"},
+		{Attr: "sex", Value: "female"},
+		{Attr: "age_group", Value: "65-120"},
+	}
+	if _, err := g2.Count(statcube.Formula{target}); err != nil {
+		fmt.Println("direct query refused:", err)
+	}
+	inferred, err := tr.Count(g2, target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trueCount, _ := guard.TrueCount(statcube.Formula{target})
+	fmt.Printf("tracker-inferred count = %.0f (true: %d)\n\n", inferred, trueCount)
+
+	fmt.Println("== Defenses (Section 7) ==")
+	g3 := statcube.NewGuard(guard, statcube.WithSizeRestriction(10), statcube.WithOverlapAudit(50))
+	if tr3, err := statcube.FindGeneralTracker(g3, 10); err != nil {
+		fmt.Println("overlap auditing: tracker search refused  ->", err)
+	} else if _, err := tr3.Count(g3, target); err != nil {
+		fmt.Println("overlap auditing: padding queries refused ->", err)
+	} else {
+		fmt.Println("overlap auditing: attack slipped through (overlap bound too lax)")
+	}
+	g4 := statcube.NewGuard(guard, statcube.WithSizeRestriction(10), statcube.WithOutputPerturbation(25, 99))
+	if tr4, err := statcube.FindGeneralTracker(g4, 10); err == nil {
+		noisy, err := tr4.Count(g4, target)
+		if err == nil {
+			fmt.Printf("output perturbation: tracker now sees %.1f instead of %d\n\n", noisy, trueCount)
+		}
+	}
+
+	fmt.Println("== Cell suppression on a published table (Sections 3.1, 7) ==")
+	// Publish population counts per county × race for the first four
+	// counties; small cells must be withheld.
+	counties := census.Geo.LeafLevel().Values[:4]
+	pos := map[string]int{}
+	for i, c := range counties {
+		pos[c] = i
+	}
+	rpos := map[string]int{}
+	for j, r := range census.Races {
+		rpos[r] = j
+	}
+	cells := make([][]float64, len(counties))
+	for i := range cells {
+		cells[i] = make([]float64, len(census.Races))
+	}
+	idxCounty, _ := census.Micro.ColIndex("county")
+	idxRace, _ := census.Micro.ColIndex("race")
+	census.Micro.Scan(func(row relstore.Row) bool {
+		if i, ok := pos[row[idxCounty].Str()]; ok {
+			cells[i][rpos[row[idxRace].Str()]]++
+		}
+		return true
+	})
+	ct, err := privacy.NewCountTable(counties, census.Races, cells)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sup, err := privacy.Suppress(ct, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("suppressed %d primary + %d complementary cells; audit safe: %v\n",
+		sup.Primary, sup.Secondary, sup.AuditSafe())
+	for i, county := range counties {
+		fmt.Printf("  %-14s", county)
+		for j := range census.Races {
+			if v, ok := sup.Published(i, j); ok {
+				fmt.Printf(" %6.0f", v)
+			} else {
+				fmt.Printf(" %6s", "*")
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,93 @@
+// Command hmo demonstrates the summarizability hazard of Section 3.3.2
+// with the paper's own example: an HMO database whose physicians can hold
+// multiple specialties, so the physician→specialty classification is not a
+// strict hierarchy. Adding physicians by specialty and then summarizing
+// over specialties double-counts the multi-specialty physicians — plain
+// SQL would do it silently; the Statistical Object refuses, and shows what
+// the erroneous number would have been.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"statcube/internal/workload"
+)
+
+func main() {
+	hmo, err := workload.NewHMO(200, 20000, 0.25, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	obj := hmo.Object
+	fmt.Println("== HMO visits (Section 3.2(iii)) ==")
+	fmt.Print(obj)
+	fmt.Printf("physicians: %d (%d with two specialties)\n\n",
+		len(hmo.Physicians.LeafLevel().Values), hmo.MultiCount)
+
+	fmt.Println("== The classification is not a strict hierarchy ==")
+	fmt.Printf("strict physician->specialty edge? %v\n",
+		hmo.Physicians.IsStrictEdge(0))
+	dr := hmo.Physicians.LeafLevel().Values[0]
+	for _, p := range hmo.Physicians.LeafLevel().Values {
+		if parents, _ := hmo.Physicians.Parents(0, p); len(parents) > 1 {
+			dr = p
+			parentsStr := parents
+			fmt.Printf("example: %s belongs to %v — like the paper's lung cancer\n", dr, parentsStr)
+			fmt.Println("         under both \"cancer\" and \"respiratory\"")
+			break
+		}
+	}
+	fmt.Println()
+
+	fmt.Println("== Roll-up to specialty is rejected (Section 3.3.2) ==")
+	if _, err := obj.SAggregate("physician", "specialty"); err != nil {
+		fmt.Println("SAggregate(physician, specialty) ->", err)
+	}
+	fmt.Println()
+
+	fmt.Println("== The erroneous result, computed only on explicit request ==")
+	trueCost, err := obj.Total("cost")
+	if err != nil {
+		log.Fatal(err)
+	}
+	forced, err := obj.SAggregateUnchecked("physician", "specialty")
+	if err != nil {
+		log.Fatal(err)
+	}
+	inflated, err := forced.Total("cost")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("true total cost:                    %12.0f\n", trueCost)
+	fmt.Printf("specialty rollup then total:        %12.0f\n", inflated)
+	fmt.Printf("double-counted by multi-specialty:  %12.0f (%.1f%%)\n\n",
+		inflated-trueCost, 100*(inflated-trueCost)/trueCost)
+
+	fmt.Println("== The correct per-specialty question ==")
+	fmt.Println("\"cost of visits to oncologists\" is well-defined: select the")
+	fmt.Println("physicians under oncology, then total (no cross-specialty sum).")
+	onc, err := obj.SSelectLevel("physician", "specialty", "oncology")
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, err := onc.Total("cost")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("oncology visit cost: %.0f\n", v)
+	perSpec := map[string]float64{}
+	var sumAcross float64
+	for _, spec := range hmo.Specialties {
+		sel, err := obj.SSelectLevel("physician", "specialty", spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, _ := sel.Total("cost")
+		perSpec[spec] = c
+		sumAcross += c
+	}
+	fmt.Printf("sum of per-specialty costs: %.0f (> true total %.0f: overlaps double-count,\n",
+		sumAcross, trueCost)
+	fmt.Println("which is why the engine refuses to present that sum as a marginal)")
+}

@@ -1,0 +1,139 @@
+// Command quickstart reproduces the paper's opening example (Figure 1):
+// the "Employment in California" statistical object — employment by sex by
+// year by profession, with the professional-class classification
+// hierarchy. It builds the object through the public API, prints its
+// conceptual structure, renders the 2-D statistical table with marginals
+// (Figure 9), and runs concise automatic-aggregation queries (Figure 13).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"statcube"
+)
+
+func main() {
+	prof, err := statcube.NewHierarchy("profession", "profession",
+		"chemical engineer", "civil engineer",
+		"junior secretary", "executive secretary",
+		"elementary teacher", "high school teacher").
+		Level("professional class", "engineer", "secretary", "teacher").
+		Parent("chemical engineer", "engineer").
+		Parent("civil engineer", "engineer").
+		Parent("junior secretary", "secretary").
+		Parent("executive secretary", "secretary").
+		Parent("elementary teacher", "teacher").
+		Parent("high school teacher", "teacher").
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sch, err := statcube.NewSchema("employment in california",
+		statcube.FlatDimension("sex", "male", "female"),
+		statcube.Dimension{Name: "year",
+			Class:    statcube.FlatDimension("year", "1991", "1992").Class,
+			Temporal: true},
+		statcube.Dimension{Name: "profession", Class: prof},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Employment is a headcount snapshot: a Stock measure, additive over
+	// sex and profession but not over time (Section 3.3.2 of the paper).
+	obj, err := statcube.New(sch, []statcube.Measure{
+		{Name: "employment", Func: statcube.Sum, Type: statcube.Stock},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Figure 1's (fictitious) numbers.
+	cells := []struct {
+		sex, year, prof string
+		v               float64
+	}{
+		{"male", "1991", "chemical engineer", 197700},
+		{"male", "1991", "civil engineer", 241100},
+		{"male", "1991", "junior secretary", 534300},
+		{"male", "1991", "executive secretary", 154100},
+		{"male", "1991", "elementary teacher", 212943},
+		{"male", "1991", "high school teacher", 123740},
+		{"male", "1992", "chemical engineer", 209900},
+		{"male", "1992", "civil engineer", 278000},
+		{"male", "1992", "junior secretary", 542100},
+		{"male", "1992", "executive secretary", 169800},
+		{"male", "1992", "elementary teacher", 213521},
+		{"male", "1992", "high school teacher", 145766},
+		{"female", "1991", "chemical engineer", 25800},
+		{"female", "1991", "civil engineer", 112000},
+		{"female", "1991", "junior secretary", 667300},
+		{"female", "1991", "executive secretary", 162300},
+		{"female", "1991", "elementary teacher", 216071},
+		{"female", "1991", "high school teacher", 275123},
+		{"female", "1992", "chemical engineer", 28900},
+		{"female", "1992", "civil engineer", 127600},
+		{"female", "1992", "junior secretary", 692500},
+		{"female", "1992", "executive secretary", 174400},
+		{"female", "1992", "elementary teacher", 217520},
+		{"female", "1992", "high school teacher", 299344},
+	}
+	for _, c := range cells {
+		err := obj.SetCell(map[string]statcube.Value{
+			"sex": c.sex, "year": c.year, "profession": c.prof,
+		}, map[string]float64{"employment": c.v})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("== Conceptual structure (Section 2.1) ==")
+	fmt.Print(obj)
+	fmt.Println()
+
+	fmt.Println("== The 2-D statistical table with marginals (Figures 1 and 9) ==")
+	out, err := statcube.RenderTable(obj,
+		statcube.Layout2D{Rows: []string{"sex", "year"}, Cols: []string{"profession"}},
+		statcube.TableOptions{Marginals: true, GroupSubtotals: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
+	fmt.Println("(\"n/s\" totals: employment is a stock measure — adding it across")
+	fmt.Println(" years is not summarizable, so those marginals are refused.)")
+	fmt.Println()
+
+	fmt.Println("== Concise queries with automatic aggregation (Section 5.1) ==")
+	for _, q := range []string{
+		"SHOW employment WHERE year = 1992 AND professional class = engineer",
+		"SHOW employment WHERE sex = female AND year = 1991",
+		"SHOW employment WHERE profession = 'civil engineer' AND year = 1992",
+	} {
+		v, err := statcube.QueryScalar(obj, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-72s = %.0f\n", q, v)
+	}
+	fmt.Println()
+
+	fmt.Println("== Roll-up to professional class (S-aggregation) ==")
+	up, err := obj.SAggregate("profession", "professional class")
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err = statcube.RenderTable(up,
+		statcube.Layout2D{Rows: []string{"sex", "year"}, Cols: []string{"profession"}},
+		statcube.TableOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
+	fmt.Println()
+
+	fmt.Println("== Summarizability guard ==")
+	if _, err := obj.SProject("year"); err != nil {
+		fmt.Println("SProject(year) rejected as expected:")
+		fmt.Println("  ", err)
+	}
+}

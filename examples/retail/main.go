@@ -1,0 +1,128 @@
+// Command retail reproduces the paper's OLAP side (Figure 2): a data cube
+// of quantity sold by product by store by day, with city→store and
+// month→day classification hierarchies. It demonstrates the OLAP
+// operators (slice, dice, roll-up, drill-down; Figure 14), the CUBE
+// operator with ALL (Figure 15), and view materialization over the
+// group-by lattice (Figure 22) with the greedy algorithm of [HUR96].
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"statcube"
+	"statcube/internal/cube"
+	"statcube/internal/workload"
+)
+
+func main() {
+	retail, err := workload.NewRetail(40, 12, 90, 20000, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	obj := retail.Object
+	fmt.Println("== Conceptual structure (Section 2.2) ==")
+	fmt.Print(obj)
+	fmt.Printf("Base cells: %d transactions aggregated into %d cells\n\n",
+		len(retail.Input.Rows), obj.Cells())
+
+	fmt.Println("== OLAP operators (Figure 14) ==")
+	total, _ := obj.Total("quantity sold")
+	fmt.Printf("grand total:                         %.0f\n", total)
+
+	// Slice: fix one product, drop the dimension.
+	sl, err := obj.Slice("product", retail.Products[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, _ := sl.Total("quantity sold")
+	fmt.Printf("slice  product=%s:          %.0f\n", retail.Products[0], v)
+
+	// Dice: a sub-cube of two stores and the first month's days.
+	diced, err := obj.Dice(map[string][]statcube.Value{
+		"store": {retail.Stores[0], retail.Stores[1]},
+		"day":   retail.Days[:30],
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, _ = diced.Total("quantity sold")
+	fmt.Printf("dice   2 stores × month-00:          %.0f\n", v)
+
+	// Roll up: store -> city, day -> month.
+	up, err := obj.RollUp("store", "city")
+	if err != nil {
+		log.Fatal(err)
+	}
+	up, err = up.RollUp("day", "month")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("roll-up to city × month:             %d cells\n", up.Cells())
+
+	// Drill down recovers the finer object through provenance.
+	down, err := up.DrillDown()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("drill-down recovers:                 %d cells\n\n", down.Cells())
+
+	fmt.Println("== The CUBE operator over city × month (Figure 15) ==")
+	cells, err := up.Cube()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d rows (every combination of value-or-ALL); a sample:\n", len(cells))
+	for _, c := range cells {
+		if c.Coords[0] == "city-00" || (c.Coords[0] == statcube.All && c.Coords[2] == statcube.All) {
+			fmt.Printf("  product=%-9s city=%-7s month=%-8s  sum=%.0f\n",
+				c.Coords[0], c.Coords[1], c.Coords[2], c.Vals[0])
+			break
+		}
+	}
+	last := cells[len(cells)-1]
+	fmt.Printf("  product=%-9s city=%-7s month=%-8s  sum=%.0f   <- grand total\n\n",
+		last.Coords[0], last.Coords[1], last.Coords[2], last.Vals[0])
+
+	fmt.Println("== Multiple classifications over one dimension (Section 3.2(i)) ==")
+	byCat, err := obj.SAggregate("product", "category")
+	if err != nil {
+		log.Fatal(err)
+	}
+	byBand, err := obj.SAggregateVia("product", retail.PriceClass, "price band")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("the same %d product cells roll up by category (%d cells) or by price band (%d cells):\n",
+		obj.Cells(), byCat.Cells(), byBand.Cells())
+	bandTotals, err := byBand.GroupBy("product")
+	if err != nil {
+		log.Fatal(err)
+	}
+	bandTotals.ForEach(func(coords []statcube.Value, vals []float64) bool {
+		fmt.Printf("  %-10s %12.0f\n", coords[0], vals[0])
+		return true
+	})
+	fmt.Println()
+
+	fmt.Println("== View materialization (Figure 22, [HUR96]) ==")
+	lat, err := cube.NewLattice(retail.DimNames,
+		[]int{len(retail.Products), len(retail.Stores), len(retail.Days)},
+		int64(obj.Cells()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline := lat.TotalCost(nil)
+	fmt.Printf("answering all %d views from the base cuboid costs %d rows read\n",
+		lat.NumViews(), baseline)
+	chosen, benefit := lat.GreedySelect(3)
+	fmt.Println("greedy picks, in order:")
+	mats := []int{}
+	for _, m := range chosen {
+		mats = append(mats, m)
+		fmt.Printf("  materialize (%s): size %d, total cost now %d\n",
+			lat.ViewName(m), lat.ViewSize(m), lat.TotalCost(mats))
+	}
+	fmt.Printf("total benefit: %d rows (%.0f%% of baseline)\n",
+		benefit, 100*float64(benefit)/float64(baseline))
+}

@@ -1,0 +1,103 @@
+// Command stockmarket exercises the temporal side of OLAP databases
+// (Section 3.2(ii)): a stock price time series over weekday trading days,
+// with a classification hierarchy over time used to generate weekly and
+// monthly averages, highs and lows, plus the moving averages and trimmed
+// statistics that live beyond a database's built-in aggregates
+// (Section 5.6).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"statcube"
+	"statcube/internal/stats"
+	"statcube/internal/workload"
+)
+
+func main() {
+	series, err := workload.NewStockSeries(12, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== %d trading days (weekdays only) ==\n\n", len(series.Prices))
+
+	fmt.Println("== Weekly rollup: open/close/high/low/mean (Section 3.2(ii)) ==")
+	weekly := stats.RollupPeriods(series.Weekly)
+	for _, w := range weekly[:6] {
+		fmt.Printf("  %s  open %7.2f  close %7.2f  high %7.2f  low %7.2f  mean %7.2f\n",
+			w.Period, w.Open, w.Close, w.High, w.Low, w.Mean)
+	}
+	fmt.Println("  ...")
+	monthly := stats.RollupPeriods(series.Month)
+	fmt.Printf("%d weeks roll further up into %d months (year-->month-->day)\n\n",
+		len(weekly), len(monthly))
+
+	fmt.Println("== Higher-level statistics (Section 5.6) ==")
+	mean, _ := stats.Mean(series.Prices)
+	sd, _ := stats.StdDev(series.Prices)
+	med, _ := stats.Median(series.Prices)
+	p95, _ := stats.Percentile(series.Prices, 95)
+	tm, _ := stats.TrimmedMean(series.Prices, 0.1)
+	fmt.Printf("mean %.2f  stddev %.2f  median %.2f  p95 %.2f  10%%-trimmed mean %.2f\n\n",
+		mean, sd, med, p95, tm)
+
+	ma, _ := stats.MovingAverage(series.Prices, 5)
+	fmt.Println("== 5-day moving average (last week) ==")
+	n := len(series.Prices)
+	for i := n - 5; i < n; i++ {
+		fmt.Printf("  %s  price %7.2f  ma5 %7.2f\n", series.Days[i], series.Prices[i], ma[i])
+	}
+	fmt.Println()
+
+	// The same series as a statistical object: price is a value-per-unit
+	// measure, so the engine refuses to SUM it over time but averages it.
+	fmt.Println("== As a statistical object: additivity enforced ==")
+	sch, err := statcube.NewSchema("stock prices",
+		statcube.Dimension{
+			Name:     "day",
+			Class:    statcube.FlatDimension("day", series.Days...).Class,
+			Temporal: true,
+		},
+		statcube.FlatDimension("ticker", "ACME"),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	obj, err := statcube.New(sch, []statcube.Measure{
+		{Name: "price", Unit: "dollars", Func: statcube.Avg, Type: statcube.ValuePerUnit},
+		{Name: "volume", Func: statcube.Sum, Type: statcube.Flow},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, day := range series.Days {
+		err := obj.Observe(map[string]statcube.Value{"day": day, "ticker": "ACME"},
+			map[string]float64{"price": series.Prices[i], "volume": float64(1000 + i)})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	avg, err := statcube.QueryScalar(obj, "SHOW price WHERE ticker = ACME")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SHOW price WHERE ticker = ACME        -> %.2f (average inferred from the S-node)\n", avg)
+	vol, err := statcube.QueryScalar(obj, "SHOW volume WHERE ticker = ACME")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SHOW volume WHERE ticker = ACME       -> %.0f (volume is a flow: summing over days is fine)\n", vol)
+
+	sumSchema, err := statcube.New(sch, []statcube.Measure{
+		{Name: "price", Unit: "dollars", Func: statcube.Sum, Type: statcube.ValuePerUnit},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = sumSchema.Observe(map[string]statcube.Value{"day": series.Days[0], "ticker": "ACME"},
+		map[string]float64{"price": 100})
+	if _, err := sumSchema.SProject("day"); err != nil {
+		fmt.Println("summing prices over days rejected      ->", err)
+	}
+}

@@ -1,0 +1,3 @@
+module statcube
+
+go 1.22

@@ -1,0 +1,195 @@
+// Package bitvec provides dense bit vectors and the bit-sliced scan kernels
+// used by bit-transposed files (Wong et al., VLDB 1985), the encoding scheme
+// surveyed in Section 6.1 of Shoshani's "OLAP and Statistical Databases"
+// paper. A bit-transposed file stores each bit position of an encoded column
+// as its own vector; predicates and aggregates are then evaluated with
+// word-at-a-time boolean algebra instead of per-row decoding.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+const wordBits = 64
+
+// Vector is a fixed-length sequence of bits backed by 64-bit words.
+// The zero value is an empty vector; use New to allocate capacity.
+type Vector struct {
+	words []uint64
+	n     int
+}
+
+// New returns a Vector of n bits, all zero.
+func New(n int) *Vector {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	return &Vector{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len reports the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// Set sets bit i to 1.
+func (v *Vector) Set(i int) {
+	v.check(i)
+	v.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Clear sets bit i to 0.
+func (v *Vector) Clear(i int) {
+	v.check(i)
+	v.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// SetTo sets bit i to b.
+func (v *Vector) SetTo(i int, b bool) {
+	if b {
+		v.Set(i)
+	} else {
+		v.Clear(i)
+	}
+}
+
+// Get reports whether bit i is set.
+func (v *Vector) Get(i int) bool {
+	v.check(i)
+	return v.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+func (v *Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Count returns the number of set bits (population count).
+func (v *Vector) Count() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns a deep copy of v.
+func (v *Vector) Clone() *Vector {
+	w := New(v.n)
+	copy(w.words, v.words)
+	return w
+}
+
+// Reset clears every bit.
+func (v *Vector) Reset() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// SetAll sets every bit to 1.
+func (v *Vector) SetAll() {
+	for i := range v.words {
+		v.words[i] = ^uint64(0)
+	}
+	v.trim()
+}
+
+// trim zeroes the spare bits of the final word so Count and iteration
+// remain exact after whole-word operations.
+func (v *Vector) trim() {
+	if r := v.n % wordBits; r != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] &= (1 << uint(r)) - 1
+	}
+}
+
+func (v *Vector) sameLen(o *Vector) {
+	if v.n != o.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d vs %d", v.n, o.n))
+	}
+}
+
+// And sets v = v AND o and returns v.
+func (v *Vector) And(o *Vector) *Vector {
+	v.sameLen(o)
+	for i := range v.words {
+		v.words[i] &= o.words[i]
+	}
+	return v
+}
+
+// Or sets v = v OR o and returns v.
+func (v *Vector) Or(o *Vector) *Vector {
+	v.sameLen(o)
+	for i := range v.words {
+		v.words[i] |= o.words[i]
+	}
+	return v
+}
+
+// Xor sets v = v XOR o and returns v.
+func (v *Vector) Xor(o *Vector) *Vector {
+	v.sameLen(o)
+	for i := range v.words {
+		v.words[i] ^= o.words[i]
+	}
+	return v
+}
+
+// AndNot sets v = v AND NOT o and returns v.
+func (v *Vector) AndNot(o *Vector) *Vector {
+	v.sameLen(o)
+	for i := range v.words {
+		v.words[i] &^= o.words[i]
+	}
+	return v
+}
+
+// Not flips every bit in place and returns v.
+func (v *Vector) Not() *Vector {
+	for i := range v.words {
+		v.words[i] = ^v.words[i]
+	}
+	v.trim()
+	return v
+}
+
+// ForEach calls fn with the index of every set bit, in ascending order.
+func (v *Vector) ForEach(fn func(i int)) {
+	for wi, w := range v.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*wordBits + b)
+			w &= w - 1
+		}
+	}
+}
+
+// NextSet returns the index of the first set bit at or after i,
+// or -1 if there is none.
+func (v *Vector) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= v.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := v.words[wi] >> uint(i%wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(v.words); wi++ {
+		if v.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(v.words[wi])
+		}
+	}
+	return -1
+}
+
+// Words exposes the backing words for size accounting. The slice must not
+// be mutated by callers.
+func (v *Vector) Words() []uint64 { return v.words }
+
+// SizeBytes returns the in-memory footprint of the bit data.
+func (v *Vector) SizeBytes() int { return len(v.words) * 8 }

@@ -1,0 +1,256 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndLen(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000} {
+		v := New(n)
+		if v.Len() != n {
+			t.Errorf("New(%d).Len() = %d", n, v.Len())
+		}
+		if v.Count() != 0 {
+			t.Errorf("New(%d).Count() = %d, want 0", n, v.Count())
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetGetClear(t *testing.T) {
+	v := New(130)
+	for _, i := range []int{0, 1, 63, 64, 127, 129} {
+		if v.Get(i) {
+			t.Errorf("bit %d set in fresh vector", i)
+		}
+		v.Set(i)
+		if !v.Get(i) {
+			t.Errorf("bit %d not set after Set", i)
+		}
+		v.Clear(i)
+		if v.Get(i) {
+			t.Errorf("bit %d still set after Clear", i)
+		}
+	}
+}
+
+func TestSetTo(t *testing.T) {
+	v := New(10)
+	v.SetTo(3, true)
+	v.SetTo(4, false)
+	if !v.Get(3) || v.Get(4) {
+		t.Errorf("SetTo results wrong: %v %v", v.Get(3), v.Get(4))
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	v := New(10)
+	for _, i := range []int{-1, 10, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Get(%d) did not panic", i)
+				}
+			}()
+			v.Get(i)
+		}()
+	}
+}
+
+func TestCount(t *testing.T) {
+	v := New(200)
+	want := 0
+	for i := 0; i < 200; i += 3 {
+		v.Set(i)
+		want++
+	}
+	if got := v.Count(); got != want {
+		t.Errorf("Count = %d, want %d", got, want)
+	}
+}
+
+func TestSetAllTrims(t *testing.T) {
+	v := New(70) // not word-aligned
+	v.SetAll()
+	if got := v.Count(); got != 70 {
+		t.Errorf("SetAll Count = %d, want 70", got)
+	}
+}
+
+func TestNotTrims(t *testing.T) {
+	v := New(70)
+	v.Not()
+	if got := v.Count(); got != 70 {
+		t.Errorf("Not Count = %d, want 70", got)
+	}
+	v.Not()
+	if got := v.Count(); got != 0 {
+		t.Errorf("double Not Count = %d, want 0", got)
+	}
+}
+
+func TestBooleanOps(t *testing.T) {
+	const n = 150
+	a, b := New(n), New(n)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			a.Set(i)
+		}
+		if i%3 == 0 {
+			b.Set(i)
+		}
+	}
+	and := a.Clone().And(b)
+	or := a.Clone().Or(b)
+	xor := a.Clone().Xor(b)
+	andnot := a.Clone().AndNot(b)
+	for i := 0; i < n; i++ {
+		ai, bi := i%2 == 0, i%3 == 0
+		if and.Get(i) != (ai && bi) {
+			t.Fatalf("And bit %d wrong", i)
+		}
+		if or.Get(i) != (ai || bi) {
+			t.Fatalf("Or bit %d wrong", i)
+		}
+		if xor.Get(i) != (ai != bi) {
+			t.Fatalf("Xor bit %d wrong", i)
+		}
+		if andnot.Get(i) != (ai && !bi) {
+			t.Fatalf("AndNot bit %d wrong", i)
+		}
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	a, b := New(10), New(11)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("And with mismatched lengths did not panic")
+		}
+	}()
+	a.And(b)
+}
+
+func TestForEachAndNextSet(t *testing.T) {
+	v := New(300)
+	set := []int{0, 5, 63, 64, 65, 128, 299}
+	for _, i := range set {
+		v.Set(i)
+	}
+	var got []int
+	v.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(set) {
+		t.Fatalf("ForEach visited %d bits, want %d", len(got), len(set))
+	}
+	for k, i := range set {
+		if got[k] != i {
+			t.Errorf("ForEach[%d] = %d, want %d", k, got[k], i)
+		}
+	}
+	// NextSet walks the same sequence.
+	idx := 0
+	for i := v.NextSet(0); i >= 0; i = v.NextSet(i + 1) {
+		if i != set[idx] {
+			t.Errorf("NextSet step %d = %d, want %d", idx, i, set[idx])
+		}
+		idx++
+	}
+	if idx != len(set) {
+		t.Errorf("NextSet found %d bits, want %d", idx, len(set))
+	}
+	if v.NextSet(300) != -1 {
+		t.Error("NextSet past end should be -1")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(64)
+	a.Set(3)
+	b := a.Clone()
+	b.Set(5)
+	if a.Get(5) {
+		t.Error("Clone shares storage with original")
+	}
+	if !b.Get(3) {
+		t.Error("Clone lost original bit")
+	}
+}
+
+func TestReset(t *testing.T) {
+	v := New(100)
+	v.SetAll()
+	v.Reset()
+	if v.Count() != 0 {
+		t.Errorf("Reset left %d bits", v.Count())
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if got := New(64).SizeBytes(); got != 8 {
+		t.Errorf("SizeBytes(64 bits) = %d, want 8", got)
+	}
+	if got := New(65).SizeBytes(); got != 16 {
+		t.Errorf("SizeBytes(65 bits) = %d, want 16", got)
+	}
+}
+
+// Property: Count(a OR b) + Count(a AND b) == Count(a) + Count(b).
+func TestQuickInclusionExclusion(t *testing.T) {
+	f := func(seed int64, raw uint16) bool {
+		n := int(raw%500) + 1
+		rng := rand.New(rand.NewSource(seed))
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Set(i)
+			}
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+			}
+		}
+		or := a.Clone().Or(b)
+		and := a.Clone().And(b)
+		return or.Count()+and.Count() == a.Count()+b.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: De Morgan — NOT(a AND b) == NOT a OR NOT b.
+func TestQuickDeMorgan(t *testing.T) {
+	f := func(seed int64, raw uint16) bool {
+		n := int(raw%300) + 1
+		rng := rand.New(rand.NewSource(seed))
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Set(i)
+			}
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+			}
+		}
+		left := a.Clone().And(b).Not()
+		right := a.Clone().Not().Or(b.Clone().Not())
+		for i := 0; i < n; i++ {
+			if left.Get(i) != right.Get(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,164 @@
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Sliced is a bit-sliced (bit-transposed) column: the i-th slice holds bit i
+// of every row's unsigned code. With w slices it represents codes in
+// [0, 2^w). This is the "extreme transposition" of Wong et al. [WL+85]:
+// storing the race column of Figure 19 as three single-bit files.
+//
+// Predicates (=, <, <=, >, >=, range) are evaluated slice-at-a-time with
+// word-parallel boolean algebra, and SUM over a selection is computed as
+// sum_i 2^i * popcount(slice_i AND sel) without materializing row values.
+type Sliced struct {
+	slices []*Vector // slices[i] = bit i (least significant first)
+	n      int
+}
+
+// NewSliced returns a bit-sliced column for n rows and the given code width.
+func NewSliced(n, width int) *Sliced {
+	if width <= 0 || width > 63 {
+		panic(fmt.Sprintf("bitvec: invalid slice width %d", width))
+	}
+	s := &Sliced{slices: make([]*Vector, width), n: n}
+	for i := range s.slices {
+		s.slices[i] = New(n)
+	}
+	return s
+}
+
+// WidthFor returns the minimum number of slices needed to represent codes
+// in [0, cardinality).
+func WidthFor(cardinality int) int {
+	if cardinality <= 1 {
+		return 1
+	}
+	w := 0
+	for c := cardinality - 1; c > 0; c >>= 1 {
+		w++
+	}
+	return w
+}
+
+// Len reports the number of rows.
+func (s *Sliced) Len() int { return s.n }
+
+// Width reports the number of bit slices.
+func (s *Sliced) Width() int { return len(s.slices) }
+
+// SetCode stores code for row i.
+func (s *Sliced) SetCode(i int, code uint64) {
+	if code >= 1<<uint(len(s.slices)) {
+		panic(fmt.Sprintf("bitvec: code %d exceeds width %d", code, len(s.slices)))
+	}
+	for b, sl := range s.slices {
+		sl.SetTo(i, code&(1<<uint(b)) != 0)
+	}
+}
+
+// Code returns the code stored for row i.
+func (s *Sliced) Code(i int) uint64 {
+	var c uint64
+	for b, sl := range s.slices {
+		if sl.Get(i) {
+			c |= 1 << uint(b)
+		}
+	}
+	return c
+}
+
+// EQ returns the selection vector of rows whose code equals c.
+func (s *Sliced) EQ(c uint64) *Vector {
+	res := New(s.n)
+	res.SetAll()
+	for b, sl := range s.slices {
+		if c&(1<<uint(b)) != 0 {
+			res.And(sl)
+		} else {
+			res.AndNot(sl)
+		}
+	}
+	return res
+}
+
+// LT returns the selection vector of rows whose code is strictly less than c.
+// It uses the classic bit-sliced comparison: scanning from the most
+// significant slice, lt accumulates rows already decided smaller, eq tracks
+// rows still tied with the prefix of c.
+func (s *Sliced) LT(c uint64) *Vector {
+	lt := New(s.n)
+	eq := New(s.n)
+	eq.SetAll()
+	for b := len(s.slices) - 1; b >= 0; b-- {
+		sl := s.slices[b]
+		if c&(1<<uint(b)) != 0 {
+			// rows tied so far with a 0 bit here become strictly less.
+			t := eq.Clone().AndNot(sl)
+			lt.Or(t)
+			eq.And(sl)
+		} else {
+			// c has 0: rows with a 1 here leave the tie (become greater).
+			eq.AndNot(sl)
+		}
+	}
+	return lt
+}
+
+// LE returns the selection vector of rows whose code is <= c.
+func (s *Sliced) LE(c uint64) *Vector {
+	lt := s.LT(c)
+	return lt.Or(s.EQ(c))
+}
+
+// GE returns the selection vector of rows whose code is >= c.
+func (s *Sliced) GE(c uint64) *Vector { return s.LT(c).Not() }
+
+// GT returns the selection vector of rows whose code is > c.
+func (s *Sliced) GT(c uint64) *Vector { return s.LE(c).Not() }
+
+// Range returns the selection vector of rows with lo <= code <= hi.
+func (s *Sliced) Range(lo, hi uint64) *Vector {
+	if lo > hi {
+		return New(s.n)
+	}
+	res := s.GE(lo)
+	return res.And(s.LE(hi))
+}
+
+// SumSelected returns the sum of codes over the rows selected by sel,
+// computed as sum_b 2^b * |slice_b AND sel|. sel may be nil to sum all rows.
+func (s *Sliced) SumSelected(sel *Vector) uint64 {
+	var sum uint64
+	for b, sl := range s.slices {
+		var c int
+		if sel == nil {
+			c = sl.Count()
+		} else {
+			c = countAnd(sl, sel)
+		}
+		sum += uint64(c) << uint(b)
+	}
+	return sum
+}
+
+// countAnd returns |a AND b| without allocating.
+func countAnd(a, b *Vector) int {
+	a.sameLen(b)
+	c := 0
+	for i, w := range a.words {
+		c += bits.OnesCount64(w & b.words[i])
+	}
+	return c
+}
+
+// SizeBytes returns the footprint of all slices.
+func (s *Sliced) SizeBytes() int {
+	t := 0
+	for _, sl := range s.slices {
+		t += sl.SizeBytes()
+	}
+	return t
+}

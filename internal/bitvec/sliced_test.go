@@ -1,0 +1,194 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWidthFor(t *testing.T) {
+	cases := []struct{ card, want int }{
+		{0, 1}, {1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {256, 8}, {257, 9},
+	}
+	for _, c := range cases {
+		if got := WidthFor(c.card); got != c.want {
+			t.Errorf("WidthFor(%d) = %d, want %d", c.card, got, c.want)
+		}
+	}
+}
+
+func TestSlicedRoundTrip(t *testing.T) {
+	s := NewSliced(100, 6)
+	rng := rand.New(rand.NewSource(1))
+	codes := make([]uint64, 100)
+	for i := range codes {
+		codes[i] = uint64(rng.Intn(64))
+		s.SetCode(i, codes[i])
+	}
+	for i, want := range codes {
+		if got := s.Code(i); got != want {
+			t.Fatalf("Code(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestSlicedInvalidWidthPanics(t *testing.T) {
+	for _, w := range []int{0, -1, 64} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSliced(10, %d) did not panic", w)
+				}
+			}()
+			NewSliced(10, w)
+		}()
+	}
+}
+
+func TestSlicedCodeTooWidePanics(t *testing.T) {
+	s := NewSliced(4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetCode(0, 4) on width-2 did not panic")
+		}
+	}()
+	s.SetCode(0, 4)
+}
+
+// buildRandom returns a sliced column plus the plain codes for oracle checks.
+func buildRandom(t *testing.T, n, width int, seed int64) (*Sliced, []uint64) {
+	t.Helper()
+	s := NewSliced(n, width)
+	rng := rand.New(rand.NewSource(seed))
+	codes := make([]uint64, n)
+	max := uint64(1) << uint(width)
+	for i := range codes {
+		codes[i] = uint64(rng.Int63n(int64(max)))
+		s.SetCode(i, codes[i])
+	}
+	return s, codes
+}
+
+func TestSlicedPredicates(t *testing.T) {
+	s, codes := buildRandom(t, 333, 5, 7)
+	for _, c := range []uint64{0, 1, 7, 15, 16, 31} {
+		eq, lt, le, ge, gt := s.EQ(c), s.LT(c), s.LE(c), s.GE(c), s.GT(c)
+		for i, v := range codes {
+			if eq.Get(i) != (v == c) {
+				t.Fatalf("EQ(%d) row %d (code %d) wrong", c, i, v)
+			}
+			if lt.Get(i) != (v < c) {
+				t.Fatalf("LT(%d) row %d (code %d) wrong", c, i, v)
+			}
+			if le.Get(i) != (v <= c) {
+				t.Fatalf("LE(%d) row %d (code %d) wrong", c, i, v)
+			}
+			if ge.Get(i) != (v >= c) {
+				t.Fatalf("GE(%d) row %d (code %d) wrong", c, i, v)
+			}
+			if gt.Get(i) != (v > c) {
+				t.Fatalf("GT(%d) row %d (code %d) wrong", c, i, v)
+			}
+		}
+	}
+}
+
+func TestSlicedRange(t *testing.T) {
+	s, codes := buildRandom(t, 200, 4, 9)
+	for lo := uint64(0); lo < 16; lo += 3 {
+		for hi := lo; hi < 16; hi += 4 {
+			sel := s.Range(lo, hi)
+			for i, v := range codes {
+				if sel.Get(i) != (v >= lo && v <= hi) {
+					t.Fatalf("Range(%d,%d) row %d (code %d) wrong", lo, hi, i, v)
+				}
+			}
+		}
+	}
+	if s.Range(5, 3).Count() != 0 {
+		t.Error("empty range should select nothing")
+	}
+}
+
+func TestSlicedSumSelected(t *testing.T) {
+	s, codes := buildRandom(t, 500, 7, 11)
+	// Sum all.
+	var want uint64
+	for _, v := range codes {
+		want += v
+	}
+	if got := s.SumSelected(nil); got != want {
+		t.Errorf("SumSelected(nil) = %d, want %d", got, want)
+	}
+	// Sum selected: even rows only.
+	sel := New(500)
+	want = 0
+	for i, v := range codes {
+		if i%2 == 0 {
+			sel.Set(i)
+			want += v
+		}
+	}
+	if got := s.SumSelected(sel); got != want {
+		t.Errorf("SumSelected(even) = %d, want %d", got, want)
+	}
+}
+
+// Property: for random data and constant, LT/EQ/GT partition the rows.
+func TestQuickSlicedPartition(t *testing.T) {
+	f := func(seed int64, rawN uint8, rawC uint8) bool {
+		n := int(rawN)%200 + 1
+		s, _ := buildRandomQuick(n, 6, seed)
+		c := uint64(rawC % 64)
+		lt, eq, gt := s.LT(c), s.EQ(c), s.GT(c)
+		if lt.Count()+eq.Count()+gt.Count() != n {
+			return false
+		}
+		// pairwise disjoint
+		if lt.Clone().And(eq).Count() != 0 ||
+			lt.Clone().And(gt).Count() != 0 ||
+			eq.Clone().And(gt).Count() != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func buildRandomQuick(n, width int, seed int64) (*Sliced, []uint64) {
+	s := NewSliced(n, width)
+	rng := rand.New(rand.NewSource(seed))
+	codes := make([]uint64, n)
+	max := uint64(1) << uint(width)
+	for i := range codes {
+		codes[i] = uint64(rng.Int63n(int64(max)))
+		s.SetCode(i, codes[i])
+	}
+	return s, codes
+}
+
+func BenchmarkSlicedEQ(b *testing.B) {
+	s := NewSliced(1<<16, 8)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1<<16; i++ {
+		s.SetCode(i, uint64(rng.Intn(256)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.EQ(uint64(i % 256))
+	}
+}
+
+func BenchmarkSlicedSum(b *testing.B) {
+	s := NewSliced(1<<16, 8)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1<<16; i++ {
+		s.SetCode(i, uint64(rng.Intn(256)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SumSelected(nil)
+	}
+}

@@ -1,0 +1,519 @@
+// Package btree implements an in-memory B+tree with ordered keys, range
+// scans, bulk loading, and random sampling.
+//
+// The tree serves three roles in the reproduction of Shoshani's OLAP/SDB
+// survey: it is the search structure over the accumulated run-length
+// "header" of header compression [EOA81] (Section 6.2, Figure 21), the
+// chunk index for partitioned and extendible arrays [SS94, RZ86]
+// (Sections 6.4–6.5), and the substrate for random sampling from B+trees
+// [OR95] (Section 5.6).
+//
+// Leaves hold key/value pairs and are chained for fast range scans.
+// Interior nodes additionally carry subtree cardinalities so the tree
+// supports O(log n) rank queries and exact uniform sampling; the classic
+// acceptance/rejection sampling of [OR95], which needs no counts, is
+// provided alongside for comparison.
+package btree
+
+import (
+	"cmp"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// degree is the maximum number of children of an interior node. Leaves hold
+// up to degree-1 entries. 32 keeps nodes around a cache line multiple.
+const degree = 32
+
+const maxLeaf = degree - 1
+
+// Tree is a B+tree mapping ordered keys K to values V.
+// The zero value is not usable; call New.
+type Tree[K cmp.Ordered, V any] struct {
+	root node[K, V]
+	size int
+}
+
+type node[K cmp.Ordered, V any] interface {
+	// count returns the number of entries in the subtree.
+	count() int
+	// height 0 = leaf.
+	height() int
+}
+
+type leaf[K cmp.Ordered, V any] struct {
+	keys []K
+	vals []V
+	next *leaf[K, V]
+}
+
+type inner[K cmp.Ordered, V any] struct {
+	// seps[i] is the smallest key in children[i+1]'s subtree.
+	seps     []K
+	children []node[K, V]
+	counts   []int // cached child cardinalities
+	h        int
+}
+
+func (l *leaf[K, V]) count() int  { return len(l.keys) }
+func (l *leaf[K, V]) height() int { return 0 }
+
+func (n *inner[K, V]) count() int {
+	t := 0
+	for _, c := range n.counts {
+		t += c
+	}
+	return t
+}
+func (n *inner[K, V]) height() int { return n.h }
+
+// New returns an empty tree.
+func New[K cmp.Ordered, V any]() *Tree[K, V] {
+	return &Tree[K, V]{root: &leaf[K, V]{}}
+}
+
+// Len returns the number of entries.
+func (t *Tree[K, V]) Len() int { return t.size }
+
+// Height returns the height of the tree (0 for a tree that is one leaf).
+func (t *Tree[K, V]) Height() int { return t.root.height() }
+
+// Get returns the value stored under key, if any.
+func (t *Tree[K, V]) Get(key K) (V, bool) {
+	n := t.root
+	for {
+		switch x := n.(type) {
+		case *leaf[K, V]:
+			i := sort.Search(len(x.keys), func(i int) bool { return x.keys[i] >= key })
+			if i < len(x.keys) && x.keys[i] == key {
+				return x.vals[i], true
+			}
+			var zero V
+			return zero, false
+		case *inner[K, V]:
+			n = x.children[childIndex(x.seps, key)]
+		default:
+			panic("btree: unknown node type")
+		}
+	}
+}
+
+// childIndex returns the child to descend into for key given separators.
+func childIndex[K cmp.Ordered](seps []K, key K) int {
+	// first separator strictly greater than key -> that child index.
+	return sort.Search(len(seps), func(i int) bool { return seps[i] > key })
+}
+
+// Put inserts or replaces the value under key. It reports whether the key
+// was newly inserted.
+func (t *Tree[K, V]) Put(key K, val V) bool {
+	newChild, sep, inserted := t.insert(t.root, key, val)
+	if inserted {
+		t.size++
+	}
+	if newChild != nil {
+		t.root = &inner[K, V]{
+			seps:     []K{sep},
+			children: []node[K, V]{t.root, newChild},
+			counts:   []int{t.root.count(), newChild.count()},
+			h:        t.root.height() + 1,
+		}
+	}
+	return inserted
+}
+
+// insert adds key/val under n. If n splits, it returns the new right
+// sibling and the separator key; otherwise newNode is nil.
+func (t *Tree[K, V]) insert(n node[K, V], key K, val V) (newNode node[K, V], sep K, inserted bool) {
+	switch x := n.(type) {
+	case *leaf[K, V]:
+		i := sort.Search(len(x.keys), func(i int) bool { return x.keys[i] >= key })
+		if i < len(x.keys) && x.keys[i] == key {
+			x.vals[i] = val
+			return nil, sep, false
+		}
+		x.keys = append(x.keys, key)
+		x.vals = append(x.vals, val)
+		copy(x.keys[i+1:], x.keys[i:])
+		copy(x.vals[i+1:], x.vals[i:])
+		x.keys[i] = key
+		x.vals[i] = val
+		if len(x.keys) <= maxLeaf {
+			return nil, sep, true
+		}
+		// Split.
+		mid := len(x.keys) / 2
+		right := &leaf[K, V]{
+			keys: append([]K(nil), x.keys[mid:]...),
+			vals: append([]V(nil), x.vals[mid:]...),
+			next: x.next,
+		}
+		x.keys = x.keys[:mid:mid]
+		x.vals = x.vals[:mid:mid]
+		x.next = right
+		return right, right.keys[0], true
+
+	case *inner[K, V]:
+		ci := childIndex(x.seps, key)
+		nn, nsep, ins := t.insert(x.children[ci], key, val)
+		if ins {
+			x.counts[ci]++
+		}
+		if nn == nil {
+			return nil, sep, ins
+		}
+		// Child split: counts[ci] must be re-derived from the two halves.
+		x.counts[ci] = x.children[ci].count()
+		x.seps = append(x.seps, nsep)
+		x.children = append(x.children, nil)
+		x.counts = append(x.counts, 0)
+		copy(x.seps[ci+1:], x.seps[ci:])
+		copy(x.children[ci+2:], x.children[ci+1:])
+		copy(x.counts[ci+2:], x.counts[ci+1:])
+		x.seps[ci] = nsep
+		x.children[ci+1] = nn
+		x.counts[ci+1] = nn.count()
+		if len(x.children) <= degree {
+			return nil, sep, ins
+		}
+		// Split interior node.
+		midSep := len(x.seps) / 2
+		promote := x.seps[midSep]
+		right := &inner[K, V]{
+			seps:     append([]K(nil), x.seps[midSep+1:]...),
+			children: append([]node[K, V](nil), x.children[midSep+1:]...),
+			counts:   append([]int(nil), x.counts[midSep+1:]...),
+			h:        x.h,
+		}
+		x.seps = x.seps[:midSep:midSep]
+		x.children = x.children[: midSep+1 : midSep+1]
+		x.counts = x.counts[: midSep+1 : midSep+1]
+		return right, promote, ins
+
+	default:
+		panic("btree: unknown node type")
+	}
+}
+
+// Delete removes key and reports whether it was present. The implementation
+// uses lazy deletion semantics adequate for the workloads in this repo:
+// entries are removed from leaves without rebalancing; empty leaves remain
+// linked until the tree is rebuilt.
+func (t *Tree[K, V]) Delete(key K) bool {
+	if t.remove(t.root, key) {
+		t.size--
+		return true
+	}
+	return false
+}
+
+func (t *Tree[K, V]) remove(n node[K, V], key K) bool {
+	switch x := n.(type) {
+	case *leaf[K, V]:
+		i := sort.Search(len(x.keys), func(i int) bool { return x.keys[i] >= key })
+		if i >= len(x.keys) || x.keys[i] != key {
+			return false
+		}
+		x.keys = append(x.keys[:i], x.keys[i+1:]...)
+		x.vals = append(x.vals[:i], x.vals[i+1:]...)
+		return true
+	case *inner[K, V]:
+		ci := childIndex(x.seps, key)
+		if x.remove2(t, ci, key) {
+			return true
+		}
+		return false
+	default:
+		panic("btree: unknown node type")
+	}
+}
+
+func (x *inner[K, V]) remove2(t *Tree[K, V], ci int, key K) bool {
+	if t.remove(x.children[ci], key) {
+		x.counts[ci]--
+		return true
+	}
+	return false
+}
+
+// First returns the smallest key and its value.
+func (t *Tree[K, V]) First() (K, V, bool) {
+	n := t.root
+	for {
+		switch x := n.(type) {
+		case *leaf[K, V]:
+			for l := x; l != nil; l = l.next {
+				if len(l.keys) > 0 {
+					return l.keys[0], l.vals[0], true
+				}
+			}
+			var k K
+			var v V
+			return k, v, false
+		case *inner[K, V]:
+			n = x.children[0]
+		}
+	}
+}
+
+// Ascend calls fn for every entry with from <= key <= to in ascending key
+// order; iteration stops early if fn returns false.
+func (t *Tree[K, V]) Ascend(from, to K, fn func(key K, val V) bool) {
+	if from > to {
+		return
+	}
+	l := t.leafFor(from)
+	for ; l != nil; l = l.next {
+		i := sort.Search(len(l.keys), func(i int) bool { return l.keys[i] >= from })
+		for ; i < len(l.keys); i++ {
+			if l.keys[i] > to {
+				return
+			}
+			if !fn(l.keys[i], l.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// AscendAll calls fn for every entry in ascending key order.
+func (t *Tree[K, V]) AscendAll(fn func(key K, val V) bool) {
+	n := t.root
+	for {
+		x, ok := n.(*inner[K, V])
+		if !ok {
+			break
+		}
+		n = x.children[0]
+	}
+	for l := n.(*leaf[K, V]); l != nil; l = l.next {
+		for i := range l.keys {
+			if !fn(l.keys[i], l.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// leafFor returns the leaf that would contain key.
+func (t *Tree[K, V]) leafFor(key K) *leaf[K, V] {
+	n := t.root
+	for {
+		switch x := n.(type) {
+		case *leaf[K, V]:
+			return x
+		case *inner[K, V]:
+			n = x.children[childIndex(x.seps, key)]
+		}
+	}
+}
+
+// Floor returns the greatest key <= key, if any.
+func (t *Tree[K, V]) Floor(key K) (K, V, bool) {
+	var bk K
+	var bv V
+	found := false
+	// Descend and remember the candidate from each level.
+	n := t.root
+	for {
+		switch x := n.(type) {
+		case *leaf[K, V]:
+			i := sort.Search(len(x.keys), func(i int) bool { return x.keys[i] > key })
+			if i > 0 {
+				return x.keys[i-1], x.vals[i-1], true
+			}
+			return bk, bv, found
+		case *inner[K, V]:
+			ci := childIndex(x.seps, key)
+			// Remember the max key of the left siblings' subtrees by peeking
+			// at the rightmost entry of child ci-1 lazily: instead, track via
+			// predecessor leaf after descent. Simpler: descend; if leaf search
+			// fails we use rank-based lookup.
+			if ci > 0 {
+				if k, v, ok := maxOf[K, V](x.children[ci-1]); ok {
+					bk, bv, found = k, v, true
+				}
+			}
+			n = x.children[ci]
+		}
+	}
+}
+
+func maxOf[K cmp.Ordered, V any](n node[K, V]) (K, V, bool) {
+	for {
+		switch x := n.(type) {
+		case *leaf[K, V]:
+			if len(x.keys) == 0 {
+				var k K
+				var v V
+				return k, v, false
+			}
+			return x.keys[len(x.keys)-1], x.vals[len(x.keys)-1], true
+		case *inner[K, V]:
+			// Rightmost child with entries.
+			for i := len(x.children) - 1; i >= 0; i-- {
+				if x.counts[i] > 0 {
+					n = x.children[i]
+					break
+				}
+				if i == 0 {
+					var k K
+					var v V
+					return k, v, false
+				}
+			}
+		}
+	}
+}
+
+// Rank returns the entry with the given rank (0-based, in key order).
+func (t *Tree[K, V]) Rank(r int) (K, V, error) {
+	if r < 0 || r >= t.size {
+		var k K
+		var v V
+		return k, v, fmt.Errorf("btree: rank %d out of range [0,%d)", r, t.size)
+	}
+	n := t.root
+	for {
+		switch x := n.(type) {
+		case *leaf[K, V]:
+			return x.keys[r], x.vals[r], nil
+		case *inner[K, V]:
+			for i, c := range x.counts {
+				if r < c {
+					n = x.children[i]
+					break
+				}
+				r -= c
+				if i == len(x.counts)-1 {
+					panic("btree: rank accounting corrupted")
+				}
+			}
+		}
+	}
+}
+
+// SampleByRank draws k entries uniformly at random with replacement using
+// the cached subtree cardinalities: each draw is one root-to-leaf descent.
+func (t *Tree[K, V]) SampleByRank(rng *rand.Rand, k int) []V {
+	if t.size == 0 || k <= 0 {
+		return nil
+	}
+	out := make([]V, 0, k)
+	for i := 0; i < k; i++ {
+		_, v, err := t.Rank(rng.Intn(t.size))
+		if err != nil {
+			panic(err) // unreachable: rank in range
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// SampleAcceptReject draws k entries uniformly at random with replacement
+// using the acceptance/rejection method of Olken & Rotem [OR95]: descend
+// the tree choosing a uniformly random child among the maximum possible
+// fanout at each level; paths that pick a missing child slot are rejected
+// and retried. No cardinality metadata is consulted, at the cost of
+// retries. attempts reports the total number of descents taken.
+func (t *Tree[K, V]) SampleAcceptReject(rng *rand.Rand, k int) (out []V, attempts int) {
+	if t.size == 0 || k <= 0 {
+		return nil, 0
+	}
+	out = make([]V, 0, k)
+	for len(out) < k {
+		attempts++
+		n := t.root
+		rejected := false
+		for !rejected {
+			switch x := n.(type) {
+			case *leaf[K, V]:
+				slot := rng.Intn(maxLeaf)
+				if slot >= len(x.keys) {
+					rejected = true
+					break
+				}
+				out = append(out, x.vals[slot])
+				rejected = true // terminate descent (accepted)
+				continue
+			case *inner[K, V]:
+				slot := rng.Intn(degree)
+				if slot >= len(x.children) {
+					rejected = true
+					break
+				}
+				n = x.children[slot]
+			}
+		}
+	}
+	return out, attempts
+}
+
+// BulkLoad builds a tree from entries sorted by ascending unique key. It is
+// O(n) and produces maximally packed leaves, the construction used when a
+// header or chunk index is built once over a finished dataset.
+func BulkLoad[K cmp.Ordered, V any](keys []K, vals []V) *Tree[K, V] {
+	if len(keys) != len(vals) {
+		panic("btree: BulkLoad length mismatch")
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			panic("btree: BulkLoad keys must be strictly ascending")
+		}
+	}
+	t := New[K, V]()
+	if len(keys) == 0 {
+		return t
+	}
+	// Build leaves.
+	var leaves []node[K, V]
+	var seps []K
+	var prev *leaf[K, V]
+	for i := 0; i < len(keys); i += maxLeaf {
+		j := i + maxLeaf
+		if j > len(keys) {
+			j = len(keys)
+		}
+		l := &leaf[K, V]{
+			keys: append([]K(nil), keys[i:j]...),
+			vals: append([]V(nil), vals[i:j]...),
+		}
+		if prev != nil {
+			prev.next = l
+		}
+		prev = l
+		leaves = append(leaves, l)
+		seps = append(seps, keys[i])
+	}
+	t.size = len(keys)
+	t.root = buildLevel(leaves, seps, 1)
+	return t
+}
+
+// buildLevel assembles one interior level over children; firstKeys[i] is the
+// minimum key of children[i]'s subtree.
+func buildLevel[K cmp.Ordered, V any](children []node[K, V], firstKeys []K, h int) node[K, V] {
+	if len(children) == 1 {
+		return children[0]
+	}
+	var ups []node[K, V]
+	var upKeys []K
+	for i := 0; i < len(children); i += degree {
+		j := i + degree
+		if j > len(children) {
+			j = len(children)
+		}
+		in := &inner[K, V]{h: h}
+		in.children = append(in.children, children[i:j]...)
+		for k := i + 1; k < j; k++ {
+			in.seps = append(in.seps, firstKeys[k])
+		}
+		for _, c := range in.children {
+			in.counts = append(in.counts, c.count())
+		}
+		ups = append(ups, in)
+		upKeys = append(upKeys, firstKeys[i])
+	}
+	return buildLevel(ups, upKeys, h+1)
+}

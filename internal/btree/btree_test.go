@@ -1,0 +1,406 @@
+package btree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New[int, string]()
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if _, ok := tr.Get(1); ok {
+		t.Error("Get on empty tree returned ok")
+	}
+	if _, _, ok := tr.First(); ok {
+		t.Error("First on empty tree returned ok")
+	}
+	if _, _, err := tr.Rank(0); err == nil {
+		t.Error("Rank(0) on empty tree should error")
+	}
+}
+
+func TestPutGet(t *testing.T) {
+	tr := New[int, int]()
+	const n = 5000
+	rng := rand.New(rand.NewSource(42))
+	perm := rng.Perm(n)
+	for _, k := range perm {
+		if !tr.Put(k, k*10) {
+			t.Fatalf("Put(%d) reported not inserted", k)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	for k := 0; k < n; k++ {
+		v, ok := tr.Get(k)
+		if !ok || v != k*10 {
+			t.Fatalf("Get(%d) = %d, %v", k, v, ok)
+		}
+	}
+	if _, ok := tr.Get(n); ok {
+		t.Error("Get(absent) returned ok")
+	}
+}
+
+func TestPutReplace(t *testing.T) {
+	tr := New[string, int]()
+	tr.Put("a", 1)
+	if tr.Put("a", 2) {
+		t.Error("replacing Put reported inserted")
+	}
+	if v, _ := tr.Get("a"); v != 2 {
+		t.Errorf("Get after replace = %d", v)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestAscendAllSorted(t *testing.T) {
+	tr := New[int, int]()
+	rng := rand.New(rand.NewSource(7))
+	for _, k := range rng.Perm(2000) {
+		tr.Put(k, k)
+	}
+	prev := -1
+	count := 0
+	tr.AscendAll(func(k, v int) bool {
+		if k <= prev {
+			t.Fatalf("out of order: %d after %d", k, prev)
+		}
+		if v != k {
+			t.Fatalf("value mismatch at %d", k)
+		}
+		prev = k
+		count++
+		return true
+	})
+	if count != 2000 {
+		t.Errorf("visited %d entries", count)
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New[int, int]()
+	for k := 0; k < 1000; k += 2 { // even keys
+		tr.Put(k, k)
+	}
+	var got []int
+	tr.Ascend(101, 111, func(k, v int) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []int{102, 104, 106, 108, 110}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	tr.Ascend(0, 999, func(k, v int) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("early stop visited %d", n)
+	}
+	// Inverted range.
+	tr.Ascend(10, 5, func(k, v int) bool {
+		t.Fatal("inverted range should visit nothing")
+		return false
+	})
+}
+
+func TestFirst(t *testing.T) {
+	tr := New[int, string]()
+	tr.Put(10, "x")
+	tr.Put(3, "y")
+	tr.Put(7, "z")
+	k, v, ok := tr.First()
+	if !ok || k != 3 || v != "y" {
+		t.Errorf("First = %d, %q, %v", k, v, ok)
+	}
+}
+
+func TestFloor(t *testing.T) {
+	tr := New[int, int]()
+	for _, k := range []int{10, 20, 30, 40} {
+		tr.Put(k, k)
+	}
+	cases := []struct {
+		q    int
+		want int
+		ok   bool
+	}{
+		{5, 0, false}, {10, 10, true}, {15, 10, true}, {30, 30, true}, {99, 40, true},
+	}
+	for _, c := range cases {
+		k, _, ok := tr.Floor(c.q)
+		if ok != c.ok || (ok && k != c.want) {
+			t.Errorf("Floor(%d) = %d, %v; want %d, %v", c.q, k, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestFloorLarge(t *testing.T) {
+	tr := New[int, int]()
+	rng := rand.New(rand.NewSource(5))
+	keys := map[int]bool{}
+	for i := 0; i < 3000; i++ {
+		k := rng.Intn(100000) * 2 // even
+		keys[k] = true
+		tr.Put(k, k)
+	}
+	sorted := make([]int, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Ints(sorted)
+	for trial := 0; trial < 500; trial++ {
+		q := rng.Intn(200001)
+		i := sort.SearchInts(sorted, q+1) - 1
+		k, _, ok := tr.Floor(q)
+		if i < 0 {
+			if ok {
+				t.Fatalf("Floor(%d) = %d, want none", q, k)
+			}
+			continue
+		}
+		if !ok || k != sorted[i] {
+			t.Fatalf("Floor(%d) = %d, %v; want %d", q, k, ok, sorted[i])
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New[int, int]()
+	for k := 0; k < 500; k++ {
+		tr.Put(k, k)
+	}
+	for k := 0; k < 500; k += 3 {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%d) = false", k)
+		}
+	}
+	if tr.Delete(0) {
+		t.Error("double Delete returned true")
+	}
+	if tr.Len() != 500-167 {
+		t.Errorf("Len = %d, want %d", tr.Len(), 500-167)
+	}
+	for k := 0; k < 500; k++ {
+		_, ok := tr.Get(k)
+		if want := k%3 != 0; ok != want {
+			t.Fatalf("Get(%d) = %v, want %v", k, ok, want)
+		}
+	}
+}
+
+func TestRank(t *testing.T) {
+	tr := New[int, int]()
+	rng := rand.New(rand.NewSource(3))
+	for _, k := range rng.Perm(1500) {
+		tr.Put(k, k+1000)
+	}
+	for r := 0; r < 1500; r += 37 {
+		k, v, err := tr.Rank(r)
+		if err != nil || k != r || v != r+1000 {
+			t.Fatalf("Rank(%d) = %d, %d, %v", r, k, v, err)
+		}
+	}
+	if _, _, err := tr.Rank(1500); err == nil {
+		t.Error("Rank out of range should error")
+	}
+}
+
+func TestRankAfterDelete(t *testing.T) {
+	tr := New[int, int]()
+	for k := 0; k < 100; k++ {
+		tr.Put(k, k)
+	}
+	tr.Delete(50)
+	k, _, err := tr.Rank(50)
+	if err != nil || k != 51 {
+		t.Errorf("Rank(50) after delete = %d, %v; want 51", k, err)
+	}
+}
+
+func TestBulkLoad(t *testing.T) {
+	const n = 4000
+	keys := make([]int, n)
+	vals := make([]string, n)
+	for i := range keys {
+		keys[i] = i * 2
+		vals[i] = "v"
+	}
+	tr := BulkLoad(keys, vals)
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := 0; i < n; i++ {
+		if _, ok := tr.Get(i * 2); !ok {
+			t.Fatalf("Get(%d) missing", i*2)
+		}
+		if _, ok := tr.Get(i*2 + 1); ok {
+			t.Fatalf("Get(%d) should be absent", i*2+1)
+		}
+	}
+	// Inserts after bulk load still work.
+	tr.Put(1, "odd")
+	if v, ok := tr.Get(1); !ok || v != "odd" {
+		t.Error("Put after BulkLoad failed")
+	}
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	tr := BulkLoad[int, int](nil, nil)
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestBulkLoadUnsortedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted BulkLoad did not panic")
+		}
+	}()
+	BulkLoad([]int{2, 1}, []int{0, 0})
+}
+
+func TestSampleByRankUniform(t *testing.T) {
+	tr := New[int, int]()
+	const n = 100
+	for k := 0; k < n; k++ {
+		tr.Put(k, k)
+	}
+	rng := rand.New(rand.NewSource(11))
+	const draws = 100000
+	counts := make([]int, n)
+	for _, v := range tr.SampleByRank(rng, draws) {
+		counts[v]++
+	}
+	// Chi-square against uniform; df=99, reject far tail only.
+	expected := float64(draws) / n
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 99.9th percentile of chi2(99) is ~148.
+	if chi2 > 160 {
+		t.Errorf("SampleByRank chi2 = %.1f, far from uniform", chi2)
+	}
+}
+
+func TestSampleAcceptRejectUniform(t *testing.T) {
+	tr := New[int, int]()
+	const n = 2000
+	rng := rand.New(rand.NewSource(13))
+	for _, k := range rng.Perm(n) {
+		tr.Put(k, k)
+	}
+	const draws = 50000
+	out, attempts := tr.SampleAcceptReject(rng, draws)
+	if len(out) != draws {
+		t.Fatalf("got %d samples", len(out))
+	}
+	if attempts < draws {
+		t.Fatalf("attempts %d < draws %d", attempts, draws)
+	}
+	// Mean of uniform over [0,n) should be near (n-1)/2.
+	sum := 0.0
+	for _, v := range out {
+		sum += float64(v)
+	}
+	mean := sum / draws
+	want := float64(n-1) / 2
+	sd := float64(n) / math.Sqrt(12*draws)
+	if math.Abs(mean-want) > 6*sd {
+		t.Errorf("sample mean %.1f, want %.1f ± %.1f", mean, want, 6*sd)
+	}
+}
+
+func TestSampleEmptyAndZero(t *testing.T) {
+	tr := New[int, int]()
+	rng := rand.New(rand.NewSource(1))
+	if s := tr.SampleByRank(rng, 5); s != nil {
+		t.Error("sampling empty tree should return nil")
+	}
+	tr.Put(1, 1)
+	if s := tr.SampleByRank(rng, 0); s != nil {
+		t.Error("sampling 0 should return nil")
+	}
+}
+
+// Property: the tree agrees with a map oracle under random put/delete.
+func TestQuickTreeVsMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New[int, int]()
+		oracle := map[int]int{}
+		for op := 0; op < 2000; op++ {
+			k := rng.Intn(300)
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := rng.Int()
+				tr.Put(k, v)
+				oracle[k] = v
+			case 2:
+				got := tr.Delete(k)
+				_, want := oracle[k]
+				if got != want {
+					return false
+				}
+				delete(oracle, k)
+			}
+		}
+		if tr.Len() != len(oracle) {
+			return false
+		}
+		for k, want := range oracle {
+			v, ok := tr.Get(k)
+			if !ok || v != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]int, b.N)
+	for i := range keys {
+		keys[i] = rng.Int()
+	}
+	tr := New[int, int]()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Put(keys[i], i)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New[int, int]()
+	for k := 0; k < 1<<16; k++ {
+		tr.Put(k, k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(i & (1<<16 - 1))
+	}
+}

@@ -1,0 +1,184 @@
+// Package catalog is a directory-driven catalog of statistical objects, in
+// the spirit of Chan & Shoshani's SUBJECT system [CS81] — "a directory
+// driven system for organizing and accessing large statistical databases"
+// (Section 4.1 of the survey traces the graph models back to it). Large
+// statistical collections hold hundreds of summary datasets; analysts find
+// them by what they measure and how they are classified, not by file name.
+//
+// The catalog indexes registered objects by measure name, dimension name
+// and classification level, and organizes them under a subject-category
+// tree (energy → production → crude oil), supporting the directory-style
+// navigation SUBJECT pioneered.
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"statcube/internal/core"
+)
+
+// Common catalog errors.
+var (
+	ErrDuplicate = errors.New("catalog: dataset already registered")
+	ErrNotFound  = errors.New("catalog: dataset not found")
+)
+
+// Entry is one catalogued dataset.
+type Entry struct {
+	Name        string
+	Subject     string // slash-separated subject path, e.g. "economy/retail"
+	Description string
+	Object      *core.StatObject
+}
+
+// Catalog is a searchable directory of statistical objects; safe for
+// concurrent use.
+type Catalog struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+	byMeas  map[string][]string // measure name -> dataset names
+	byDim   map[string][]string // dimension name -> dataset names
+	byLevel map[string][]string // classification level name -> dataset names
+}
+
+// New creates an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		entries: map[string]*Entry{},
+		byMeas:  map[string][]string{},
+		byDim:   map[string][]string{},
+		byLevel: map[string][]string{},
+	}
+}
+
+// Register adds a dataset to the directory.
+func (c *Catalog) Register(e Entry) error {
+	if e.Name == "" {
+		return errors.New("catalog: entry with empty name")
+	}
+	if e.Object == nil {
+		return errors.New("catalog: entry with nil object")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.entries[e.Name]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicate, e.Name)
+	}
+	stored := e
+	c.entries[e.Name] = &stored
+	for _, m := range e.Object.Measures() {
+		c.byMeas[m.Name] = append(c.byMeas[m.Name], e.Name)
+	}
+	for _, d := range e.Object.Schema().Dimensions() {
+		c.byDim[d.Name] = append(c.byDim[d.Name], e.Name)
+		for li := 0; li < d.Class.NumLevels(); li++ {
+			lv := d.Class.Level(li).Name
+			c.byLevel[lv] = append(c.byLevel[lv], e.Name)
+		}
+	}
+	return nil
+}
+
+// Lookup returns the named dataset.
+func (c *Catalog) Lookup(name string) (*Entry, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return e, nil
+}
+
+// Len returns the number of registered datasets.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// ByMeasure returns the names of datasets carrying the measure, sorted.
+func (c *Catalog) ByMeasure(measure string) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return sortedCopy(c.byMeas[measure])
+}
+
+// ByDimension returns the names of datasets with the dimension, sorted.
+func (c *Catalog) ByDimension(dim string) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return sortedCopy(c.byDim[dim])
+}
+
+// ByLevel returns the names of datasets whose classifications include the
+// level name (e.g. every dataset summarizable to "state"), sorted.
+func (c *Catalog) ByLevel(level string) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return sortedCopy(c.byLevel[level])
+}
+
+// Subjects returns the subject tree as sorted unique paths.
+func (c *Catalog) Subjects() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	set := map[string]bool{}
+	for _, e := range c.entries {
+		if e.Subject != "" {
+			set[e.Subject] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// UnderSubject returns dataset names whose subject path equals prefix or
+// nests below it, sorted.
+func (c *Catalog) UnderSubject(prefix string) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []string
+	for name, e := range c.entries {
+		if e.Subject == prefix || strings.HasPrefix(e.Subject, prefix+"/") {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe renders a directory listing of one dataset: its subject, its
+// conceptual structure and its size.
+func (c *Catalog) Describe(name string) (string, error) {
+	e, err := c.Lookup(name)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", e.Name)
+	if e.Subject != "" {
+		fmt.Fprintf(&b, "  [%s]", e.Subject)
+	}
+	b.WriteByte('\n')
+	if e.Description != "" {
+		fmt.Fprintf(&b, "%s\n", e.Description)
+	}
+	b.WriteString(e.Object.String())
+	fmt.Fprintf(&b, "Cells: %d\n", e.Object.Cells())
+	return b.String(), nil
+}
+
+func sortedCopy(s []string) []string {
+	out := append([]string(nil), s...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,140 @@
+package catalog
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"statcube/internal/core"
+	"statcube/internal/hierarchy"
+	"statcube/internal/schema"
+)
+
+func sampleObject(t *testing.T, measure string, dims ...string) *core.StatObject {
+	t.Helper()
+	var sdims []schema.Dimension
+	for _, d := range dims {
+		if d == "geo" {
+			cls := hierarchy.NewBuilder("geo", "county", "c1", "c2").
+				Level("state", "s1").
+				Parent("c1", "s1").Parent("c2", "s1").
+				MustBuild()
+			sdims = append(sdims, schema.Dimension{Name: d, Class: cls})
+			continue
+		}
+		sdims = append(sdims, schema.Dimension{Name: d, Class: hierarchy.FlatClassification(d, "a", "b")})
+	}
+	sch := schema.MustNew("x", sdims...)
+	return core.MustNew(sch, []core.Measure{{Name: measure, Func: core.Sum, Type: core.Flow}})
+}
+
+func TestRegisterAndLookup(t *testing.T) {
+	c := New()
+	o := sampleObject(t, "sales", "geo", "year")
+	if err := c.Register(Entry{Name: "retail-96", Subject: "economy/retail", Object: o}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	e, err := c.Lookup("retail-96")
+	if err != nil || e.Object != o {
+		t.Errorf("Lookup = %+v, %v", e, err)
+	}
+	if _, err := c.Lookup("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing err = %v", err)
+	}
+	// Validation.
+	if err := c.Register(Entry{Name: "retail-96", Object: o}); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate err = %v", err)
+	}
+	if err := c.Register(Entry{Object: o}); err == nil {
+		t.Error("empty name should fail")
+	}
+	if err := c.Register(Entry{Name: "x"}); err == nil {
+		t.Error("nil object should fail")
+	}
+}
+
+func TestIndexes(t *testing.T) {
+	c := New()
+	_ = c.Register(Entry{Name: "a", Subject: "economy/retail", Object: sampleObject(t, "sales", "geo", "year")})
+	_ = c.Register(Entry{Name: "b", Subject: "economy/energy", Object: sampleObject(t, "production", "geo")})
+	_ = c.Register(Entry{Name: "c", Subject: "health", Object: sampleObject(t, "sales", "year")})
+	if got := c.ByMeasure("sales"); !reflect.DeepEqual(got, []string{"a", "c"}) {
+		t.Errorf("ByMeasure = %v", got)
+	}
+	if got := c.ByDimension("geo"); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("ByDimension = %v", got)
+	}
+	// Level search finds anything summarizable to "state".
+	if got := c.ByLevel("state"); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("ByLevel = %v", got)
+	}
+	if got := c.ByMeasure("nope"); len(got) != 0 {
+		t.Errorf("missing measure = %v", got)
+	}
+}
+
+func TestSubjectTree(t *testing.T) {
+	c := New()
+	_ = c.Register(Entry{Name: "a", Subject: "economy/retail", Object: sampleObject(t, "m", "year")})
+	_ = c.Register(Entry{Name: "b", Subject: "economy/energy/oil", Object: sampleObject(t, "m", "year")})
+	_ = c.Register(Entry{Name: "c", Subject: "health", Object: sampleObject(t, "m", "year")})
+	subjects := c.Subjects()
+	if len(subjects) != 3 {
+		t.Errorf("Subjects = %v", subjects)
+	}
+	if got := c.UnderSubject("economy"); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("UnderSubject(economy) = %v", got)
+	}
+	if got := c.UnderSubject("economy/energy"); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Errorf("UnderSubject(economy/energy) = %v", got)
+	}
+	if got := c.UnderSubject("econ"); len(got) != 0 {
+		t.Errorf("prefix must respect path segments: %v", got)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	c := New()
+	_ = c.Register(Entry{
+		Name: "retail-96", Subject: "economy/retail",
+		Description: "1996 store transactions",
+		Object:      sampleObject(t, "sales", "geo", "year"),
+	})
+	s, err := c.Describe("retail-96")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"retail-96", "[economy/retail]", "1996 store transactions", "Summary measure: sales", "Cells: 0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Describe missing %q:\n%s", want, s)
+		}
+	}
+	if _, err := c.Describe("nope"); err == nil {
+		t.Error("missing dataset should fail")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := string(rune('a' + i))
+			_ = c.Register(Entry{Name: name, Object: sampleObject(t, "m", "year")})
+			c.ByMeasure("m")
+			c.Subjects()
+			_, _ = c.Lookup(name)
+		}(i)
+	}
+	wg.Wait()
+	if c.Len() != 8 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}

@@ -1,0 +1,416 @@
+package colstore
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"statcube/internal/relstore"
+)
+
+// censusRel builds a census-like relation with low-cardinality category
+// attributes and two measure columns.
+func censusRel(t testing.TB, n int, seed int64) *relstore.Relation {
+	t.Helper()
+	r := relstore.MustNewRelation("census",
+		relstore.Column{Name: "state", Kind: relstore.KString},
+		relstore.Column{Name: "race", Kind: relstore.KString},
+		relstore.Column{Name: "sex", Kind: relstore.KString},
+		relstore.Column{Name: "age_group", Kind: relstore.KString},
+		relstore.Column{Name: "population", Kind: relstore.KFloat},
+		relstore.Column{Name: "avg_income", Kind: relstore.KFloat},
+	)
+	states := []string{"Alabama", "Alaska", "Arizona", "California"}
+	races := []string{"white", "black", "asian", "native", "other"}
+	sexes := []string{"male", "female"}
+	ages := []string{"1-10", "11-20", "21-30", "31-40", "41-50"}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		// Sorted-ish state order so RLE has runs, like a stored cross product.
+		st := states[i*len(states)/n]
+		r.MustAppend(relstore.Row{
+			relstore.S(st),
+			relstore.S(races[rng.Intn(len(races))]),
+			relstore.S(sexes[rng.Intn(len(sexes))]),
+			relstore.S(ages[rng.Intn(len(ages))]),
+			relstore.F(float64(rng.Intn(10000))),
+			relstore.F(float64(rng.Intn(60000))),
+		})
+	}
+	return r
+}
+
+func allEncodings() []Encoding { return []Encoding{Plain, Dict, DictRLE, BitSliced} }
+
+func TestFromRelationAndAccessors(t *testing.T) {
+	rel := censusRel(t, 200, 1)
+	tbl, err := FromRelation(rel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 200 {
+		t.Errorf("NumRows = %d", tbl.NumRows())
+	}
+	if len(tbl.Columns()) != 6 {
+		t.Errorf("Columns = %v", tbl.Columns())
+	}
+	card, err := tbl.Cardinality("race")
+	if err != nil || card != 5 {
+		t.Errorf("Cardinality(race) = %d, %v", card, err)
+	}
+	enc, err := tbl.ColumnEncoding("race")
+	if err != nil || enc != Dict {
+		t.Errorf("default encoding = %v, %v", enc, err)
+	}
+	if _, err := tbl.Cardinality("population"); !errors.Is(err, ErrNotCategory) {
+		t.Errorf("measure cardinality err = %v", err)
+	}
+	if _, err := tbl.ColumnSizeBytes("nope"); !errors.Is(err, ErrUnknownColumn) {
+		t.Errorf("unknown column err = %v", err)
+	}
+}
+
+func TestSelectEqAllEncodingsAgree(t *testing.T) {
+	rel := censusRel(t, 500, 2)
+	for _, enc := range allEncodings() {
+		tbl, err := FromRelation(rel, map[string]Encoding{"race": enc, "state": enc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel, err := tbl.SelectEq("race", "asian")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Oracle: count in the relation.
+		want := 0
+		raceIdx, _ := rel.ColIndex("race")
+		for i := 0; i < rel.NumRows(); i++ {
+			if rel.Row(i)[raceIdx].Str() == "asian" {
+				want++
+			}
+		}
+		if sel.Count() != want {
+			t.Errorf("%v: SelectEq count = %d, want %d", enc, sel.Count(), want)
+		}
+		// Per-row membership agrees.
+		for i := 0; i < rel.NumRows(); i++ {
+			if sel.Get(i) != (rel.Row(i)[raceIdx].Str() == "asian") {
+				t.Fatalf("%v: row %d membership wrong", enc, i)
+			}
+		}
+	}
+}
+
+func TestSelectEqUnknownValueEmpty(t *testing.T) {
+	rel := censusRel(t, 50, 3)
+	tbl, _ := FromRelation(rel, nil)
+	sel, err := tbl.SelectEq("race", "martian")
+	if err != nil || sel.Count() != 0 {
+		t.Errorf("unknown value: %d rows, %v", sel.Count(), err)
+	}
+	if _, err := tbl.SelectEq("population", "x"); !errors.Is(err, ErrNotCategory) {
+		t.Errorf("measure SelectEq err = %v", err)
+	}
+}
+
+func TestSelectIn(t *testing.T) {
+	rel := censusRel(t, 300, 4)
+	tbl, _ := FromRelation(rel, nil)
+	sel, err := tbl.SelectIn("sex", "male", "female")
+	if err != nil || sel.Count() != 300 {
+		t.Errorf("SelectIn all = %d, %v", sel.Count(), err)
+	}
+}
+
+func TestSumAndConjunction(t *testing.T) {
+	rel := censusRel(t, 400, 5)
+	tbl, _ := FromRelation(rel, nil)
+	selRace, _ := tbl.SelectEq("race", "white")
+	selSex, _ := tbl.SelectEq("sex", "female")
+	sel := selRace.And(selSex)
+	got, err := tbl.Sum("population", sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle.
+	var want float64
+	ri, _ := rel.ColIndex("race")
+	si, _ := rel.ColIndex("sex")
+	pi, _ := rel.ColIndex("population")
+	for i := 0; i < rel.NumRows(); i++ {
+		row := rel.Row(i)
+		if row[ri].Str() == "white" && row[si].Str() == "female" {
+			want += row[pi].Float()
+		}
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("conditional sum = %v, want %v", got, want)
+	}
+	// Sum all.
+	all, err := tbl.Sum("population", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantAll float64
+	for i := 0; i < rel.NumRows(); i++ {
+		wantAll += rel.Row(i)[pi].Float()
+	}
+	if math.Abs(all-wantAll) > 1e-9 {
+		t.Errorf("total = %v, want %v", all, wantAll)
+	}
+	if _, err := tbl.Sum("race", nil); !errors.Is(err, ErrNotMeasure) {
+		t.Errorf("category Sum err = %v", err)
+	}
+}
+
+func TestGroupSum(t *testing.T) {
+	rel := censusRel(t, 400, 6)
+	for _, enc := range allEncodings() {
+		tbl, _ := FromRelation(rel, map[string]Encoding{"state": enc})
+		got, err := tbl.GroupSum("state", "population", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[string]float64{}
+		sti, _ := rel.ColIndex("state")
+		pi, _ := rel.ColIndex("population")
+		for i := 0; i < rel.NumRows(); i++ {
+			want[rel.Row(i)[sti].Str()] += rel.Row(i)[pi].Float()
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%v: groups = %d, want %d", enc, len(got), len(want))
+		}
+		for k, v := range want {
+			if math.Abs(got[k]-v) > 1e-9 {
+				t.Errorf("%v: %s = %v, want %v", enc, k, got[k], v)
+			}
+		}
+	}
+}
+
+func TestGroupSumWithSelection(t *testing.T) {
+	rel := censusRel(t, 300, 7)
+	tbl, _ := FromRelation(rel, nil)
+	sel, _ := tbl.SelectEq("sex", "male")
+	got, err := tbl.GroupSum("state", "population", sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{}
+	sti, _ := rel.ColIndex("state")
+	si, _ := rel.ColIndex("sex")
+	pi, _ := rel.ColIndex("population")
+	for i := 0; i < rel.NumRows(); i++ {
+		row := rel.Row(i)
+		if row[si].Str() == "male" {
+			want[row[sti].Str()] += row[pi].Float()
+		}
+	}
+	for k, v := range want {
+		if math.Abs(got[k]-v) > 1e-9 {
+			t.Errorf("%s = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+func TestRowAssembly(t *testing.T) {
+	rel := censusRel(t, 100, 8)
+	tbl, _ := FromRelation(rel, map[string]Encoding{
+		"state": DictRLE, "race": BitSliced, "sex": Dict, "age_group": Plain,
+	})
+	for _, i := range []int{0, 50, 99} {
+		cats, nums, err := tbl.Row(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row := rel.Row(i)
+		sti, _ := rel.ColIndex("state")
+		pi, _ := rel.ColIndex("population")
+		if cats["state"] != row[sti].Str() {
+			t.Errorf("row %d state = %q, want %q", i, cats["state"], row[sti].Str())
+		}
+		if nums["population"] != row[pi].Float() {
+			t.Errorf("row %d population = %v", i, nums["population"])
+		}
+	}
+	if _, _, err := tbl.Row(-1); err == nil {
+		t.Error("negative row should fail")
+	}
+	if _, _, err := tbl.Row(100); err == nil {
+		t.Error("out of range row should fail")
+	}
+}
+
+func TestCompressionShrinksStorage(t *testing.T) {
+	rel := censusRel(t, 5000, 9)
+	plain, _ := FromRelation(rel, map[string]Encoding{
+		"state": Plain, "race": Plain, "sex": Plain, "age_group": Plain,
+	})
+	dict, _ := FromRelation(rel, nil)
+	sliced, _ := FromRelation(rel, map[string]Encoding{
+		"state": BitSliced, "race": BitSliced, "sex": BitSliced, "age_group": BitSliced,
+	})
+	// Dictionary packing must beat raw strings; Figure 19's point.
+	ps, ds, bs := plain.SizeBytes(), dict.SizeBytes(), sliced.SizeBytes()
+	if ds >= ps {
+		t.Errorf("dict %d >= plain %d", ds, ps)
+	}
+	if bs >= ps {
+		t.Errorf("bit-sliced %d >= plain %d", bs, ps)
+	}
+	// RLE on the clustered state column must beat dict on it.
+	rleT, _ := FromRelation(rel, map[string]Encoding{"state": DictRLE})
+	rleState, _ := rleT.ColumnSizeBytes("state")
+	dictState, _ := dict.ColumnSizeBytes("state")
+	if rleState >= dictState {
+		t.Errorf("rle state %d >= dict state %d", rleState, dictState)
+	}
+}
+
+func TestScanAccountingColumnSelectivity(t *testing.T) {
+	rel := censusRel(t, 2000, 10)
+	tbl, _ := FromRelation(rel, nil)
+	tbl.ResetScanAccounting()
+	sel, _ := tbl.SelectEq("race", "white")
+	_, _ = tbl.Sum("population", sel)
+	colBytes := tbl.ScannedBytes()
+	// The transposed plan must touch far less than the whole table.
+	if colBytes*3 > tbl.SizeBytes() {
+		t.Errorf("summary query touched %d of %d bytes; transposition not paying off",
+			colBytes, tbl.SizeBytes())
+	}
+}
+
+// Property: conjunctive selection via bitvectors equals the row-at-a-time
+// oracle for random predicates and encodings.
+func TestQuickConjunctionOracle(t *testing.T) {
+	races := []string{"white", "black", "asian", "native", "other"}
+	sexes := []string{"male", "female"}
+	f := func(seed int64, encRaw uint8, pick1, pick2 uint8) bool {
+		rel := censusRel(t, 150, seed)
+		enc := allEncodings()[int(encRaw)%4]
+		tbl, err := FromRelation(rel, map[string]Encoding{"race": enc, "sex": enc})
+		if err != nil {
+			return false
+		}
+		race := races[int(pick1)%len(races)]
+		sex := sexes[int(pick2)%len(sexes)]
+		s1, err1 := tbl.SelectEq("race", race)
+		s2, err2 := tbl.SelectEq("sex", sex)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		sel := s1.And(s2)
+		ri, _ := rel.ColIndex("race")
+		si, _ := rel.ColIndex("sex")
+		for i := 0; i < rel.NumRows(); i++ {
+			row := rel.Row(i)
+			want := row[ri].Str() == race && row[si].Str() == sex
+			if sel.Get(i) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectRangeAllEncodings(t *testing.T) {
+	rel := censusRel(t, 400, 11)
+	for _, enc := range allEncodings() {
+		tbl, err := FromRelation(rel, map[string]Encoding{"age_group": enc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Dictionary order of the age groups is lexicographic:
+		// 1-10 < 11-20 < 21-30 < 31-40 < 41-50.
+		sel, err := tbl.SelectRange("age_group", "11-20", "31-40")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ai, _ := rel.ColIndex("age_group")
+		for i := 0; i < rel.NumRows(); i++ {
+			v := rel.Row(i)[ai].Str()
+			want := v >= "11-20" && v <= "31-40"
+			if sel.Get(i) != want {
+				t.Fatalf("%v: row %d (%q) membership wrong", enc, i, v)
+			}
+		}
+	}
+}
+
+func TestSelectRangeEdges(t *testing.T) {
+	rel := censusRel(t, 100, 12)
+	tbl, _ := FromRelation(rel, map[string]Encoding{"sex": BitSliced})
+	// Empty range.
+	sel, err := tbl.SelectRange("sex", "zzz", "zzzz")
+	if err != nil || sel.Count() != 0 {
+		t.Errorf("empty range = %d rows, %v", sel.Count(), err)
+	}
+	// Full range.
+	sel, err = tbl.SelectRange("sex", "", "zzzz")
+	if err != nil || sel.Count() != 100 {
+		t.Errorf("full range = %d rows, %v", sel.Count(), err)
+	}
+	// Inverted range selects nothing.
+	sel, err = tbl.SelectRange("sex", "male", "female")
+	if err != nil || sel.Count() != 0 {
+		t.Errorf("inverted range = %d rows, %v", sel.Count(), err)
+	}
+	// Measure column rejected.
+	if _, err := tbl.SelectRange("population", "a", "b"); err == nil {
+		t.Error("measure SelectRange should fail")
+	}
+}
+
+func TestBitSlicedMeasureSum(t *testing.T) {
+	rel := censusRel(t, 500, 13)
+	tbl, err := FromRelation(rel, map[string]Encoding{"population": BitSliced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := FromRelation(rel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full and selected sums agree with the plain float path.
+	a, err1 := tbl.Sum("population", nil)
+	b, err2 := plain.Sum("population", nil)
+	if err1 != nil || err2 != nil || a != b {
+		t.Errorf("full sums: %v vs %v (%v %v)", a, b, err1, err2)
+	}
+	sel1, _ := tbl.SelectEq("sex", "male")
+	sel2, _ := plain.SelectEq("sex", "male")
+	a, _ = tbl.Sum("population", sel1)
+	b, _ = plain.Sum("population", sel2)
+	if a != b {
+		t.Errorf("selected sums: %v vs %v", a, b)
+	}
+	// Size accounting reflects the packed slices.
+	sb, _ := tbl.ColumnSizeBytes("population")
+	pb, _ := plain.ColumnSizeBytes("population")
+	if sb >= pb {
+		t.Errorf("bit-sliced measure %d not smaller than plain %d", sb, pb)
+	}
+}
+
+func TestBitSlicedMeasureRejectsNonIntegral(t *testing.T) {
+	rel := relstore.MustNewRelation("x",
+		relstore.Column{Name: "g", Kind: relstore.KString},
+		relstore.Column{Name: "v", Kind: relstore.KFloat})
+	rel.MustAppend(relstore.Row{relstore.S("a"), relstore.F(1.5)})
+	if _, err := FromRelation(rel, map[string]Encoding{"v": BitSliced}); err == nil {
+		t.Error("fractional measure should reject bit slicing")
+	}
+	rel2 := relstore.MustNewRelation("x",
+		relstore.Column{Name: "g", Kind: relstore.KString},
+		relstore.Column{Name: "v", Kind: relstore.KFloat})
+	rel2.MustAppend(relstore.Row{relstore.S("a"), relstore.F(-1)})
+	if _, err := FromRelation(rel2, map[string]Encoding{"v": BitSliced}); err == nil {
+		t.Error("negative measure should reject bit slicing")
+	}
+}

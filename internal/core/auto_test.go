@@ -1,0 +1,169 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"statcube/internal/hierarchy"
+	"statcube/internal/schema"
+)
+
+// incomeObject builds the Figure 13 statistical object: average income by
+// sex by year by profession (with professional class hierarchy).
+func incomeObject(t *testing.T) *StatObject {
+	t.Helper()
+	prof := hierarchy.NewBuilder("profession", "profession",
+		"chemical engineer", "civil engineer", "junior secretary").
+		Level("professional class", "engineer", "secretary").
+		Parent("chemical engineer", "engineer").
+		Parent("civil engineer", "engineer").
+		Parent("junior secretary", "secretary").
+		MustBuild()
+	sch := schema.MustNew("average income",
+		schema.Dimension{Name: "sex", Class: hierarchy.FlatClassification("sex", "male", "female")},
+		schema.Dimension{Name: "year", Class: hierarchy.FlatClassification("year", "1980", "1981"), Temporal: true},
+		schema.Dimension{Name: "profession", Class: prof},
+	)
+	o := MustNew(sch, []Measure{{Name: "average income", Unit: "dollars", Func: Avg, Type: ValuePerUnit}})
+	// Micro-ish data: mean income with counts per cell.
+	for _, c := range []struct {
+		sex, year, prof string
+		mean            float64
+		n               float64
+	}{
+		{"male", "1980", "chemical engineer", 30000, 10},
+		{"male", "1980", "civil engineer", 32000, 20},
+		{"female", "1980", "chemical engineer", 28000, 10},
+		{"female", "1980", "civil engineer", 31000, 10},
+		{"male", "1981", "chemical engineer", 33000, 10},
+		{"male", "1980", "junior secretary", 20000, 50},
+	} {
+		if err := o.SetCellWeighted(v("sex", c.sex, "year", c.year, "profession", c.prof),
+			"average income", c.mean, c.n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return o
+}
+
+func TestAutoScalarPaperExample(t *testing.T) {
+	o := incomeObject(t)
+	// "Find the average income of engineers in 1980" — circle year=1980
+	// and professional class=engineer; everything else is inferred.
+	got, err := o.AutoScalar(AutoQuery{Where: map[string]Pick{
+		"year":       {Values: []Value{"1980"}},
+		"profession": {Level: "professional class", Values: []Value{"engineer"}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weighted mean over the 4 engineer cells of 1980:
+	// (30000*10 + 32000*20 + 28000*10 + 31000*10) / 50
+	want := (30000.0*10 + 32000*20 + 28000*10 + 31000*10) / 50
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("AutoScalar = %v, want %v", got, want)
+	}
+}
+
+func TestAutoScalarInfersSummarizationOverAllDims(t *testing.T) {
+	o := incomeObject(t)
+	// Only year circled: summarize over sex and all professions.
+	got, err := o.AutoScalar(AutoQuery{Where: map[string]Pick{
+		"year": {Values: []Value{"1980"}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (30000.0*10 + 32000*20 + 28000*10 + 31000*10 + 20000*50) / 100
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("AutoScalar = %v, want %v", got, want)
+	}
+}
+
+func TestAutoAggregateReturnsSubObject(t *testing.T) {
+	o := incomeObject(t)
+	res, err := o.AutoAggregate(AutoQuery{Where: map[string]Pick{
+		"sex": {Values: []Value{"male", "female"}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema().NumDims() != 1 {
+		t.Fatalf("result dims = %d", res.Schema().NumDims())
+	}
+	male := mustValue(t, res, "average income", map[string]Value{"sex": "male"})
+	want := (30000.0*10 + 32000*20 + 33000*10 + 20000*50) / 90
+	if math.Abs(male-want) > 1e-9 {
+		t.Errorf("male avg = %v, want %v", male, want)
+	}
+}
+
+func TestAutoAggregateErrors(t *testing.T) {
+	o := incomeObject(t)
+	if _, err := o.AutoAggregate(AutoQuery{}); err == nil {
+		t.Error("empty query should fail")
+	}
+	if _, err := o.AutoAggregate(AutoQuery{Where: map[string]Pick{"nope": {Values: []Value{"x"}}}}); !errors.Is(err, schema.ErrUnknownDimension) {
+		t.Errorf("unknown dim err = %v", err)
+	}
+	if _, err := o.AutoAggregate(AutoQuery{Where: map[string]Pick{"year": {}}}); err == nil {
+		t.Error("empty condition should fail")
+	}
+	if _, err := o.AutoAggregate(AutoQuery{Where: map[string]Pick{"year": {Level: "nope", Values: []Value{"x"}}}}); !errors.Is(err, hierarchy.ErrUnknownLevel) {
+		t.Errorf("unknown level err = %v", err)
+	}
+}
+
+func TestAutoScalarErrors(t *testing.T) {
+	o := incomeObject(t)
+	// Multi-value pick rejected by the scalar form.
+	if _, err := o.AutoScalar(AutoQuery{Where: map[string]Pick{
+		"year": {Values: []Value{"1980", "1981"}},
+	}}); err == nil {
+		t.Error("multi-value pick should fail AutoScalar")
+	}
+	if _, err := o.AutoScalar(AutoQuery{Measure: "nope", Where: map[string]Pick{
+		"year": {Values: []Value{"1980"}},
+	}}); !errors.Is(err, ErrUnknownMeasure) {
+		t.Errorf("unknown measure err = %v", err)
+	}
+	// Ambiguous measure with multi-measure object.
+	sch := schema.MustNew("x", schema.Dimension{Name: "g", Class: hierarchy.FlatClassification("g", "a")})
+	multi := MustNew(sch, []Measure{
+		{Name: "m1", Func: Sum, Type: Flow},
+		{Name: "m2", Func: Sum, Type: Flow},
+	})
+	if _, err := multi.AutoScalar(AutoQuery{Where: map[string]Pick{"g": {Values: []Value{"a"}}}}); err == nil {
+		t.Error("ambiguous measure should fail")
+	}
+}
+
+func TestAutoAggregateEquivalentToExplicitOps(t *testing.T) {
+	// The concise query must equal the explicit chain of algebra operators
+	// (the point of automatic aggregation: less to say, same semantics).
+	o := retail(t)
+	auto, err := o.AutoAggregate(AutoQuery{Where: map[string]Pick{
+		"store": {Level: "city", Values: []Value{"seattle"}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := o.SSelectLevel("store", "city", "seattle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err = explicit.SAggregate("store", "city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err = explicit.SProject("product", "day")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := auto.Total("quantity sold")
+	b, _ := explicit.Total("quantity sold")
+	if a != b || a != 38 { // banana 10+20+5 plus apple 3 in seattle
+		t.Errorf("auto %v vs explicit %v, want 38", a, b)
+	}
+}

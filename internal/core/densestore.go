@@ -1,0 +1,111 @@
+package core
+
+import "fmt"
+
+// DenseStore is a CellStore backed by one linearized array — the MOLAP
+// physical organization of Section 6.2 lifted behind the conceptual
+// interface, so a StatObject can be stored either sparsely (MapStore) or
+// densely without changing a single operator. Prefer it when the cross
+// product is small or densely populated; its memory is proportional to
+// the full space regardless of how many cells are set.
+type DenseStore struct {
+	shape   []int
+	strides []int
+	slots   int
+	data    []float64
+	present []bool
+	cells   int
+}
+
+// NewDenseStore allocates a dense store for the shape and slot count.
+func NewDenseStore(shape []int, slots int) *DenseStore {
+	size := 1
+	strides := make([]int, len(shape))
+	for i := len(shape) - 1; i >= 0; i-- {
+		strides[i] = size
+		size *= shape[i]
+	}
+	return &DenseStore{
+		shape:   append([]int(nil), shape...),
+		strides: strides,
+		slots:   slots,
+		data:    make([]float64, size*slots),
+		present: make([]bool, size),
+	}
+}
+
+// Shape implements CellStore.
+func (s *DenseStore) Shape() []int { return s.shape }
+
+// NumSlots implements CellStore.
+func (s *DenseStore) NumSlots() int { return s.slots }
+
+func (s *DenseStore) pos(coords []int) int {
+	if len(coords) != len(s.shape) {
+		panic(fmt.Sprintf("core: %d coordinates for %d dimensions", len(coords), len(s.shape)))
+	}
+	p := 0
+	for i, c := range coords {
+		if c < 0 || c >= s.shape[i] {
+			panic(fmt.Sprintf("core: coordinate %d out of range [0,%d) in dimension %d", c, s.shape[i], i))
+		}
+		p += c * s.strides[i]
+	}
+	return p
+}
+
+// Get implements CellStore.
+func (s *DenseStore) Get(coords []int, dst []float64) bool {
+	p := s.pos(coords)
+	if !s.present[p] {
+		return false
+	}
+	copy(dst, s.data[p*s.slots:(p+1)*s.slots])
+	return true
+}
+
+// Put implements CellStore.
+func (s *DenseStore) Put(coords []int, slots []float64) {
+	if len(slots) != s.slots {
+		panic(fmt.Sprintf("core: %d slots, store has %d", len(slots), s.slots))
+	}
+	p := s.pos(coords)
+	copy(s.data[p*s.slots:(p+1)*s.slots], slots)
+	if !s.present[p] {
+		s.present[p] = true
+		s.cells++
+	}
+}
+
+// Merge implements CellStore.
+func (s *DenseStore) Merge(coords []int, slots []float64, identity func([]float64), merge func(dst, src []float64)) {
+	p := s.pos(coords)
+	acc := s.data[p*s.slots : (p+1)*s.slots]
+	if !s.present[p] {
+		identity(acc)
+		s.present[p] = true
+		s.cells++
+	}
+	merge(acc, slots)
+}
+
+// ForEach implements CellStore; cells are visited in linearized order.
+func (s *DenseStore) ForEach(fn func(coords []int, slots []float64) bool) {
+	coords := make([]int, len(s.shape))
+	for p, ok := range s.present {
+		if !ok {
+			continue
+		}
+		rem := p
+		for i := range s.shape {
+			coords[i] = rem / s.strides[i]
+			rem %= s.strides[i]
+		}
+		if !fn(coords, s.data[p*s.slots:(p+1)*s.slots]) {
+			return
+		}
+	}
+}
+
+// Cells implements CellStore.
+func (s *DenseStore) Cells() int { return s.cells }

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"statcube/internal/hierarchy"
+	"statcube/internal/schema"
+)
+
+func TestDenseStoreImplementsCellStore(t *testing.T) {
+	var _ CellStore = NewDenseStore([]int{2}, 1)
+}
+
+func TestDenseStoreBasics(t *testing.T) {
+	s := NewDenseStore([]int{2, 3}, 2)
+	dst := make([]float64, 2)
+	if s.Get([]int{0, 0}, dst) {
+		t.Error("empty cell reported present")
+	}
+	s.Put([]int{1, 2}, []float64{5, 7})
+	if !s.Get([]int{1, 2}, dst) || dst[0] != 5 || dst[1] != 7 {
+		t.Errorf("Get = %v", dst)
+	}
+	if s.Cells() != 1 {
+		t.Errorf("Cells = %d", s.Cells())
+	}
+	// Overwrite does not double count.
+	s.Put([]int{1, 2}, []float64{1, 1})
+	if s.Cells() != 1 {
+		t.Errorf("Cells after overwrite = %d", s.Cells())
+	}
+	// Zero value cell distinct from absent.
+	s.Put([]int{0, 0}, []float64{0, 0})
+	if !s.Get([]int{0, 0}, dst) {
+		t.Error("zero cell should be present")
+	}
+}
+
+func TestDenseStorePanics(t *testing.T) {
+	s := NewDenseStore([]int{2}, 1)
+	for _, coords := range [][]int{{-1}, {2}, {0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("coords %v did not panic", coords)
+				}
+			}()
+			s.Put(coords, []float64{1})
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("slot mismatch did not panic")
+			}
+		}()
+		s.Put([]int{0}, []float64{1, 2})
+	}()
+}
+
+func TestDenseStoreMergeAndForEach(t *testing.T) {
+	s := NewDenseStore([]int{2, 2}, 1)
+	id := func(dst []float64) { dst[0] = 0 }
+	add := func(dst, src []float64) { dst[0] += src[0] }
+	s.Merge([]int{0, 1}, []float64{3}, id, add)
+	s.Merge([]int{0, 1}, []float64{4}, id, add)
+	s.Merge([]int{1, 0}, []float64{9}, id, add)
+	got := map[int]float64{}
+	s.ForEach(func(coords []int, slots []float64) bool {
+		got[coords[0]*2+coords[1]] = slots[0]
+		return true
+	})
+	if got[1] != 7 || got[2] != 9 || len(got) != 2 {
+		t.Errorf("ForEach results = %v", got)
+	}
+	// Early stop.
+	n := 0
+	s.ForEach(func([]int, []float64) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+// Property: a StatObject behaves identically over MapStore and DenseStore —
+// the physical organization is invisible to the conceptual layer.
+func TestQuickDenseStoreVsMapStore(t *testing.T) {
+	sch := schema.MustNew("x",
+		schema.Dimension{Name: "a", Class: hierarchy.FlatClassification("a", "0", "1", "2")},
+		schema.Dimension{Name: "b", Class: hierarchy.FlatClassification("b", "0", "1")},
+	)
+	measures := []Measure{
+		{Name: "s", Func: Sum, Type: Flow},
+		{Name: "m", Func: Avg, Type: ValuePerUnit},
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		om := MustNew(sch, measures)
+		od := MustNew(sch, measures, WithStore(NewDenseStore(sch.Shape(), 3)))
+		for i := 0; i < 100; i++ {
+			coords := map[string]Value{
+				"a": []Value{"0", "1", "2"}[rng.Intn(3)],
+				"b": []Value{"0", "1"}[rng.Intn(2)],
+			}
+			x := float64(rng.Intn(50))
+			if err := om.Observe(coords, map[string]float64{"s": x, "m": x}); err != nil {
+				return false
+			}
+			if err := od.Observe(coords, map[string]float64{"s": x, "m": x}); err != nil {
+				return false
+			}
+		}
+		if om.Cells() != od.Cells() {
+			return false
+		}
+		// Every cell and every derived rollup agrees.
+		ok := true
+		om.ForEach(func(coords []Value, vals []float64) bool {
+			by := map[string]Value{"a": coords[0], "b": coords[1]}
+			for i, m := range measures {
+				got, present, err := od.CellValue(by, m.Name)
+				if err != nil || !present || got != vals[i] {
+					ok = false
+					return false
+				}
+			}
+			return true
+		})
+		if !ok {
+			return false
+		}
+		pm, err1 := om.SProject("b")
+		pd, err2 := od.SProject("b")
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		tm, _ := pm.Total("s")
+		td, _ := pd.Total("s")
+		return tm == td
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+package core_test
+
+import (
+	"fmt"
+
+	"statcube/internal/core"
+	"statcube/internal/hierarchy"
+	"statcube/internal/schema"
+)
+
+// ExampleStatObject_AutoScalar reproduces the paper's Figure 13 query:
+// circle year=1980 and professional class=engineer; everything else —
+// the summarization over sex, the rollup over the classification, the
+// measure — is inferred from the statistical object's semantics.
+func ExampleStatObject_AutoScalar() {
+	prof := hierarchy.NewBuilder("profession", "profession",
+		"chemical engineer", "civil engineer").
+		Level("professional class", "engineer").
+		Parent("chemical engineer", "engineer").
+		Parent("civil engineer", "engineer").
+		MustBuild()
+	sch := schema.MustNew("average income",
+		schema.Dimension{Name: "sex", Class: hierarchy.FlatClassification("sex", "M", "F")},
+		schema.Dimension{Name: "year", Class: hierarchy.FlatClassification("year", "1980"), Temporal: true},
+		schema.Dimension{Name: "profession", Class: prof},
+	)
+	o := core.MustNew(sch, []core.Measure{
+		{Name: "average income", Unit: "dollars", Func: core.Avg, Type: core.ValuePerUnit},
+	})
+	_ = o.SetCellWeighted(map[string]core.Value{"sex": "M", "year": "1980", "profession": "chemical engineer"},
+		"average income", 30000, 10)
+	_ = o.SetCellWeighted(map[string]core.Value{"sex": "F", "year": "1980", "profession": "civil engineer"},
+		"average income", 33000, 10)
+
+	v, _ := o.AutoScalar(core.AutoQuery{Where: map[string]core.Pick{
+		"year":       {Values: []core.Value{"1980"}},
+		"profession": {Level: "professional class", Values: []core.Value{"engineer"}},
+	}})
+	fmt.Println(v)
+	// Output: 31500
+}
+
+// ExampleStatObject_Cube shows the [GB+96] data cube with the reserved ALL
+// value (the paper's Figure 15); the row with ALL everywhere is the grand
+// total.
+func ExampleStatObject_Cube() {
+	sch := schema.MustNew("sales",
+		schema.Dimension{Name: "state", Class: hierarchy.FlatClassification("state", "CA", "OR")},
+		schema.Dimension{Name: "sex", Class: hierarchy.FlatClassification("sex", "m", "f")},
+	)
+	o := core.MustNew(sch, []core.Measure{{Name: "pop", Func: core.Sum, Type: core.Flow}})
+	_ = o.SetCell(map[string]core.Value{"state": "CA", "sex": "m"}, map[string]float64{"pop": 10})
+	_ = o.SetCell(map[string]core.Value{"state": "OR", "sex": "f"}, map[string]float64{"pop": 5})
+
+	cells, _ := o.Cube()
+	for _, c := range cells {
+		fmt.Printf("%-3s %-3s %v\n", c.Coords[0], c.Coords[1], c.Vals[0])
+	}
+	// Output:
+	// CA  m   10
+	// CA  ALL 10
+	// OR  f   5
+	// OR  ALL 5
+	// ALL f   5
+	// ALL m   10
+	// ALL ALL 15
+}
+
+// ExampleStatObject_SAggregate shows a summarizability rejection: the HMO
+// physician classification is not strict (a physician with two
+// specialties), so the roll-up that would double count is refused.
+func ExampleStatObject_SAggregate() {
+	phys := hierarchy.NewBuilder("physician", "physician", "dr-a", "dr-b").
+		Level("specialty", "oncology", "pulmonology").
+		Parent("dr-a", "oncology").
+		Parent("dr-b", "oncology").
+		Parent("dr-b", "pulmonology").
+		MustBuild()
+	sch := schema.MustNew("hmo",
+		schema.Dimension{Name: "physician", Class: phys},
+		schema.Dimension{Name: "year", Class: hierarchy.FlatClassification("year", "1996")},
+	)
+	o := core.MustNew(sch, []core.Measure{{Name: "physicians", Func: core.Sum, Type: core.Flow}})
+	_, err := o.SAggregate("physician", "specialty")
+	fmt.Println(err != nil)
+	// Output: true
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"statcube/internal/hierarchy"
+	"statcube/internal/schema"
+)
+
+// This file checks algebraic laws of the statistical operators with
+// property-based tests — the behavioral core of the [MRS92] algebra:
+//
+//	L1: S-select on different dimensions commutes.
+//	L2: chained S-projections equal one multi-dimension S-projection.
+//	L3: S-aggregation preserves totals (strict + complete hierarchies).
+//	L4: the CUBE's grand-total row equals Total.
+//	L5: Slice(d, v) total equals SSelect(d, v) total.
+
+// randomObject builds a small random 3-D flow object.
+func randomObject(seed int64) *StatObject {
+	rng := rand.New(rand.NewSource(seed))
+	geo := hierarchy.NewBuilder("geo", "city", "c0", "c1", "c2", "c3").
+		Level("state", "s0", "s1").
+		Parent("c0", "s0").Parent("c1", "s0").
+		Parent("c2", "s1").Parent("c3", "s1").
+		MustBuild()
+	sch := schema.MustNew("rand",
+		schema.Dimension{Name: "geo", Class: geo},
+		schema.Dimension{Name: "kind", Class: hierarchy.FlatClassification("kind", "k0", "k1", "k2")},
+		schema.Dimension{Name: "day", Class: hierarchy.FlatClassification("day", "d0", "d1"), Temporal: true},
+	)
+	o := MustNew(sch, []Measure{{Name: "m", Func: Sum, Type: Flow}})
+	cities := []Value{"c0", "c1", "c2", "c3"}
+	kinds := []Value{"k0", "k1", "k2"}
+	days := []Value{"d0", "d1"}
+	n := rng.Intn(60) + 5
+	for i := 0; i < n; i++ {
+		_ = o.Observe(map[string]Value{
+			"geo":  cities[rng.Intn(4)],
+			"kind": kinds[rng.Intn(3)],
+			"day":  days[rng.Intn(2)],
+		}, map[string]float64{"m": float64(rng.Intn(100))})
+	}
+	return o
+}
+
+func totals(t *testing.T, o *StatObject) float64 {
+	t.Helper()
+	v, err := o.Total("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestLawSelectCommutes(t *testing.T) {
+	f := func(seed int64) bool {
+		o := randomObject(seed)
+		a, err1 := o.SSelect("geo", "c0", "c2")
+		if err1 != nil {
+			return false
+		}
+		a, err1 = a.SSelect("kind", "k1")
+		b, err2 := o.SSelect("kind", "k1")
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		b, err2 = b.SSelect("geo", "c0", "c2")
+		if err2 != nil {
+			return false
+		}
+		ta, _ := a.Total("m")
+		tb, _ := b.Total("m")
+		return ta == tb && a.Cells() == b.Cells()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLawProjectionComposes(t *testing.T) {
+	f := func(seed int64) bool {
+		o := randomObject(seed)
+		a, err1 := o.SProject("geo")
+		if err1 != nil {
+			return false
+		}
+		a, err1 = a.SProject("kind")
+		b, err2 := o.SProject("geo", "kind")
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if a.Cells() != b.Cells() {
+			return false
+		}
+		ok := true
+		a.ForEach(func(coords []Value, vals []float64) bool {
+			got, present, err := b.CellValue(map[string]Value{"day": coords[0]}, "m")
+			if err != nil || !present || math.Abs(got-vals[0]) > 1e-9 {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLawAggregationPreservesTotals(t *testing.T) {
+	f := func(seed int64) bool {
+		o := randomObject(seed)
+		up, err := o.SAggregate("geo", "state")
+		if err != nil {
+			return false
+		}
+		ta, _ := o.Total("m")
+		tb, _ := up.Total("m")
+		return math.Abs(ta-tb) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLawCubeGrandTotal(t *testing.T) {
+	f := func(seed int64) bool {
+		o := randomObject(seed)
+		cells, err := o.Cube()
+		if err != nil || len(cells) == 0 {
+			return false
+		}
+		last := cells[len(cells)-1]
+		for _, c := range last.Coords {
+			if c != All {
+				return false
+			}
+		}
+		total := totalsQuiet(o)
+		return math.Abs(last.Vals[0]-total) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func totalsQuiet(o *StatObject) float64 {
+	v, _ := o.Total("m")
+	return v
+}
+
+func TestLawSliceEqualsSelectTotal(t *testing.T) {
+	f := func(seed int64) bool {
+		o := randomObject(seed)
+		sl, err1 := o.Slice("kind", "k0")
+		sel, err2 := o.SSelect("kind", "k0")
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		ta, _ := sl.Total("m")
+		tb, _ := sel.Total("m")
+		return math.Abs(ta-tb) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// L6: SUnion of a partition reassembles the whole.
+func TestLawUnionOfPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		o := randomObject(seed)
+		left, err1 := o.SSelect("geo", "c0", "c1")
+		right, err2 := o.SSelect("geo", "c2", "c3")
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		u, err := left.SUnion(right)
+		if err != nil {
+			return false
+		}
+		ta, _ := o.Total("m")
+		tb, _ := u.Total("m")
+		return math.Abs(ta-tb) < 1e-9 && u.Cells() == o.Cells()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

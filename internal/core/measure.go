@@ -1,0 +1,218 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// AggFunc is a summary function — the paper's "summary function" attached
+// to a statistical object (Section 2.1 item (iv)). Databases traditionally
+// provide exactly these five (Section 5.6); richer statistics live in
+// package stats.
+type AggFunc int
+
+const (
+	Sum AggFunc = iota
+	Count
+	Avg
+	Min
+	Max
+)
+
+// String returns the lower-case name of the function.
+func (f AggFunc) String() string {
+	switch f {
+	case Sum:
+		return "sum"
+	case Count:
+		return "count"
+	case Avg:
+		return "avg"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", int(f))
+	}
+}
+
+// ParseAggFunc parses a summary function name.
+func ParseAggFunc(s string) (AggFunc, error) {
+	switch s {
+	case "sum":
+		return Sum, nil
+	case "count":
+		return Count, nil
+	case "avg", "average":
+		return Avg, nil
+	case "min", "minimum":
+		return Min, nil
+	case "max", "maximum":
+		return Max, nil
+	default:
+		return 0, fmt.Errorf("core: unknown summary function %q", s)
+	}
+}
+
+// MeasureType classifies a summary measure's additivity, the semantic
+// condition of the [LS97] summarizability analysis (Section 3.3.2):
+//
+//   - Flow measures (event counts, sales, accidents) are additive along
+//     every dimension, including time.
+//   - Stock measures (population, inventory, water level) are snapshots:
+//     additive along non-temporal dimensions but meaningless to add over
+//     time — "it is meaningless to add populations over months".
+//   - ValuePerUnit measures (prices, rates, average income as an input) are
+//     not additive along any dimension; only order statistics and averages
+//     apply.
+type MeasureType int
+
+const (
+	Flow MeasureType = iota
+	Stock
+	ValuePerUnit
+)
+
+// String returns the measure type's name.
+func (t MeasureType) String() string {
+	switch t {
+	case Flow:
+		return "flow"
+	case Stock:
+		return "stock"
+	case ValuePerUnit:
+		return "value-per-unit"
+	default:
+		return fmt.Sprintf("MeasureType(%d)", int(t))
+	}
+}
+
+// Measure is a summary attribute (S-node): a named measure with its unit,
+// summary function and additivity type.
+type Measure struct {
+	Name string
+	Unit string // e.g. "dollars"; empty for pure counts (Section 2.2 item (iii))
+	Func AggFunc
+	Type MeasureType
+}
+
+// slots returns the number of physical accumulator slots the measure needs
+// per cell. Average is maintained as (sum, count), as the paper notes
+// (Section 5.1 item (iv)).
+func (m Measure) slots() int {
+	if m.Func == Avg {
+		return 2
+	}
+	return 1
+}
+
+// identity fills dst with the accumulator identity for this measure.
+func (m Measure) identity(dst []float64) {
+	switch m.Func {
+	case Min:
+		dst[0] = math.Inf(1)
+	case Max:
+		dst[0] = math.Inf(-1)
+	case Avg:
+		dst[0], dst[1] = 0, 0
+	default:
+		dst[0] = 0
+	}
+}
+
+// observe folds one raw observation x into the accumulator.
+func (m Measure) observe(acc []float64, x float64) {
+	switch m.Func {
+	case Sum:
+		acc[0] += x
+	case Count:
+		acc[0]++
+	case Avg:
+		acc[0] += x
+		acc[1]++
+	case Min:
+		if x < acc[0] {
+			acc[0] = x
+		}
+	case Max:
+		if x > acc[0] {
+			acc[0] = x
+		}
+	}
+}
+
+// merge folds accumulator src into dst (used when cells combine during
+// S-projection, S-aggregation and union).
+func (m Measure) merge(dst, src []float64) {
+	switch m.Func {
+	case Sum, Count:
+		dst[0] += src[0]
+	case Avg:
+		dst[0] += src[0]
+		dst[1] += src[1]
+	case Min:
+		if src[0] < dst[0] {
+			dst[0] = src[0]
+		}
+	case Max:
+		if src[0] > dst[0] {
+			dst[0] = src[0]
+		}
+	}
+}
+
+// value extracts the reported measure value from its accumulator.
+func (m Measure) value(acc []float64) float64 {
+	if m.Func == Avg {
+		if acc[1] == 0 {
+			return math.NaN()
+		}
+		return acc[0] / acc[1]
+	}
+	return acc[0]
+}
+
+// ErrNotSummarizable is wrapped by every summarizability rejection, so
+// callers can errors.Is against a single sentinel while the message keeps
+// the specific violated condition.
+var ErrNotSummarizable = errors.New("core: not summarizable")
+
+// checkAdditive verifies that the measure may be summed along a dimension
+// (temporal reports whether the dimension is temporal). The rules are the
+// measure-type half of [LS97]:
+//
+//	flow:  additive everywhere
+//	stock: additive except along temporal dimensions
+//	vpu:   never additive
+//
+// Min, Max and Avg side-step additivity: they are well-defined along any
+// dimension (Avg because its sum/count components re-aggregate).
+func (m Measure) checkAdditive(dimName string, temporal bool) error {
+	return m.CheckAdditiveAlong(dimName, temporal)
+}
+
+// CheckAdditiveAlong is the exported form of the additivity check, used by
+// renderers and planners that must predict whether a summarization will be
+// allowed before running it.
+func (m Measure) CheckAdditiveAlong(dimName string, temporal bool) error {
+	if m.Func == Min || m.Func == Max || m.Func == Avg {
+		return nil
+	}
+	switch m.Type {
+	case Flow:
+		return nil
+	case Stock:
+		if temporal {
+			return fmt.Errorf("%w: stock measure %q cannot be summed along temporal dimension %q",
+				ErrNotSummarizable, m.Name, dimName)
+		}
+		return nil
+	case ValuePerUnit:
+		return fmt.Errorf("%w: value-per-unit measure %q cannot be summed along dimension %q",
+			ErrNotSummarizable, m.Name, dimName)
+	default:
+		return fmt.Errorf("core: unknown measure type %v", m.Type)
+	}
+}

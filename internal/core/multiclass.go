@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"statcube/internal/hierarchy"
+	"statcube/internal/schema"
+)
+
+// This file implements "multiple classifications over the same dimension"
+// (Section 3.2(i) of the paper): products can be classified by type or by
+// price range, stocks by industry or by rating. A statistical object's
+// dimension carries one primary classification in its schema; alternative
+// classifications over the same leaf values can be applied at query time.
+
+// SAggregateVia rolls dimension dim up an alternative classification alt
+// to toLevel. alt's leaf level must contain exactly the dimension's
+// current leaf values (any order); the result's dimension carries alt
+// truncated at toLevel. Summarizability is checked against alt.
+func (o *StatObject) SAggregateVia(dim string, alt *hierarchy.Classification, toLevel string) (*StatObject, error) {
+	return o.sAggregateVia(dim, alt, toLevel, true)
+}
+
+// SAggregateViaUnchecked is SAggregateVia without summarizability checks;
+// non-strict alternative classifications fold cells into every parent.
+func (o *StatObject) SAggregateViaUnchecked(dim string, alt *hierarchy.Classification, toLevel string) (*StatObject, error) {
+	return o.sAggregateVia(dim, alt, toLevel, false)
+}
+
+func (o *StatObject) sAggregateVia(dim string, alt *hierarchy.Classification, toLevel string, check bool) (*StatObject, error) {
+	d, err := o.sch.Dimension(dim)
+	if err != nil {
+		return nil, err
+	}
+	if err := sameValueSet(d.Class.LeafLevel().Values, alt.LeafLevel().Values); err != nil {
+		return nil, fmt.Errorf("core: alternative classification %q does not cover dimension %q: %w",
+			alt.Name(), dim, err)
+	}
+	li, err := alt.LevelIndex(toLevel)
+	if err != nil {
+		return nil, err
+	}
+	if li == 0 {
+		return nil, fmt.Errorf("core: target level %q is the leaf level of %q; nothing to aggregate", toLevel, alt.Name())
+	}
+	if check {
+		if err := alt.CheckSummarizable(0, li); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrNotSummarizable, err)
+		}
+		for _, m := range o.measures {
+			if err := m.checkAdditive(dim, d.Temporal); err != nil {
+				return nil, err
+			}
+		}
+	}
+	truncated, err := alt.Truncate(li)
+	if err != nil {
+		return nil, err
+	}
+	nsch, err := o.replaceDim(dim, truncated)
+	if err != nil {
+		return nil, err
+	}
+	out := o.derive(nsch, fmt.Sprintf("s-aggregate-via:%s:%s:%s", dim, alt.Name(), toLevel))
+	di, _ := o.sch.DimIndex(dim)
+	// Map the dimension's leaf ordinals (in the *primary* order) to target
+	// ordinals, going through value names into the alternative hierarchy.
+	leafVals := d.Class.LeafLevel().Values
+	up := make([][]int, len(leafVals))
+	for ord, v := range leafVals {
+		ancs, err := alt.Ancestors(0, v, li)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range ancs {
+			aOrd, err := alt.ValueOrdinal(li, a)
+			if err != nil {
+				return nil, err
+			}
+			up[ord] = append(up[ord], aOrd)
+		}
+	}
+	nc := make([]int, len(o.sch.Dimensions()))
+	o.store.ForEach(func(coords []int, slots []float64) bool {
+		copy(nc, coords)
+		for _, aOrd := range up[coords[di]] {
+			nc[di] = aOrd
+			out.mergeSlots(nc, slots)
+		}
+		return true
+	})
+	return out, nil
+}
+
+// sameValueSet verifies two value slices contain the same set.
+func sameValueSet(a, b []hierarchy.Value) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("value counts differ: %d vs %d", len(a), len(b))
+	}
+	as := append([]hierarchy.Value(nil), a...)
+	bs := append([]hierarchy.Value(nil), b...)
+	sort.Strings(as)
+	sort.Strings(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return fmt.Errorf("value sets differ at %q vs %q", as[i], bs[i])
+		}
+	}
+	return nil
+}
+
+// Permute returns the object with its dimensions reordered. The graph
+// model of Section 4.1 is "insensitive to node permutation" — unlike the
+// 2-D table, dimension order carries no meaning — so this is a pure schema
+// transformation with the cells re-addressed.
+func (o *StatObject) Permute(dimOrder ...string) (*StatObject, error) {
+	dims := o.sch.Dimensions()
+	if len(dimOrder) != len(dims) {
+		return nil, fmt.Errorf("core: Permute got %d names for %d dimensions", len(dimOrder), len(dims))
+	}
+	perm := make([]int, 0, len(dims)) // perm[newPos] = oldPos
+	seen := map[string]bool{}
+	for _, name := range dimOrder {
+		if seen[name] {
+			return nil, fmt.Errorf("core: dimension %q repeated in Permute", name)
+		}
+		seen[name] = true
+		i, err := o.sch.DimIndex(name)
+		if err != nil {
+			return nil, err
+		}
+		perm = append(perm, i)
+	}
+	sdims := make([]schema.Dimension, len(dims))
+	for newPos, oldPos := range perm {
+		sdims[newPos] = dims[oldPos]
+	}
+	nsch, err := schema.New(o.sch.Name, sdims...)
+	if err != nil {
+		return nil, err
+	}
+	out := o.derive(nsch, "permute")
+	nc := make([]int, len(dims))
+	o.store.ForEach(func(coords []int, slots []float64) bool {
+		for newPos, oldPos := range perm {
+			nc[newPos] = coords[oldPos]
+		}
+		out.store.Put(nc, append([]float64(nil), slots...))
+		return true
+	})
+	return out, nil
+}

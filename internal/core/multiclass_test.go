@@ -1,0 +1,147 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"statcube/internal/hierarchy"
+	"statcube/internal/schema"
+)
+
+// productSales builds an object whose product dimension can be classified
+// two ways: by type (schema-primary) and by price range (alternative) —
+// the Section 3.2(i) "multiple classifications over the same dimension".
+func productSales(t *testing.T) (*StatObject, *hierarchy.Classification) {
+	t.Helper()
+	byType := hierarchy.NewBuilder("by-type", "product", "tv-a", "tv-b", "vcr-a", "vcr-b").
+		Level("type", "tv", "vcr").
+		Parent("tv-a", "tv").Parent("tv-b", "tv").
+		Parent("vcr-a", "vcr").Parent("vcr-b", "vcr").
+		MustBuild()
+	byPrice := hierarchy.NewBuilder("by-price", "product", "tv-a", "tv-b", "vcr-a", "vcr-b").
+		Level("price range", "budget", "premium").
+		Parent("tv-a", "premium").Parent("vcr-b", "premium").
+		Parent("tv-b", "budget").Parent("vcr-a", "budget").
+		MustBuild()
+	sch := schema.MustNew("sales",
+		schema.Dimension{Name: "product", Class: byType},
+		schema.Dimension{Name: "quarter", Class: hierarchy.FlatClassification("quarter", "q1", "q2")},
+	)
+	o := MustNew(sch, []Measure{{Name: "sales", Func: Sum, Type: Flow}})
+	for _, c := range []struct {
+		p, q string
+		v    float64
+	}{
+		{"tv-a", "q1", 100}, {"tv-b", "q1", 20}, {"vcr-a", "q1", 30}, {"vcr-b", "q1", 40},
+		{"tv-a", "q2", 110}, {"vcr-b", "q2", 50},
+	} {
+		if err := o.SetCell(v2("product", c.p, "quarter", c.q), map[string]float64{"sales": c.v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return o, byPrice
+}
+
+func v2(kv ...string) map[string]Value {
+	m := map[string]Value{}
+	for i := 0; i+1 < len(kv); i += 2 {
+		m[kv[i]] = kv[i+1]
+	}
+	return m
+}
+
+func TestSAggregateViaAlternativeClassification(t *testing.T) {
+	o, byPrice := productSales(t)
+	// Primary rollup by type.
+	byType, err := o.SAggregate("product", "type")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv := mustValue(t, byType, "sales", v2("product", "tv", "quarter", "q1"))
+	if tv != 120 {
+		t.Errorf("tv q1 = %v", tv)
+	}
+	// Alternative rollup by price range over the same cells.
+	byRange, err := o.SAggregateVia("product", byPrice, "price range")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prem := mustValue(t, byRange, "sales", v2("product", "premium", "quarter", "q1"))
+	if prem != 140 { // tv-a 100 + vcr-b 40
+		t.Errorf("premium q1 = %v", prem)
+	}
+	// Totals preserved under both classifications.
+	t1, _ := byType.Total("sales")
+	t2, _ := byRange.Total("sales")
+	t0, _ := o.Total("sales")
+	if t1 != t0 || t2 != t0 {
+		t.Errorf("totals drift: %v %v vs %v", t1, t2, t0)
+	}
+	// Result schema carries the alternative classification.
+	d, _ := byRange.Schema().Dimension("product")
+	if d.Class.LeafLevel().Name != "price range" {
+		t.Errorf("leaf level = %q", d.Class.LeafLevel().Name)
+	}
+}
+
+func TestSAggregateViaValidation(t *testing.T) {
+	o, byPrice := productSales(t)
+	// Value-set mismatch.
+	wrong := hierarchy.NewBuilder("w", "product", "tv-a").
+		Level("type", "x").Parent("tv-a", "x").MustBuild()
+	if _, err := o.SAggregateVia("product", wrong, "type"); err == nil {
+		t.Error("value-set mismatch should fail")
+	}
+	// Unknown dim / level.
+	if _, err := o.SAggregateVia("nope", byPrice, "price range"); err == nil {
+		t.Error("unknown dim should fail")
+	}
+	if _, err := o.SAggregateVia("product", byPrice, "nope"); err == nil {
+		t.Error("unknown level should fail")
+	}
+	// Leaf level target is meaningless.
+	if _, err := o.SAggregateVia("product", byPrice, "product"); err == nil {
+		t.Error("leaf target should fail")
+	}
+	// Non-strict alternative refused, unchecked allowed.
+	nonStrict := hierarchy.NewBuilder("ns", "product", "tv-a", "tv-b", "vcr-a", "vcr-b").
+		Level("tag", "hot", "cold").
+		Parent("tv-a", "hot").Parent("tv-a", "cold").
+		Parent("tv-b", "hot").Parent("vcr-a", "cold").Parent("vcr-b", "cold").
+		MustBuild()
+	if _, err := o.SAggregateVia("product", nonStrict, "tag"); !errors.Is(err, ErrNotSummarizable) {
+		t.Errorf("non-strict err = %v", err)
+	}
+	if _, err := o.SAggregateViaUnchecked("product", nonStrict, "tag"); err != nil {
+		t.Errorf("unchecked: %v", err)
+	}
+}
+
+func TestPermute(t *testing.T) {
+	o, _ := productSales(t)
+	p, err := o.Permute("quarter", "product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Schema().Dimensions()[0].Name != "quarter" {
+		t.Errorf("order = %v", p.Schema().Dimensions()[0].Name)
+	}
+	// Cells survive re-addressing.
+	got := mustValue(t, p, "sales", v2("product", "tv-a", "quarter", "q2"))
+	if got != 110 {
+		t.Errorf("cell = %v", got)
+	}
+	if p.Cells() != o.Cells() {
+		t.Errorf("cells = %d vs %d", p.Cells(), o.Cells())
+	}
+	// Errors.
+	if _, err := o.Permute("product"); err == nil {
+		t.Error("wrong arity should fail")
+	}
+	if _, err := o.Permute("product", "product"); err == nil {
+		t.Error("repeat should fail")
+	}
+	if _, err := o.Permute("product", "nope"); err == nil {
+		t.Error("unknown dim should fail")
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+
+	"statcube/internal/hierarchy"
+)
+
+// This file implements roll-ups under time-varying classifications —
+// Figure 17's bottom example (Section 5.7): the industry classification
+// gains "internet" in 1991, so summarizing sales to the sector level must
+// use the classification version in force at each cell's period. "No
+// system today supports an orderly management of such variations"; this
+// one does.
+
+// SAggregateVersioned rolls dimension dim up to toLevel using the
+// versioned classification, choosing the version in force at each cell's
+// period: periodDim names the temporal dimension and periodOf converts its
+// category values to the integer periods the version history is keyed by.
+//
+// The result's dimension carries the merge of all versions' truncations,
+// so categories that exist only in some periods ("internet" from 1991) are
+// representable. A cell whose dim value is unknown to the version in force
+// at its period is an error — data cannot predate its category.
+func (o *StatObject) SAggregateVersioned(dim string, versions *hierarchy.Versioned, toLevel string,
+	periodDim string, periodOf func(Value) (int, error)) (*StatObject, error) {
+	d, err := o.sch.Dimension(dim)
+	if err != nil {
+		return nil, err
+	}
+	pd, err := o.sch.Dimension(periodDim)
+	if err != nil {
+		return nil, err
+	}
+	if dim == periodDim {
+		return nil, fmt.Errorf("core: dimension %q cannot be its own period dimension", dim)
+	}
+	if versions.NumVersions() == 0 {
+		return nil, hierarchy.ErrNoVersions
+	}
+	// Build the merged truncated classification and per-period rollup
+	// maps, validating summarizability of every version involved.
+	periods := versions.Periods()
+	var mergedTrunc *hierarchy.Classification
+	type versionMap struct {
+		cls *hierarchy.Classification
+		li  int
+	}
+	byPeriodStart := map[int]versionMap{}
+	for _, p := range periods {
+		cls, err := versions.At(p)
+		if err != nil {
+			return nil, err
+		}
+		li, err := cls.LevelIndex(toLevel)
+		if err != nil {
+			return nil, err
+		}
+		if err := cls.CheckSummarizable(0, li); err != nil {
+			return nil, fmt.Errorf("%w: version at period %d: %v", ErrNotSummarizable, p, err)
+		}
+		trunc, err := cls.Truncate(li)
+		if err != nil {
+			return nil, err
+		}
+		if mergedTrunc == nil {
+			mergedTrunc = trunc
+		} else {
+			mergedTrunc, err = hierarchy.Merge(mergedTrunc, trunc)
+			if err != nil {
+				return nil, err
+			}
+		}
+		byPeriodStart[p] = versionMap{cls: cls, li: li}
+	}
+	for _, m := range o.measures {
+		if err := m.checkAdditive(dim, d.Temporal); err != nil {
+			return nil, err
+		}
+	}
+	nsch, err := o.replaceDim(dim, mergedTrunc)
+	if err != nil {
+		return nil, err
+	}
+	out := o.derive(nsch, fmt.Sprintf("s-aggregate-versioned:%s:%s", dim, toLevel))
+	di, _ := o.sch.DimIndex(dim)
+	pi, _ := o.sch.DimIndex(periodDim)
+	// Pre-resolve each period value to its version.
+	periodVals := pd.Class.LeafLevel().Values
+	verOf := make([]*versionMap, len(periodVals))
+	for ord, pv := range periodVals {
+		p, err := periodOf(pv)
+		if err != nil {
+			return nil, fmt.Errorf("core: period value %q: %w", pv, err)
+		}
+		cls, err := versions.At(p)
+		if err != nil {
+			return nil, err
+		}
+		li, _ := cls.LevelIndex(toLevel)
+		verOf[ord] = &versionMap{cls: cls, li: li}
+	}
+	leafVals := d.Class.LeafLevel().Values
+	nc := make([]int, len(o.sch.Dimensions()))
+	var walkErr error
+	o.store.ForEach(func(coords []int, slots []float64) bool {
+		vm := verOf[coords[pi]]
+		leafV := leafVals[coords[di]]
+		if !vm.cls.HasValue(0, leafV) {
+			walkErr = fmt.Errorf("core: value %q of %q does not exist in the classification in force at period %q",
+				leafV, dim, periodVals[coords[pi]])
+			return false
+		}
+		ancs, err := vm.cls.Ancestors(0, leafV, vm.li)
+		if err != nil || len(ancs) != 1 {
+			walkErr = fmt.Errorf("core: rollup of %q at period %q: %v", leafV, periodVals[coords[pi]], err)
+			return false
+		}
+		aOrd, err := mergedTrunc.ValueOrdinal(0, ancs[0])
+		if err != nil {
+			walkErr = err
+			return false
+		}
+		copy(nc, coords)
+		nc[di] = aOrd
+		out.mergeSlots(nc, slots)
+		return true
+	})
+	if walkErr != nil {
+		return nil, walkErr
+	}
+	return out, nil
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"errors"
+	"strconv"
+	"testing"
+
+	"statcube/internal/hierarchy"
+	"statcube/internal/schema"
+)
+
+// industrySales builds Figure 17's bottom scenario: sales by industry by
+// year, where the industry classification gains "internet" (under sector
+// "services") in 1991.
+func industrySales(t *testing.T) (*StatObject, *hierarchy.Versioned) {
+	t.Helper()
+	v1990 := hierarchy.NewBuilder("industry", "industry", "agriculture", "automobiles").
+		Level("sector", "primary", "manufacturing", "services").
+		Parent("agriculture", "primary").
+		Parent("automobiles", "manufacturing").
+		MustBuild()
+	v1991 := hierarchy.NewBuilder("industry", "industry", "agriculture", "automobiles", "internet").
+		Level("sector", "primary", "manufacturing", "services").
+		Parent("agriculture", "primary").
+		Parent("automobiles", "manufacturing").
+		Parent("internet", "services").
+		MustBuild()
+	versions := hierarchy.NewVersioned("industry")
+	if err := versions.AddVersion(1990, v1990); err != nil {
+		t.Fatal(err)
+	}
+	if err := versions.AddVersion(1991, v1991); err != nil {
+		t.Fatal(err)
+	}
+	// The object's primary dimension classification is the newest version
+	// (it must cover all values in the data).
+	sch := schema.MustNew("sales",
+		schema.Dimension{Name: "industry", Class: v1991},
+		schema.Dimension{Name: "year", Class: hierarchy.FlatClassification("year", "1990", "1991", "1992"), Temporal: true},
+	)
+	o := MustNew(sch, []Measure{{Name: "sales", Func: Sum, Type: Flow}})
+	for _, c := range []struct {
+		ind, year string
+		v         float64
+	}{
+		{"agriculture", "1990", 10},
+		{"automobiles", "1990", 20},
+		{"agriculture", "1991", 12},
+		{"internet", "1991", 5},
+		{"internet", "1992", 9},
+		{"automobiles", "1992", 25},
+	} {
+		if err := o.SetCell(v2("industry", c.ind, "year", c.year), map[string]float64{"sales": c.v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return o, versions
+}
+
+func yearOf(v Value) (int, error) { return strconv.Atoi(v) }
+
+func TestSAggregateVersioned(t *testing.T) {
+	o, versions := industrySales(t)
+	up, err := o.SAggregateVersioned("industry", versions, "sector", "year", yearOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sectors exist for every period; internet sales land in services.
+	got := mustValue(t, up, "sales", v2("industry", "services", "year", "1991"))
+	if got != 5 {
+		t.Errorf("services 1991 = %v", got)
+	}
+	got = mustValue(t, up, "sales", v2("industry", "manufacturing", "year", "1990"))
+	if got != 20 {
+		t.Errorf("manufacturing 1990 = %v", got)
+	}
+	// Totals preserved.
+	a, _ := o.Total("sales")
+	b, _ := up.Total("sales")
+	if a != b {
+		t.Errorf("total drift: %v vs %v", a, b)
+	}
+	// Result leaf level is the sector level.
+	d, _ := up.Schema().Dimension("industry")
+	if d.Class.LeafLevel().Name != "sector" {
+		t.Errorf("leaf = %q", d.Class.LeafLevel().Name)
+	}
+}
+
+func TestSAggregateVersionedRejectsDataBeforeCategory(t *testing.T) {
+	o, versions := industrySales(t)
+	// An internet sale recorded in 1990 — before the category existed.
+	if err := o.SetCell(v2("industry", "internet", "year", "1990"), map[string]float64{"sales": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.SAggregateVersioned("industry", versions, "sector", "year", yearOf); err == nil {
+		t.Error("data predating its category should fail")
+	}
+}
+
+func TestSAggregateVersionedValidation(t *testing.T) {
+	o, versions := industrySales(t)
+	if _, err := o.SAggregateVersioned("nope", versions, "sector", "year", yearOf); err == nil {
+		t.Error("unknown dim should fail")
+	}
+	if _, err := o.SAggregateVersioned("industry", versions, "sector", "nope", yearOf); err == nil {
+		t.Error("unknown period dim should fail")
+	}
+	if _, err := o.SAggregateVersioned("industry", versions, "nope", "year", yearOf); err == nil {
+		t.Error("unknown level should fail")
+	}
+	if _, err := o.SAggregateVersioned("year", versions, "sector", "year", yearOf); err == nil {
+		t.Error("dim == periodDim should fail")
+	}
+	empty := hierarchy.NewVersioned("x")
+	if _, err := o.SAggregateVersioned("industry", empty, "sector", "year", yearOf); !errors.Is(err, hierarchy.ErrNoVersions) {
+		t.Errorf("empty versions err = %v", err)
+	}
+	// Bad period parser.
+	bad := func(Value) (int, error) { return 0, errors.New("nope") }
+	if _, err := o.SAggregateVersioned("industry", versions, "sector", "year", bad); err == nil {
+		t.Error("failing periodOf should fail")
+	}
+	// A period before the first version.
+	sch := schema.MustNew("sales",
+		schema.Dimension{Name: "industry", Class: hierarchy.FlatClassification("industry", "agriculture")},
+		schema.Dimension{Name: "year", Class: hierarchy.FlatClassification("year", "1980")})
+	_ = sch
+}
+
+func TestSAggregateVersionedNonStrictVersionRejected(t *testing.T) {
+	o, _ := industrySales(t)
+	ns := hierarchy.NewBuilder("industry", "industry", "agriculture", "automobiles", "internet").
+		Level("sector", "a", "b").
+		Parent("agriculture", "a").Parent("agriculture", "b").
+		Parent("automobiles", "a").Parent("internet", "b").
+		MustBuild()
+	versions := hierarchy.NewVersioned("industry")
+	_ = versions.AddVersion(1990, ns)
+	if _, err := o.SAggregateVersioned("industry", versions, "sector", "year", yearOf); !errors.Is(err, ErrNotSummarizable) {
+		t.Errorf("non-strict version err = %v", err)
+	}
+}

@@ -1,0 +1,239 @@
+package cube
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// This file implements full-cube construction — every view of the lattice
+// — three ways, reproducing the Section 6.6 ROLAP/MOLAP comparison:
+//
+//   - ROLAPNaive: one hash group-by over the base table per view, the
+//     pre-[GB+96] "group-by per subset, union them" plan;
+//   - ROLAPSmallestParent: each view computed from its smallest already
+//     computed ancestor, the standard relational cube optimization;
+//   - MOLAP: the base data loaded into a dense linearized array, each view
+//     aggregated from its smallest parent array with pure index
+//     arithmetic — the array-based simultaneous aggregation of [ZDN97].
+//
+// Inputs are dictionary-coded: each row is one int code per dimension plus
+// a measure value. All three produce identical Views.
+
+// Input is a coded fact table.
+type Input struct {
+	Card []int   // per-dimension cardinality
+	Rows [][]int // coded dimension values, one slice per row
+	Vals []float64
+}
+
+// Validate checks coding invariants. Builders compute all 2^n views, so
+// the dimensionality is capped well before that blows up.
+func (in *Input) Validate() error {
+	if len(in.Card) > 16 {
+		return fmt.Errorf("cube: %d dimensions means 2^%d views; refusing", len(in.Card), len(in.Card))
+	}
+	if len(in.Rows) != len(in.Vals) {
+		return fmt.Errorf("cube: %d rows, %d values", len(in.Rows), len(in.Vals))
+	}
+	for ri, row := range in.Rows {
+		if len(row) != len(in.Card) {
+			return fmt.Errorf("cube: row %d has %d dims, want %d", ri, len(row), len(in.Card))
+		}
+		for d, c := range row {
+			if c < 0 || c >= in.Card[d] {
+				return fmt.Errorf("cube: row %d dim %d code %d out of [0,%d)", ri, d, c, in.Card[d])
+			}
+		}
+	}
+	return nil
+}
+
+// Views holds every computed view: per mask, a map from the view's
+// linearized group key to the aggregated sum.
+type Views struct {
+	Card   []int
+	ByMask []map[uint64]float64
+}
+
+// maskDims lists the dimensions participating in a mask.
+func maskDims(mask, n int) []int {
+	dims := make([]int, 0, bits.OnesCount(uint(mask)))
+	for d := 0; d < n; d++ {
+		if mask&(1<<uint(d)) != 0 {
+			dims = append(dims, d)
+		}
+	}
+	return dims
+}
+
+// groupKey linearizes the masked coordinates of a row.
+func groupKey(row []int, dims []int, card []int) uint64 {
+	var k uint64
+	for _, d := range dims {
+		k = k*uint64(card[d]) + uint64(row[d])
+	}
+	return k
+}
+
+// View returns one view's map (nil if out of range).
+func (v *Views) View(mask int) map[uint64]float64 {
+	if mask < 0 || mask >= len(v.ByMask) {
+		return nil
+	}
+	return v.ByMask[mask]
+}
+
+// Equal compares two full cubes within a small tolerance.
+func (v *Views) Equal(o *Views) bool {
+	if len(v.ByMask) != len(o.ByMask) {
+		return false
+	}
+	for mask := range v.ByMask {
+		a, b := v.ByMask[mask], o.ByMask[mask]
+		if len(a) != len(b) {
+			return false
+		}
+		for k, av := range a {
+			bv, ok := b[k]
+			if !ok {
+				return false
+			}
+			diff := av - bv
+			if diff < 0 {
+				diff = -diff
+			}
+			limit := 1e-9
+			if av > 1 || av < -1 {
+				l := av
+				if l < 0 {
+					l = -l
+				}
+				limit *= l
+			}
+			if diff > limit {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// BuildROLAPNaive computes every view with an independent hash group-by
+// over the base rows: 2^n full scans.
+func BuildROLAPNaive(in *Input) (*Views, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(in.Card)
+	out := &Views{Card: append([]int(nil), in.Card...), ByMask: make([]map[uint64]float64, 1<<uint(n))}
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		dims := maskDims(mask, n)
+		m := map[uint64]float64{}
+		for ri, row := range in.Rows {
+			m[groupKey(row, dims, in.Card)] += in.Vals[ri]
+		}
+		out.ByMask[mask] = m
+	}
+	return out, nil
+}
+
+// BuildROLAPSmallestParent computes the base view from the rows, then each
+// remaining view from its smallest already-computed parent, walking the
+// lattice base-first. Aggregating from a (usually much smaller) parent is
+// the standard relational cube optimization.
+func BuildROLAPSmallestParent(in *Input) (*Views, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(in.Card)
+	nviews := 1 << uint(n)
+	out := &Views{Card: append([]int(nil), in.Card...), ByMask: make([]map[uint64]float64, nviews)}
+	base := nviews - 1
+	baseDims := maskDims(base, n)
+	bm := map[uint64]float64{}
+	for ri, row := range in.Rows {
+		bm[groupKey(row, baseDims, in.Card)] += in.Vals[ri]
+	}
+	out.ByMask[base] = bm
+	// Process masks in descending popcount so parents exist.
+	order := make([]int, 0, nviews-1)
+	for mask := 0; mask < nviews; mask++ {
+		if mask != base {
+			order = append(order, mask)
+		}
+	}
+	sortByPopcountDesc(order)
+	for _, mask := range order {
+		parent := smallestComputedParent(mask, out)
+		out.ByMask[mask] = aggregateFromParent(out, parent, mask, n)
+	}
+	return out, nil
+}
+
+// sortByPopcountDesc orders masks so larger (finer) views come first.
+func sortByPopcountDesc(masks []int) {
+	sort.Slice(masks, func(i, j int) bool {
+		pa, pb := bits.OnesCount(uint(masks[i])), bits.OnesCount(uint(masks[j]))
+		if pa != pb {
+			return pa > pb
+		}
+		return masks[i] < masks[j]
+	})
+}
+
+// smallestComputedParent finds the computed superset view with the fewest
+// entries.
+func smallestComputedParent(mask int, v *Views) int {
+	best, bestLen := -1, 0
+	for parent := range v.ByMask {
+		if parent == mask || v.ByMask[parent] == nil || !DerivableFrom(mask, parent) {
+			continue
+		}
+		if best < 0 || len(v.ByMask[parent]) < bestLen {
+			best, bestLen = parent, len(v.ByMask[parent])
+		}
+	}
+	if best < 0 {
+		panic("cube: no computed parent; traversal order broken")
+	}
+	return best
+}
+
+// aggregateFromParent rolls a parent view's entries up into the child
+// view, decoding the parent keys and re-keying onto the child's dims.
+func aggregateFromParent(v *Views, parent, child, n int) map[uint64]float64 {
+	pd := maskDims(parent, n)
+	cd := maskDims(child, n)
+	// Child dims positions within the parent's dim list.
+	pos := make([]int, len(cd))
+	for i, d := range cd {
+		pos[i] = -1
+		for j, p := range pd {
+			if p == d {
+				pos[i] = j
+				break
+			}
+		}
+		if pos[i] < 0 {
+			panic("cube: child dim missing from parent")
+		}
+	}
+	out := make(map[uint64]float64, len(v.ByMask[parent])/2+1)
+	coords := make([]int, len(pd))
+	for k, val := range v.ByMask[parent] {
+		// Decode the parent key (row-major over pd).
+		kk := k
+		for i := len(pd) - 1; i >= 0; i-- {
+			c := uint64(v.Card[pd[i]])
+			coords[i] = int(kk % c)
+			kk /= c
+		}
+		var ck uint64
+		for i, d := range cd {
+			ck = ck*uint64(v.Card[d]) + uint64(coords[pos[i]])
+		}
+		out[ck] += val
+	}
+	return out
+}

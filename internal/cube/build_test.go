@@ -1,0 +1,182 @@
+package cube
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomInput generates a coded fact table.
+func randomInput(card []int, rows int, seed int64) *Input {
+	rng := rand.New(rand.NewSource(seed))
+	in := &Input{Card: append([]int(nil), card...)}
+	for i := 0; i < rows; i++ {
+		row := make([]int, len(card))
+		for d, c := range card {
+			row[d] = rng.Intn(c)
+		}
+		in.Rows = append(in.Rows, row)
+		in.Vals = append(in.Vals, float64(rng.Intn(100)))
+	}
+	return in
+}
+
+func TestInputValidate(t *testing.T) {
+	in := &Input{Card: []int{2}, Rows: [][]int{{0}}, Vals: []float64{1, 2}}
+	if err := in.Validate(); err == nil {
+		t.Error("row/val mismatch should fail")
+	}
+	in = &Input{Card: []int{2}, Rows: [][]int{{0, 1}}, Vals: []float64{1}}
+	if err := in.Validate(); err == nil {
+		t.Error("dim mismatch should fail")
+	}
+	in = &Input{Card: []int{2}, Rows: [][]int{{5}}, Vals: []float64{1}}
+	if err := in.Validate(); err == nil {
+		t.Error("out-of-range code should fail")
+	}
+}
+
+func TestAllBuildersAgree(t *testing.T) {
+	in := randomInput([]int{4, 3, 5}, 500, 1)
+	naive, err := BuildROLAPNaive(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := BuildROLAPSmallestParent(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	molap, err := BuildMOLAP(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !naive.Equal(sp) {
+		t.Error("naive and smallest-parent cubes differ")
+	}
+	if !naive.Equal(molap) {
+		t.Error("naive and MOLAP cubes differ")
+	}
+}
+
+func TestCubeGrandTotal(t *testing.T) {
+	in := randomInput([]int{3, 3}, 200, 2)
+	v, err := BuildROLAPNaive(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apex := v.View(0)
+	if len(apex) != 1 {
+		t.Fatalf("apex entries = %d", len(apex))
+	}
+	var want float64
+	for _, x := range in.Vals {
+		want += x
+	}
+	if got := apex[0]; got != want {
+		t.Errorf("grand total = %v, want %v", got, want)
+	}
+	if v.View(-1) != nil || v.View(99) != nil {
+		t.Error("out-of-range View should be nil")
+	}
+}
+
+func TestCubeBaseViewMatchesInput(t *testing.T) {
+	in := randomInput([]int{2, 2}, 50, 3)
+	v, _ := BuildMOLAP(in)
+	base := v.View(3)
+	// Recompute base by hand.
+	want := map[uint64]float64{}
+	for ri, row := range in.Rows {
+		want[uint64(row[0]*2+row[1])] += in.Vals[ri]
+	}
+	if len(base) != len(want) {
+		t.Fatalf("base entries = %d, want %d", len(base), len(want))
+	}
+	for k, x := range want {
+		if base[k] != x {
+			t.Errorf("base[%d] = %v, want %v", k, base[k], x)
+		}
+	}
+}
+
+func TestMolapFeasible(t *testing.T) {
+	if !MolapFeasible([]int{10, 10}, 100) {
+		t.Error("100 cells should be feasible at 100")
+	}
+	if MolapFeasible([]int{10, 10, 10}, 100) {
+		t.Error("1000 cells should be infeasible at 100")
+	}
+}
+
+func TestViewsEqualTolerance(t *testing.T) {
+	a := &Views{Card: []int{2}, ByMask: []map[uint64]float64{{0: 1}, {0: 1, 1: 2}}}
+	b := &Views{Card: []int{2}, ByMask: []map[uint64]float64{{0: 1 + 1e-12}, {0: 1, 1: 2}}}
+	if !a.Equal(b) {
+		t.Error("tolerance equality failed")
+	}
+	c := &Views{Card: []int{2}, ByMask: []map[uint64]float64{{0: 5}, {0: 1, 1: 2}}}
+	if a.Equal(c) {
+		t.Error("different cubes reported equal")
+	}
+	d := &Views{Card: []int{2}, ByMask: []map[uint64]float64{{0: 1}}}
+	if a.Equal(d) {
+		t.Error("different view counts reported equal")
+	}
+}
+
+// Property: all three builders agree on random inputs.
+func TestQuickBuildersAgree(t *testing.T) {
+	f := func(seed int64, rows uint8) bool {
+		in := randomInput([]int{3, 2, 4}, int(rows)%100+1, seed)
+		naive, e1 := BuildROLAPNaive(in)
+		sp, e2 := BuildROLAPSmallestParent(in)
+		molap, e3 := BuildMOLAP(in)
+		if e1 != nil || e2 != nil || e3 != nil {
+			return false
+		}
+		return naive.Equal(sp) && naive.Equal(molap)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBuildROLAPNaive(b *testing.B) {
+	in := randomInput([]int{20, 20, 20}, 20000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildROLAPNaive(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildROLAPSmallestParent(b *testing.B) {
+	in := randomInput([]int{20, 20, 20}, 20000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildROLAPSmallestParent(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildMOLAP(b *testing.B) {
+	in := randomInput([]int{20, 20, 20}, 20000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildMOLAP(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestValidateDimensionCap(t *testing.T) {
+	in := &Input{Card: make([]int, 17)}
+	for i := range in.Card {
+		in.Card[i] = 2
+	}
+	if err := in.Validate(); err == nil {
+		t.Error("17-dimension input should refuse")
+	}
+}

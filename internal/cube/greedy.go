@@ -1,0 +1,142 @@
+package cube
+
+import "math/bits"
+
+// This file implements the view-selection algorithms of [HUR96]
+// (Section 6.3): given the lattice and a budget (a number of views or a
+// space allowance), choose which summarizations to materialize for maximum
+// benefit. The greedy algorithm achieves at least 63% (1 - 1/e) of the
+// optimal benefit; OptimalSelect exhaustively verifies that on small
+// lattices.
+
+// benefit computes the [HUR96] benefit of materializing v given the
+// current set: for every view w derivable from v, the saving
+// max(0, currentCost(w) - size(v)).
+func (l *Lattice) benefit(v int, materialized []int) int64 {
+	var b int64
+	sv := l.sizes[v]
+	for w := 0; w < len(l.sizes); w++ {
+		if !DerivableFrom(w, v) {
+			continue
+		}
+		_, cur, _ := l.SmallestParent(w, materialized)
+		if cur > sv {
+			b += cur - sv
+		}
+	}
+	return b
+}
+
+// GreedySelect picks k views (beyond the always-materialized base cuboid)
+// by repeatedly materializing the view with the greatest benefit. It
+// returns the chosen masks in selection order and the total benefit
+// relative to materializing only the base cuboid.
+func (l *Lattice) GreedySelect(k int) ([]int, int64) {
+	materialized := []int{l.BaseMask()}
+	var chosen []int
+	var total int64
+	for i := 0; i < k; i++ {
+		bestV, bestB := -1, int64(0)
+		for v := 0; v < len(l.sizes); v++ {
+			if containsInt(materialized, v) {
+				continue
+			}
+			if b := l.benefit(v, materialized); b > bestB {
+				bestV, bestB = v, b
+			}
+		}
+		if bestV < 0 {
+			break // nothing improves
+		}
+		materialized = append(materialized, bestV)
+		chosen = append(chosen, bestV)
+		total += bestB
+	}
+	return chosen, total
+}
+
+// GreedySelectSpace picks views under a space budget (total size of the
+// materialized views beyond the base), maximizing benefit per unit space —
+// the space-constrained variant [HUR96] analyze.
+func (l *Lattice) GreedySelectSpace(budget int64) ([]int, int64) {
+	materialized := []int{l.BaseMask()}
+	var chosen []int
+	var total int64
+	var used int64
+	for {
+		bestV := -1
+		var bestB int64
+		var bestRatio float64
+		for v := 0; v < len(l.sizes); v++ {
+			if containsInt(materialized, v) || used+l.sizes[v] > budget {
+				continue
+			}
+			b := l.benefit(v, materialized)
+			if b <= 0 {
+				continue
+			}
+			ratio := float64(b) / float64(l.sizes[v])
+			if bestV < 0 || ratio > bestRatio {
+				bestV, bestB, bestRatio = v, b, ratio
+			}
+		}
+		if bestV < 0 {
+			break
+		}
+		materialized = append(materialized, bestV)
+		chosen = append(chosen, bestV)
+		total += bestB
+		used += l.sizes[bestV]
+	}
+	return chosen, total
+}
+
+// OptimalSelect exhaustively finds the best k views; exponential in the
+// number of views, so only usable for small lattices (n ≤ 4), where it
+// certifies the greedy guarantee.
+func (l *Lattice) OptimalSelect(k int) ([]int, int64) {
+	views := len(l.sizes)
+	base := l.BaseMask()
+	baseline := l.TotalCost(nil)
+	var bestSet []int
+	var bestBenefit int64
+	var rec func(start int, cur []int)
+	rec = func(start int, cur []int) {
+		if len(cur) > 0 {
+			b := baseline - l.TotalCost(cur)
+			if b > bestBenefit {
+				bestBenefit = b
+				bestSet = append([]int(nil), cur...)
+			}
+		}
+		if len(cur) == k {
+			return
+		}
+		for v := start; v < views; v++ {
+			if v == base {
+				continue
+			}
+			rec(v+1, append(cur, v))
+		}
+	}
+	rec(0, nil)
+	return bestSet, bestBenefit
+}
+
+// BenefitOf returns the benefit of a given materialization set relative to
+// base-only: baselineCost - cost(set).
+func (l *Lattice) BenefitOf(set []int) int64 {
+	return l.TotalCost(nil) - l.TotalCost(set)
+}
+
+func containsInt(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// PopCount is a small helper exposed for tests and display.
+func PopCount(mask int) int { return bits.OnesCount(uint(mask)) }

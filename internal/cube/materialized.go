@@ -1,0 +1,151 @@
+package cube
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MaterializedSet is a set of actually-computed views with the lattice's
+// cost model made operational: a group-by query is answered from its
+// smallest materialized ancestor, charging the ancestor's entry count as
+// the scan cost — exactly the linear cost model [HUR96] analyze. The base
+// cuboid is always materialized.
+type MaterializedSet struct {
+	card     []int
+	views    map[int]map[uint64]float64
+	base     int
+	scanCost int64
+}
+
+// Materialize computes the base cuboid plus the requested view masks from
+// the input.
+func Materialize(in *Input, masks []int) (*MaterializedSet, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(in.Card)
+	base := 1<<uint(n) - 1
+	m := &MaterializedSet{
+		card:  append([]int(nil), in.Card...),
+		views: map[int]map[uint64]float64{},
+		base:  base,
+	}
+	baseDims := maskDims(base, n)
+	bm := map[uint64]float64{}
+	for ri, row := range in.Rows {
+		bm[groupKey(row, baseDims, in.Card)] += in.Vals[ri]
+	}
+	m.views[base] = bm
+	// Compute requested views from their smallest already-computed parent,
+	// coarsest requests last so finer requested views can serve them.
+	sorted := append([]int(nil), masks...)
+	sort.Slice(sorted, func(a, b int) bool { return PopCount(sorted[a]) > PopCount(sorted[b]) })
+	for _, mask := range sorted {
+		if mask < 0 || mask > base {
+			return nil, fmt.Errorf("cube: view mask %d out of range", mask)
+		}
+		if _, done := m.views[mask]; done {
+			continue
+		}
+		parent := m.smallestParent(mask)
+		m.views[mask] = m.aggregate(parent, mask)
+	}
+	return m, nil
+}
+
+// smallestParent finds the materialized superset view with fewest entries.
+func (m *MaterializedSet) smallestParent(mask int) int {
+	best, bestLen := -1, 0
+	for parent, view := range m.views {
+		if parent != mask && DerivableFrom(mask, parent) {
+			if best < 0 || len(view) < bestLen {
+				best, bestLen = parent, len(view)
+			}
+		}
+	}
+	if best < 0 {
+		panic("cube: base cuboid missing")
+	}
+	return best
+}
+
+// aggregate rolls the parent view's entries into the child view.
+func (m *MaterializedSet) aggregate(parent, child int) map[uint64]float64 {
+	v := &Views{Card: m.card, ByMask: make([]map[uint64]float64, 1<<uint(len(m.card)))}
+	v.ByMask[parent] = m.views[parent]
+	return aggregateFromParent(v, parent, child, len(m.card))
+}
+
+// Answer computes the group-by for mask, materialized or not, from the
+// smallest materialized ancestor. It returns the result and the rows
+// scanned (the ancestor's entry count; zero when the view itself is
+// materialized — a stored view answers by lookup).
+func (m *MaterializedSet) Answer(mask int) (map[uint64]float64, int64, error) {
+	if mask < 0 || mask > m.base {
+		return nil, 0, fmt.Errorf("cube: view mask %d out of range", mask)
+	}
+	if view, ok := m.views[mask]; ok {
+		return view, 0, nil
+	}
+	parent := m.smallestParent(mask)
+	cost := int64(len(m.views[parent]))
+	m.scanCost += cost
+	return m.aggregate(parent, mask), cost, nil
+}
+
+// ScanCost returns the cumulative rows scanned by Answer calls.
+func (m *MaterializedSet) ScanCost() int64 { return m.scanCost }
+
+// MaterializedMasks returns the stored view masks, sorted.
+func (m *MaterializedSet) MaterializedMasks() []int {
+	out := make([]int, 0, len(m.views))
+	for mask := range m.views {
+		out = append(out, mask)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// StorageEntries returns the total stored entries beyond the base cuboid —
+// the "space" of the space/time trade-off.
+func (m *MaterializedSet) StorageEntries() int64 {
+	var t int64
+	for mask, view := range m.views {
+		if mask != m.base {
+			t += int64(len(view))
+		}
+	}
+	return t
+}
+
+// AppendRows folds a batch of new facts into the base cuboid AND every
+// materialized view incrementally — the bulk-update discipline of
+// Roussopoulos et al.'s Cubetree [RKR97] (Section 6.5): summaries are
+// additive, so a delta per view replaces recomputing the views from
+// scratch. It returns the number of view entries touched (the update
+// cost a full rematerialization is compared against).
+func (m *MaterializedSet) AppendRows(rows [][]int, vals []float64) (int64, error) {
+	if len(rows) != len(vals) {
+		return 0, fmt.Errorf("cube: %d rows, %d values", len(rows), len(vals))
+	}
+	n := len(m.card)
+	for ri, row := range rows {
+		if len(row) != n {
+			return 0, fmt.Errorf("cube: row %d has %d dims, want %d", ri, len(row), n)
+		}
+		for d, c := range row {
+			if c < 0 || c >= m.card[d] {
+				return 0, fmt.Errorf("cube: row %d dim %d code %d out of [0,%d)", ri, d, c, m.card[d])
+			}
+		}
+	}
+	var touched int64
+	for mask, view := range m.views {
+		dims := maskDims(mask, n)
+		for ri, row := range rows {
+			view[groupKey(row, dims, m.card)] += vals[ri]
+			touched++
+		}
+	}
+	return touched, nil
+}

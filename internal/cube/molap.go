@@ -1,0 +1,157 @@
+package cube
+
+import "statcube/internal/marray"
+
+// BuildMOLAP computes the full cube the multidimensional-array way
+// ([ZDN97]'s array-based algorithm, simplified to in-memory arrays): the
+// base data is loaded into one dense linearized array; every other view is
+// a dense array aggregated from its smallest computed parent using pure
+// index arithmetic — no hashing, no key decoding. The result is converted
+// to the same Views form as the ROLAP builders for comparison.
+//
+// The dense base array requires ∏ card cells, so this path — like real
+// MOLAP systems — is the right choice when the cube is reasonably dense;
+// its advantage over ROLAP hashing is exactly what the Section 6.6 debate
+// (and the E9 bench) is about.
+func BuildMOLAP(in *Input) (*Views, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(in.Card)
+	nviews := 1 << uint(n)
+	// arrays[mask] is the dense array of the view's own shape.
+	arrays := make([]*dense, nviews)
+	base := nviews - 1
+	arrays[base] = newDenseView(in.Card, base)
+	for ri, row := range in.Rows {
+		arrays[base].add(row, in.Vals[ri])
+	}
+	order := make([]int, 0, nviews-1)
+	for mask := 0; mask < nviews; mask++ {
+		if mask != base {
+			order = append(order, mask)
+		}
+	}
+	sortByPopcountDesc(order)
+	for _, mask := range order {
+		parent := smallestDenseParent(mask, arrays)
+		arrays[mask] = arrays[parent].rollup(mask)
+	}
+	// Convert to Views for comparison.
+	out := &Views{Card: append([]int(nil), in.Card...), ByMask: make([]map[uint64]float64, nviews)}
+	for mask, a := range arrays {
+		out.ByMask[mask] = a.toMap()
+	}
+	return out, nil
+}
+
+// dense is a view-local dense array: vals indexed by the row-major
+// linearization of the view's own dimensions.
+type dense struct {
+	mask    int
+	dims    []int // participating dimensions, ascending
+	card    []int // full cardinalities (all dims)
+	shape   []int // extents of the participating dims
+	vals    []float64
+	present []bool
+}
+
+func newDenseView(card []int, mask int) *dense {
+	dims := maskDims(mask, len(card))
+	shape := make([]int, len(dims))
+	size := 1
+	for i, d := range dims {
+		shape[i] = card[d]
+		size *= card[d]
+	}
+	if len(dims) == 0 {
+		size = 1
+	}
+	return &dense{
+		mask: mask, dims: dims, card: append([]int(nil), card...),
+		shape: shape, vals: make([]float64, size), present: make([]bool, size),
+	}
+}
+
+// add folds a full-width coded row into the view.
+func (a *dense) add(row []int, v float64) {
+	pos := 0
+	for i, d := range a.dims {
+		pos = pos*a.shape[i] + row[d]
+	}
+	a.vals[pos] += v
+	a.present[pos] = true
+}
+
+// rollup aggregates this array down to the child view (child ⊂ a.mask)
+// with index arithmetic: one pass over the parent cells, each mapped to
+// its child position by dropping the summed-out dimensions' contributions.
+func (a *dense) rollup(childMask int) *dense {
+	child := newDenseView(a.card, childMask)
+	// Position of each child dim within the parent dim list.
+	pos := make([]int, len(child.dims))
+	for i, d := range child.dims {
+		pos[i] = -1
+		for j, p := range a.dims {
+			if p == d {
+				pos[i] = j
+			}
+		}
+	}
+	coords := make([]int, len(a.dims))
+	for p, present := range a.present {
+		if !present {
+			continue
+		}
+		marray.Delinearize(p, a.shape, coords)
+		cp := 0
+		for i := range child.dims {
+			cp = cp*child.shape[i] + coords[pos[i]]
+		}
+		child.vals[cp] += a.vals[p]
+		child.present[cp] = true
+	}
+	return child
+}
+
+// toMap converts the dense view to the common map form keyed like the
+// ROLAP builders (row-major over the view's dims).
+func (a *dense) toMap() map[uint64]float64 {
+	out := make(map[uint64]float64)
+	for p, present := range a.present {
+		if present {
+			out[uint64(p)] = a.vals[p]
+		}
+	}
+	return out
+}
+
+// MolapFeasible reports whether a dense base array of the given
+// cardinalities stays within maxCells — the planning check a system makes
+// before choosing the MOLAP path.
+func MolapFeasible(card []int, maxCells int) bool {
+	size := 1
+	for _, c := range card {
+		size *= c
+		if size > maxCells {
+			return false
+		}
+	}
+	return true
+}
+
+func smallestDenseParent(mask int, arrays []*dense) int {
+	best, bestSize := -1, 0
+	for parent := range arrays {
+		if parent == mask || arrays[parent] == nil || !DerivableFrom(mask, parent) {
+			continue
+		}
+		if best < 0 || len(arrays[parent].vals) < bestSize {
+			best, bestSize = parent, len(arrays[parent].vals)
+		}
+	}
+	if best < 0 {
+		panic("cube: no dense parent; traversal order broken")
+	}
+	return best
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun executes the full suite and asserts every report
+// completes without error and carries measurements plus a shape line. This
+// is the regression net for `cmd/cubebench` and EXPERIMENTS.md.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite is heavy; skipped with -short")
+	}
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			rep := exp.Run()
+			if rep.Err != nil {
+				t.Fatalf("%s failed: %v", rep.ID, rep.Err)
+			}
+			if rep.ID != exp.ID {
+				t.Errorf("report ID %q does not match registry %q", rep.ID, exp.ID)
+			}
+			if len(rep.Lines) == 0 {
+				t.Error("no measurements recorded")
+			}
+			if rep.Shape == "" {
+				t.Error("no shape statement")
+			}
+			if rep.PaperClaim == "" || rep.Title == "" {
+				t.Error("missing claim/title")
+			}
+			s := rep.String()
+			if !strings.Contains(s, "shape:") || !strings.Contains(s, "paper:") {
+				t.Errorf("String() missing sections:\n%s", s)
+			}
+		})
+	}
+}
+
+// TestReportErrorRendering covers the failure path of Report.String.
+func TestReportErrorRendering(t *testing.T) {
+	r := &Report{ID: "EX", Title: "t", PaperClaim: "c"}
+	r.fail(errTest)
+	s := r.String()
+	if !strings.Contains(s, "ERROR") {
+		t.Errorf("error report missing ERROR: %q", s)
+	}
+}
+
+var errTest = &testErr{}
+
+type testErr struct{}
+
+func (*testErr) Error() string { return "boom" }
+
+func TestRatio(t *testing.T) {
+	if ratio(10, 2) != 5 {
+		t.Error("ratio wrong")
+	}
+	if ratio(10, 0) != 0 {
+		t.Error("zero denominator should yield 0")
+	}
+}

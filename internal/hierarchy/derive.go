@@ -1,0 +1,189 @@
+package hierarchy
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file derives new classifications from existing ones — the schema
+// transformations the statistical algebra operators of Section 5 need:
+// S-select restricts a classification to chosen values, S-aggregation
+// truncates it at a coarser level, and S-union merges the classifications
+// of two compatible statistical objects.
+
+// Restrict returns a classification containing only the given leaf values
+// (in the order given) and the ancestors reachable from them. An edge in
+// the restriction keeps its declared completeness only if every retained
+// parent retained all of its children; otherwise the restricted edge is
+// marked incomplete, because summarizing a subset to the parent level no
+// longer yields the parent's true total.
+func (c *Classification) Restrict(leaves []Value) (*Classification, error) {
+	if len(leaves) == 0 {
+		return nil, errors.New("hierarchy: Restrict with no values")
+	}
+	keep := make([]map[Value]bool, len(c.levels))
+	for i := range keep {
+		keep[i] = map[Value]bool{}
+	}
+	for _, v := range leaves {
+		if !c.HasValue(0, v) {
+			return nil, fmt.Errorf("%w: %q at level %q", ErrUnknownValue, v, c.levels[0].Name)
+		}
+		if keep[0][v] {
+			return nil, fmt.Errorf("hierarchy: duplicate value %q in Restrict", v)
+		}
+		keep[0][v] = true
+	}
+	// Propagate upward.
+	for l := 0; l < len(c.edges); l++ {
+		for v := range keep[l] {
+			for _, p := range c.edges[l].parents[v] {
+				keep[l+1][p] = true
+			}
+		}
+	}
+	out := &Classification{name: c.name, props: c.props}
+	for l, lev := range c.levels {
+		var vals []Value
+		if l == 0 {
+			vals = append([]Value(nil), leaves...)
+		} else {
+			for _, v := range lev.Values { // preserve declaration order
+				if keep[l][v] {
+					vals = append(vals, v)
+				}
+			}
+		}
+		idx := make(map[Value]int, len(vals))
+		for i, v := range vals {
+			idx[v] = i
+		}
+		out.levels = append(out.levels, Level{Name: lev.Name, Values: vals})
+		out.index = append(out.index, idx)
+	}
+	for l, e := range c.edges {
+		ne := &edge{
+			parents:     map[Value][]Value{},
+			children:    map[Value][]Value{},
+			idDependent: e.idDependent,
+			complete:    e.complete,
+		}
+		for _, childVal := range out.levels[l].Values {
+			for _, p := range e.parents[childVal] {
+				ne.parents[childVal] = append(ne.parents[childVal], p)
+				ne.children[p] = append(ne.children[p], childVal)
+			}
+		}
+		if ne.complete {
+			// Demote completeness if any retained parent lost children.
+			for p, kids := range ne.children {
+				if len(kids) != len(e.children[p]) {
+					ne.complete = false
+					break
+				}
+			}
+		}
+		out.edges = append(out.edges, ne)
+	}
+	return out, nil
+}
+
+// Truncate returns the classification whose leaf level is the current
+// level fromLevel — the schema of a statistical object after rolling its
+// dimension up to that level (S-aggregation).
+func (c *Classification) Truncate(fromLevel int) (*Classification, error) {
+	c.checkLevel(fromLevel)
+	if fromLevel == 0 {
+		return c, nil
+	}
+	out := &Classification{name: c.name, props: c.props}
+	out.levels = append(out.levels, c.levels[fromLevel:]...)
+	out.index = append(out.index, c.index[fromLevel:]...)
+	out.edges = append(out.edges, c.edges[fromLevel:]...)
+	return out, nil
+}
+
+// Merge combines two classifications with identical level names into one
+// whose value sets are the unions, level by level — the schema half of
+// S-union over partially overlapping statistical objects. Parent links are
+// unioned; an edge is complete only if both inputs declared it complete,
+// and ID-dependent only if both agree.
+func Merge(a, b *Classification) (*Classification, error) {
+	if a.NumLevels() != b.NumLevels() {
+		return nil, fmt.Errorf("hierarchy: cannot merge %q (%d levels) with %q (%d levels)",
+			a.name, a.NumLevels(), b.name, b.NumLevels())
+	}
+	for i := range a.levels {
+		if a.levels[i].Name != b.levels[i].Name {
+			return nil, fmt.Errorf("hierarchy: level %d differs: %q vs %q",
+				i, a.levels[i].Name, b.levels[i].Name)
+		}
+	}
+	out := &Classification{name: a.name}
+	for l := range a.levels {
+		var vals []Value
+		idx := map[Value]int{}
+		add := func(v Value) {
+			if _, ok := idx[v]; !ok {
+				idx[v] = len(vals)
+				vals = append(vals, v)
+			}
+		}
+		for _, v := range a.levels[l].Values {
+			add(v)
+		}
+		for _, v := range b.levels[l].Values {
+			add(v)
+		}
+		out.levels = append(out.levels, Level{Name: a.levels[l].Name, Values: vals})
+		out.index = append(out.index, idx)
+	}
+	for l := 0; l < len(a.edges); l++ {
+		ne := &edge{
+			parents:     map[Value][]Value{},
+			children:    map[Value][]Value{},
+			complete:    a.edges[l].complete && b.edges[l].complete,
+			idDependent: a.edges[l].idDependent && b.edges[l].idDependent,
+		}
+		link := func(child, parent Value) {
+			for _, p := range ne.parents[child] {
+				if p == parent {
+					return
+				}
+			}
+			ne.parents[child] = append(ne.parents[child], parent)
+			ne.children[parent] = append(ne.children[parent], child)
+		}
+		for child, ps := range a.edges[l].parents {
+			for _, p := range ps {
+				link(child, p)
+			}
+		}
+		for child, ps := range b.edges[l].parents {
+			for _, p := range ps {
+				link(child, p)
+			}
+		}
+		out.edges = append(out.edges, ne)
+	}
+	// Merge properties, preferring a's on conflict.
+	if a.props != nil || b.props != nil {
+		out.props = map[string]map[string]string{}
+		for v, m := range b.props {
+			cp := map[string]string{}
+			for k, s := range m {
+				cp[k] = s
+			}
+			out.props[v] = cp
+		}
+		for v, m := range a.props {
+			if out.props[v] == nil {
+				out.props[v] = map[string]string{}
+			}
+			for k, s := range m {
+				out.props[v][k] = s
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,168 @@
+package hierarchy
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func threeLevelGeo(t *testing.T) *Classification {
+	t.Helper()
+	return NewBuilder("geo", "city", "sf", "la", "portland").
+		Level("state", "CA", "OR").
+		Parent("sf", "CA").Parent("la", "CA").Parent("portland", "OR").
+		Level("country", "US").
+		Parent("CA", "US").Parent("OR", "US").
+		MustBuild()
+}
+
+func TestRestrictKeepsReachableAncestors(t *testing.T) {
+	c := threeLevelGeo(t)
+	r, err := c.Restrict([]Value{"sf", "la"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Level(1).Values; !reflect.DeepEqual(got, []Value{"CA"}) {
+		t.Errorf("states = %v", got)
+	}
+	if got := r.Level(2).Values; !reflect.DeepEqual(got, []Value{"US"}) {
+		t.Errorf("countries = %v", got)
+	}
+	// CA kept all its cities, so the city→state edge stays complete; but
+	// US lost OR's subtree, so state→country is demoted.
+	if !r.IsCompleteEdge(0) {
+		t.Error("city→state should stay complete")
+	}
+	if r.IsCompleteEdge(1) {
+		t.Error("state→country should be demoted to incomplete")
+	}
+}
+
+func TestRestrictDemotesPartialParent(t *testing.T) {
+	c := threeLevelGeo(t)
+	r, err := c.Restrict([]Value{"sf", "portland"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CA lost la, so city→state is incomplete.
+	if r.IsCompleteEdge(0) {
+		t.Error("partial city selection should demote completeness")
+	}
+}
+
+func TestRestrictPreservesOrderAndErrors(t *testing.T) {
+	c := threeLevelGeo(t)
+	r, err := c.Restrict([]Value{"la", "sf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.LeafLevel().Values; !reflect.DeepEqual(got, []Value{"la", "sf"}) {
+		t.Errorf("leaf order = %v", got)
+	}
+	if _, err := c.Restrict(nil); err == nil {
+		t.Error("empty restrict should fail")
+	}
+	if _, err := c.Restrict([]Value{"nope"}); !errors.Is(err, ErrUnknownValue) {
+		t.Errorf("unknown value err = %v", err)
+	}
+	if _, err := c.Restrict([]Value{"sf", "sf"}); err == nil {
+		t.Error("duplicate restrict should fail")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	c := threeLevelGeo(t)
+	tr, err := c.Truncate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumLevels() != 2 || tr.LeafLevel().Name != "state" {
+		t.Errorf("truncated = %d levels, leaf %q", tr.NumLevels(), tr.LeafLevel().Name)
+	}
+	ps, err := tr.Parents(0, "CA")
+	if err != nil || !reflect.DeepEqual(ps, []Value{"US"}) {
+		t.Errorf("Parents(CA) = %v, %v", ps, err)
+	}
+	// Truncate(0) returns the same classification.
+	same, err := c.Truncate(0)
+	if err != nil || same != c {
+		t.Errorf("Truncate(0) = %v, %v", same, err)
+	}
+}
+
+func TestMergeClassifications(t *testing.T) {
+	a := NewBuilder("geo", "city", "sf", "la").
+		Level("state", "CA").
+		Parent("sf", "CA").Parent("la", "CA").
+		MustBuild()
+	b := NewBuilder("geo", "city", "portland", "sf").
+		Level("state", "OR", "CA").
+		Parent("portland", "OR").Parent("sf", "CA").
+		MustBuild()
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.LeafLevel().Values; !reflect.DeepEqual(got, []Value{"sf", "la", "portland"}) {
+		t.Errorf("merged cities = %v", got)
+	}
+	if got := m.Level(1).Values; !reflect.DeepEqual(got, []Value{"CA", "OR"}) {
+		t.Errorf("merged states = %v", got)
+	}
+	ps, _ := m.Parents(0, "sf")
+	if !reflect.DeepEqual(ps, []Value{"CA"}) {
+		t.Errorf("sf parents = %v (duplicate link not merged?)", ps)
+	}
+	if !m.IsStrictEdge(0) {
+		t.Error("merged edge should be strict")
+	}
+}
+
+func TestMergeIncompatible(t *testing.T) {
+	a := FlatClassification("x", "1")
+	b := NewBuilder("x", "x", "1").Level("up", "u").Parent("1", "u").MustBuild()
+	if _, err := Merge(a, b); err == nil {
+		t.Error("level count mismatch should fail")
+	}
+	c := FlatClassification("y", "1") // different level name
+	if _, err := Merge(a, c); err == nil {
+		t.Error("level name mismatch should fail")
+	}
+}
+
+func TestMergeCompletenessAndProps(t *testing.T) {
+	a := NewBuilder("g", "c", "a1").Level("s", "s1").Parent("a1", "s1").Incomplete().
+		Property("a1", "k", "va").MustBuild()
+	b := NewBuilder("g", "c", "b1").Level("s", "s1").Parent("b1", "s1").
+		Property("b1", "k", "vb").MustBuild()
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IsCompleteEdge(0) {
+		t.Error("merge with incomplete input should be incomplete")
+	}
+	if v, ok := m.Property("a1", "k"); !ok || v != "va" {
+		t.Errorf("a1 property = %q, %v", v, ok)
+	}
+	if v, ok := m.Property("b1", "k"); !ok || v != "vb" {
+		t.Errorf("b1 property = %q, %v", v, ok)
+	}
+}
+
+func TestMergeNonStrictUnion(t *testing.T) {
+	// A city spanning two states (Minneapolis–St. Paul style): merging two
+	// views creates the non-strict edge, which summarizability then rejects.
+	a := NewBuilder("geo", "city", "msp").Level("state", "MN").Parent("msp", "MN").MustBuild()
+	b := NewBuilder("geo", "city", "msp").Level("state", "WI").Parent("msp", "WI").MustBuild()
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.IsStrictEdge(0) {
+		t.Error("merged edge should be non-strict")
+	}
+	if err := m.CheckSummarizable(0, 1); !errors.Is(err, ErrNonStrict) {
+		t.Errorf("CheckSummarizable err = %v", err)
+	}
+}

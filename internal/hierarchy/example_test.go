@@ -1,0 +1,62 @@
+package hierarchy_test
+
+import (
+	"fmt"
+
+	"statcube/internal/hierarchy"
+)
+
+// ExampleClassification_CheckSummarizable shows the two structural
+// summarizability conditions of [LS97]: strictness and completeness.
+func ExampleClassification_CheckSummarizable() {
+	// Minneapolis–St. Paul spans two states: not a strict hierarchy.
+	geo := hierarchy.NewBuilder("geo", "city", "msp", "duluth").
+		Level("state", "MN", "WI").
+		Parent("msp", "MN").
+		Parent("msp", "WI").
+		Parent("duluth", "MN").
+		MustBuild()
+	err := geo.CheckSummarizable(0, 1)
+	fmt.Println(err != nil)
+	// Output: true
+}
+
+// ExampleMergeAligned merges two tabulations with incompatible age-group
+// granularities (the paper's Figure 17), documenting the method used.
+func ExampleMergeAligned() {
+	a, _ := hierarchy.ParseIntervals([]string{"0-5", "6-10"})
+	b, _ := hierarchy.ParseIntervals([]string{"0-1", "2-10"})
+	merged, refined, report, _ := hierarchy.MergeAligned(
+		[]float64{60, 40}, a,
+		[]float64{20, 80}, b)
+	for i, iv := range refined {
+		fmt.Printf("%-4s %.0f\n", iv, merged[i])
+	}
+	fmt.Println(report.Method)
+	// Region A spreads its 0-5 bucket uniformly (20 to ages 0-1, 40 to
+	// 2-5); region B spreads its 2-10 bucket (36 to 2-5, 44 to 6-10).
+	// Output:
+	// 0-1  40
+	// 2-5  76
+	// 6-10 84
+	// refine to common partition; uniform-density apportionment; sum
+}
+
+// ExampleVersioned tracks the Figure 17 time-varying industry
+// classification: "internet" exists only from 1991.
+func ExampleVersioned() {
+	v1990 := hierarchy.FlatClassification("industry", "agriculture", "automobiles")
+	v1991 := hierarchy.FlatClassification("industry", "agriculture", "automobiles", "internet")
+	v := hierarchy.NewVersioned("industry")
+	_ = v.AddVersion(1990, v1990)
+	_ = v.AddVersion(1991, v1991)
+
+	c90, _ := v.At(1990)
+	c95, _ := v.At(1995)
+	fmt.Println(len(c90.LeafLevel().Values), len(c95.LeafLevel().Values))
+	stable, _ := v.StableValues("industry")
+	fmt.Println(stable)
+	// Output:
+	// 2 3
+	// [agriculture automobiles]
+}

@@ -1,0 +1,23 @@
+package hierarchy
+
+import "testing"
+
+// FuzzParseInterval asserts the interval parser never panics and accepted
+// intervals are well-formed.
+func FuzzParseInterval(f *testing.F) {
+	for _, seed := range []string{"0-5", "6 - 10", "7", "-3", "10-5", "", "a-b", "1-2-3", "٣-٤"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		iv, err := ParseInterval(s)
+		if err != nil {
+			return
+		}
+		if iv.Hi < iv.Lo {
+			t.Errorf("accepted inverted interval %v from %q", iv, s)
+		}
+		if iv.Width() < 1 {
+			t.Errorf("accepted zero-width interval %v from %q", iv, s)
+		}
+	})
+}

@@ -1,0 +1,499 @@
+// Package hierarchy models classification structures — the "category
+// hierarchies" of statistical databases and the "dimension hierarchies" of
+// OLAP (Sections 2, 4.2 and 5.7 of Shoshani's OLAP-vs-SDB survey).
+//
+// A Classification is a sequence of levels from the finest granularity
+// (level 0, e.g. "city") to the coarsest (e.g. "state"), with an explicit
+// child→parent mapping between adjacent levels. The mapping is allowed to
+// be non-strict (a child with several parents, like a physician with
+// multiple specialties or Minneapolis–St. Paul spanning two states) and is
+// annotated with the two semantic properties the paper's summarizability
+// discussion (Section 3.3.2, [LS97]) requires:
+//
+//   - strictness: every child maps to exactly one parent (computed);
+//   - completeness: the children of a parent exhaust it with respect to
+//     the measures being summarized (declared by the modeler — a purely
+//     semantic condition, e.g. "all museums are in cities").
+//
+// Edges may also be marked ID-dependent (Section 2.2): child identifiers
+// are only unique within their parent (store numbers within a city, days
+// within a month), so the qualified identity is the concatenation of the
+// ancestor path.
+//
+// Category values can carry properties (the ISA-flavoured structures of
+// Figure 8's middle example, [LRT96]); queries can select classification
+// instances by property (e.g. Brand = "Sanyo") before summarizing.
+package hierarchy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Value is a category value, e.g. "California" or "civil engineer".
+type Value = string
+
+// Errors reported by classification construction and summarizability checks.
+var (
+	ErrUnknownLevel  = errors.New("hierarchy: unknown level")
+	ErrUnknownValue  = errors.New("hierarchy: unknown category value")
+	ErrNonStrict     = errors.New("hierarchy: classification is not strict (a child has multiple parents)")
+	ErrIncomplete    = errors.New("hierarchy: classification is not complete relative to the measure")
+	ErrUnmappedChild = errors.New("hierarchy: child value has no parent")
+)
+
+// Level is one granularity of a classification: a named category attribute
+// and its ordered set of category values.
+type Level struct {
+	Name   string
+	Values []Value
+}
+
+// edge holds the child→parent mapping between Levels[i] and Levels[i+1].
+type edge struct {
+	parents     map[Value][]Value // child -> parents (order of declaration)
+	children    map[Value][]Value // parent -> children
+	complete    bool
+	idDependent bool
+}
+
+// Classification is an immutable multi-level classification structure.
+// Build one with a Builder.
+type Classification struct {
+	name   string
+	levels []Level
+	index  []map[Value]int // per level: value -> ordinal
+	edges  []*edge         // edges[i] connects level i (child) to i+1 (parent)
+	props  map[string]map[string]string
+}
+
+// Name returns the classification's name.
+func (c *Classification) Name() string { return c.name }
+
+// NumLevels returns the number of levels; level 0 is the finest.
+func (c *Classification) NumLevels() int { return len(c.levels) }
+
+// Level returns level i.
+func (c *Classification) Level(i int) Level {
+	c.checkLevel(i)
+	return c.levels[i]
+}
+
+// LevelIndex returns the index of the named level.
+func (c *Classification) LevelIndex(name string) (int, error) {
+	for i, l := range c.levels {
+		if l.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %q in classification %q", ErrUnknownLevel, name, c.name)
+}
+
+// LeafLevel returns level 0, the finest granularity.
+func (c *Classification) LeafLevel() Level { return c.levels[0] }
+
+func (c *Classification) checkLevel(i int) {
+	if i < 0 || i >= len(c.levels) {
+		panic(fmt.Sprintf("hierarchy: level %d out of range [0,%d)", i, len(c.levels)))
+	}
+}
+
+// HasValue reports whether v is a category value of level i.
+func (c *Classification) HasValue(level int, v Value) bool {
+	c.checkLevel(level)
+	_, ok := c.index[level][v]
+	return ok
+}
+
+// ValueOrdinal returns the ordinal of value v within level i.
+func (c *Classification) ValueOrdinal(level int, v Value) (int, error) {
+	c.checkLevel(level)
+	ord, ok := c.index[level][v]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q at level %q", ErrUnknownValue, v, c.levels[level].Name)
+	}
+	return ord, nil
+}
+
+// Parents returns the parent values of child v, which lives at level. The
+// result has length 1 for strict edges and may be longer for non-strict
+// ones.
+func (c *Classification) Parents(level int, v Value) ([]Value, error) {
+	c.checkLevel(level)
+	if level == len(c.levels)-1 {
+		return nil, fmt.Errorf("hierarchy: level %q is the top level", c.levels[level].Name)
+	}
+	if !c.HasValue(level, v) {
+		return nil, fmt.Errorf("%w: %q at level %q", ErrUnknownValue, v, c.levels[level].Name)
+	}
+	return append([]Value(nil), c.edges[level].parents[v]...), nil
+}
+
+// Children returns the child values (at level-1) of parent v at level.
+func (c *Classification) Children(level int, v Value) ([]Value, error) {
+	c.checkLevel(level)
+	if level == 0 {
+		return nil, errors.New("hierarchy: level 0 has no children")
+	}
+	if !c.HasValue(level, v) {
+		return nil, fmt.Errorf("%w: %q at level %q", ErrUnknownValue, v, c.levels[level].Name)
+	}
+	return append([]Value(nil), c.edges[level-1].children[v]...), nil
+}
+
+// Ancestors returns the ancestor values of v (at fromLevel) at toLevel,
+// following all parent paths. toLevel must be >= fromLevel; if equal the
+// result is {v}. Duplicate ancestors reached by multiple paths are merged.
+func (c *Classification) Ancestors(fromLevel int, v Value, toLevel int) ([]Value, error) {
+	c.checkLevel(fromLevel)
+	c.checkLevel(toLevel)
+	if toLevel < fromLevel {
+		return nil, fmt.Errorf("hierarchy: toLevel %d below fromLevel %d", toLevel, fromLevel)
+	}
+	if !c.HasValue(fromLevel, v) {
+		return nil, fmt.Errorf("%w: %q at level %q", ErrUnknownValue, v, c.levels[fromLevel].Name)
+	}
+	frontier := []Value{v}
+	for l := fromLevel; l < toLevel; l++ {
+		seen := map[Value]bool{}
+		var next []Value
+		for _, x := range frontier {
+			for _, p := range c.edges[l].parents[x] {
+				if !seen[p] {
+					seen[p] = true
+					next = append(next, p)
+				}
+			}
+		}
+		frontier = next
+	}
+	return frontier, nil
+}
+
+// Descendants returns the descendant values of v (at fromLevel) down at
+// toLevel (toLevel <= fromLevel). For strict hierarchies the result sets of
+// sibling parents are disjoint; for non-strict ones they may overlap.
+func (c *Classification) Descendants(fromLevel int, v Value, toLevel int) ([]Value, error) {
+	c.checkLevel(fromLevel)
+	c.checkLevel(toLevel)
+	if toLevel > fromLevel {
+		return nil, fmt.Errorf("hierarchy: toLevel %d above fromLevel %d", toLevel, fromLevel)
+	}
+	if !c.HasValue(fromLevel, v) {
+		return nil, fmt.Errorf("%w: %q at level %q", ErrUnknownValue, v, c.levels[fromLevel].Name)
+	}
+	frontier := []Value{v}
+	for l := fromLevel; l > toLevel; l-- {
+		seen := map[Value]bool{}
+		var next []Value
+		for _, x := range frontier {
+			for _, ch := range c.edges[l-1].children[x] {
+				if !seen[ch] {
+					seen[ch] = true
+					next = append(next, ch)
+				}
+			}
+		}
+		frontier = next
+	}
+	return frontier, nil
+}
+
+// IsStrictEdge reports whether every child at level has exactly one parent.
+func (c *Classification) IsStrictEdge(level int) bool {
+	c.checkLevel(level)
+	if level >= len(c.edges) {
+		panic(fmt.Sprintf("hierarchy: no edge above level %d", level))
+	}
+	for _, v := range c.levels[level].Values {
+		if len(c.edges[level].parents[v]) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsStrictBetween reports whether every edge from fromLevel up to toLevel
+// is strict.
+func (c *Classification) IsStrictBetween(fromLevel, toLevel int) bool {
+	for l := fromLevel; l < toLevel; l++ {
+		if !c.IsStrictEdge(l) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsCompleteEdge reports the declared completeness of the edge above level.
+func (c *Classification) IsCompleteEdge(level int) bool {
+	c.checkLevel(level)
+	if level >= len(c.edges) {
+		panic(fmt.Sprintf("hierarchy: no edge above level %d", level))
+	}
+	return c.edges[level].complete
+}
+
+// IsCompleteBetween reports whether every edge from fromLevel up to toLevel
+// is declared complete.
+func (c *Classification) IsCompleteBetween(fromLevel, toLevel int) bool {
+	for l := fromLevel; l < toLevel; l++ {
+		if !c.IsCompleteEdge(l) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsIDDependentEdge reports whether child identifiers at level are only
+// unique within their parent.
+func (c *Classification) IsIDDependentEdge(level int) bool {
+	c.checkLevel(level)
+	if level >= len(c.edges) {
+		panic(fmt.Sprintf("hierarchy: no edge above level %d", level))
+	}
+	return c.edges[level].idDependent
+}
+
+// QualifiedID returns the globally unique identity of value v at level,
+// concatenating ancestor values down each ID-dependent edge — the paper's
+// "city, store number" construction. For a non-strict path the first
+// declared parent is used.
+func (c *Classification) QualifiedID(level int, v Value) (string, error) {
+	if !c.HasValue(level, v) {
+		return "", fmt.Errorf("%w: %q at level %q", ErrUnknownValue, v, c.levels[level].Name)
+	}
+	id := v
+	cur := v
+	for l := level; l < len(c.edges); l++ {
+		if !c.edges[l].idDependent {
+			break
+		}
+		ps := c.edges[l].parents[cur]
+		if len(ps) == 0 {
+			break
+		}
+		cur = ps[0]
+		id = cur + "/" + id
+	}
+	return id, nil
+}
+
+// CheckSummarizable verifies that summarizing leaf-level measures up to
+// toLevel is valid along this classification: every traversed edge must be
+// strict (no double counting) and declared complete (no silently missing
+// mass). This is the structural half of the [LS97] conditions; the
+// measure-type half lives with the measure definitions in package core.
+func (c *Classification) CheckSummarizable(fromLevel, toLevel int) error {
+	c.checkLevel(fromLevel)
+	c.checkLevel(toLevel)
+	for l := fromLevel; l < toLevel; l++ {
+		if !c.IsStrictEdge(l) {
+			return fmt.Errorf("%w: edge %q→%q in %q", ErrNonStrict,
+				c.levels[l].Name, c.levels[l+1].Name, c.name)
+		}
+		if !c.edges[l].complete {
+			return fmt.Errorf("%w: edge %q→%q in %q", ErrIncomplete,
+				c.levels[l].Name, c.levels[l+1].Name, c.name)
+		}
+	}
+	return nil
+}
+
+// RollupGroups returns, for each value at toLevel, the leaf values (at
+// fromLevel) that aggregate into it, in declaration order of the parents.
+// With a non-strict edge a leaf appears in several groups; callers that
+// require disjoint groups must call CheckSummarizable first.
+func (c *Classification) RollupGroups(fromLevel, toLevel int) (map[Value][]Value, error) {
+	c.checkLevel(fromLevel)
+	c.checkLevel(toLevel)
+	if toLevel < fromLevel {
+		return nil, fmt.Errorf("hierarchy: toLevel %d below fromLevel %d", toLevel, fromLevel)
+	}
+	groups := make(map[Value][]Value, len(c.levels[toLevel].Values))
+	for _, p := range c.levels[toLevel].Values {
+		desc, err := c.Descendants(toLevel, p, fromLevel)
+		if err != nil {
+			return nil, err
+		}
+		groups[p] = desc
+	}
+	return groups, nil
+}
+
+// Property returns the named property of a category value, if declared.
+func (c *Classification) Property(v Value, key string) (string, bool) {
+	m, ok := c.props[v]
+	if !ok {
+		return "", false
+	}
+	s, ok := m[key]
+	return s, ok
+}
+
+// SelectByProperty returns the values at level whose property key equals
+// want — the [LRT96]-style instance selection ("only Sanyo products").
+func (c *Classification) SelectByProperty(level int, key, want string) []Value {
+	c.checkLevel(level)
+	var out []Value
+	for _, v := range c.levels[level].Values {
+		if s, ok := c.Property(v, key); ok && s == want {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Builder assembles a Classification. Levels are declared finest-first;
+// Parent links adjacent levels. Build validates the structure.
+type Builder struct {
+	c    Classification
+	errs []error
+}
+
+// NewBuilder starts a classification with the given name and leaf level.
+func NewBuilder(name string, leafLevelName string, leafValues ...Value) *Builder {
+	b := &Builder{}
+	b.c.name = name
+	b.addLevel(leafLevelName, leafValues)
+	return b
+}
+
+func (b *Builder) addLevel(name string, values []Value) {
+	idx := make(map[Value]int, len(values))
+	for i, v := range values {
+		if _, dup := idx[v]; dup {
+			b.errs = append(b.errs, fmt.Errorf("hierarchy: duplicate value %q in level %q", v, name))
+			continue
+		}
+		idx[v] = i
+	}
+	b.c.levels = append(b.c.levels, Level{Name: name, Values: append([]Value(nil), values...)})
+	b.c.index = append(b.c.index, idx)
+	if len(b.c.levels) > 1 {
+		b.c.edges = append(b.c.edges, &edge{
+			parents:  map[Value][]Value{},
+			children: map[Value][]Value{},
+			complete: true, // complete by default; Incomplete() opts out
+		})
+	}
+}
+
+// Level adds the next (coarser) level.
+func (b *Builder) Level(name string, values ...Value) *Builder {
+	b.addLevel(name, values)
+	return b
+}
+
+// Parent links child (in the second-newest level... no: the level below the
+// newest) to parent (in the newest level). Multiple calls per child declare
+// a non-strict mapping.
+func (b *Builder) Parent(child, parent Value) *Builder {
+	if len(b.c.levels) < 2 {
+		b.errs = append(b.errs, errors.New("hierarchy: Parent called before a second level was added"))
+		return b
+	}
+	childLevel := len(b.c.levels) - 2
+	parentLevel := len(b.c.levels) - 1
+	if _, ok := b.c.index[childLevel][child]; !ok {
+		b.errs = append(b.errs, fmt.Errorf("%w: child %q at level %q", ErrUnknownValue, child, b.c.levels[childLevel].Name))
+		return b
+	}
+	if _, ok := b.c.index[parentLevel][parent]; !ok {
+		b.errs = append(b.errs, fmt.Errorf("%w: parent %q at level %q", ErrUnknownValue, parent, b.c.levels[parentLevel].Name))
+		return b
+	}
+	e := b.c.edges[childLevel]
+	for _, p := range e.parents[child] {
+		if p == parent {
+			return b // idempotent
+		}
+	}
+	e.parents[child] = append(e.parents[child], parent)
+	e.children[parent] = append(e.children[parent], child)
+	return b
+}
+
+// Incomplete declares that the newest edge does not exhaust its parents
+// with respect to the measures (e.g. state population is not the sum of
+// its cities' populations).
+func (b *Builder) Incomplete() *Builder {
+	if len(b.c.edges) == 0 {
+		b.errs = append(b.errs, errors.New("hierarchy: Incomplete called before a second level was added"))
+		return b
+	}
+	b.c.edges[len(b.c.edges)-1].complete = false
+	return b
+}
+
+// IDDependent declares that child identifiers on the newest edge are only
+// unique within their parent.
+func (b *Builder) IDDependent() *Builder {
+	if len(b.c.edges) == 0 {
+		b.errs = append(b.errs, errors.New("hierarchy: IDDependent called before a second level was added"))
+		return b
+	}
+	b.c.edges[len(b.c.edges)-1].idDependent = true
+	return b
+}
+
+// Property attaches a property to a category value (any level).
+func (b *Builder) Property(v Value, key, val string) *Builder {
+	found := false
+	for _, idx := range b.c.index {
+		if _, ok := idx[v]; ok {
+			found = true
+			break
+		}
+	}
+	if !found {
+		b.errs = append(b.errs, fmt.Errorf("%w: %q (Property)", ErrUnknownValue, v))
+		return b
+	}
+	if b.c.props == nil {
+		b.c.props = map[string]map[string]string{}
+	}
+	if b.c.props[v] == nil {
+		b.c.props[v] = map[string]string{}
+	}
+	b.c.props[v][key] = val
+	return b
+}
+
+// Build validates and returns the classification. Every non-top value must
+// have at least one parent.
+func (b *Builder) Build() (*Classification, error) {
+	if len(b.errs) > 0 {
+		return nil, errors.Join(b.errs...)
+	}
+	for l, e := range b.c.edges {
+		var missing []Value
+		for _, v := range b.c.levels[l].Values {
+			if len(e.parents[v]) == 0 {
+				missing = append(missing, v)
+			}
+		}
+		if len(missing) > 0 {
+			sort.Strings(missing)
+			return nil, fmt.Errorf("%w: level %q values %v", ErrUnmappedChild, b.c.levels[l].Name, missing)
+		}
+	}
+	c := b.c // shallow copy is fine; builder is discarded
+	return &c, nil
+}
+
+// MustBuild is Build for statically known classifications in tests and
+// examples; it panics on error.
+func (b *Builder) MustBuild() *Classification {
+	c, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// FlatClassification returns a single-level classification, for dimensions
+// without hierarchy (e.g. sex).
+func FlatClassification(name string, values ...Value) *Classification {
+	return NewBuilder(name, name, values...).MustBuild()
+}

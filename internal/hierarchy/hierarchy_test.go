@@ -1,0 +1,353 @@
+package hierarchy
+
+import (
+	"errors"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// geo builds the paper's city→state example with a strict, complete edge.
+func geo(t *testing.T) *Classification {
+	t.Helper()
+	c, err := NewBuilder("geo", "city", "San Francisco", "Los Angeles", "Fresno", "Portland", "Salem").
+		Level("state", "California", "Oregon").
+		Parent("San Francisco", "California").
+		Parent("Los Angeles", "California").
+		Parent("Fresno", "California").
+		Parent("Portland", "Oregon").
+		Parent("Salem", "Oregon").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// profession builds Figure 1's profession → professional-class hierarchy.
+func profession(t *testing.T) *Classification {
+	t.Helper()
+	return NewBuilder("profession", "profession",
+		"chemical engineer", "civil engineer", "junior secretary",
+		"executive secretary", "elementary teacher", "high school teacher").
+		Level("professional class", "engineer", "secretary", "teacher").
+		Parent("chemical engineer", "engineer").
+		Parent("civil engineer", "engineer").
+		Parent("junior secretary", "secretary").
+		Parent("executive secretary", "secretary").
+		Parent("elementary teacher", "teacher").
+		Parent("high school teacher", "teacher").
+		MustBuild()
+}
+
+// hmo builds the non-strict specialty classification of Section 3.2(iii):
+// a physician with multiple specialties.
+func hmo(t *testing.T) *Classification {
+	t.Helper()
+	return NewBuilder("physician", "physician", "dr-a", "dr-b", "dr-c").
+		Level("specialty", "oncology", "pulmonology").
+		Parent("dr-a", "oncology").
+		Parent("dr-b", "oncology").
+		Parent("dr-b", "pulmonology"). // multiple specialties
+		Parent("dr-c", "pulmonology").
+		MustBuild()
+}
+
+func TestBasicAccessors(t *testing.T) {
+	c := geo(t)
+	if c.Name() != "geo" {
+		t.Errorf("Name = %q", c.Name())
+	}
+	if c.NumLevels() != 2 {
+		t.Errorf("NumLevels = %d", c.NumLevels())
+	}
+	if c.LeafLevel().Name != "city" {
+		t.Errorf("LeafLevel = %q", c.LeafLevel().Name)
+	}
+	if i, err := c.LevelIndex("state"); err != nil || i != 1 {
+		t.Errorf("LevelIndex(state) = %d, %v", i, err)
+	}
+	if _, err := c.LevelIndex("nope"); !errors.Is(err, ErrUnknownLevel) {
+		t.Errorf("LevelIndex(nope) err = %v", err)
+	}
+	if !c.HasValue(0, "Fresno") || c.HasValue(0, "Boston") {
+		t.Error("HasValue wrong")
+	}
+	if ord, err := c.ValueOrdinal(1, "Oregon"); err != nil || ord != 1 {
+		t.Errorf("ValueOrdinal = %d, %v", ord, err)
+	}
+	if _, err := c.ValueOrdinal(0, "Boston"); !errors.Is(err, ErrUnknownValue) {
+		t.Errorf("ValueOrdinal err = %v", err)
+	}
+}
+
+func TestParentsChildren(t *testing.T) {
+	c := geo(t)
+	p, err := c.Parents(0, "Fresno")
+	if err != nil || !reflect.DeepEqual(p, []Value{"California"}) {
+		t.Errorf("Parents(Fresno) = %v, %v", p, err)
+	}
+	ch, err := c.Children(1, "Oregon")
+	if err != nil || !reflect.DeepEqual(ch, []Value{"Portland", "Salem"}) {
+		t.Errorf("Children(Oregon) = %v, %v", ch, err)
+	}
+	if _, err := c.Parents(1, "California"); err == nil {
+		t.Error("Parents at top level should error")
+	}
+	if _, err := c.Children(0, "Fresno"); err == nil {
+		t.Error("Children at leaf level should error")
+	}
+	if _, err := c.Parents(0, "Boston"); !errors.Is(err, ErrUnknownValue) {
+		t.Errorf("Parents(unknown) err = %v", err)
+	}
+}
+
+func TestAncestorsDescendants(t *testing.T) {
+	c := profession(t)
+	a, err := c.Ancestors(0, "civil engineer", 1)
+	if err != nil || !reflect.DeepEqual(a, []Value{"engineer"}) {
+		t.Errorf("Ancestors = %v, %v", a, err)
+	}
+	same, err := c.Ancestors(0, "civil engineer", 0)
+	if err != nil || !reflect.DeepEqual(same, []Value{"civil engineer"}) {
+		t.Errorf("Ancestors to same level = %v, %v", same, err)
+	}
+	d, err := c.Descendants(1, "teacher", 0)
+	if err != nil || !reflect.DeepEqual(d, []Value{"elementary teacher", "high school teacher"}) {
+		t.Errorf("Descendants = %v, %v", d, err)
+	}
+	if _, err := c.Ancestors(1, "engineer", 0); err == nil {
+		t.Error("Ancestors downward should error")
+	}
+	if _, err := c.Descendants(0, "civil engineer", 1); err == nil {
+		t.Error("Descendants upward should error")
+	}
+}
+
+func TestNonStrictAncestors(t *testing.T) {
+	c := hmo(t)
+	a, err := c.Ancestors(0, "dr-b", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(a)
+	if !reflect.DeepEqual(a, []Value{"oncology", "pulmonology"}) {
+		t.Errorf("Ancestors(dr-b) = %v", a)
+	}
+}
+
+func TestStrictness(t *testing.T) {
+	if !geo(t).IsStrictEdge(0) {
+		t.Error("geo should be strict")
+	}
+	if hmo(t).IsStrictEdge(0) {
+		t.Error("hmo should be non-strict")
+	}
+	if !geo(t).IsStrictBetween(0, 1) {
+		t.Error("IsStrictBetween geo")
+	}
+}
+
+func TestCompleteness(t *testing.T) {
+	c := geo(t)
+	if !c.IsCompleteEdge(0) {
+		t.Error("default edge should be complete")
+	}
+	inc := NewBuilder("geo2", "city", "a", "b").
+		Level("state", "s").
+		Parent("a", "s").Parent("b", "s").
+		Incomplete().
+		MustBuild()
+	if inc.IsCompleteEdge(0) {
+		t.Error("Incomplete() was ignored")
+	}
+	if inc.IsCompleteBetween(0, 1) {
+		t.Error("IsCompleteBetween should be false")
+	}
+}
+
+func TestCheckSummarizable(t *testing.T) {
+	if err := geo(t).CheckSummarizable(0, 1); err != nil {
+		t.Errorf("geo should be summarizable: %v", err)
+	}
+	if err := hmo(t).CheckSummarizable(0, 1); !errors.Is(err, ErrNonStrict) {
+		t.Errorf("hmo err = %v, want ErrNonStrict", err)
+	}
+	inc := NewBuilder("geo2", "city", "a").
+		Level("state", "s").
+		Parent("a", "s").
+		Incomplete().
+		MustBuild()
+	if err := inc.CheckSummarizable(0, 1); !errors.Is(err, ErrIncomplete) {
+		t.Errorf("incomplete err = %v, want ErrIncomplete", err)
+	}
+	// Same-level check is trivially fine.
+	if err := geo(t).CheckSummarizable(1, 1); err != nil {
+		t.Errorf("same level: %v", err)
+	}
+}
+
+func TestRollupGroups(t *testing.T) {
+	c := profession(t)
+	g, err := c.RollupGroups(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != 3 {
+		t.Fatalf("groups = %v", g)
+	}
+	if !reflect.DeepEqual(g["engineer"], []Value{"chemical engineer", "civil engineer"}) {
+		t.Errorf("engineer group = %v", g["engineer"])
+	}
+	// Non-strict rollup overlaps.
+	g2, err := hmo(t).RollupGroups(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(g2["oncology"]) + len(g2["pulmonology"])
+	if total != 4 { // dr-b appears twice — the double-counting hazard
+		t.Errorf("non-strict groups total %d, want 4", total)
+	}
+}
+
+func TestIDDependency(t *testing.T) {
+	c := NewBuilder("store", "store#", "s1", "s2", "s3").
+		Level("city", "seattle", "tacoma").
+		Parent("s1", "seattle").
+		Parent("s2", "seattle").
+		Parent("s3", "tacoma").
+		IDDependent().
+		MustBuild()
+	if !c.IsIDDependentEdge(0) {
+		t.Error("edge should be ID dependent")
+	}
+	id, err := c.QualifiedID(0, "s2")
+	if err != nil || id != "seattle/s2" {
+		t.Errorf("QualifiedID = %q, %v", id, err)
+	}
+	// Top-level value: no dependent edge above.
+	id, err = c.QualifiedID(1, "seattle")
+	if err != nil || id != "seattle" {
+		t.Errorf("QualifiedID(top) = %q, %v", id, err)
+	}
+	// Non-dependent classification keeps plain IDs.
+	g := geo(t)
+	id, err = g.QualifiedID(0, "Fresno")
+	if err != nil || id != "Fresno" {
+		t.Errorf("QualifiedID(non-dep) = %q, %v", id, err)
+	}
+}
+
+func TestThreeLevelTimeHierarchy(t *testing.T) {
+	// year --> month --> day, all ID dependent (Section 2.2).
+	c := NewBuilder("time", "day", "d1", "d2", "d3", "d4").
+		Level("month", "jan", "feb").
+		Parent("d1", "jan").Parent("d2", "jan").
+		Parent("d3", "feb").Parent("d4", "feb").
+		IDDependent().
+		Level("year", "1996").
+		Parent("jan", "1996").Parent("feb", "1996").
+		IDDependent().
+		MustBuild()
+	if c.NumLevels() != 3 {
+		t.Fatalf("NumLevels = %d", c.NumLevels())
+	}
+	id, err := c.QualifiedID(0, "d3")
+	if err != nil || id != "1996/feb/d3" {
+		t.Errorf("QualifiedID = %q, %v", id, err)
+	}
+	a, err := c.Ancestors(0, "d2", 2)
+	if err != nil || !reflect.DeepEqual(a, []Value{"1996"}) {
+		t.Errorf("Ancestors to year = %v, %v", a, err)
+	}
+	d, err := c.Descendants(2, "1996", 0)
+	if err != nil || len(d) != 4 {
+		t.Errorf("Descendants of year = %v, %v", d, err)
+	}
+}
+
+func TestProperties(t *testing.T) {
+	c := NewBuilder("product", "product", "tv-1", "tv-2", "vcr-1").
+		Property("tv-1", "brand", "Sony").
+		Property("tv-2", "brand", "Sanyo").
+		Property("vcr-1", "brand", "Sanyo").
+		MustBuild()
+	if v, ok := c.Property("tv-2", "brand"); !ok || v != "Sanyo" {
+		t.Errorf("Property = %q, %v", v, ok)
+	}
+	if _, ok := c.Property("tv-1", "nope"); ok {
+		t.Error("unknown property key should be absent")
+	}
+	if _, ok := c.Property("nope", "brand"); ok {
+		t.Error("unknown value should be absent")
+	}
+	sel := c.SelectByProperty(0, "brand", "Sanyo")
+	if !reflect.DeepEqual(sel, []Value{"tv-2", "vcr-1"}) {
+		t.Errorf("SelectByProperty = %v", sel)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	// Duplicate value.
+	if _, err := NewBuilder("x", "l", "a", "a").Build(); err == nil {
+		t.Error("duplicate value should fail")
+	}
+	// Unknown child in Parent.
+	if _, err := NewBuilder("x", "l", "a").Level("t", "p").Parent("zzz", "p").Build(); err == nil {
+		t.Error("unknown child should fail")
+	}
+	// Unknown parent in Parent.
+	if _, err := NewBuilder("x", "l", "a").Level("t", "p").Parent("a", "zzz").Build(); err == nil {
+		t.Error("unknown parent should fail")
+	}
+	// Parent before second level.
+	if _, err := NewBuilder("x", "l", "a").Parent("a", "b").Build(); err == nil {
+		t.Error("Parent before Level should fail")
+	}
+	// Unmapped child.
+	if _, err := NewBuilder("x", "l", "a", "b").Level("t", "p").Parent("a", "p").Build(); !errors.Is(err, ErrUnmappedChild) {
+		t.Errorf("unmapped child err = %v", err)
+	}
+	// Incomplete/IDDependent before second level.
+	if _, err := NewBuilder("x", "l", "a").Incomplete().Build(); err == nil {
+		t.Error("early Incomplete should fail")
+	}
+	if _, err := NewBuilder("x", "l", "a").IDDependent().Build(); err == nil {
+		t.Error("early IDDependent should fail")
+	}
+	// Property on unknown value.
+	if _, err := NewBuilder("x", "l", "a").Property("zz", "k", "v").Build(); err == nil {
+		t.Error("Property on unknown value should fail")
+	}
+}
+
+func TestParentIdempotent(t *testing.T) {
+	c := NewBuilder("x", "l", "a").
+		Level("t", "p").
+		Parent("a", "p").
+		Parent("a", "p"). // duplicate link
+		MustBuild()
+	ps, _ := c.Parents(0, "a")
+	if len(ps) != 1 {
+		t.Errorf("duplicate Parent created %d links", len(ps))
+	}
+}
+
+func TestFlatClassification(t *testing.T) {
+	c := FlatClassification("sex", "male", "female")
+	if c.NumLevels() != 1 {
+		t.Errorf("NumLevels = %d", c.NumLevels())
+	}
+	if !c.HasValue(0, "male") {
+		t.Error("missing value")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild on invalid classification did not panic")
+		}
+	}()
+	NewBuilder("x", "l", "a", "a").MustBuild()
+}

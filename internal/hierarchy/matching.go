@@ -1,0 +1,237 @@
+package hierarchy
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file implements classification matching (Section 5.7, Figure 17):
+// merging statistical results whose category sets have non-overlapping
+// granularities, e.g. age groups 0-5/6-10/11-15/16-20 in one database and
+// 0-1/2-10/11-20/21-30 in another. The supported category shape is the
+// integer interval, the common case for age groups, income brackets and
+// similar ordinal classifications.
+//
+// The interpolation method is uniform-density apportionment: the mass of a
+// source interval is spread evenly over its integer points, and each
+// destination interval receives the mass of the points it covers. The
+// paper stresses that analysts do such realignments "in a way that is not
+// documented"; here every realignment returns a Report recording the
+// method and per-interval weights, the metadata a proper SDB should keep.
+
+// Interval is an inclusive integer interval [Lo, Hi], e.g. ages 6–10.
+type Interval struct {
+	Lo, Hi int
+}
+
+// ParseInterval parses "lo-hi" (e.g. "6-10") or a single integer "k" as
+// [k,k].
+func ParseInterval(s string) (Interval, error) {
+	s = strings.TrimSpace(s)
+	if i := strings.IndexByte(s, '-'); i > 0 { // i>0 so "-3" is not split
+		lo, err1 := strconv.Atoi(strings.TrimSpace(s[:i]))
+		hi, err2 := strconv.Atoi(strings.TrimSpace(s[i+1:]))
+		if err1 != nil || err2 != nil {
+			return Interval{}, fmt.Errorf("hierarchy: cannot parse interval %q", s)
+		}
+		if hi < lo {
+			return Interval{}, fmt.Errorf("hierarchy: inverted interval %q", s)
+		}
+		return Interval{lo, hi}, nil
+	}
+	k, err := strconv.Atoi(s)
+	if err != nil {
+		return Interval{}, fmt.Errorf("hierarchy: cannot parse interval %q", s)
+	}
+	return Interval{k, k}, nil
+}
+
+// ParseIntervals parses a list of interval labels.
+func ParseIntervals(labels []string) ([]Interval, error) {
+	out := make([]Interval, len(labels))
+	for i, s := range labels {
+		iv, err := ParseInterval(s)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = iv
+	}
+	return out, nil
+}
+
+// String formats the interval as its label.
+func (iv Interval) String() string {
+	if iv.Lo == iv.Hi {
+		return strconv.Itoa(iv.Lo)
+	}
+	return fmt.Sprintf("%d-%d", iv.Lo, iv.Hi)
+}
+
+// Width returns the number of integer points covered.
+func (iv Interval) Width() int { return iv.Hi - iv.Lo + 1 }
+
+// overlap returns the number of integer points in both intervals.
+func (iv Interval) overlap(o Interval) int {
+	lo := max(iv.Lo, o.Lo)
+	hi := min(iv.Hi, o.Hi)
+	if hi < lo {
+		return 0
+	}
+	return hi - lo + 1
+}
+
+// validatePartition checks that ivs are sorted, non-overlapping, and
+// contiguous (each interval starts where the previous ended + 1).
+func validatePartition(ivs []Interval) error {
+	if len(ivs) == 0 {
+		return errors.New("hierarchy: empty interval partition")
+	}
+	for i, iv := range ivs {
+		if iv.Hi < iv.Lo {
+			return fmt.Errorf("hierarchy: inverted interval %v", iv)
+		}
+		if i > 0 && iv.Lo != ivs[i-1].Hi+1 {
+			return fmt.Errorf("hierarchy: intervals %v and %v are not contiguous", ivs[i-1], iv)
+		}
+	}
+	return nil
+}
+
+// Refine returns the coarsest common refinement of two contiguous interval
+// partitions over their intersection range — the combined age-group
+// classification an analyst would construct for Figure 17's two databases.
+func Refine(a, b []Interval) ([]Interval, error) {
+	if err := validatePartition(a); err != nil {
+		return nil, err
+	}
+	if err := validatePartition(b); err != nil {
+		return nil, err
+	}
+	lo := max(a[0].Lo, b[0].Lo)
+	hi := min(a[len(a)-1].Hi, b[len(b)-1].Hi)
+	if hi < lo {
+		return nil, errors.New("hierarchy: interval partitions do not overlap")
+	}
+	// Collect all boundary starts within [lo, hi].
+	bset := map[int]bool{lo: true}
+	for _, iv := range a {
+		if iv.Lo > lo && iv.Lo <= hi {
+			bset[iv.Lo] = true
+		}
+	}
+	for _, iv := range b {
+		if iv.Lo > lo && iv.Lo <= hi {
+			bset[iv.Lo] = true
+		}
+	}
+	starts := make([]int, 0, len(bset))
+	for s := range bset {
+		starts = append(starts, s)
+	}
+	sortInts(starts)
+	out := make([]Interval, 0, len(starts))
+	for i, s := range starts {
+		e := hi
+		if i+1 < len(starts) {
+			e = starts[i+1] - 1
+		}
+		out = append(out, Interval{s, e})
+	}
+	return out, nil
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Report documents a realignment: the method used and the weight matrix,
+// the §5.7 metadata that must be kept with the integrated summary.
+type Report struct {
+	Method  string
+	Source  []Interval
+	Target  []Interval
+	Weights [][]float64 // Weights[i][j]: fraction of Source[i] sent to Target[j]
+}
+
+// Weights computes the uniform-density apportionment matrix from src to
+// dst. Row i sums to the fraction of src[i] covered by dst's range (1.0
+// when dst covers src entirely).
+func Weights(src, dst []Interval) ([][]float64, error) {
+	if err := validatePartition(src); err != nil {
+		return nil, err
+	}
+	if err := validatePartition(dst); err != nil {
+		return nil, err
+	}
+	w := make([][]float64, len(src))
+	for i, s := range src {
+		w[i] = make([]float64, len(dst))
+		for j, d := range dst {
+			if ov := s.overlap(d); ov > 0 {
+				w[i][j] = float64(ov) / float64(s.Width())
+			}
+		}
+	}
+	return w, nil
+}
+
+// Realign converts data tabulated over src intervals into the dst
+// partition using uniform-density apportionment, returning the realigned
+// values and a Report documenting the method.
+func Realign(data []float64, src, dst []Interval) ([]float64, *Report, error) {
+	if len(data) != len(src) {
+		return nil, nil, fmt.Errorf("hierarchy: %d data values for %d source intervals", len(data), len(src))
+	}
+	w, err := Weights(src, dst)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]float64, len(dst))
+	for i := range src {
+		for j := range dst {
+			out[j] += data[i] * w[i][j]
+		}
+	}
+	rep := &Report{
+		Method:  "uniform-density apportionment over integer interval overlap",
+		Source:  append([]Interval(nil), src...),
+		Target:  append([]Interval(nil), dst...),
+		Weights: w,
+	}
+	return out, rep, nil
+}
+
+// MergeAligned realigns two datasets with different interval partitions
+// onto their common refinement and sums them — the full Figure 17 merge of
+// two regional databases. The report documents both realignments.
+func MergeAligned(dataA []float64, a []Interval, dataB []float64, b []Interval) ([]float64, []Interval, *Report, error) {
+	ref, err := Refine(a, b)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ra, repA, err := Realign(dataA, a, ref)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rb, _, err := Realign(dataB, b, ref)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	out := make([]float64, len(ref))
+	for i := range out {
+		out[i] = ra[i] + rb[i]
+	}
+	rep := &Report{
+		Method:  "refine to common partition; uniform-density apportionment; sum",
+		Source:  append(append([]Interval(nil), a...), b...),
+		Target:  ref,
+		Weights: repA.Weights,
+	}
+	return out, ref, rep, nil
+}

@@ -1,0 +1,187 @@
+package hierarchy
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func intervals(t *testing.T, labels ...string) []Interval {
+	t.Helper()
+	ivs, err := ParseIntervals(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ivs
+}
+
+func TestParseInterval(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Interval
+		err  bool
+	}{
+		{"0-5", Interval{0, 5}, false},
+		{" 6 - 10 ", Interval{6, 10}, false},
+		{"7", Interval{7, 7}, false},
+		{"10-5", Interval{}, true},
+		{"a-b", Interval{}, true},
+		{"", Interval{}, true},
+	}
+	for _, c := range cases {
+		got, err := ParseInterval(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseInterval(%q) err = %v", c.in, err)
+			continue
+		}
+		if !c.err && got != c.want {
+			t.Errorf("ParseInterval(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIntervalString(t *testing.T) {
+	if s := (Interval{0, 5}).String(); s != "0-5" {
+		t.Errorf("String = %q", s)
+	}
+	if s := (Interval{7, 7}).String(); s != "7" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestRefinePaperExample(t *testing.T) {
+	// Figure 17: DB1 uses 0-5, 6-10, 11-15, 16-20; DB2 uses 0-1, 2-10, 11-20, 21-30.
+	a := intervals(t, "0-5", "6-10", "11-15", "16-20")
+	b := intervals(t, "0-1", "2-10", "11-20", "21-30")
+	ref, err := Refine(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := intervals(t, "0-1", "2-5", "6-10", "11-15", "16-20")
+	if !reflect.DeepEqual(ref, want) {
+		t.Errorf("Refine = %v, want %v", ref, want)
+	}
+}
+
+func TestRefineErrors(t *testing.T) {
+	a := intervals(t, "0-5", "6-10")
+	gap := []Interval{{0, 5}, {7, 10}}
+	if _, err := Refine(a, gap); err == nil {
+		t.Error("non-contiguous partition should fail")
+	}
+	if _, err := Refine(nil, a); err == nil {
+		t.Error("empty partition should fail")
+	}
+	disjoint := intervals(t, "100-110")
+	if _, err := Refine(a, disjoint); err == nil {
+		t.Error("non-overlapping partitions should fail")
+	}
+}
+
+func TestWeights(t *testing.T) {
+	src := intervals(t, "0-5", "6-10") // widths 6, 5
+	dst := intervals(t, "0-1", "2-10") // widths 2, 9
+	w, err := Weights(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// src[0] = ages 0..5: 2 points in dst[0], 4 in dst[1].
+	if math.Abs(w[0][0]-2.0/6) > 1e-12 || math.Abs(w[0][1]-4.0/6) > 1e-12 {
+		t.Errorf("w[0] = %v", w[0])
+	}
+	// src[1] = ages 6..10: all in dst[1].
+	if w[1][0] != 0 || math.Abs(w[1][1]-1) > 1e-12 {
+		t.Errorf("w[1] = %v", w[1])
+	}
+}
+
+func TestRealignConservesMass(t *testing.T) {
+	src := intervals(t, "0-5", "6-10", "11-15", "16-20")
+	dst := intervals(t, "0-1", "2-5", "6-10", "11-15", "16-20")
+	data := []float64{60, 50, 40, 30}
+	out, rep, err := Realign(data, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in, outSum float64
+	for _, v := range data {
+		in += v
+	}
+	for _, v := range out {
+		outSum += v
+	}
+	if math.Abs(in-outSum) > 1e-9 {
+		t.Errorf("mass not conserved: %v -> %v", in, outSum)
+	}
+	// Uniform density: 60 over 0-5 puts 20 into 0-1 (2 of 6 points).
+	if math.Abs(out[0]-20) > 1e-9 {
+		t.Errorf("out[0] = %v, want 20", out[0])
+	}
+	if rep == nil || rep.Method == "" || len(rep.Weights) != len(src) {
+		t.Errorf("report missing metadata: %+v", rep)
+	}
+}
+
+func TestRealignLengthMismatch(t *testing.T) {
+	src := intervals(t, "0-5", "6-10")
+	if _, _, err := Realign([]float64{1}, src, src); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestMergeAlignedPaperExample(t *testing.T) {
+	a := intervals(t, "0-5", "6-10", "11-15", "16-20")
+	b := intervals(t, "0-1", "2-10", "11-20", "21-30")
+	dataA := []float64{60, 50, 40, 30}  // region 1, total 180
+	dataB := []float64{20, 90, 100, 50} // region 2
+	out, ref, rep, err := MergeAligned(dataA, a, dataB, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(ref) {
+		t.Fatalf("out/ref length mismatch")
+	}
+	// The merged range is 0-20; region B mass above 20 (the 21-30 bucket)
+	// is excluded by the refinement, as is none of A.
+	var total float64
+	for _, v := range out {
+		total += v
+	}
+	// A contributes all 180; B contributes 20 + 90 + (10/10)*100 = 210.
+	if math.Abs(total-390) > 1e-9 {
+		t.Errorf("merged total = %v, want 390", total)
+	}
+	if rep.Method == "" {
+		t.Error("merge report should document the method")
+	}
+}
+
+// Property: Realign onto any coarsening that covers the source conserves
+// total mass.
+func TestQuickRealignMass(t *testing.T) {
+	f := func(widths [4]uint8, vals [4]uint16) bool {
+		src := make([]Interval, 0, 4)
+		lo := 0
+		data := make([]float64, 0, 4)
+		for i := 0; i < 4; i++ {
+			w := int(widths[i]%10) + 1
+			src = append(src, Interval{lo, lo + w - 1})
+			lo += w
+			data = append(data, float64(vals[i]))
+		}
+		dst := []Interval{{0, lo - 1}} // one bucket covering everything
+		out, _, err := Realign(data, src, dst)
+		if err != nil {
+			return false
+		}
+		var in float64
+		for _, v := range data {
+			in += v
+		}
+		return math.Abs(out[0]-in) < 1e-6*math.Max(1, in)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

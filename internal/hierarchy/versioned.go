@@ -1,0 +1,158 @@
+package hierarchy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Versioned tracks a classification that changes over time — Figure 17's
+// bottom example, where the industry classification gains "Internet" in
+// 1991. Versions are keyed by an integer period (year, month ordinal, …);
+// version k is in force from its period until the next version's period.
+type Versioned struct {
+	name     string
+	periods  []int
+	versions []*Classification
+}
+
+// NewVersioned creates an empty version history for a classification name.
+func NewVersioned(name string) *Versioned {
+	return &Versioned{name: name}
+}
+
+// Name returns the classification family name.
+func (v *Versioned) Name() string { return v.name }
+
+// AddVersion registers c as in force from the given period. Versions may be
+// added in any order; a duplicate period is an error.
+func (v *Versioned) AddVersion(period int, c *Classification) error {
+	i := sort.SearchInts(v.periods, period)
+	if i < len(v.periods) && v.periods[i] == period {
+		return fmt.Errorf("hierarchy: duplicate version period %d for %q", period, v.name)
+	}
+	v.periods = append(v.periods, 0)
+	v.versions = append(v.versions, nil)
+	copy(v.periods[i+1:], v.periods[i:])
+	copy(v.versions[i+1:], v.versions[i:])
+	v.periods[i] = period
+	v.versions[i] = c
+	return nil
+}
+
+// At returns the classification in force at the given period.
+func (v *Versioned) At(period int) (*Classification, error) {
+	i := sort.SearchInts(v.periods, period+1) - 1
+	if i < 0 {
+		return nil, fmt.Errorf("hierarchy: no version of %q in force at period %d", v.name, period)
+	}
+	return v.versions[i], nil
+}
+
+// NumVersions returns the number of registered versions.
+func (v *Versioned) NumVersions() int { return len(v.versions) }
+
+// Periods returns the sorted version start periods.
+func (v *Versioned) Periods() []int { return append([]int(nil), v.periods...) }
+
+// Diff describes how a level's value set changed between two versions.
+type Diff struct {
+	Level   string
+	Added   []Value
+	Removed []Value
+}
+
+// DiffLevels reports, per level name, the category values added and removed
+// between the versions in force at periods a and b. Levels present in only
+// one version are reported with all their values added or removed.
+func (v *Versioned) DiffLevels(a, b int) ([]Diff, error) {
+	ca, err := v.At(a)
+	if err != nil {
+		return nil, err
+	}
+	cb, err := v.At(b)
+	if err != nil {
+		return nil, err
+	}
+	valueSet := func(c *Classification, name string) (map[Value]bool, bool) {
+		i, err := c.LevelIndex(name)
+		if err != nil {
+			return nil, false
+		}
+		s := map[Value]bool{}
+		for _, val := range c.Level(i).Values {
+			s[val] = true
+		}
+		return s, true
+	}
+	var names []string
+	seen := map[string]bool{}
+	for i := 0; i < ca.NumLevels(); i++ {
+		n := ca.Level(i).Name
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	for i := 0; i < cb.NumLevels(); i++ {
+		n := cb.Level(i).Name
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	var out []Diff
+	for _, n := range names {
+		sa, _ := valueSet(ca, n)
+		sb, _ := valueSet(cb, n)
+		d := Diff{Level: n}
+		for val := range sb {
+			if !sa[val] {
+				d.Added = append(d.Added, val)
+			}
+		}
+		for val := range sa {
+			if !sb[val] {
+				d.Removed = append(d.Removed, val)
+			}
+		}
+		sort.Strings(d.Added)
+		sort.Strings(d.Removed)
+		if len(d.Added) > 0 || len(d.Removed) > 0 {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// ErrNoVersions is returned when a Versioned has no registered versions.
+var ErrNoVersions = errors.New("hierarchy: no versions registered")
+
+// StableValues returns the level's values present in every registered
+// version — the safe vocabulary for cross-period summarization.
+func (v *Versioned) StableValues(levelName string) ([]Value, error) {
+	if len(v.versions) == 0 {
+		return nil, ErrNoVersions
+	}
+	counts := map[Value]int{}
+	var order []Value
+	for _, c := range v.versions {
+		i, err := c.LevelIndex(levelName)
+		if err != nil {
+			return nil, err
+		}
+		for _, val := range c.Level(i).Values {
+			if counts[val] == 0 {
+				order = append(order, val)
+			}
+			counts[val]++
+		}
+	}
+	var out []Value
+	for _, val := range order {
+		if counts[val] == len(v.versions) {
+			out = append(out, val)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,109 @@
+package hierarchy
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func industries1990() *Classification {
+	return FlatClassification("industry", "agriculture", "automobiles")
+}
+
+func industries1991() *Classification {
+	return FlatClassification("industry", "agriculture", "automobiles", "internet")
+}
+
+func TestVersionedAt(t *testing.T) {
+	v := NewVersioned("industry")
+	if err := v.AddVersion(1991, industries1991()); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.AddVersion(1990, industries1990()); err != nil {
+		t.Fatal(err)
+	}
+	if v.NumVersions() != 2 {
+		t.Errorf("NumVersions = %d", v.NumVersions())
+	}
+	if !reflect.DeepEqual(v.Periods(), []int{1990, 1991}) {
+		t.Errorf("Periods = %v", v.Periods())
+	}
+	c, err := v.At(1990)
+	if err != nil || len(c.LeafLevel().Values) != 2 {
+		t.Errorf("At(1990): %v, %v", c, err)
+	}
+	c, err = v.At(1995) // latest version stays in force
+	if err != nil || len(c.LeafLevel().Values) != 3 {
+		t.Errorf("At(1995): %v, %v", c, err)
+	}
+	if _, err := v.At(1980); err == nil {
+		t.Error("At before first version should error")
+	}
+}
+
+func TestVersionedDuplicatePeriod(t *testing.T) {
+	v := NewVersioned("industry")
+	if err := v.AddVersion(1990, industries1990()); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.AddVersion(1990, industries1991()); err == nil {
+		t.Error("duplicate period should error")
+	}
+}
+
+func TestDiffLevels(t *testing.T) {
+	v := NewVersioned("industry")
+	if err := v.AddVersion(1990, industries1990()); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.AddVersion(1991, industries1991()); err != nil {
+		t.Fatal(err)
+	}
+	diffs, err := v.DiffLevels(1990, 1991)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 1 {
+		t.Fatalf("diffs = %v", diffs)
+	}
+	d := diffs[0]
+	if d.Level != "industry" || !reflect.DeepEqual(d.Added, []Value{"internet"}) || len(d.Removed) != 0 {
+		t.Errorf("diff = %+v", d)
+	}
+	// Reverse direction: internet removed.
+	diffs, err = v.DiffLevels(1991, 1990)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 1 || !reflect.DeepEqual(diffs[0].Removed, []Value{"internet"}) {
+		t.Errorf("reverse diff = %+v", diffs)
+	}
+	// Same version: no diff.
+	diffs, err = v.DiffLevels(1991, 1995)
+	if err != nil || len(diffs) != 0 {
+		t.Errorf("same-version diff = %v, %v", diffs, err)
+	}
+}
+
+func TestStableValues(t *testing.T) {
+	v := NewVersioned("industry")
+	if err := v.AddVersion(1990, industries1990()); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.AddVersion(1991, industries1991()); err != nil {
+		t.Fatal(err)
+	}
+	stable, err := v.StableValues("industry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stable, []Value{"agriculture", "automobiles"}) {
+		t.Errorf("StableValues = %v", stable)
+	}
+	if _, err := NewVersioned("x").StableValues("industry"); !errors.Is(err, ErrNoVersions) {
+		t.Errorf("empty StableValues err = %v", err)
+	}
+	if _, err := v.StableValues("nope"); err == nil {
+		t.Error("unknown level should error")
+	}
+}

@@ -1,0 +1,342 @@
+package marray
+
+import "fmt"
+
+// Chunked is a data cube pre-partitioned into subcubes (Figure 23). A
+// range query reads only the chunks that overlap it; the access software
+// assembles the result from them (Section 6.4). Chunks of the symmetric
+// partitioning are equal-sized; a workload-aware chunk shape can be chosen
+// with OptimizeChunkShape, the heuristic stand-in for [CD+95]'s
+// NP-complete analysis.
+type Chunked struct {
+	shape      []int
+	chunkShape []int
+	grid       []int // chunks per dimension
+	chunks     []*chunk
+	chunksRead int64
+	bytesRead  int64
+}
+
+type chunk struct {
+	data []float64
+	used bool
+}
+
+// NewChunked creates a chunked array with the given chunk shape.
+func NewChunked(shape, chunkShape []int) (*Chunked, error) {
+	if len(shape) == 0 || len(chunkShape) != len(shape) {
+		return nil, fmt.Errorf("%w: shape %v, chunk shape %v", ErrShape, shape, chunkShape)
+	}
+	c := &Chunked{
+		shape:      append([]int(nil), shape...),
+		chunkShape: append([]int(nil), chunkShape...),
+		grid:       make([]int, len(shape)),
+	}
+	for i := range shape {
+		if shape[i] <= 0 || chunkShape[i] <= 0 || chunkShape[i] > shape[i] {
+			return nil, fmt.Errorf("%w: dim %d: extent %d, chunk %d", ErrShape, i, shape[i], chunkShape[i])
+		}
+		c.grid[i] = (shape[i] + chunkShape[i] - 1) / chunkShape[i]
+	}
+	c.chunks = make([]*chunk, Size(c.grid))
+	return c, nil
+}
+
+// Shape returns the array shape.
+func (c *Chunked) Shape() []int { return c.shape }
+
+// ChunkShape returns the subcube dimensions.
+func (c *Chunked) ChunkShape() []int { return c.chunkShape }
+
+// NumChunks returns the number of allocated (non-empty) chunks.
+func (c *Chunked) NumChunks() int {
+	n := 0
+	for _, ch := range c.chunks {
+		if ch != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// locate returns the chunk index and the offset within the chunk.
+func (c *Chunked) locate(coords []int) (int, int, error) {
+	if len(coords) != len(c.shape) {
+		return 0, 0, fmt.Errorf("%w: %d coords for %d dims", ErrShape, len(coords), len(c.shape))
+	}
+	ci, off := 0, 0
+	for i, x := range coords {
+		if x < 0 || x >= c.shape[i] {
+			return 0, 0, fmt.Errorf("%w: coord %d out of [0,%d)", ErrShape, x, c.shape[i])
+		}
+		ci = ci*c.grid[i] + x/c.chunkShape[i]
+		off = off*c.chunkShape[i] + x%c.chunkShape[i]
+	}
+	return ci, off, nil
+}
+
+// Set stores v at coords, allocating the owning chunk on first touch.
+func (c *Chunked) Set(coords []int, v float64) error {
+	ci, off, err := c.locate(coords)
+	if err != nil {
+		return err
+	}
+	ch := c.chunks[ci]
+	if ch == nil {
+		ch = &chunk{data: make([]float64, Size(c.chunkShape))}
+		c.chunks[ci] = ch
+	}
+	ch.data[off] = v
+	ch.used = true
+	return nil
+}
+
+// Get returns the value at coords (zero for untouched cells), charging one
+// chunk read.
+func (c *Chunked) Get(coords []int) (float64, error) {
+	ci, off, err := c.locate(coords)
+	if err != nil {
+		return 0, err
+	}
+	c.chunksRead++
+	c.bytesRead += int64(Size(c.chunkShape) * 8)
+	if ch := c.chunks[ci]; ch != nil {
+		return ch.data[off], nil
+	}
+	return 0, nil
+}
+
+// RangeSum sums the cells with lo[i] <= coord[i] <= hi[i], reading only
+// the chunks overlapping the box and charging each exactly once — the
+// benefit the pre-partitioning buys (Section 6.4).
+func (c *Chunked) RangeSum(lo, hi []int) (float64, error) {
+	if len(lo) != len(c.shape) || len(hi) != len(c.shape) {
+		return 0, fmt.Errorf("%w: range arity", ErrShape)
+	}
+	for i := range lo {
+		if lo[i] < 0 || hi[i] >= c.shape[i] || lo[i] > hi[i] {
+			return 0, fmt.Errorf("%w: range [%d,%d] in dim %d (extent %d)", ErrShape, lo[i], hi[i], i, c.shape[i])
+		}
+	}
+	n := len(c.shape)
+	cLo := make([]int, n) // chunk-grid bounds
+	cHi := make([]int, n)
+	for i := range lo {
+		cLo[i] = lo[i] / c.chunkShape[i]
+		cHi[i] = hi[i] / c.chunkShape[i]
+	}
+	sum := 0.0
+	ci := make([]int, n)
+	copy(ci, cLo)
+	for {
+		sum += c.sumWithinChunk(ci, lo, hi)
+		// Advance the chunk-grid odometer.
+		d := n - 1
+		for d >= 0 {
+			ci[d]++
+			if ci[d] <= cHi[d] {
+				break
+			}
+			ci[d] = cLo[d]
+			d--
+		}
+		if d < 0 {
+			break
+		}
+	}
+	return sum, nil
+}
+
+// sumWithinChunk sums the query box's intersection with one chunk.
+func (c *Chunked) sumWithinChunk(chunkCoords, lo, hi []int) float64 {
+	idx := 0
+	for i, g := range c.grid {
+		idx = idx*g + chunkCoords[i]
+	}
+	c.chunksRead++
+	c.bytesRead += int64(Size(c.chunkShape) * 8)
+	ch := c.chunks[idx]
+	if ch == nil || !ch.used {
+		return 0
+	}
+	n := len(c.shape)
+	// Per-dimension intersection in chunk-local coordinates.
+	iLo := make([]int, n)
+	iHi := make([]int, n)
+	for i := range iLo {
+		base := chunkCoords[i] * c.chunkShape[i]
+		l := lo[i] - base
+		if l < 0 {
+			l = 0
+		}
+		h := hi[i] - base
+		if limit := c.chunkShape[i] - 1; h > limit {
+			h = limit
+		}
+		// Clip to the array's edge for boundary chunks.
+		if limit := c.shape[i] - base - 1; h > limit {
+			h = limit
+		}
+		if l > h {
+			return 0
+		}
+		iLo[i], iHi[i] = l, h
+	}
+	sum := 0.0
+	cur := make([]int, n)
+	copy(cur, iLo)
+	for {
+		off := 0
+		for i := range cur {
+			off = off*c.chunkShape[i] + cur[i]
+		}
+		sum += ch.data[off]
+		d := n - 1
+		for d >= 0 {
+			cur[d]++
+			if cur[d] <= iHi[d] {
+				break
+			}
+			cur[d] = iLo[d]
+			d--
+		}
+		if d < 0 {
+			break
+		}
+	}
+	return sum
+}
+
+// ChunksRead returns the cumulative chunks charged to reads.
+func (c *Chunked) ChunksRead() int64 { return c.chunksRead }
+
+// BytesRead returns the cumulative bytes charged to reads.
+func (c *Chunked) BytesRead() int64 { return c.bytesRead }
+
+// ResetAccounting zeroes the read counters.
+func (c *Chunked) ResetAccounting() { c.chunksRead, c.bytesRead = 0, 0 }
+
+// RangeQuery describes one box query of a workload, for chunk-shape
+// optimization.
+type RangeQuery struct {
+	Lo, Hi []int
+}
+
+// chunksTouched computes how many chunks a query box overlaps for a
+// candidate chunk shape.
+func chunksTouched(q RangeQuery, chunkShape []int) int64 {
+	n := int64(1)
+	for i := range chunkShape {
+		n *= int64(q.Hi[i]/chunkShape[i] - q.Lo[i]/chunkShape[i] + 1)
+	}
+	return n
+}
+
+// OptimizeChunkShape picks a chunk shape for the shape that minimizes the
+// total chunks touched by the query log, subject to each chunk holding at
+// most maxChunkCells cells. The exact problem is NP-complete [CD+95]; this
+// is a greedy coordinate-descent heuristic: starting from a symmetric
+// shape, repeatedly move one dimension to a divisor candidate if it
+// reduces the workload cost.
+func OptimizeChunkShape(shape []int, queries []RangeQuery, maxChunkCells int) []int {
+	n := len(shape)
+	candidates := make([][]int, n)
+	for i, ext := range shape {
+		for s := 1; s <= ext; s++ {
+			candidates[i] = append(candidates[i], s)
+		}
+	}
+	cur := SymmetricChunkShape(shape, maxChunkCells)
+	cells := func(cs []int) int {
+		c := 1
+		for _, s := range cs {
+			c *= s
+		}
+		return c
+	}
+	cost := func(cs []int) int64 {
+		if cells(cs) > maxChunkCells {
+			return 1 << 62
+		}
+		var t int64
+		for _, q := range queries {
+			t += chunksTouched(q, cs)
+		}
+		return t
+	}
+	bestCost, bestCells := cost(cur), cells(cur)
+	improved := true
+	for improved {
+		improved = false
+		for d := 0; d < n; d++ {
+			for _, s := range candidates[d] {
+				if s == cur[d] {
+					continue
+				}
+				trial := append([]int(nil), cur...)
+				trial[d] = s
+				c, cl := cost(trial), cells(trial)
+				// Accept strict cost improvements, and equal-cost moves
+				// that shrink the chunk: freeing budget in one dimension
+				// lets a later pass widen another, escaping the plateaus
+				// the per-coordinate search otherwise stalls on.
+				if c < bestCost || (c == bestCost && cl < bestCells) {
+					bestCost, bestCells = c, cl
+					cur = trial
+					improved = true
+				}
+			}
+		}
+	}
+	return cur
+}
+
+// SymmetricChunkShape returns the symmetric partitioning of Section 6.4:
+// equal chunk extents per dimension (clipped to each extent), sized so a
+// chunk holds at most maxChunkCells cells.
+func SymmetricChunkShape(shape []int, maxChunkCells int) []int {
+	n := len(shape)
+	side := 1
+	for {
+		next := side + 1
+		cells := 1
+		for _, ext := range shape {
+			c := next
+			if c > ext {
+				c = ext
+			}
+			cells *= c
+		}
+		if cells > maxChunkCells {
+			break
+		}
+		side = next
+		capped := true
+		for _, ext := range shape {
+			if side < ext {
+				capped = false
+			}
+		}
+		if capped {
+			break
+		}
+	}
+	cs := make([]int, n)
+	for i, ext := range shape {
+		cs[i] = side
+		if cs[i] > ext {
+			cs[i] = ext
+		}
+	}
+	return cs
+}
+
+// WorkloadCost returns the total chunks a query log would touch with the
+// given chunk shape, without building the array (planning-time estimate).
+func WorkloadCost(queries []RangeQuery, chunkShape []int) int64 {
+	var t int64
+	for _, q := range queries {
+		t += chunksTouched(q, chunkShape)
+	}
+	return t
+}

@@ -1,0 +1,233 @@
+package marray
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func fillChunked(t testing.TB, shape, chunkShape []int, seed int64) (*Chunked, *Dense) {
+	t.Helper()
+	c, err := NewChunked(shape, chunkShape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := MustNewDense(shape)
+	rng := rand.New(rand.NewSource(seed))
+	coords := make([]int, len(shape))
+	for pos := 0; pos < Size(shape); pos++ {
+		Delinearize(pos, shape, coords)
+		v := float64(rng.Intn(100))
+		if err := c.Set(coords, v); err != nil {
+			t.Fatal(err)
+		}
+		_ = d.Set(coords, v)
+	}
+	return c, d
+}
+
+func TestChunkedValidation(t *testing.T) {
+	if _, err := NewChunked(nil, nil); err == nil {
+		t.Error("empty shape should fail")
+	}
+	if _, err := NewChunked([]int{4}, []int{5}); err == nil {
+		t.Error("chunk larger than extent should fail")
+	}
+	if _, err := NewChunked([]int{4}, []int{0}); err == nil {
+		t.Error("zero chunk should fail")
+	}
+	if _, err := NewChunked([]int{4, 4}, []int{2}); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+}
+
+func TestChunkedGetSet(t *testing.T) {
+	c, _ := NewChunked([]int{10, 10}, []int{3, 3})
+	if err := c.Set([]int{9, 9}, 7); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Get([]int{9, 9})
+	if err != nil || v != 7 {
+		t.Errorf("Get = %v, %v", v, err)
+	}
+	v, err = c.Get([]int{0, 0}) // untouched chunk
+	if err != nil || v != 0 {
+		t.Errorf("untouched Get = %v, %v", v, err)
+	}
+	if err := c.Set([]int{10, 0}, 1); err == nil {
+		t.Error("out of range should fail")
+	}
+}
+
+func TestChunkedRangeSumMatchesDense(t *testing.T) {
+	shape := []int{17, 13, 7} // non-divisible extents exercise boundary chunks
+	c, d := fillChunked(t, shape, []int{4, 4, 4}, 1)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		lo := make([]int, 3)
+		hi := make([]int, 3)
+		for i := range shape {
+			a, b := rng.Intn(shape[i]), rng.Intn(shape[i])
+			if a > b {
+				a, b = b, a
+			}
+			lo[i], hi[i] = a, b
+		}
+		got, err := c.RangeSum(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Oracle via dense.
+		want := 0.0
+		cur := append([]int(nil), lo...)
+		for {
+			v, _, _ := d.Get(cur)
+			want += v
+			k := 2
+			for k >= 0 {
+				cur[k]++
+				if cur[k] <= hi[k] {
+					break
+				}
+				cur[k] = lo[k]
+				k--
+			}
+			if k < 0 {
+				break
+			}
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("RangeSum(%v,%v) = %v, want %v", lo, hi, got, want)
+		}
+	}
+}
+
+func TestChunkedRangeErrors(t *testing.T) {
+	c, _ := NewChunked([]int{5, 5}, []int{2, 2})
+	if _, err := c.RangeSum([]int{0}, []int{1}); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if _, err := c.RangeSum([]int{3, 0}, []int{1, 1}); err == nil {
+		t.Error("inverted range should fail")
+	}
+	if _, err := c.RangeSum([]int{0, 0}, []int{5, 1}); err == nil {
+		t.Error("out of range should fail")
+	}
+}
+
+func TestChunkedReadsOnlyOverlappingChunks(t *testing.T) {
+	shape := []int{16, 16}
+	c, _ := fillChunked(t, shape, []int{4, 4}, 3)
+	c.ResetAccounting()
+	// A query inside one chunk touches exactly one chunk.
+	if _, err := c.RangeSum([]int{0, 0}, []int{3, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if c.ChunksRead() != 1 {
+		t.Errorf("single-chunk query read %d chunks", c.ChunksRead())
+	}
+	c.ResetAccounting()
+	// A 5x5 box crossing one boundary touches 2x2 chunks.
+	if _, err := c.RangeSum([]int{2, 2}, []int{6, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if c.ChunksRead() != 4 {
+		t.Errorf("crossing query read %d chunks, want 4", c.ChunksRead())
+	}
+	// The whole array touches all 16 chunks.
+	c.ResetAccounting()
+	if _, err := c.RangeSum([]int{0, 0}, []int{15, 15}); err != nil {
+		t.Fatal(err)
+	}
+	if c.ChunksRead() != 16 {
+		t.Errorf("full scan read %d chunks", c.ChunksRead())
+	}
+}
+
+func TestSymmetricChunkShape(t *testing.T) {
+	cs := SymmetricChunkShape([]int{100, 100}, 64)
+	if cs[0] != cs[1] {
+		t.Errorf("not symmetric: %v", cs)
+	}
+	if cs[0]*cs[1] > 64 {
+		t.Errorf("chunk too big: %v", cs)
+	}
+	// Clipped by small extents.
+	cs = SymmetricChunkShape([]int{2, 100}, 1000)
+	if cs[0] != 2 {
+		t.Errorf("not clipped: %v", cs)
+	}
+}
+
+func TestOptimizeChunkShapeBeatsSymmetricOnSkewedWorkload(t *testing.T) {
+	shape := []int{64, 64}
+	// Workload: long thin row scans (all of dim 1, one index of dim 0).
+	var queries []RangeQuery
+	for i := 0; i < 32; i++ {
+		queries = append(queries, RangeQuery{Lo: []int{i, 0}, Hi: []int{i, 63}})
+	}
+	sym := SymmetricChunkShape(shape, 64)
+	opt := OptimizeChunkShape(shape, queries, 64)
+	symCost := WorkloadCost(queries, sym)
+	optCost := WorkloadCost(queries, opt)
+	if optCost > symCost {
+		t.Errorf("optimized cost %d worse than symmetric %d (shapes %v vs %v)",
+			optCost, symCost, opt, sym)
+	}
+	// The heuristic should discover a row-shaped chunk (wide in dim 1).
+	if opt[1] <= opt[0] {
+		t.Errorf("expected row-shaped chunks, got %v", opt)
+	}
+}
+
+// Property: chunked range sum equals dense oracle for arbitrary chunk
+// shapes.
+func TestQuickChunkedOracle(t *testing.T) {
+	f := func(seed int64, c0, c1 uint8) bool {
+		shape := []int{9, 11}
+		cs := []int{int(c0)%9 + 1, int(c1)%11 + 1}
+		c, d := fillChunked(t, shape, cs, seed)
+		rng := rand.New(rand.NewSource(seed + 99))
+		for trial := 0; trial < 10; trial++ {
+			lo := make([]int, 2)
+			hi := make([]int, 2)
+			for i := range shape {
+				a, b := rng.Intn(shape[i]), rng.Intn(shape[i])
+				if a > b {
+					a, b = b, a
+				}
+				lo[i], hi[i] = a, b
+			}
+			got, err := c.RangeSum(lo, hi)
+			if err != nil {
+				return false
+			}
+			want := 0.0
+			cur := append([]int(nil), lo...)
+			for {
+				v, _, _ := d.Get(cur)
+				want += v
+				k := 1
+				for k >= 0 {
+					cur[k]++
+					if cur[k] <= hi[k] {
+						break
+					}
+					cur[k] = lo[k]
+					k--
+				}
+				if k < 0 {
+					break
+				}
+			}
+			if math.Abs(got-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

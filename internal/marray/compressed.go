@@ -1,0 +1,161 @@
+package marray
+
+import (
+	"fmt"
+
+	"statcube/internal/btree"
+	"statcube/internal/rle"
+)
+
+// Compressed is a header-compressed sparse array ([EOA81], Figure 21):
+// only non-null values are stored, in linear order, and an accumulated
+// run-length header maps logical (linearized) positions to physical ones
+// and back. Two search paths over the header are provided — direct binary
+// search on the accumulated sequence, and the B+tree the paper describes —
+// so their costs can be compared.
+type Compressed struct {
+	shape  []int
+	vals   []float64
+	header *rle.Header
+	// tree maps each present run's first logical position to (logical
+	// start, physical start, length); Floor lookups answer both mappings.
+	tree *btree.Tree[int, runRec]
+}
+
+type runRec struct {
+	logStart  int
+	physStart int
+	length    int
+}
+
+// CompressDense builds a Compressed array from a Dense one.
+func CompressDense(a *Dense) *Compressed {
+	c := &Compressed{shape: append([]int(nil), a.Shape()...)}
+	mask := a.PresenceMask()
+	c.header = rle.BuildHeader(mask)
+	c.vals = make([]float64, 0, c.header.Present())
+	for i, present := range mask {
+		if present {
+			v, _ := a.GetLinear(i)
+			c.vals = append(c.vals, v)
+		}
+	}
+	c.buildTree()
+	return c
+}
+
+// NewCompressed builds a Compressed array directly from sorted
+// (linear position, value) pairs. Positions must be strictly ascending.
+func NewCompressed(shape []int, positions []int, vals []float64) (*Compressed, error) {
+	if len(positions) != len(vals) {
+		return nil, fmt.Errorf("%w: %d positions for %d values", ErrShape, len(positions), len(vals))
+	}
+	n := Size(shape)
+	c := &Compressed{shape: append([]int(nil), shape...)}
+	var b rle.HeaderBuilder
+	prev := -1
+	for _, p := range positions {
+		if p <= prev || p >= n {
+			return nil, fmt.Errorf("%w: position %d (prev %d, size %d)", ErrShape, p, prev, n)
+		}
+		b.AppendRun(false, p-prev-1)
+		b.AppendRun(true, 1)
+		prev = p
+	}
+	b.AppendRun(false, n-prev-1)
+	c.header = b.Build()
+	c.vals = append([]float64(nil), vals...)
+	c.buildTree()
+	return c, nil
+}
+
+func (c *Compressed) buildTree() {
+	var keys []int
+	var recs []runRec
+	c.header.ForEachPresentRun(func(logStart, physStart, length int) {
+		keys = append(keys, logStart)
+		recs = append(recs, runRec{logStart, physStart, length})
+	})
+	c.tree = btree.BulkLoad(keys, recs)
+}
+
+// Shape returns the array shape.
+func (c *Compressed) Shape() []int { return c.shape }
+
+// Cells returns the number of stored (non-null) values.
+func (c *Compressed) Cells() int { return len(c.vals) }
+
+// Get returns the cell at coords using binary search over the accumulated
+// header sequence.
+func (c *Compressed) Get(coords []int) (float64, bool, error) {
+	pos, err := Linearize(coords, c.shape)
+	if err != nil {
+		return 0, false, err
+	}
+	phys, err := c.header.Forward(pos)
+	if err != nil {
+		return 0, false, nil // compressed out: null
+	}
+	return c.vals[phys], true, nil
+}
+
+// GetViaBTree answers the same lookup through the B+tree over the header —
+// the structure Figure 21 draws.
+func (c *Compressed) GetViaBTree(coords []int) (float64, bool, error) {
+	pos, err := Linearize(coords, c.shape)
+	if err != nil {
+		return 0, false, err
+	}
+	_, rec, ok := c.tree.Floor(pos)
+	if !ok || pos >= rec.logStart+rec.length {
+		return 0, false, nil
+	}
+	return c.vals[rec.physStart+(pos-rec.logStart)], true, nil
+}
+
+// InversePosition maps a physical index back to array coordinates — the
+// inverse mapping the header supports.
+func (c *Compressed) InversePosition(physical int, dst []int) error {
+	logical, err := c.header.Inverse(physical)
+	if err != nil {
+		return err
+	}
+	Delinearize(logical, c.shape, dst)
+	return nil
+}
+
+// SumAll sums the stored values (nulls contribute nothing by construction).
+func (c *Compressed) SumAll() float64 {
+	var s float64
+	for _, v := range c.vals {
+		s += v
+	}
+	return s
+}
+
+// ForEachPresent visits every stored cell in linear order.
+func (c *Compressed) ForEachPresent(fn func(coords []int, v float64) bool) {
+	coords := make([]int, len(c.shape))
+	stop := false
+	c.header.ForEachPresentRun(func(logStart, physStart, length int) {
+		if stop {
+			return
+		}
+		for k := 0; k < length; k++ {
+			Delinearize(logStart+k, c.shape, coords)
+			if !fn(coords, c.vals[physStart+k]) {
+				stop = true
+				return
+			}
+		}
+	})
+}
+
+// SizeBytes returns the compressed footprint: stored values plus header
+// entries (two ints each in accounting terms).
+func (c *Compressed) SizeBytes() int64 {
+	return int64(len(c.vals)*8) + int64(c.header.SizeEntries()*16)
+}
+
+// NumRuns exposes the header run count.
+func (c *Compressed) NumRuns() int { return c.header.SizeEntries() }

@@ -1,0 +1,242 @@
+package marray
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// sparseDense builds a random sparse dense array for compression tests.
+func sparseDense(shape []int, density float64, seed int64) *Dense {
+	a := MustNewDense(shape)
+	rng := rand.New(rand.NewSource(seed))
+	coords := make([]int, len(shape))
+	for pos := 0; pos < a.Len(); pos++ {
+		if rng.Float64() < density {
+			Delinearize(pos, shape, coords)
+			_ = a.Set(coords, float64(rng.Intn(1000))+1)
+		}
+	}
+	return a
+}
+
+func TestCompressDenseRoundTrip(t *testing.T) {
+	shape := []int{7, 9, 5}
+	a := sparseDense(shape, 0.2, 1)
+	c := CompressDense(a)
+	if c.Cells() != a.Cells() {
+		t.Fatalf("Cells = %d, want %d", c.Cells(), a.Cells())
+	}
+	coords := make([]int, 3)
+	for pos := 0; pos < a.Len(); pos++ {
+		Delinearize(pos, shape, coords)
+		wantV, wantOK, _ := a.Get(coords)
+		gotV, gotOK, err := c.Get(coords)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotOK != wantOK || (wantOK && gotV != wantV) {
+			t.Fatalf("cell %v: got (%v,%v), want (%v,%v)", coords, gotV, gotOK, wantV, wantOK)
+		}
+		// The B+tree path answers identically.
+		btV, btOK, err := c.GetViaBTree(coords)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if btOK != wantOK || (wantOK && btV != wantV) {
+			t.Fatalf("btree cell %v: got (%v,%v), want (%v,%v)", coords, btV, btOK, wantV, wantOK)
+		}
+	}
+}
+
+func TestCompressedSumMatchesDense(t *testing.T) {
+	a := sparseDense([]int{20, 20}, 0.1, 2)
+	c := CompressDense(a)
+	if math.Abs(c.SumAll()-a.SumAll()) > 1e-9 {
+		t.Errorf("sum %v vs %v", c.SumAll(), a.SumAll())
+	}
+}
+
+func TestCompressedInverseMapping(t *testing.T) {
+	a := sparseDense([]int{6, 6}, 0.3, 3)
+	c := CompressDense(a)
+	coords := make([]int, 2)
+	for p := 0; p < c.Cells(); p++ {
+		if err := c.InversePosition(p, coords); err != nil {
+			t.Fatal(err)
+		}
+		v, ok, _ := c.Get(coords)
+		if !ok {
+			t.Fatalf("inverse of %d -> %v maps to absent cell", p, coords)
+		}
+		_ = v
+	}
+	if err := c.InversePosition(c.Cells(), coords); err == nil {
+		t.Error("out of range inverse should fail")
+	}
+}
+
+func TestCompressedSpaceSavings(t *testing.T) {
+	a := sparseDense([]int{50, 50, 10}, 0.01, 4)
+	c := CompressDense(a)
+	if c.SizeBytes() >= a.SizeBytes()/10 {
+		t.Errorf("1%% density: compressed %d vs dense %d — poor compression", c.SizeBytes(), a.SizeBytes())
+	}
+	// Dense data compresses poorly (header overhead per run).
+	dense := sparseDense([]int{20, 20}, 0.95, 5)
+	cd := CompressDense(dense)
+	if cd.SizeBytes() < int64(float64(cd.Cells())*8) {
+		t.Errorf("compressed size below value storage: %d", cd.SizeBytes())
+	}
+}
+
+func TestNewCompressedDirect(t *testing.T) {
+	c, err := NewCompressed([]int{3, 3}, []int{1, 4, 8}, []float64{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ := c.Get([]int{0, 1})
+	if !ok || v != 10 {
+		t.Errorf("cell (0,1) = %v, %v", v, ok)
+	}
+	v, ok, _ = c.Get([]int{2, 2})
+	if !ok || v != 30 {
+		t.Errorf("cell (2,2) = %v, %v", v, ok)
+	}
+	if _, ok, _ := c.Get([]int{0, 0}); ok {
+		t.Error("absent cell present")
+	}
+	// Errors.
+	if _, err := NewCompressed([]int{3}, []int{0, 0}, []float64{1, 2}); err == nil {
+		t.Error("non-ascending positions should fail")
+	}
+	if _, err := NewCompressed([]int{3}, []int{5}, []float64{1}); err == nil {
+		t.Error("position beyond size should fail")
+	}
+	if _, err := NewCompressed([]int{3}, []int{0}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestCompressedForEachPresent(t *testing.T) {
+	a := sparseDense([]int{5, 5}, 0.3, 6)
+	c := CompressDense(a)
+	n := 0
+	var sum float64
+	c.ForEachPresent(func(coords []int, v float64) bool {
+		n++
+		sum += v
+		return true
+	})
+	if n != c.Cells() || math.Abs(sum-c.SumAll()) > 1e-9 {
+		t.Errorf("visited %d cells, sum %v", n, sum)
+	}
+	// Early stop.
+	n = 0
+	c.ForEachPresent(func([]int, float64) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+// Property: compression is lossless for any density.
+func TestQuickCompressionLossless(t *testing.T) {
+	f := func(seed int64, rawDensity uint8) bool {
+		density := float64(rawDensity) / 255
+		a := sparseDense([]int{8, 8}, density, seed)
+		c := CompressDense(a)
+		coords := make([]int, 2)
+		for pos := 0; pos < a.Len(); pos++ {
+			Delinearize(pos, []int{8, 8}, coords)
+			wantV, wantOK, _ := a.Get(coords)
+			gotV, gotOK, _ := c.Get(coords)
+			if gotOK != wantOK || (wantOK && gotV != wantV) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCompressedGetBinarySearch(b *testing.B) {
+	a := sparseDense([]int{100, 100, 10}, 0.05, 1)
+	c := CompressDense(a)
+	coords := make([]int, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Delinearize(i%a.Len(), a.Shape(), coords)
+		_, _, _ = c.Get(coords)
+	}
+}
+
+func BenchmarkCompressedGetBTree(b *testing.B) {
+	a := sparseDense([]int{100, 100, 10}, 0.05, 1)
+	c := CompressDense(a)
+	coords := make([]int, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Delinearize(i%a.Len(), a.Shape(), coords)
+		_, _, _ = c.GetViaBTree(coords)
+	}
+}
+
+func TestLZWRoundTrip(t *testing.T) {
+	a := sparseDense([]int{20, 20}, 0.15, 7)
+	c, err := CompressLZW(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cells() != a.Cells() {
+		t.Errorf("Cells = %d, want %d", c.Cells(), a.Cells())
+	}
+	back, err := c.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coords := make([]int, 2)
+	for pos := 0; pos < a.Len(); pos++ {
+		Delinearize(pos, a.Shape(), coords)
+		wv, wok, _ := a.Get(coords)
+		gv, gok, _ := back.Get(coords)
+		if wok != gok || (wok && wv != gv) {
+			t.Fatalf("cell %v: (%v,%v) vs (%v,%v)", coords, gv, gok, wv, wok)
+		}
+	}
+}
+
+func TestLZWCompressesSparseData(t *testing.T) {
+	a := sparseDense([]int{50, 50, 10}, 0.01, 8)
+	c, err := CompressLZW(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SizeBytes() >= a.SizeBytes() {
+		t.Errorf("LZW %d not smaller than dense %d", c.SizeBytes(), a.SizeBytes())
+	}
+}
+
+func TestLZWFractionalValues(t *testing.T) {
+	a := MustNewDense([]int{4})
+	_ = a.Set([]int{1}, 3.14159)
+	_ = a.Set([]int{3}, -2.5)
+	c, err := CompressLZW(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := c.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ := back.Get([]int{1})
+	if !ok || v != 3.14159 {
+		t.Errorf("cell 1 = %v, %v", v, ok)
+	}
+	v, ok, _ = back.Get([]int{3})
+	if !ok || v != -2.5 {
+		t.Errorf("cell 3 = %v, %v", v, ok)
+	}
+}

@@ -1,0 +1,207 @@
+// Package marray implements the multidimensional-array physical
+// organizations of Section 6 of Shoshani's OLAP-vs-SDB survey — the MOLAP
+// substrate of the reproduction:
+//
+//   - Dense: array linearization (Section 6.2, Figure 20) — the cross
+//     product stored as one linear array with O(1) cell addressing, the
+//     core idea of MOLAP products like Essbase [ArborSoft];
+//   - Compressed: header compression for sparse arrays ([EOA81],
+//     Figure 21) — nulls are compressed out and an accumulated run-length
+//     header, searchable by binary search or a B+tree, provides the
+//     forward and inverse mappings;
+//   - Chunked: the data cube pre-partitioned into subcubes ([SS94, CD+95],
+//     Figure 23) so range queries read only overlapping chunks;
+//   - Extendible: incremental appends without restructuring ([RZ86],
+//     Figure 24), with an index over the expansion events.
+//
+// All structures account the bytes they touch so benchmarks can compare
+// I/O obligations, not just wall-clock time.
+package marray
+
+import (
+	"errors"
+	"fmt"
+
+	"statcube/internal/bitvec"
+)
+
+// ErrShape is returned for invalid shapes or coordinates.
+var ErrShape = errors.New("marray: invalid shape or coordinates")
+
+// Strides returns row-major strides for a shape.
+func Strides(shape []int) []int {
+	s := make([]int, len(shape))
+	stride := 1
+	for i := len(shape) - 1; i >= 0; i-- {
+		s[i] = stride
+		stride *= shape[i]
+	}
+	return s
+}
+
+// Size returns the number of cells of the full cross product.
+func Size(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return n
+}
+
+// Linearize computes the linear position of coords in a row-major array —
+// the "fairly simple well-known calculation" of Section 6.2.
+func Linearize(coords, shape []int) (int, error) {
+	if len(coords) != len(shape) {
+		return 0, fmt.Errorf("%w: %d coords for %d dims", ErrShape, len(coords), len(shape))
+	}
+	pos := 0
+	for i, c := range coords {
+		if c < 0 || c >= shape[i] {
+			return 0, fmt.Errorf("%w: coord %d out of [0,%d) in dim %d", ErrShape, c, shape[i], i)
+		}
+		pos = pos*shape[i] + c
+	}
+	return pos, nil
+}
+
+// Delinearize inverts Linearize into dst.
+func Delinearize(pos int, shape, dst []int) {
+	for i := len(shape) - 1; i >= 0; i-- {
+		dst[i] = pos % shape[i]
+		pos /= shape[i]
+	}
+}
+
+// Dense is a linearized multidimensional array of float64 cells with a
+// presence bitmap (a cell can be present-with-zero or absent/null). It
+// stores the entire cross product: maximal speed, no compression.
+type Dense struct {
+	shape   []int
+	data    []float64
+	present *bitvec.Vector
+	touched int64
+}
+
+// NewDense allocates a dense array for the shape.
+func NewDense(shape []int) (*Dense, error) {
+	if len(shape) == 0 {
+		return nil, fmt.Errorf("%w: empty shape", ErrShape)
+	}
+	for _, d := range shape {
+		if d <= 0 {
+			return nil, fmt.Errorf("%w: dimension %d", ErrShape, d)
+		}
+	}
+	n := Size(shape)
+	return &Dense{
+		shape:   append([]int(nil), shape...),
+		data:    make([]float64, n),
+		present: bitvec.New(n),
+	}, nil
+}
+
+// MustNewDense is NewDense that panics on error.
+func MustNewDense(shape []int) *Dense {
+	d, err := NewDense(shape)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Shape returns the array shape.
+func (a *Dense) Shape() []int { return a.shape }
+
+// Len returns the cross-product size.
+func (a *Dense) Len() int { return len(a.data) }
+
+// Cells returns the number of present (non-null) cells.
+func (a *Dense) Cells() int { return a.present.Count() }
+
+// Density returns the fraction of present cells.
+func (a *Dense) Density() float64 { return float64(a.Cells()) / float64(len(a.data)) }
+
+// Set stores v at coords and marks the cell present.
+func (a *Dense) Set(coords []int, v float64) error {
+	pos, err := Linearize(coords, a.shape)
+	if err != nil {
+		return err
+	}
+	a.data[pos] = v
+	a.present.Set(pos)
+	a.touched += 8
+	return nil
+}
+
+// Add accumulates v into the cell.
+func (a *Dense) Add(coords []int, v float64) error {
+	pos, err := Linearize(coords, a.shape)
+	if err != nil {
+		return err
+	}
+	a.data[pos] += v
+	a.present.Set(pos)
+	a.touched += 8
+	return nil
+}
+
+// Get returns the cell value and whether it is present. O(1): the
+// linearization advantage over searching a relation.
+func (a *Dense) Get(coords []int) (float64, bool, error) {
+	pos, err := Linearize(coords, a.shape)
+	if err != nil {
+		return 0, false, err
+	}
+	a.touched += 8
+	return a.data[pos], a.present.Get(pos), nil
+}
+
+// GetLinear returns the value at a linear position.
+func (a *Dense) GetLinear(pos int) (float64, bool) {
+	a.touched += 8
+	return a.data[pos], a.present.Get(pos)
+}
+
+// SumAll sums every present cell.
+func (a *Dense) SumAll() float64 {
+	var s float64
+	a.present.ForEach(func(i int) { s += a.data[i] })
+	a.touched += int64(len(a.data) * 8)
+	return s
+}
+
+// ForEachPresent visits every present cell in linear order.
+func (a *Dense) ForEachPresent(fn func(coords []int, v float64) bool) {
+	coords := make([]int, len(a.shape))
+	stop := false
+	a.present.ForEach(func(i int) {
+		if stop {
+			return
+		}
+		Delinearize(i, a.shape, coords)
+		a.touched += 8
+		if !fn(coords, a.data[i]) {
+			stop = true
+		}
+	})
+}
+
+// PresenceMask returns the presence of every linear position, for building
+// compressed representations.
+func (a *Dense) PresenceMask() []bool {
+	m := make([]bool, len(a.data))
+	a.present.ForEach(func(i int) { m[i] = true })
+	return m
+}
+
+// SizeBytes returns the storage footprint: the full cross product plus the
+// presence bitmap.
+func (a *Dense) SizeBytes() int64 {
+	return int64(len(a.data)*8) + int64(a.present.SizeBytes())
+}
+
+// TouchedBytes returns cumulative bytes charged to operations.
+func (a *Dense) TouchedBytes() int64 { return a.touched }
+
+// ResetAccounting zeroes the touch counter.
+func (a *Dense) ResetAccounting() { a.touched = 0 }

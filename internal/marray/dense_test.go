@@ -1,0 +1,183 @@
+package marray
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearizeDelinearize(t *testing.T) {
+	shape := []int{3, 4, 5}
+	seen := map[int]bool{}
+	dst := make([]int, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			for k := 0; k < 5; k++ {
+				pos, err := Linearize([]int{i, j, k}, shape)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if seen[pos] {
+					t.Fatalf("collision at %d", pos)
+				}
+				seen[pos] = true
+				Delinearize(pos, shape, dst)
+				if dst[0] != i || dst[1] != j || dst[2] != k {
+					t.Fatalf("round trip (%d,%d,%d) -> %v", i, j, k, dst)
+				}
+			}
+		}
+	}
+	if len(seen) != 60 {
+		t.Errorf("covered %d positions", len(seen))
+	}
+}
+
+func TestLinearizeErrors(t *testing.T) {
+	shape := []int{2, 2}
+	if _, err := Linearize([]int{0}, shape); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if _, err := Linearize([]int{2, 0}, shape); err == nil {
+		t.Error("out of range should fail")
+	}
+	if _, err := Linearize([]int{0, -1}, shape); err == nil {
+		t.Error("negative should fail")
+	}
+}
+
+func TestStridesAndSize(t *testing.T) {
+	s := Strides([]int{2, 3, 4})
+	if s[0] != 12 || s[1] != 4 || s[2] != 1 {
+		t.Errorf("Strides = %v", s)
+	}
+	if Size([]int{2, 3, 4}) != 24 {
+		t.Errorf("Size = %d", Size([]int{2, 3, 4}))
+	}
+}
+
+func TestDenseBasics(t *testing.T) {
+	a := MustNewDense([]int{2, 3})
+	if a.Len() != 6 || a.Cells() != 0 {
+		t.Errorf("fresh: len=%d cells=%d", a.Len(), a.Cells())
+	}
+	if err := a.Set([]int{1, 2}, 5); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := a.Get([]int{1, 2})
+	if err != nil || !ok || v != 5 {
+		t.Errorf("Get = %v, %v, %v", v, ok, err)
+	}
+	_, ok, _ = a.Get([]int{0, 0})
+	if ok {
+		t.Error("absent cell reported present")
+	}
+	if err := a.Add([]int{1, 2}, 3); err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ = a.Get([]int{1, 2})
+	if v != 8 {
+		t.Errorf("after Add = %v", v)
+	}
+	// Present-with-zero is distinct from absent.
+	_ = a.Set([]int{0, 1}, 0)
+	_, ok, _ = a.Get([]int{0, 1})
+	if !ok {
+		t.Error("zero cell should be present")
+	}
+	if a.Cells() != 2 {
+		t.Errorf("Cells = %d", a.Cells())
+	}
+	if a.Density() != 2.0/6 {
+		t.Errorf("Density = %v", a.Density())
+	}
+}
+
+func TestDenseErrors(t *testing.T) {
+	if _, err := NewDense(nil); err == nil {
+		t.Error("empty shape should fail")
+	}
+	if _, err := NewDense([]int{2, 0}); err == nil {
+		t.Error("zero extent should fail")
+	}
+	a := MustNewDense([]int{2})
+	if err := a.Set([]int{5}, 1); err == nil {
+		t.Error("out of range Set should fail")
+	}
+}
+
+func TestDenseSumAndIteration(t *testing.T) {
+	a := MustNewDense([]int{4, 4})
+	want := 0.0
+	for i := 0; i < 4; i++ {
+		_ = a.Set([]int{i, i}, float64(i+1))
+		want += float64(i + 1)
+	}
+	if got := a.SumAll(); got != want {
+		t.Errorf("SumAll = %v, want %v", got, want)
+	}
+	count := 0
+	a.ForEachPresent(func(coords []int, v float64) bool {
+		if coords[0] != coords[1] {
+			t.Errorf("unexpected cell %v", coords)
+		}
+		count++
+		return true
+	})
+	if count != 4 {
+		t.Errorf("visited %d", count)
+	}
+	// Early stop.
+	count = 0
+	a.ForEachPresent(func([]int, float64) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestDenseAccounting(t *testing.T) {
+	a := MustNewDense([]int{10})
+	a.ResetAccounting()
+	_ = a.Set([]int{1}, 1)
+	_, _, _ = a.Get([]int{1})
+	if a.TouchedBytes() != 16 {
+		t.Errorf("TouchedBytes = %d", a.TouchedBytes())
+	}
+	if a.SizeBytes() < 80 {
+		t.Errorf("SizeBytes = %d", a.SizeBytes())
+	}
+}
+
+// Property: a Dense array agrees with a map oracle.
+func TestQuickDenseVsMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		shape := []int{rng.Intn(5) + 1, rng.Intn(5) + 1, rng.Intn(5) + 1}
+		a := MustNewDense(shape)
+		oracle := map[int]float64{}
+		for op := 0; op < 200; op++ {
+			coords := []int{rng.Intn(shape[0]), rng.Intn(shape[1]), rng.Intn(shape[2])}
+			pos, _ := Linearize(coords, shape)
+			v := float64(rng.Intn(100))
+			if rng.Intn(2) == 0 {
+				_ = a.Set(coords, v)
+				oracle[pos] = v
+			} else {
+				_ = a.Add(coords, v)
+				oracle[pos] += v
+			}
+		}
+		for pos, want := range oracle {
+			coords := make([]int, 3)
+			Delinearize(pos, shape, coords)
+			got, ok, _ := a.Get(coords)
+			if !ok || got != want {
+				return false
+			}
+		}
+		return a.Cells() == len(oracle)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

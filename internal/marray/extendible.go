@@ -1,0 +1,241 @@
+package marray
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Extendible is the extendible array of Rotem & Zhao [RZ86] (Section 6.5,
+// Figure 24): a multidimensional array that grows by appending along any
+// dimension without restructuring the existing data. Each append allocates
+// one new slab covering the added index range across the other dimensions'
+// extents at append time; an index over the expansion history locates the
+// slab owning any cell in O(dims · log appends).
+//
+// The alternative — relinearizing the whole cube on every extent change —
+// is provided by Rebuild for the benchmark comparison.
+type Extendible struct {
+	extents []int
+	events  []*slab
+	// perDim[d] holds, sorted by start, the (start, event index) pairs of
+	// expansions along dimension d — the index structure of Figure 24.
+	perDim       [][]dimEntry
+	bytesWritten int64
+}
+
+type dimEntry struct {
+	start int
+	event int
+}
+
+type slab struct {
+	dim     int   // dimension expanded (-1 for the initial block)
+	lo, hi  int   // index range covered along dim (initial block: all dims from 0)
+	extents []int // extents of every dimension at creation time
+	strides []int
+	data    []float64
+}
+
+// NewExtendible creates an extendible array with the initial extents.
+func NewExtendible(initial []int) (*Extendible, error) {
+	if len(initial) == 0 {
+		return nil, fmt.Errorf("%w: empty shape", ErrShape)
+	}
+	for _, d := range initial {
+		if d <= 0 {
+			return nil, fmt.Errorf("%w: dimension %d", ErrShape, d)
+		}
+	}
+	e := &Extendible{
+		extents: append([]int(nil), initial...),
+		perDim:  make([][]dimEntry, len(initial)),
+	}
+	s := &slab{
+		dim:     -1,
+		lo:      0,
+		hi:      initial[0],
+		extents: append([]int(nil), initial...),
+		strides: Strides(initial),
+		data:    make([]float64, Size(initial)),
+	}
+	e.events = append(e.events, s)
+	e.bytesWritten += int64(len(s.data) * 8)
+	for d := range initial {
+		e.perDim[d] = append(e.perDim[d], dimEntry{start: 0, event: 0})
+	}
+	return e, nil
+}
+
+// Extents returns the current per-dimension extents.
+func (e *Extendible) Extents() []int { return append([]int(nil), e.extents...) }
+
+// Append grows dimension dim by count indices — the daily append of
+// Section 6.5. Only the new slab is allocated; nothing is moved.
+func (e *Extendible) Append(dim, count int) error {
+	if dim < 0 || dim >= len(e.extents) {
+		return fmt.Errorf("%w: dimension %d", ErrShape, dim)
+	}
+	if count <= 0 {
+		return fmt.Errorf("%w: append count %d", ErrShape, count)
+	}
+	lo := e.extents[dim]
+	e.extents[dim] += count
+	ext := append([]int(nil), e.extents...)
+	// The slab's own extent along dim is just the added range.
+	slabShape := append([]int(nil), ext...)
+	slabShape[dim] = count
+	s := &slab{
+		dim:     dim,
+		lo:      lo,
+		hi:      lo + count,
+		extents: ext,
+		strides: Strides(slabShape),
+		data:    make([]float64, Size(slabShape)),
+	}
+	e.events = append(e.events, s)
+	e.bytesWritten += int64(len(s.data) * 8)
+	e.perDim[dim] = append(e.perDim[dim], dimEntry{start: lo, event: len(e.events) - 1})
+	return nil
+}
+
+// owner returns the slab holding coords and the linear offset within it.
+func (e *Extendible) owner(coords []int) (*slab, int, error) {
+	if len(coords) != len(e.extents) {
+		return nil, 0, fmt.Errorf("%w: %d coords for %d dims", ErrShape, len(coords), len(e.extents))
+	}
+	best := -1
+	for d, x := range coords {
+		if x < 0 || x >= e.extents[d] {
+			return nil, 0, fmt.Errorf("%w: coord %d out of [0,%d) in dim %d", ErrShape, x, e.extents[d], d)
+		}
+		entries := e.perDim[d]
+		// Last expansion of dim d starting at or before x.
+		i := sort.Search(len(entries), func(i int) bool { return entries[i].start > x }) - 1
+		if ev := entries[i].event; ev > best {
+			best = ev
+		}
+	}
+	s := e.events[best]
+	// Offset within the slab: along s.dim the local coordinate is
+	// coords[s.dim]-s.lo; other dimensions use the global coordinate.
+	off := 0
+	for d, x := range coords {
+		local := x
+		if d == s.dim {
+			local = x - s.lo
+		}
+		off += local * s.strides[d]
+	}
+	return s, off, nil
+}
+
+// Set stores v at coords.
+func (e *Extendible) Set(coords []int, v float64) error {
+	s, off, err := e.owner(coords)
+	if err != nil {
+		return err
+	}
+	s.data[off] = v
+	return nil
+}
+
+// Add accumulates v into the cell.
+func (e *Extendible) Add(coords []int, v float64) error {
+	s, off, err := e.owner(coords)
+	if err != nil {
+		return err
+	}
+	s.data[off] += v
+	return nil
+}
+
+// Get returns the value at coords (zero for never-written cells).
+func (e *Extendible) Get(coords []int) (float64, error) {
+	s, off, err := e.owner(coords)
+	if err != nil {
+		return 0, err
+	}
+	return s.data[off], nil
+}
+
+// RangeSum sums the box lo..hi (inclusive), visiting each cell through the
+// owner index. Rotem & Zhao's access methods support range queries on this
+// structure; a production system would intersect the box with slabs —
+// cell-at-a-time is sufficient for the correctness and accounting
+// comparisons here.
+func (e *Extendible) RangeSum(lo, hi []int) (float64, error) {
+	n := len(e.extents)
+	if len(lo) != n || len(hi) != n {
+		return 0, fmt.Errorf("%w: range arity", ErrShape)
+	}
+	for i := range lo {
+		if lo[i] < 0 || hi[i] >= e.extents[i] || lo[i] > hi[i] {
+			return 0, fmt.Errorf("%w: range [%d,%d] in dim %d", ErrShape, lo[i], hi[i], i)
+		}
+	}
+	cur := append([]int(nil), lo...)
+	sum := 0.0
+	for {
+		v, err := e.Get(cur)
+		if err != nil {
+			return 0, err
+		}
+		sum += v
+		d := n - 1
+		for d >= 0 {
+			cur[d]++
+			if cur[d] <= hi[d] {
+				break
+			}
+			cur[d] = lo[d]
+			d--
+		}
+		if d < 0 {
+			break
+		}
+	}
+	return sum, nil
+}
+
+// NumSlabs returns the number of allocation events (initial block plus
+// appends).
+func (e *Extendible) NumSlabs() int { return len(e.events) }
+
+// BytesWritten returns cumulative bytes allocated — the restructuring cost
+// an extendible array avoids paying repeatedly.
+func (e *Extendible) BytesWritten() int64 { return e.bytesWritten }
+
+// Rebuild copies the array into one dense linearization of the current
+// extents — what a non-extendible MOLAP store must do on every extent
+// change. It returns the dense copy and the bytes moved.
+func (e *Extendible) Rebuild() (*Dense, int64, error) {
+	d, err := NewDense(e.extents)
+	if err != nil {
+		return nil, 0, err
+	}
+	cur := make([]int, len(e.extents))
+	var moved int64
+	for {
+		v, err := e.Get(cur)
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := d.Set(cur, v); err != nil {
+			return nil, 0, err
+		}
+		moved += 8
+		k := len(cur) - 1
+		for k >= 0 {
+			cur[k]++
+			if cur[k] < e.extents[k] {
+				break
+			}
+			cur[k] = 0
+			k--
+		}
+		if k < 0 {
+			break
+		}
+	}
+	return d, moved, nil
+}

@@ -1,0 +1,209 @@
+package marray
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExtendibleValidation(t *testing.T) {
+	if _, err := NewExtendible(nil); err == nil {
+		t.Error("empty shape should fail")
+	}
+	if _, err := NewExtendible([]int{0}); err == nil {
+		t.Error("zero extent should fail")
+	}
+	e, _ := NewExtendible([]int{2, 2})
+	if err := e.Append(5, 1); err == nil {
+		t.Error("bad dimension should fail")
+	}
+	if err := e.Append(0, 0); err == nil {
+		t.Error("zero count should fail")
+	}
+}
+
+func TestExtendibleInitialBlock(t *testing.T) {
+	e, _ := NewExtendible([]int{2, 3})
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if err := e.Set([]int{i, j}, float64(i*10+j)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			v, err := e.Get([]int{i, j})
+			if err != nil || v != float64(i*10+j) {
+				t.Fatalf("cell (%d,%d) = %v, %v", i, j, v, err)
+			}
+		}
+	}
+	if e.NumSlabs() != 1 {
+		t.Errorf("NumSlabs = %d", e.NumSlabs())
+	}
+}
+
+func TestExtendibleAppendPreservesAndExtends(t *testing.T) {
+	e, _ := NewExtendible([]int{2, 2})
+	_ = e.Set([]int{1, 1}, 11)
+	// Extend dim 0 by 2: new rows 2..3.
+	if err := e.Append(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Extents(); got[0] != 4 || got[1] != 2 {
+		t.Fatalf("Extents = %v", got)
+	}
+	// Old data intact.
+	v, _ := e.Get([]int{1, 1})
+	if v != 11 {
+		t.Errorf("old cell = %v", v)
+	}
+	// New cells writable.
+	if err := e.Set([]int{3, 1}, 31); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = e.Get([]int{3, 1})
+	if v != 31 {
+		t.Errorf("new cell = %v", v)
+	}
+	// Now extend dim 1: the corner cell (3,2) belongs to the latest slab.
+	if err := e.Append(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Set([]int{3, 2}, 32); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = e.Get([]int{3, 2})
+	if v != 32 {
+		t.Errorf("corner cell = %v", v)
+	}
+	if e.NumSlabs() != 3 {
+		t.Errorf("NumSlabs = %d", e.NumSlabs())
+	}
+	// Out of range still rejected.
+	if _, err := e.Get([]int{4, 0}); err == nil {
+		t.Error("beyond extent should fail")
+	}
+}
+
+// TestExtendibleVsDenseOracle interleaves appends and writes, comparing
+// against a rebuilt-from-scratch map oracle.
+func TestExtendibleVsDenseOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	e, _ := NewExtendible([]int{2, 2, 2})
+	oracle := map[[3]int]float64{}
+	extents := []int{2, 2, 2}
+	for step := 0; step < 500; step++ {
+		switch rng.Intn(10) {
+		case 0: // append
+			d := rng.Intn(3)
+			n := rng.Intn(3) + 1
+			if err := e.Append(d, n); err != nil {
+				t.Fatal(err)
+			}
+			extents[d] += n
+		default: // write
+			coords := [3]int{rng.Intn(extents[0]), rng.Intn(extents[1]), rng.Intn(extents[2])}
+			v := float64(rng.Intn(1000))
+			if err := e.Set(coords[:], v); err != nil {
+				t.Fatalf("Set %v (extents %v): %v", coords, extents, err)
+			}
+			oracle[coords] = v
+		}
+	}
+	for coords, want := range oracle {
+		got, err := e.Get(coords[:])
+		if err != nil || got != want {
+			t.Fatalf("cell %v = %v, %v; want %v", coords, got, err, want)
+		}
+	}
+}
+
+func TestExtendibleRangeSum(t *testing.T) {
+	e, _ := NewExtendible([]int{3, 3})
+	_ = e.Append(0, 2)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 3; j++ {
+			_ = e.Set([]int{i, j}, 1)
+		}
+	}
+	got, err := e.RangeSum([]int{1, 0}, []int{4, 2})
+	if err != nil || got != 12 {
+		t.Errorf("RangeSum = %v, %v, want 12", got, err)
+	}
+	if _, err := e.RangeSum([]int{0, 0}, []int{9, 0}); err == nil {
+		t.Error("out of range should fail")
+	}
+}
+
+func TestExtendibleRebuild(t *testing.T) {
+	e, _ := NewExtendible([]int{2, 2})
+	_ = e.Set([]int{0, 0}, 1)
+	_ = e.Append(1, 2)
+	_ = e.Set([]int{1, 3}, 5)
+	d, moved, err := e.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != int64(2*4*8) {
+		t.Errorf("moved = %d", moved)
+	}
+	v, _, _ := d.Get([]int{0, 0})
+	if v != 1 {
+		t.Errorf("rebuilt (0,0) = %v", v)
+	}
+	v, _, _ = d.Get([]int{1, 3})
+	if v != 5 {
+		t.Errorf("rebuilt (1,3) = %v", v)
+	}
+}
+
+func TestExtendibleAppendBytesCheaperThanRebuild(t *testing.T) {
+	// Daily appends: the incremental structure allocates only the new
+	// slab, while rebuild moves the whole cube each time (Section 6.5).
+	e, _ := NewExtendible([]int{50, 50}) // 2500 cells
+	before := e.BytesWritten()
+	_ = e.Append(0, 1) // one new day: 50 cells
+	appendCost := e.BytesWritten() - before
+	_, rebuildCost, err := e.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if appendCost*10 > rebuildCost {
+		t.Errorf("append %d not clearly cheaper than rebuild %d", appendCost, rebuildCost)
+	}
+}
+
+// Property: after arbitrary appends, Get(Set(x)) = x everywhere in range.
+func TestQuickExtendibleSetGet(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e, err := NewExtendible([]int{1 + rng.Intn(3), 1 + rng.Intn(3)})
+		if err != nil {
+			return false
+		}
+		for k := 0; k < 5; k++ {
+			if err := e.Append(rng.Intn(2), 1+rng.Intn(2)); err != nil {
+				return false
+			}
+		}
+		ext := e.Extents()
+		sum := 0.0
+		for i := 0; i < ext[0]; i++ {
+			for j := 0; j < ext[1]; j++ {
+				v := float64(rng.Intn(50))
+				if err := e.Set([]int{i, j}, v); err != nil {
+					return false
+				}
+				sum += v
+			}
+		}
+		got, err := e.RangeSum([]int{0, 0}, []int{ext[0] - 1, ext[1] - 1})
+		return err == nil && math.Abs(got-sum) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

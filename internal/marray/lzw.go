@@ -1,0 +1,103 @@
+package marray
+
+import (
+	"bytes"
+	"compress/lzw"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// This file provides the LZW alternative Section 6.2 mentions ("other
+// compression methods can be used as well, such as the well known LZW
+// method; the most effective method depends on the distribution of
+// nulls"). Unlike header compression, an LZW-compressed array is a black
+// box: no forward or inverse mapping is possible without decompressing, so
+// it trades away exactly the direct-access property [EOA81] engineered
+// for. The E5 experiment reports both sizes side by side.
+
+// LZWCompressed is a dense array compressed wholesale with LZW.
+type LZWCompressed struct {
+	shape []int
+	blob  []byte
+	cells int
+}
+
+// CompressLZW serializes the dense array (presence bitmap + values) and
+// LZW-compresses it.
+func CompressLZW(a *Dense) (*LZWCompressed, error) {
+	var raw bytes.Buffer
+	mask := a.PresenceMask()
+	for _, m := range mask {
+		if m {
+			raw.WriteByte(1)
+		} else {
+			raw.WriteByte(0)
+		}
+	}
+	for pos := 0; pos < a.Len(); pos++ {
+		v, ok := a.GetLinear(pos)
+		if !ok {
+			continue
+		}
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		raw.Write(buf[:])
+	}
+	var out bytes.Buffer
+	w := lzw.NewWriter(&out, lzw.LSB, 8)
+	if _, err := w.Write(raw.Bytes()); err != nil {
+		return nil, fmt.Errorf("marray: lzw compress: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("marray: lzw close: %w", err)
+	}
+	return &LZWCompressed{
+		shape: append([]int(nil), a.Shape()...),
+		blob:  out.Bytes(),
+		cells: a.Cells(),
+	}, nil
+}
+
+// SizeBytes returns the compressed footprint.
+func (c *LZWCompressed) SizeBytes() int64 { return int64(len(c.blob)) }
+
+// Cells returns the number of present cells the blob encodes.
+func (c *LZWCompressed) Cells() int { return c.cells }
+
+// Decompress reconstructs the dense array — the only access path LZW
+// offers; there is no per-cell mapping.
+func (c *LZWCompressed) Decompress() (*Dense, error) {
+	r := lzw.NewReader(bytes.NewReader(c.blob), lzw.LSB, 8)
+	defer r.Close()
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("marray: lzw decompress: %w", err)
+	}
+	n := Size(c.shape)
+	if len(raw) < n {
+		return nil, fmt.Errorf("marray: lzw blob truncated: %d bytes for %d cells", len(raw), n)
+	}
+	a, err := NewDense(c.shape)
+	if err != nil {
+		return nil, err
+	}
+	coords := make([]int, len(c.shape))
+	off := n
+	for pos := 0; pos < n; pos++ {
+		if raw[pos] == 0 {
+			continue
+		}
+		if off+8 > len(raw) {
+			return nil, fmt.Errorf("marray: lzw blob truncated at value %d", pos)
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(raw[off : off+8]))
+		off += 8
+		Delinearize(pos, c.shape, coords)
+		if err := a.Set(coords, v); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}

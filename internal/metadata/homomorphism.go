@@ -1,0 +1,197 @@
+package metadata
+
+import (
+	"fmt"
+	"math"
+
+	"statcube/internal/core"
+	"statcube/internal/relstore"
+	"statcube/internal/schema"
+)
+
+// This file implements the completeness harness of Figure 16 ([MRS92],
+// Section 5.5): for a relational-algebra operation on the micro-data and a
+// candidate statistical-algebra operation on the macro-data, verify that
+// the square commutes —
+//
+//	summarize(relop(micro)) == statop(summarize(micro)).
+//
+// Three instantiations cover the operator correspondences the paper lists:
+// selection ↔ S-selection, projection(group-by fewer) ↔ S-projection, and
+// union ↔ S-union.
+
+// Square bundles the fixed legs of the diagram: the micro relation, the
+// macro schema and the summarization declaration.
+type Square struct {
+	Micro       *relstore.Relation
+	Schema      *schema.Graph
+	Measures    []core.Measure
+	MeasureCols map[string]string
+}
+
+// Summarize runs the top (or bottom) arrow.
+func (s *Square) Summarize(micro *relstore.Relation) (*core.StatObject, error) {
+	return MacroFromMicro(micro, s.Schema, s.Measures, s.MeasureCols)
+}
+
+// equalObjects compares two statistical objects cell by cell within a
+// tolerance; both directions are checked so missing cells count.
+func equalObjects(a, b *core.StatObject) error {
+	if a.Cells() != b.Cells() {
+		return fmt.Errorf("metadata: cell counts differ: %d vs %d", a.Cells(), b.Cells())
+	}
+	var firstErr error
+	names := make([]string, 0, len(a.Measures()))
+	for _, m := range a.Measures() {
+		names = append(names, m.Name)
+	}
+	a.ForEach(func(coords []core.Value, vals []float64) bool {
+		by := map[string]core.Value{}
+		for i, d := range a.Schema().Dimensions() {
+			by[d.Name] = coords[i]
+		}
+		for i, name := range names {
+			got, ok, err := b.CellValue(by, name)
+			if err != nil || !ok {
+				firstErr = fmt.Errorf("metadata: cell %v missing on one side (%v)", coords, err)
+				return false
+			}
+			if math.Abs(got-vals[i]) > 1e-6*math.Max(1, math.Abs(vals[i])) {
+				firstErr = fmt.Errorf("metadata: cell %v measure %q: %v vs %v", coords, name, vals[i], got)
+				return false
+			}
+		}
+		return true
+	})
+	return firstErr
+}
+
+// CheckSelection verifies selection ↔ S-selection: restricting dimension
+// dim to values commutes with summarization. The relational leg filters
+// micro rows; the statistical leg S-selects the macro object.
+func (s *Square) CheckSelection(dim string, values []core.Value) error {
+	macro, err := s.Summarize(s.Micro)
+	if err != nil {
+		return err
+	}
+	relVals := make([]relstore.Value, len(values))
+	for i, v := range values {
+		relVals[i] = relstore.S(v)
+	}
+	filtered, err := s.Micro.SelectIn(dim, relVals...)
+	if err != nil {
+		return err
+	}
+	// The macro side of the selected square lives over the restricted
+	// schema, so summarize the filtered micro-data over that same schema.
+	statSide, err := macro.SSelect(dim, values...)
+	if err != nil {
+		return err
+	}
+	relSide, err := MacroFromMicro(filtered, statSide.Schema(), s.Measures, s.MeasureCols)
+	if err != nil {
+		return err
+	}
+	return equalObjects(relSide, statSide)
+}
+
+// CheckProjection verifies group-by-fewer ↔ S-projection: summarizing the
+// micro-data over a schema without dimension dim equals S-projecting the
+// macro object.
+func (s *Square) CheckProjection(dim string) error {
+	macro, err := s.Summarize(s.Micro)
+	if err != nil {
+		return err
+	}
+	statSide, err := macro.SProject(dim)
+	if err != nil {
+		return err
+	}
+	relSide, err := MacroFromMicro(s.Micro, statSide.Schema(), s.Measures, s.MeasureCols)
+	if err != nil {
+		return err
+	}
+	return equalObjects(relSide, statSide)
+}
+
+// CheckAggregation verifies classification roll-up ↔ S-aggregation:
+// replacing each micro row's dim value by its parent at toLevel and then
+// summarizing equals S-aggregating the macro object. The relational leg is
+// the join-through-the-dimension-table plan a star schema would run
+// (Figure 11); the statistical leg is one S-aggregation.
+func (s *Square) CheckAggregation(dim, toLevel string) error {
+	macro, err := s.Summarize(s.Micro)
+	if err != nil {
+		return err
+	}
+	statSide, err := macro.SAggregate(dim, toLevel)
+	if err != nil {
+		return err
+	}
+	// Relational leg: rewrite the dim column through the classification.
+	d, err := s.Schema.Dimension(dim)
+	if err != nil {
+		return err
+	}
+	li, err := d.Class.LevelIndex(toLevel)
+	if err != nil {
+		return err
+	}
+	ci, err := s.Micro.ColIndex(dim)
+	if err != nil {
+		return err
+	}
+	rewritten := relstore.MustNewRelation(s.Micro.Name(), s.Micro.Columns()...)
+	var walkErr error
+	s.Micro.Scan(func(row relstore.Row) bool {
+		parents, err := d.Class.Ancestors(0, row[ci].Str(), li)
+		if err != nil || len(parents) != 1 {
+			walkErr = fmt.Errorf("metadata: row value %q has %d ancestors at %q (%v)",
+				row[ci].Str(), len(parents), toLevel, err)
+			return false
+		}
+		nr := append(relstore.Row(nil), row...)
+		nr[ci] = relstore.S(parents[0])
+		rewritten.MustAppend(nr)
+		return true
+	})
+	if walkErr != nil {
+		return walkErr
+	}
+	relSide, err := MacroFromMicro(rewritten, statSide.Schema(), s.Measures, s.MeasureCols)
+	if err != nil {
+		return err
+	}
+	return equalObjects(relSide, statSide)
+}
+
+// CheckUnion verifies union ↔ S-union over two micro partitions with
+// disjoint rows: summarize(micro1 ∪ micro2) equals
+// SUnion(summarize(micro1), summarize(micro2)).
+//
+// Disjointness matters: S-union treats overlapping identical cells as the
+// same observation, while bag union of micro rows re-counts them — exactly
+// the distinction the operator definitions make.
+func (s *Square) CheckUnion(micro2 *relstore.Relation) error {
+	combined, err := s.Micro.UnionAll(micro2)
+	if err != nil {
+		return err
+	}
+	relSide, err := s.Summarize(combined)
+	if err != nil {
+		return err
+	}
+	m1, err := s.Summarize(s.Micro)
+	if err != nil {
+		return err
+	}
+	m2, err := MacroFromMicro(micro2, s.Schema, s.Measures, s.MeasureCols)
+	if err != nil {
+		return err
+	}
+	statSide, err := m1.SUnion(m2)
+	if err != nil {
+		return err
+	}
+	return equalObjects(relSide, statSide)
+}

@@ -1,0 +1,315 @@
+package metadata
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"statcube/internal/core"
+	"statcube/internal/hierarchy"
+	"statcube/internal/relstore"
+	"statcube/internal/schema"
+)
+
+// microCensus builds a micro-data relation of individuals: state, sex,
+// income. Values restricted so every row fits the schema below.
+func microCensus(t testing.TB, n int, seed int64, states []string) *relstore.Relation {
+	t.Helper()
+	r := relstore.MustNewRelation("people",
+		relstore.Column{Name: "state", Kind: relstore.KString},
+		relstore.Column{Name: "sex", Kind: relstore.KString},
+		relstore.Column{Name: "income", Kind: relstore.KFloat})
+	rng := rand.New(rand.NewSource(seed))
+	sexes := []string{"male", "female"}
+	for i := 0; i < n; i++ {
+		r.MustAppend(relstore.Row{
+			relstore.S(states[rng.Intn(len(states))]),
+			relstore.S(sexes[rng.Intn(2)]),
+			relstore.F(20000 + float64(rng.Intn(60000))),
+		})
+	}
+	return r
+}
+
+func censusSchema(states ...string) *schema.Graph {
+	return schema.MustNew("census",
+		schema.Dimension{Name: "state", Class: hierarchy.FlatClassification("state", states...)},
+		schema.Dimension{Name: "sex", Class: hierarchy.FlatClassification("sex", "male", "female")},
+	)
+}
+
+func censusMeasures() []core.Measure {
+	return []core.Measure{
+		{Name: "population", Func: core.Count, Type: core.Stock},
+		{Name: "avg income", Func: core.Avg, Type: core.ValuePerUnit},
+	}
+}
+
+func censusCols() map[string]string {
+	return map[string]string{"population": "", "avg income": "income"}
+}
+
+func TestMacroFromMicro(t *testing.T) {
+	states := []string{"CA", "OR"}
+	micro := microCensus(t, 500, 1, states)
+	obj, err := MacroFromMicro(micro, censusSchema(states...), censusMeasures(), censusCols())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count measure totals the rows.
+	pop, err := obj.Total("population")
+	if err != nil || pop != 500 {
+		t.Errorf("population = %v, %v", pop, err)
+	}
+	// Average matches a direct computation.
+	var caMaleSum float64
+	var caMaleN int
+	micro.Scan(func(row relstore.Row) bool {
+		if row[0].Str() == "CA" && row[1].Str() == "male" {
+			caMaleSum += row[2].Float()
+			caMaleN++
+		}
+		return true
+	})
+	got, ok, err := obj.CellValue(map[string]core.Value{"state": "CA", "sex": "male"}, "avg income")
+	if err != nil || !ok {
+		t.Fatalf("CellValue: %v, %v", ok, err)
+	}
+	if math.Abs(got-caMaleSum/float64(caMaleN)) > 1e-9 {
+		t.Errorf("avg income = %v, want %v", got, caMaleSum/float64(caMaleN))
+	}
+}
+
+func TestMacroFromMicroErrors(t *testing.T) {
+	states := []string{"CA"}
+	micro := microCensus(t, 10, 2, states)
+	sch := censusSchema(states...)
+	// Missing dimension column.
+	badSchema := schema.MustNew("x",
+		schema.Dimension{Name: "nope", Class: hierarchy.FlatClassification("nope", "v")})
+	if _, err := MacroFromMicro(micro, badSchema, censusMeasures(), censusCols()); !errors.Is(err, ErrColumnMapping) {
+		t.Errorf("missing dim err = %v", err)
+	}
+	// Missing measure mapping.
+	if _, err := MacroFromMicro(micro, sch, censusMeasures(), map[string]string{"population": ""}); !errors.Is(err, ErrColumnMapping) {
+		t.Errorf("missing measure err = %v", err)
+	}
+	// Non-count measure with empty column.
+	if _, err := MacroFromMicro(micro, sch, censusMeasures(), map[string]string{"population": "", "avg income": ""}); err == nil {
+		t.Error("avg with no column should fail")
+	}
+	// Unknown measure column.
+	if _, err := MacroFromMicro(micro, sch, censusMeasures(), map[string]string{"population": "", "avg income": "zzz"}); !errors.Is(err, ErrColumnMapping) {
+		t.Errorf("unknown column err = %v", err)
+	}
+	// Micro row with a value outside the classification.
+	microBad := microCensus(t, 10, 3, []string{"CA", "TX"})
+	if _, err := MacroFromMicro(microBad, sch, censusMeasures(), censusCols()); !errors.Is(err, hierarchy.ErrUnknownValue) {
+		t.Errorf("nonconforming row err = %v", err)
+	}
+}
+
+func squareFor(t testing.TB, n int, seed int64) *Square {
+	states := []string{"CA", "OR", "WA"}
+	return &Square{
+		Micro:       microCensus(t, n, seed, states),
+		Schema:      censusSchema(states...),
+		Measures:    censusMeasures(),
+		MeasureCols: censusCols(),
+	}
+}
+
+func TestHomomorphismSelection(t *testing.T) {
+	s := squareFor(t, 400, 4)
+	if err := s.CheckSelection("state", []core.Value{"CA", "WA"}); err != nil {
+		t.Errorf("selection square does not commute: %v", err)
+	}
+	if err := s.CheckSelection("sex", []core.Value{"female"}); err != nil {
+		t.Errorf("selection square does not commute: %v", err)
+	}
+}
+
+func TestHomomorphismProjection(t *testing.T) {
+	s := squareFor(t, 400, 5)
+	if err := s.CheckProjection("sex"); err != nil {
+		t.Errorf("projection square does not commute: %v", err)
+	}
+	if err := s.CheckProjection("state"); err != nil {
+		t.Errorf("projection square does not commute: %v", err)
+	}
+}
+
+func TestHomomorphismAggregation(t *testing.T) {
+	// A micro relation whose geo column holds counties, with a county →
+	// state classification on the dimension.
+	geo := hierarchy.NewBuilder("geo", "county", "alameda", "marin", "lane", "benton").
+		Level("state", "CA", "OR").
+		Parent("alameda", "CA").Parent("marin", "CA").
+		Parent("lane", "OR").Parent("benton", "OR").
+		MustBuild()
+	micro := relstore.MustNewRelation("people",
+		relstore.Column{Name: "geo", Kind: relstore.KString},
+		relstore.Column{Name: "sex", Kind: relstore.KString},
+		relstore.Column{Name: "income", Kind: relstore.KFloat})
+	rng := rand.New(rand.NewSource(8))
+	counties := geo.LeafLevel().Values
+	for i := 0; i < 400; i++ {
+		micro.MustAppend(relstore.Row{
+			relstore.S(counties[rng.Intn(len(counties))]),
+			relstore.S([]string{"male", "female"}[rng.Intn(2)]),
+			relstore.F(float64(20000 + rng.Intn(50000))),
+		})
+	}
+	s := &Square{
+		Micro: micro,
+		Schema: schema.MustNew("pop",
+			schema.Dimension{Name: "geo", Class: geo},
+			schema.Dimension{Name: "sex", Class: hierarchy.FlatClassification("sex", "male", "female")}),
+		Measures:    []core.Measure{{Name: "income", Func: core.Sum, Type: core.Flow}},
+		MeasureCols: map[string]string{"income": "income"},
+	}
+	if err := s.CheckAggregation("geo", "state"); err != nil {
+		t.Errorf("aggregation square does not commute: %v", err)
+	}
+	// Unknown level fails cleanly.
+	if err := s.CheckAggregation("geo", "galaxy"); err == nil {
+		t.Error("unknown level should fail")
+	}
+	// Unknown dimension fails cleanly.
+	if err := s.CheckAggregation("nope", "state"); err == nil {
+		t.Error("unknown dimension should fail")
+	}
+}
+
+func TestHomomorphismUnion(t *testing.T) {
+	// Two micro partitions over disjoint states produce disjoint cells.
+	s := &Square{
+		Micro:       microCensus(t, 200, 6, []string{"CA"}),
+		Schema:      censusSchema("CA", "OR"),
+		Measures:    censusMeasures(),
+		MeasureCols: censusCols(),
+	}
+	micro2 := microCensus(t, 150, 7, []string{"OR"})
+	if err := s.CheckUnion(micro2); err != nil {
+		t.Errorf("union square does not commute: %v", err)
+	}
+}
+
+// Property-based Figure 16: the squares commute for random micro-data.
+func TestQuickHomomorphism(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN)%200 + 20
+		s := squareFor(t, n, seed)
+		if err := s.CheckSelection("state", []core.Value{"CA"}); err != nil {
+			return false
+		}
+		if err := s.CheckProjection("sex"); err != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Record(Entry{Name: "geo-1996", Kind: "classification", Method: "census bureau TIGER"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Record(Entry{Name: "merge-ca-or", Kind: "realignment", Method: "uniform-density apportionment"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Record(Entry{Name: "geo-1996", Kind: "classification"}); err == nil {
+		t.Error("duplicate should fail")
+	}
+	if err := r.Record(Entry{Kind: "x"}); err == nil {
+		t.Error("empty name should fail")
+	}
+	e, ok := r.Lookup("merge-ca-or")
+	if !ok || e.Method == "" {
+		t.Errorf("Lookup = %+v, %v", e, ok)
+	}
+	if _, ok := r.Lookup("nope"); ok {
+		t.Error("unknown lookup should miss")
+	}
+	if got := r.ByKind("classification"); len(got) != 1 || got[0].Name != "geo-1996" {
+		t.Errorf("ByKind = %v", got)
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+// TestHomomorphismDetectsViolations exercises the harness's failure paths:
+// a square that genuinely does not commute must be reported, not silently
+// passed.
+func TestHomomorphismDetectsViolations(t *testing.T) {
+	s := squareFor(t, 100, 30)
+	// Selection of an unknown value: the statistical leg fails cleanly.
+	if err := s.CheckSelection("race", []core.Value{"martian"}); err == nil {
+		t.Error("unknown value should surface an error")
+	}
+	// Unknown dimension.
+	if err := s.CheckSelection("nope", []core.Value{"white"}); err == nil {
+		t.Error("unknown dimension should surface an error")
+	}
+	if err := s.CheckProjection("nope"); err == nil {
+		t.Error("unknown projection dimension should surface an error")
+	}
+	// A measure column mapping that breaks mid-harness.
+	bad := &Square{
+		Micro:       s.Micro,
+		Schema:      s.Schema,
+		Measures:    []core.Measure{{Name: "income", Func: core.Sum, Type: core.Flow}},
+		MeasureCols: map[string]string{"income": "zzz"},
+	}
+	if err := bad.CheckProjection("sex"); err == nil {
+		t.Error("broken measure mapping should fail")
+	}
+	// Union with overlapping (conflicting) partitions fails through
+	// SUnion's conflict detection.
+	if err := s.CheckUnion(s.Micro); err == nil {
+		t.Error("self-union (duplicated rows) must not commute")
+	}
+}
+
+// TestEqualObjectsMismatch drives equalObjects' negative branches through
+// a square whose statistical leg is deliberately perturbed.
+func TestEqualObjectsMismatch(t *testing.T) {
+	s := squareFor(t, 50, 31)
+	macro, err := s.Summarize(s.Micro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := s.Summarize(s.Micro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb one cell of the copy.
+	var first map[string]core.Value
+	macro.ForEach(func(coords []core.Value, vals []float64) bool {
+		first = map[string]core.Value{}
+		for i, d := range macro.Schema().Dimensions() {
+			first[d.Name] = coords[i]
+		}
+		return false
+	})
+	if err := other.SetCell(first, map[string]float64{"population": 1e9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := equalObjects(macro, other); err == nil {
+		t.Error("perturbed objects reported equal")
+	}
+	// Cell-count mismatch path.
+	empty, err := core.New(macro.Schema(), macro.Measures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := equalObjects(macro, empty); err == nil {
+		t.Error("cell-count mismatch reported equal")
+	}
+}

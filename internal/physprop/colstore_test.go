@@ -1,0 +1,113 @@
+package physprop
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"statcube/internal/colstore"
+	"statcube/internal/relstore"
+)
+
+func makeRel(n int, seed int64) *relstore.Relation {
+	r := relstore.MustNewRelation("t",
+		relstore.Column{Name: "cat", Kind: relstore.KString},
+		relstore.Column{Name: "grp", Kind: relstore.KString},
+		relstore.Column{Name: "m", Kind: relstore.KFloat},
+		relstore.Column{Name: "mi", Kind: relstore.KFloat},
+	)
+	cats := []string{"a", "bb", "c", "dd", "e", "ff", "g"}
+	grps := []string{"x", "y", "z"}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		r.MustAppend(relstore.Row{
+			relstore.S(cats[rng.Intn(len(cats))]),
+			relstore.S(grps[rng.Intn(len(grps))]),
+			relstore.F(rng.Float64() * 100),
+			relstore.F(float64(rng.Intn(1000))),
+		})
+	}
+	return r
+}
+
+// All encodings must agree on SelectRange, GroupSum, Sum (incl bit-sliced measure).
+func TestColstoreEncodingsAgree(t *testing.T) {
+	rel := makeRel(400, 11)
+	catIdx, _ := rel.ColIndex("cat")
+	grpIdx, _ := rel.ColIndex("grp")
+	mIdx, _ := rel.ColIndex("m")
+	miIdx, _ := rel.ColIndex("mi")
+	encs := []colstore.Encoding{colstore.Plain, colstore.Dict, colstore.DictRLE, colstore.BitSliced}
+	ranges := [][2]string{{"a", "c"}, {"bb", "ff"}, {"0", "zzz"}, {"b", "d"}, {"c", "c"}, {"h", "z"}, {"aa", "b"}}
+	for _, enc := range encs {
+		tbl, err := colstore.FromRelation(rel, map[string]colstore.Encoding{
+			"cat": enc, "grp": enc, "mi": colstore.BitSliced,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rg := range ranges {
+			sel, err := tbl.SelectRange("cat", rg[0], rg[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < rel.NumRows(); i++ {
+				v := rel.Row(i)[catIdx].Str()
+				want := v >= rg[0] && v <= rg[1]
+				if sel.Get(i) != want {
+					t.Fatalf("%v range %v row %d val %q: got %v want %v", enc, rg, i, v, sel.Get(i), want)
+				}
+			}
+			// Sum of float measure over selection
+			got, err := tbl.Sum("m", sel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := 0.0
+			for i := 0; i < rel.NumRows(); i++ {
+				v := rel.Row(i)[catIdx].Str()
+				if v >= rg[0] && v <= rg[1] {
+					want += rel.Row(i)[mIdx].Float()
+				}
+			}
+			if math.Abs(got-want) > 1e-6 {
+				t.Fatalf("%v Sum(m) range %v: %v vs %v", enc, rg, got, want)
+			}
+			// Sum of bit-sliced integer measure over selection
+			got2, err := tbl.Sum("mi", sel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want2 := 0.0
+			for i := 0; i < rel.NumRows(); i++ {
+				v := rel.Row(i)[catIdx].Str()
+				if v >= rg[0] && v <= rg[1] {
+					want2 += rel.Row(i)[miIdx].Float()
+				}
+			}
+			if got2 != want2 {
+				t.Fatalf("%v Sum(mi) range %v: %v vs %v", enc, rg, got2, want2)
+			}
+			// GroupSum over selection
+			gs, err := tbl.GroupSum("grp", "m", sel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantGS := map[string]float64{}
+			for i := 0; i < rel.NumRows(); i++ {
+				v := rel.Row(i)[catIdx].Str()
+				if v >= rg[0] && v <= rg[1] {
+					wantGS[rel.Row(i)[grpIdx].Str()] += rel.Row(i)[mIdx].Float()
+				}
+			}
+			if len(gs) != len(wantGS) {
+				t.Fatalf("%v GroupSum groups %d vs %d", enc, len(gs), len(wantGS))
+			}
+			for k, v := range wantGS {
+				if math.Abs(gs[k]-v) > 1e-6 {
+					t.Fatalf("%v GroupSum[%s]: %v vs %v", enc, k, gs[k], v)
+				}
+			}
+		}
+	}
+}

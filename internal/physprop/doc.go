@@ -1,0 +1,7 @@
+// Package physprop holds cross-package property tests for the physical
+// layer: oracle checks that chunked arrays, compressed arrays, B+trees,
+// bit-sliced columns and the column store agree with brute-force
+// reference implementations on randomized inputs. They complement the
+// per-package unit tests by exercising the structures through the same
+// combinations the storage engines compose in practice.
+package physprop

@@ -1,0 +1,403 @@
+package physprop
+
+import (
+	"math/rand"
+	"testing"
+
+	"statcube/internal/bitvec"
+	"statcube/internal/btree"
+	"statcube/internal/marray"
+	"statcube/internal/rle"
+)
+
+// Chunked RangeSum vs brute force over dense mirror.
+func TestChunkedRangeSumOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	shapes := [][]int{{7}, {5, 9}, {4, 6, 5}, {10, 3}}
+	chunks := [][]int{{3}, {2, 4}, {3, 5, 2}, {10, 1}}
+	for si := range shapes {
+		shape, cs := shapes[si], chunks[si]
+		c, err := marray.NewChunked(shape, cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := marray.Size(shape)
+		vals := make([]float64, n)
+		coords := make([]int, len(shape))
+		for i := 0; i < n; i++ {
+			marray.Delinearize(i, shape, coords)
+			v := rng.Float64()
+			vals[i] = v
+			if err := c.Set(coords, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for trial := 0; trial < 200; trial++ {
+			lo := make([]int, len(shape))
+			hi := make([]int, len(shape))
+			for d := range shape {
+				a, b := rng.Intn(shape[d]), rng.Intn(shape[d])
+				if a > b {
+					a, b = b, a
+				}
+				lo[d], hi[d] = a, b
+			}
+			got, err := c.RangeSum(lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := 0.0
+			for i := 0; i < n; i++ {
+				marray.Delinearize(i, shape, coords)
+				in := true
+				for d := range shape {
+					if coords[d] < lo[d] || coords[d] > hi[d] {
+						in = false
+					}
+				}
+				if in {
+					want += vals[i]
+				}
+			}
+			if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("shape %v cs %v lo %v hi %v: got %v want %v", shape, cs, lo, hi, got, want)
+			}
+			// also Get spot-check
+			g, err := c.Get(lo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			li, _ := marray.Linearize(lo, shape)
+			if g != vals[li] {
+				t.Fatalf("Get mismatch")
+			}
+		}
+	}
+}
+
+// Extendible vs dense oracle, random appends & writes.
+func TestExtendibleOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		nd := 1 + rng.Intn(3)
+		init := make([]int, nd)
+		for d := range init {
+			init[d] = 1 + rng.Intn(3)
+		}
+		e, err := marray.NewExtendible(init)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := map[string]float64{}
+		key := func(c []int) string {
+			s := ""
+			for _, x := range c {
+				s += string(rune('A'+x)) + ","
+			}
+			return s
+		}
+		ext := append([]int(nil), init...)
+		for op := 0; op < 60; op++ {
+			if rng.Intn(5) == 0 {
+				d := rng.Intn(nd)
+				cnt := 1 + rng.Intn(2)
+				if err := e.Append(d, cnt); err != nil {
+					t.Fatal(err)
+				}
+				ext[d] += cnt
+			}
+			c := make([]int, nd)
+			for d := range c {
+				c[d] = rng.Intn(ext[d])
+			}
+			v := rng.Float64()
+			if err := e.Set(c, v); err != nil {
+				t.Fatal(err)
+			}
+			oracle[key(c)] = v
+		}
+		// verify every cell
+		cur := make([]int, nd)
+		for {
+			got, err := e.Get(cur)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := oracle[key(cur)]
+			if got != want {
+				t.Fatalf("trial %d init %v ext %v cell %v: got %v want %v", trial, init, ext, cur, got, want)
+			}
+			d := nd - 1
+			for d >= 0 {
+				cur[d]++
+				if cur[d] < ext[d] {
+					break
+				}
+				cur[d] = 0
+				d--
+			}
+			if d < 0 {
+				break
+			}
+		}
+	}
+}
+
+// btree random ops vs map + sorted oracle: Get, Floor, Rank, Len, Ascend.
+func TestBTreeOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := btree.New[int, int]()
+	oracle := map[int]int{}
+	for op := 0; op < 20000; op++ {
+		k := rng.Intn(500)
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := rng.Int()
+			ins := tr.Put(k, v)
+			_, existed := oracle[k]
+			if ins == existed {
+				t.Fatalf("Put(%d) inserted=%v existed=%v", k, ins, existed)
+			}
+			oracle[k] = v
+		case 2:
+			del := tr.Delete(k)
+			_, existed := oracle[k]
+			if del != existed {
+				t.Fatalf("Delete(%d)=%v existed=%v", k, del, existed)
+			}
+			delete(oracle, k)
+		}
+		if tr.Len() != len(oracle) {
+			t.Fatalf("Len %d vs %d", tr.Len(), len(oracle))
+		}
+	}
+	// sorted keys
+	keys := []int{}
+	for k := range oracle {
+		keys = append(keys, k)
+	}
+	for i := range keys {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	for r, k := range keys {
+		gk, gv, err := tr.Rank(r)
+		if err != nil {
+			t.Fatalf("Rank(%d): %v", r, err)
+		}
+		if gk != k || gv != oracle[k] {
+			t.Fatalf("Rank(%d): got %d want %d", r, gk, k)
+		}
+	}
+	for q := -1; q <= 501; q++ {
+		// floor oracle
+		fk, fok := 0, false
+		for _, k := range keys {
+			if k <= q {
+				fk, fok = k, true
+			}
+		}
+		gk, gv, gok := tr.Floor(q)
+		if gok != fok || (fok && (gk != fk || gv != oracle[fk])) {
+			t.Fatalf("Floor(%d): got %d,%v want %d,%v", q, gk, gok, fk, fok)
+		}
+		// Get
+		v, ok := tr.Get(q)
+		wv, wok := oracle[q]
+		if ok != wok || v != wv {
+			t.Fatalf("Get(%d)", q)
+		}
+	}
+	// Ascend ranges
+	for trial := 0; trial < 200; trial++ {
+		a, b := rng.Intn(520)-10, rng.Intn(520)-10
+		if a > b {
+			a, b = b, a
+		}
+		var got []int
+		tr.Ascend(a, b, func(k, v int) bool { got = append(got, k); return true })
+		var want []int
+		for _, k := range keys {
+			if k >= a && k <= b {
+				want = append(want, k)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("Ascend(%d,%d): %v vs %v", a, b, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Ascend(%d,%d) mismatch", a, b)
+			}
+		}
+	}
+}
+
+// Sliced predicates vs brute force.
+func TestSlicedOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, width := range []int{1, 3, 7} {
+		n := 300
+		s := bitvec.NewSliced(n, width)
+		codes := make([]uint64, n)
+		maxC := uint64(1)<<uint(width) - 1
+		for i := range codes {
+			codes[i] = uint64(rng.Intn(int(maxC) + 1))
+			s.SetCode(i, codes[i])
+		}
+		check := func(name string, got *bitvec.Vector, pred func(c uint64) bool) {
+			for i := 0; i < n; i++ {
+				if got.Get(i) != pred(codes[i]) {
+					t.Fatalf("width %d %s row %d code %d", width, name, i, codes[i])
+				}
+			}
+		}
+		for c := uint64(0); c <= maxC; c++ {
+			cc := c
+			check("EQ", s.EQ(c), func(x uint64) bool { return x == cc })
+			check("LT", s.LT(c), func(x uint64) bool { return x < cc })
+			check("LE", s.LE(c), func(x uint64) bool { return x <= cc })
+			check("GE", s.GE(c), func(x uint64) bool { return x >= cc })
+			check("GT", s.GT(c), func(x uint64) bool { return x > cc })
+		}
+		for trial := 0; trial < 50; trial++ {
+			lo := uint64(rng.Intn(int(maxC) + 1))
+			hi := uint64(rng.Intn(int(maxC) + 1))
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			check("Range", s.Range(lo, hi), func(x uint64) bool { return x >= lo && x <= hi })
+		}
+		// SumSelected
+		sel := bitvec.New(n)
+		var want uint64
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				sel.Set(i)
+				want += codes[i]
+			}
+		}
+		if got := s.SumSelected(sel); got != want {
+			t.Fatalf("SumSelected: %d vs %d", got, want)
+		}
+	}
+}
+
+// Header forward/inverse roundtrip vs mask oracle.
+func TestHeaderOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(200)
+		mask := make([]bool, n)
+		for i := range mask {
+			mask[i] = rng.Intn(3) == 0
+		}
+		h := rle.BuildHeader(mask)
+		phys := 0
+		for i, m := range mask {
+			p, err := h.Forward(i)
+			if m {
+				if err != nil || p != phys {
+					t.Fatalf("Forward(%d): %v %v want %d", i, p, err, phys)
+				}
+				inv, err := h.Inverse(phys)
+				if err != nil || inv != i {
+					t.Fatalf("Inverse(%d): %v %v want %d", phys, inv, err, i)
+				}
+				phys++
+			} else if err == nil {
+				t.Fatalf("Forward(%d) should be absent", i)
+			}
+			if h.IsPresent(i) != m {
+				t.Fatalf("IsPresent(%d)", i)
+			}
+		}
+		if h.Present() != phys || h.Len() != n {
+			t.Fatalf("totals")
+		}
+	}
+}
+
+// Compressed Get / GetViaBTree / ForEachPresent vs dense.
+func TestCompressedOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	shape := []int{7, 9, 5}
+	d := marray.MustNewDense(shape)
+	n := marray.Size(shape)
+	vals := map[int]float64{}
+	coords := make([]int, 3)
+	for i := 0; i < n; i++ {
+		if rng.Intn(4) == 0 {
+			marray.Delinearize(i, shape, coords)
+			v := rng.Float64()
+			d.Set(coords, v)
+			vals[i] = v
+		}
+	}
+	c := marray.CompressDense(d)
+	for i := 0; i < n; i++ {
+		marray.Delinearize(i, shape, coords)
+		wv, wok := vals[i]
+		for _, f := range []func([]int) (float64, bool, error){c.Get, c.GetViaBTree} {
+			v, ok, err := f(coords)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != wok || v != wv {
+				t.Fatalf("pos %d: got %v,%v want %v,%v", i, v, ok, wv, wok)
+			}
+		}
+	}
+	// inverse positions
+	dst := make([]int, 3)
+	ph := 0
+	for i := 0; i < n; i++ {
+		if _, ok := vals[i]; !ok {
+			continue
+		}
+		if err := c.InversePosition(ph, dst); err != nil {
+			t.Fatal(err)
+		}
+		li, _ := marray.Linearize(dst, shape)
+		if li != i {
+			t.Fatalf("InversePosition(%d) = %d want %d", ph, li, i)
+		}
+		ph++
+	}
+}
+
+// LZW roundtrip.
+func TestLZWRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shape := []int{13, 11}
+	d := marray.MustNewDense(shape)
+	coords := make([]int, 2)
+	want := map[int]float64{}
+	for i := 0; i < marray.Size(shape); i++ {
+		if rng.Intn(3) == 0 {
+			marray.Delinearize(i, shape, coords)
+			v := rng.NormFloat64()
+			d.Set(coords, v)
+			want[i] = v
+		}
+	}
+	z, err := marray.CompressLZW(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := z.Decompress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < marray.Size(shape); i++ {
+		marray.Delinearize(i, shape, coords)
+		v, ok, _ := back.Get(coords)
+		wv, wok := want[i]
+		if ok != wok || v != wv {
+			t.Fatalf("cell %d: %v,%v want %v,%v", i, v, ok, wv, wok)
+		}
+	}
+}

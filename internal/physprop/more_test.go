@@ -1,0 +1,194 @@
+package physprop
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"statcube/internal/btree"
+	"statcube/internal/marray"
+)
+
+// BulkLoad then random mutations: packed nodes force immediate splits.
+func TestBTreeBulkThenMutate(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{1, 31, 32, 1000, 5000} {
+		keys := make([]int, n)
+		vals := make([]int, n)
+		for i := range keys {
+			keys[i] = i * 3 // leave gaps
+			vals[i] = i
+		}
+		tr := btree.BulkLoad(keys, vals)
+		oracle := map[int]int{}
+		for i, k := range keys {
+			oracle[k] = vals[i]
+		}
+		// verify bulk counts via Rank immediately
+		for r := 0; r < n; r += 97 {
+			gk, _, err := tr.Rank(r)
+			if err != nil || gk != keys[r] {
+				t.Fatalf("n=%d Rank(%d)=%d,%v want %d", n, r, gk, err, keys[r])
+			}
+		}
+		for op := 0; op < 3000; op++ {
+			k := rng.Intn(3*n + 10)
+			if rng.Intn(2) == 0 {
+				tr.Put(k, k)
+				oracle[k] = k
+			} else {
+				tr.Delete(k)
+				delete(oracle, k)
+			}
+		}
+		if tr.Len() != len(oracle) {
+			t.Fatalf("n=%d Len %d vs %d", n, tr.Len(), len(oracle))
+		}
+		sorted := []int{}
+		for k := range oracle {
+			sorted = append(sorted, k)
+		}
+		sort.Ints(sorted)
+		for r, k := range sorted {
+			gk, gv, err := tr.Rank(r)
+			if err != nil || gk != k || gv != oracle[k] {
+				t.Fatalf("n=%d Rank(%d): got %d,%d,%v want %d,%d", n, r, gk, gv, err, k, oracle[k])
+			}
+		}
+		i := 0
+		tr.AscendAll(func(k, v int) bool {
+			if k != sorted[i] {
+				t.Fatalf("AscendAll order")
+			}
+			i++
+			return true
+		})
+		if i != len(sorted) {
+			t.Fatalf("AscendAll count %d vs %d", i, len(sorted))
+		}
+	}
+}
+
+func TestExtendibleRangeSumRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	e, _ := marray.NewExtendible([]int{2, 3})
+	ext := []int{2, 3}
+	type cell struct{ a, b int }
+	oracle := map[cell]float64{}
+	for op := 0; op < 100; op++ {
+		if rng.Intn(4) == 0 {
+			d := rng.Intn(2)
+			e.Append(d, 1+rng.Intn(2))
+			if d == 0 {
+				ext[0] = e.Extents()[0]
+			} else {
+				ext[1] = e.Extents()[1]
+			}
+		}
+		c := cell{rng.Intn(ext[0]), rng.Intn(ext[1])}
+		v := rng.Float64()
+		e.Set([]int{c.a, c.b}, v)
+		oracle[c] = v
+	}
+	for trial := 0; trial < 100; trial++ {
+		lo := []int{rng.Intn(ext[0]), rng.Intn(ext[1])}
+		hi := []int{rng.Intn(ext[0]), rng.Intn(ext[1])}
+		for d := 0; d < 2; d++ {
+			if lo[d] > hi[d] {
+				lo[d], hi[d] = hi[d], lo[d]
+			}
+		}
+		got, err := e.RangeSum(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0.0
+		for c, v := range oracle {
+			if c.a >= lo[0] && c.a <= hi[0] && c.b >= lo[1] && c.b <= hi[1] {
+				want += v
+			}
+		}
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("RangeSum %v..%v: %v vs %v", lo, hi, got, want)
+		}
+	}
+	d, _, err := e.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < ext[0]; a++ {
+		for b := 0; b < ext[1]; b++ {
+			v, _, _ := d.Get([]int{a, b})
+			if v != oracle[cell{a, b}] {
+				t.Fatalf("Rebuild cell %d,%d", a, b)
+			}
+		}
+	}
+}
+
+func TestNewCompressedDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 50; trial++ {
+		shape := []int{1 + rng.Intn(6), 1 + rng.Intn(6)}
+		n := marray.Size(shape)
+		present := map[int]float64{}
+		var positions []int
+		var vals []float64
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				positions = append(positions, i)
+				v := rng.Float64()
+				vals = append(vals, v)
+				present[i] = v
+			}
+		}
+		c, err := marray.NewCompressed(shape, positions, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coords := make([]int, 2)
+		for i := 0; i < n; i++ {
+			marray.Delinearize(i, shape, coords)
+			v, ok, err := c.Get(coords)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wv, wok := present[i]
+			if ok != wok || v != wv {
+				t.Fatalf("shape %v pos %d: %v,%v want %v,%v", shape, i, v, ok, wv, wok)
+			}
+			v2, ok2, _ := c.GetViaBTree(coords)
+			if ok2 != wok || v2 != wv {
+				t.Fatalf("btree shape %v pos %d", shape, i)
+			}
+		}
+	}
+}
+
+func TestChunkedAccountingExactOnce(t *testing.T) {
+	c, _ := marray.NewChunked([]int{10, 10}, []int{3, 3})
+	c.ResetAccounting()
+	// range covering chunks (0..3)x(0..3) = full grid 4x4=16
+	if _, err := c.RangeSum([]int{0, 0}, []int{9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ChunksRead(); got != 16 {
+		t.Fatalf("chunks read %d want 16", got)
+	}
+}
+
+func TestSymmetricAndOptimize(t *testing.T) {
+	cs := marray.SymmetricChunkShape([]int{100, 100}, 100)
+	cells := cs[0] * cs[1]
+	if cells > 100 {
+		t.Fatalf("symmetric shape %v exceeds budget", cs)
+	}
+	qs := []marray.RangeQuery{{Lo: []int{0, 0}, Hi: []int{99, 0}}}
+	best := marray.OptimizeChunkShape([]int{100, 100}, qs, 100)
+	if best[0]*best[1] > 100 {
+		t.Fatalf("optimized %v exceeds budget", best)
+	}
+	if marray.WorkloadCost(qs, best) > marray.WorkloadCost(qs, cs) {
+		t.Fatalf("optimizer made it worse: %v vs %v", best, cs)
+	}
+}

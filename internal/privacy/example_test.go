@@ -1,0 +1,49 @@
+package privacy_test
+
+import (
+	"fmt"
+
+	"statcube/internal/privacy"
+)
+
+// Example_tracker mounts the Denning–Schlörer general tracker against a
+// size-restricted release interface, recovering a value the restriction
+// was supposed to protect — the paper's Section 7 negative result.
+func Example_tracker() {
+	// Twenty individuals, half in each department; exactly one is both
+	// "senior" and in "hr".
+	const n = 20
+	dept := make([]string, n)
+	senior := make([]string, n)
+	salary := make([]float64, n)
+	for i := range dept {
+		dept[i] = "eng"
+		if i < n/2 {
+			dept[i] = "hr"
+		}
+		senior[i] = "no"
+		salary[i] = 50
+	}
+	senior[0] = "yes"
+	salary[0] = 99000
+	tbl := privacy.NewTable(n)
+	_ = tbl.AddCat("dept", dept)
+	_ = tbl.AddCat("senior", senior)
+	_ = tbl.AddNum("salary", salary)
+
+	g := privacy.NewGuard(tbl, privacy.WithSizeRestriction(2))
+	target := privacy.Conj{
+		{Attr: "dept", Value: "hr"},
+		{Attr: "senior", Value: "yes"},
+	}
+	// The direct query is refused…
+	_, err := g.Sum(privacy.Formula{target}, "salary")
+	fmt.Println("direct refused:", err != nil)
+	// …but the tracker answers it anyway.
+	tr, _ := privacy.FindGeneralTracker(g, 2)
+	inferred, _ := tr.Sum(g, target, "salary")
+	fmt.Println("tracker infers:", inferred)
+	// Output:
+	// direct refused: true
+	// tracker infers: 99000
+}

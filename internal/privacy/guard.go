@@ -1,0 +1,228 @@
+package privacy
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Guard is the release interface over a micro-data table: it answers only
+// statistical summary queries (count, sum, average), applying the
+// configured inference controls. Its answers are all an attacker sees.
+type Guard struct {
+	tbl *Table
+
+	// Query-set-size restriction: answer only if minSize <= |C|, and, when
+	// twoSided, |C| <= n-minSize.
+	minSize  int
+	twoSided bool
+
+	// Overlap auditing: refuse a query whose set overlaps a previously
+	// answered set in more than maxOverlap individuals (Section 7 idea (i)).
+	audit      bool
+	maxOverlap int
+	answered   [][]int
+
+	// Random-sample answering: compute the statistic over a Bernoulli
+	// sample of the query set and scale up (idea (ii)).
+	sampleRate float64
+	rng        *rand.Rand
+
+	// Output perturbation: add zero-mean noise of the given magnitude to
+	// every released value (idea (v)).
+	noise float64
+
+	queriesAnswered int
+	queriesRefused  int
+}
+
+// ErrRestricted is returned when an inference control refuses a query.
+var ErrRestricted = errors.New("privacy: query refused by inference control")
+
+// GuardOption configures a Guard.
+type GuardOption func(*Guard)
+
+// WithMinQuerySetSize enables the naive one-sided restriction: refuse only
+// query sets smaller than k. Section 7's age-65 example shows this is
+// insufficient — complements of small sets slip through.
+func WithMinQuerySetSize(k int) GuardOption {
+	return func(g *Guard) { g.minSize = k }
+}
+
+// WithSizeRestriction enables the classic two-sided restriction of the
+// inference literature: answer only if k <= |C| <= n-k. The [DS80] tracker
+// defeats even this.
+func WithSizeRestriction(k int) GuardOption {
+	return func(g *Guard) { g.minSize = k; g.twoSided = true }
+}
+
+// WithOverlapAudit enables query-set-overlap auditing: a new query set may
+// share at most maxOverlap individuals with any previously answered set.
+func WithOverlapAudit(maxOverlap int) GuardOption {
+	return func(g *Guard) { g.audit = true; g.maxOverlap = maxOverlap }
+}
+
+// WithSampling answers from a Bernoulli sample of the query set with the
+// given rate (0 < rate <= 1), scaling estimates back up.
+func WithSampling(rate float64, seed int64) GuardOption {
+	return func(g *Guard) { g.sampleRate = rate; g.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithOutputPerturbation adds uniform noise in [-magnitude, +magnitude] to
+// every answer.
+func WithOutputPerturbation(magnitude float64, seed int64) GuardOption {
+	return func(g *Guard) {
+		g.noise = magnitude
+		if g.rng == nil {
+			g.rng = rand.New(rand.NewSource(seed))
+		}
+	}
+}
+
+// NewGuard wraps a table with the given controls.
+func NewGuard(tbl *Table, opts ...GuardOption) *Guard {
+	g := &Guard{tbl: tbl}
+	for _, o := range opts {
+		o(g)
+	}
+	return g
+}
+
+// Stats reports how many queries were answered and refused.
+func (g *Guard) Stats() (answered, refused int) {
+	return g.queriesAnswered, g.queriesRefused
+}
+
+// admit applies the controls and returns the (possibly sampled) query set
+// and the scale factor estimates must be multiplied by.
+func (g *Guard) admit(f Formula) ([]int, float64, error) {
+	qs, err := g.tbl.QuerySet(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	size := len(qs)
+	if g.minSize > 0 && size < g.minSize {
+		g.queriesRefused++
+		return nil, 0, fmt.Errorf("%w: query set size %d below %d", ErrRestricted, size, g.minSize)
+	}
+	if g.twoSided && size > g.tbl.n-g.minSize {
+		g.queriesRefused++
+		return nil, 0, fmt.Errorf("%w: query set size %d above %d", ErrRestricted, size, g.tbl.n-g.minSize)
+	}
+	if g.audit {
+		for _, prev := range g.answered {
+			if overlap(qs, prev) > g.maxOverlap {
+				g.queriesRefused++
+				return nil, 0, fmt.Errorf("%w: query set overlaps a previous one in more than %d individuals",
+					ErrRestricted, g.maxOverlap)
+			}
+		}
+		g.answered = append(g.answered, qs)
+	}
+	scale := 1.0
+	if g.sampleRate > 0 && g.sampleRate < 1 {
+		var sampled []int
+		for _, i := range qs {
+			if g.rng.Float64() < g.sampleRate {
+				sampled = append(sampled, i)
+			}
+		}
+		qs = sampled
+		scale = 1 / g.sampleRate
+	}
+	g.queriesAnswered++
+	return qs, scale, nil
+}
+
+// perturb applies output perturbation.
+func (g *Guard) perturb(v float64) float64 {
+	if g.noise <= 0 {
+		return v
+	}
+	return v + (g.rng.Float64()*2-1)*g.noise
+}
+
+// Count answers count(C).
+func (g *Guard) Count(f Formula) (float64, error) {
+	qs, scale, err := g.admit(f)
+	if err != nil {
+		return 0, err
+	}
+	return g.perturb(float64(len(qs)) * scale), nil
+}
+
+// Sum answers sum(C, attr).
+func (g *Guard) Sum(f Formula, attr string) (float64, error) {
+	col, ok := g.tbl.nums[attr]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownAttr, attr)
+	}
+	qs, scale, err := g.admit(f)
+	if err != nil {
+		return 0, err
+	}
+	var s float64
+	for _, i := range qs {
+		s += col[i]
+	}
+	return g.perturb(s * scale), nil
+}
+
+// Avg answers avg(C, attr).
+func (g *Guard) Avg(f Formula, attr string) (float64, error) {
+	col, ok := g.tbl.nums[attr]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownAttr, attr)
+	}
+	qs, _, err := g.admit(f)
+	if err != nil {
+		return 0, err
+	}
+	if len(qs) == 0 {
+		return 0, fmt.Errorf("%w: empty sample", ErrRestricted)
+	}
+	var s float64
+	for _, i := range qs {
+		s += col[i]
+	}
+	return g.perturb(s / float64(len(qs))), nil
+}
+
+// overlap counts common elements of two sorted index slices.
+func overlap(a, b []int) int {
+	i, j, c := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
+}
+
+// PerturbInput returns a copy of the table whose numeric attributes have
+// zero-mean uniform noise of the given magnitude added once — input
+// perturbation (Section 7 idea (iv)): the stored data itself is
+// "statistically correct, but perturbed".
+func PerturbInput(t *Table, magnitude float64, seed int64) *Table {
+	rng := rand.New(rand.NewSource(seed))
+	out := NewTable(t.n)
+	for name, col := range t.cats {
+		cp := append([]string(nil), col...)
+		out.cats[name] = cp
+	}
+	for name, col := range t.nums {
+		cp := make([]float64, len(col))
+		for i, v := range col {
+			cp[i] = v + (rng.Float64()*2-1)*magnitude
+		}
+		out.nums[name] = cp
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package privacy
+
+import "fmt"
+
+// This file implements the *individual* tracker of [DS80] — the
+// predecessor of the general tracker. To learn about an individual
+// identified by C = A ∧ B (both conjunctions), when count(C) is below the
+// restriction threshold, ask instead about T = A ∧ ¬B:
+//
+//	count(A ∧ B) = count(A) − count(A ∧ ¬B)
+//	sum(A ∧ B)   = sum(A)   − sum(A ∧ ¬B)
+//
+// Both right-hand queries have larger query sets than C and are often
+// answerable. Unlike the general tracker, an individual tracker must be
+// found per target formula.
+
+// IndividualTracker is a usable split of a target conjunction.
+type IndividualTracker struct {
+	A Conj // the broader part
+	B Term // the discriminating term, negated in the padding query
+}
+
+// FindIndividualTracker searches the splits of target (each term in turn
+// playing the discriminator B) for one whose two padding queries the guard
+// answers. It probes through the guard only.
+func FindIndividualTracker(g *Guard, target Conj) (*IndividualTracker, error) {
+	if len(target) < 2 {
+		return nil, fmt.Errorf("privacy: individual tracker needs at least 2 terms, got %d", len(target))
+	}
+	for i := range target {
+		b := target[i]
+		a := make(Conj, 0, len(target)-1)
+		a = append(a, target[:i]...)
+		a = append(a, target[i+1:]...)
+		if _, err := g.Count(Formula{a}); err != nil {
+			continue
+		}
+		padded := append(append(Conj{}, a...), Not(b))
+		if _, err := g.Count(Formula{padded}); err != nil {
+			continue
+		}
+		return &IndividualTracker{A: a, B: b}, nil
+	}
+	return nil, ErrNoTracker
+}
+
+// padded returns A ∧ ¬B.
+func (t *IndividualTracker) padded() Conj {
+	return append(append(Conj{}, t.A...), Not(t.B))
+}
+
+// Count infers count(A ∧ B) from the two answerable queries.
+func (t *IndividualTracker) Count(g *Guard) (float64, error) {
+	cA, err := g.Count(Formula{t.A})
+	if err != nil {
+		return 0, fmt.Errorf("privacy: individual tracker query refused: %w", err)
+	}
+	cPad, err := g.Count(Formula{t.padded()})
+	if err != nil {
+		return 0, fmt.Errorf("privacy: individual tracker query refused: %w", err)
+	}
+	return cA - cPad, nil
+}
+
+// Sum infers sum(A ∧ B, attr).
+func (t *IndividualTracker) Sum(g *Guard, attr string) (float64, error) {
+	sA, err := g.Sum(Formula{t.A}, attr)
+	if err != nil {
+		return 0, fmt.Errorf("privacy: individual tracker query refused: %w", err)
+	}
+	sPad, err := g.Sum(Formula{t.padded()}, attr)
+	if err != nil {
+		return 0, fmt.Errorf("privacy: individual tracker query refused: %w", err)
+	}
+	return sA - sPad, nil
+}

@@ -1,0 +1,74 @@
+package privacy
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestIndividualTrackerCompromise(t *testing.T) {
+	tbl := employees(t, 500, 20)
+	g := NewGuard(tbl, WithSizeRestriction(10))
+	target := victim()
+	// Direct query refused.
+	if _, err := g.Count(Formula{target}); !errors.Is(err, ErrRestricted) {
+		t.Fatalf("direct err = %v", err)
+	}
+	tr, err := FindIndividualTracker(g, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt, err := tr.Count(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cnt-1) > 1e-9 {
+		t.Errorf("count = %v, want 1", cnt)
+	}
+	sum, err := tr.Sum(g, "salary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum-123456) > 1e-6 {
+		t.Errorf("salary = %v, want 123456", sum)
+	}
+}
+
+func TestIndividualTrackerNeedsTwoTerms(t *testing.T) {
+	tbl := employees(t, 100, 21)
+	g := NewGuard(tbl)
+	if _, err := FindIndividualTracker(g, Conj{{Attr: "sex", Value: "male"}}); err == nil {
+		t.Error("single-term target should fail")
+	}
+}
+
+func TestIndividualTrackerNoSplitAnswerable(t *testing.T) {
+	// With an absurd restriction threshold nothing is answerable.
+	tbl := employees(t, 100, 22)
+	g := NewGuard(tbl, WithSizeRestriction(60))
+	if _, err := FindIndividualTracker(g, victim()); !errors.Is(err, ErrNoTracker) {
+		t.Errorf("err = %v, want ErrNoTracker", err)
+	}
+}
+
+func TestIndividualTrackerMatchesGeneralTracker(t *testing.T) {
+	tbl := employees(t, 800, 23)
+	g := NewGuard(tbl, WithSizeRestriction(10))
+	target := victim()
+	it, err := FindIndividualTracker(g, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := FindGeneralTracker(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err1 := it.Sum(g, "salary")
+	b, err2 := gt.Sum(g, target, "salary")
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if math.Abs(a-b) > 1e-6 {
+		t.Errorf("individual %v vs general %v", a, b)
+	}
+}

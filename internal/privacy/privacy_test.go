@@ -1,0 +1,302 @@
+package privacy
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// employees builds a micro-data table of n individuals with categorical
+// attributes (sex, dept, senior) and a salary. Attributes are arranged so
+// (sex, dept, senior) uniquely identifies individual 0.
+func employees(t testing.TB, n int, seed int64) *Table {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tbl := NewTable(n)
+	sex := make([]string, n)
+	dept := make([]string, n)
+	senior := make([]string, n)
+	salary := make([]float64, n)
+	depts := []string{"eng", "sales", "hr", "ops"}
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			sex[i] = "male"
+		} else {
+			sex[i] = "female"
+		}
+		dept[i] = depts[rng.Intn(len(depts))]
+		senior[i] = "no"
+		salary[i] = 30000 + float64(rng.Intn(50000))
+	}
+	// Make individual 0 uniquely identifiable: the only senior female in hr.
+	sex[0], dept[0], senior[0] = "female", "hr", "yes"
+	salary[0] = 123456
+	if err := tbl.AddCat("sex", sex); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddCat("dept", dept); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddCat("senior", senior); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddNum("salary", salary); err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func victim() Conj {
+	return Conj{
+		{Attr: "sex", Value: "female"},
+		{Attr: "dept", Value: "hr"},
+		{Attr: "senior", Value: "yes"},
+	}
+}
+
+func TestTableValidation(t *testing.T) {
+	tbl := NewTable(3)
+	if err := tbl.AddCat("a", []string{"x"}); err == nil {
+		t.Error("wrong length should fail")
+	}
+	if err := tbl.AddCat("a", []string{"x", "y", "z"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddCat("a", []string{"x", "y", "z"}); err == nil {
+		t.Error("duplicate attribute should fail")
+	}
+	if err := tbl.AddNum("v", []float64{1}); err == nil {
+		t.Error("wrong numeric length should fail")
+	}
+	if _, err := tbl.TrueCount(C(Term{Attr: "nope", Value: "x"})); err == nil {
+		t.Error("unknown attribute should fail")
+	}
+}
+
+func TestFormulaSemantics(t *testing.T) {
+	tbl := employees(t, 100, 1)
+	all, _ := tbl.TrueCount(Formula{Conj{}}) // empty conjunction matches everyone
+	if all != 100 {
+		t.Errorf("empty conj count = %d", all)
+	}
+	m, _ := tbl.TrueCount(C(Term{Attr: "sex", Value: "male"}))
+	f, _ := tbl.TrueCount(C(Term{Attr: "sex", Value: "female"}))
+	if m+f != 100 {
+		t.Errorf("male %d + female %d != 100", m, f)
+	}
+	notM, _ := tbl.TrueCount(C(Not(Term{Attr: "sex", Value: "male"})))
+	if notM != f {
+		t.Errorf("¬male = %d, female = %d", notM, f)
+	}
+	// Disjunction counts each individual once.
+	either, _ := tbl.TrueCount(Or(
+		C(Term{Attr: "sex", Value: "male"}),
+		C(Term{Attr: "sex", Value: "female"})))
+	if either != 100 {
+		t.Errorf("male∨female = %d", either)
+	}
+	one, _ := tbl.TrueCount(Formula{victim()})
+	if one != 1 {
+		t.Errorf("victim formula matches %d individuals", one)
+	}
+}
+
+func TestGuardSizeRestriction(t *testing.T) {
+	tbl := employees(t, 100, 2)
+	g := NewGuard(tbl, WithSizeRestriction(5))
+	// The victim's singleton query set is refused.
+	if _, err := g.Count(Formula{victim()}); !errors.Is(err, ErrRestricted) {
+		t.Errorf("singleton count err = %v", err)
+	}
+	// The complement (size n-1 > n-k) is refused too.
+	if _, err := g.Count(C(Not(Term{Attr: "senior", Value: "yes"}))); !errors.Is(err, ErrRestricted) {
+		t.Errorf("complement err = %v", err)
+	}
+	// A broad query is answered exactly.
+	got, err := g.Count(C(Term{Attr: "sex", Value: "male"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := tbl.TrueCount(C(Term{Attr: "sex", Value: "male"}))
+	if got != float64(want) {
+		t.Errorf("broad count = %v, want %d", got, want)
+	}
+	answered, refused := g.Stats()
+	if answered != 1 || refused != 2 {
+		t.Errorf("stats = %d answered, %d refused", answered, refused)
+	}
+}
+
+func TestPaperAge65Example(t *testing.T) {
+	// Section 7's illustration: one employee aged 65, none older; even with
+	// size restriction, avg(all) and avg(under 65) leak the salary.
+	n := 50
+	tbl := NewTable(n)
+	age := make([]string, n)
+	salary := make([]float64, n)
+	for i := range age {
+		age[i] = "under65"
+		salary[i] = 40000
+	}
+	age[7] = "65"
+	salary[7] = 99000
+	_ = tbl.AddCat("age", age)
+	_ = tbl.AddNum("salary", salary)
+	g := NewGuard(tbl, WithMinQuerySetSize(5))
+	sumAll, err := g.Sum(Formula{Conj{}}, "salary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumUnder, err := g.Sum(C(Term{Attr: "age", Value: "under65"}), "salary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaked := sumAll - sumUnder; leaked != 99000 {
+		t.Errorf("leaked salary = %v", leaked)
+	}
+}
+
+func TestTrackerCompromisesRestrictedGuard(t *testing.T) {
+	tbl := employees(t, 500, 3)
+	g := NewGuard(tbl, WithSizeRestriction(10))
+	tr, err := FindGeneralTracker(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N != 500 {
+		t.Errorf("inferred n = %v", tr.N)
+	}
+	// Inferred count of the restricted singleton formula.
+	cnt, err := tr.Count(g, victim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cnt-1) > 1e-9 {
+		t.Errorf("tracker count = %v, want 1", cnt)
+	}
+	// Full compromise: the exact salary of the victim.
+	salary, err := tr.CompromiseIndividual(g, victim(), "salary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(salary-123456) > 1e-6 {
+		t.Errorf("compromised salary = %v, want 123456", salary)
+	}
+}
+
+func TestTrackerRefusedByOverlapAudit(t *testing.T) {
+	tbl := employees(t, 300, 4)
+	g := NewGuard(tbl, WithSizeRestriction(5), WithOverlapAudit(20))
+	// The tracker's padding queries overlap massively; the attack cannot
+	// complete. Either the search or the padding query must be refused.
+	tr, err := FindGeneralTracker(g, 5)
+	if err == nil {
+		if _, err = tr.CompromiseIndividual(g, victim(), "salary"); err == nil {
+			t.Fatal("overlap audit failed to stop the tracker")
+		}
+	}
+	// But auditing also starves legitimate users: after a few broad
+	// queries, new ones are refused (the paper's noted drawback).
+	g2 := NewGuard(tbl, WithOverlapAudit(20))
+	var refused bool
+	for _, dept := range []string{"eng", "sales", "hr", "ops"} {
+		_, err1 := g2.Count(C(Term{Attr: "dept", Value: dept}))
+		_, err2 := g2.Count(C(Not(Term{Attr: "dept", Value: dept})))
+		if err1 != nil || err2 != nil {
+			refused = true
+		}
+	}
+	if !refused {
+		t.Error("expected overlap audit to eventually refuse legitimate queries")
+	}
+}
+
+func TestSamplingDefeatsExactInferenceButPreservesAggregates(t *testing.T) {
+	tbl := employees(t, 2000, 5)
+	g := NewGuard(tbl, WithSizeRestriction(10), WithSampling(0.5, 42))
+	tr, err := FindGeneralTracker(g, 10)
+	if err != nil {
+		// Sampling noise may hide every certified tracker; the defense held.
+		return
+	}
+	salary, err := tr.CompromiseIndividual(g, victim(), "salary")
+	if err == nil && math.Abs(salary-123456) < 1 {
+		t.Error("sampling failed to blunt the tracker: exact salary recovered")
+	}
+	// Aggregates remain usable: sampled total within 10% of truth.
+	got, err := g.Sum(C(Term{Attr: "sex", Value: "male"}), "salary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := tbl.TrueSum(C(Term{Attr: "sex", Value: "male"}), "salary")
+	if math.Abs(got-want) > 0.1*want {
+		t.Errorf("sampled aggregate %v too far from %v", got, want)
+	}
+}
+
+func TestOutputPerturbation(t *testing.T) {
+	tbl := employees(t, 400, 6)
+	g := NewGuard(tbl, WithOutputPerturbation(50, 7))
+	got, err := g.Count(C(Term{Attr: "sex", Value: "male"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := tbl.TrueCount(C(Term{Attr: "sex", Value: "male"}))
+	if got == float64(want) {
+		t.Error("perturbation left the answer exact")
+	}
+	if math.Abs(got-float64(want)) > 50 {
+		t.Errorf("noise %v exceeds magnitude", got-float64(want))
+	}
+}
+
+func TestInputPerturbation(t *testing.T) {
+	tbl := employees(t, 1000, 8)
+	pt := PerturbInput(tbl, 1000, 9)
+	// Individual values moved...
+	moved := false
+	for i := 0; i < 10; i++ {
+		if pt.nums["salary"][i] != tbl.nums["salary"][i] {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Error("input perturbation changed nothing")
+	}
+	// ...but the total stays statistically correct (zero-mean noise).
+	tTrue, _ := tbl.TrueSum(Formula{Conj{}}, "salary")
+	tPert, _ := pt.TrueSum(Formula{Conj{}}, "salary")
+	if math.Abs(tTrue-tPert) > 1000*math.Sqrt(1000)*2 {
+		t.Errorf("perturbed total drifted: %v vs %v", tPert, tTrue)
+	}
+	// Categories untouched.
+	if pt.cats["sex"][0] != tbl.cats["sex"][0] {
+		t.Error("categorical data perturbed")
+	}
+}
+
+func TestGuardUnknownAttr(t *testing.T) {
+	tbl := employees(t, 50, 10)
+	g := NewGuard(tbl)
+	if _, err := g.Sum(Formula{Conj{}}, "nope"); !errors.Is(err, ErrUnknownAttr) {
+		t.Errorf("unknown attr err = %v", err)
+	}
+	if _, err := g.Avg(Formula{Conj{}}, "nope"); !errors.Is(err, ErrUnknownAttr) {
+		t.Errorf("unknown attr err = %v", err)
+	}
+}
+
+func TestAvg(t *testing.T) {
+	tbl := employees(t, 100, 11)
+	g := NewGuard(tbl)
+	got, err := g.Avg(C(Term{Attr: "sex", Value: "male"}), "salary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, _ := tbl.TrueSum(C(Term{Attr: "sex", Value: "male"}), "salary")
+	cnt, _ := tbl.TrueCount(C(Term{Attr: "sex", Value: "male"}))
+	if math.Abs(got-sum/float64(cnt)) > 1e-9 {
+		t.Errorf("avg = %v", got)
+	}
+}

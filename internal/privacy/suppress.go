@@ -1,0 +1,201 @@
+package privacy
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file implements cell suppression for published macro-data tables —
+// the census-bureau technique of Sections 3.1 and 7: cells whose count
+// falls below a threshold are withheld (primary suppression), and further
+// cells are withheld (complementary suppression) so that the primaries
+// cannot be recovered from the published row and column marginals.
+
+// CountTable is a 2-D table of non-negative counts with labels, as it
+// would be published with its marginals.
+type CountTable struct {
+	RowLabels []string
+	ColLabels []string
+	Cells     [][]float64
+}
+
+// NewCountTable validates and wraps a counts matrix.
+func NewCountTable(rowLabels, colLabels []string, cells [][]float64) (*CountTable, error) {
+	if len(cells) != len(rowLabels) {
+		return nil, fmt.Errorf("privacy: %d rows of cells for %d row labels", len(cells), len(rowLabels))
+	}
+	for i, row := range cells {
+		if len(row) != len(colLabels) {
+			return nil, fmt.Errorf("privacy: row %d has %d cells for %d column labels", i, len(row), len(colLabels))
+		}
+		for j, v := range row {
+			if v < 0 {
+				return nil, fmt.Errorf("privacy: negative count at (%d,%d)", i, j)
+			}
+		}
+	}
+	return &CountTable{RowLabels: rowLabels, ColLabels: colLabels, Cells: cells}, nil
+}
+
+// Suppressed is a publishable view of a CountTable: suppressed cells are
+// masked, marginals are published unless they themselves had to be
+// withheld.
+type Suppressed struct {
+	Table        *CountTable
+	Mask         [][]bool // true = cell suppressed
+	RowTotals    []float64
+	ColTotals    []float64
+	RowTotalMask []bool
+	ColTotalMask []bool
+	Primary      int // cells suppressed by the threshold rule
+	Secondary    int // cells suppressed to protect primaries
+}
+
+// ErrUnprotectable is returned when the table cannot be protected (should
+// not occur with the marginal-suppression fallback).
+var ErrUnprotectable = errors.New("privacy: cannot protect table")
+
+// Suppress applies primary suppression (0 < cell < threshold) and then
+// complementary suppression until no suppressed cell is recoverable by
+// single-constraint subtraction from a published marginal. When a row or
+// column offers no complementary candidate, its marginal is withheld.
+func Suppress(t *CountTable, threshold float64) (*Suppressed, error) {
+	nr, nc := len(t.RowLabels), len(t.ColLabels)
+	s := &Suppressed{
+		Table:        t,
+		Mask:         make([][]bool, nr),
+		RowTotals:    make([]float64, nr),
+		ColTotals:    make([]float64, nc),
+		RowTotalMask: make([]bool, nr),
+		ColTotalMask: make([]bool, nc),
+	}
+	for i := range s.Mask {
+		s.Mask[i] = make([]bool, nc)
+	}
+	for i := 0; i < nr; i++ {
+		for j := 0; j < nc; j++ {
+			v := t.Cells[i][j]
+			s.RowTotals[i] += v
+			s.ColTotals[j] += v
+			if v > 0 && v < threshold {
+				s.Mask[i][j] = true
+				s.Primary++
+			}
+		}
+	}
+	// Complementary pass: repeat until the audit finds no single-constraint
+	// recovery. Each iteration adds a suppression, so it terminates.
+	for iter := 0; iter < nr*nc+nr+nc+1; iter++ {
+		kind, idx := s.findRecoverable()
+		if kind == 0 {
+			return s, nil
+		}
+		switch kind {
+		case 1: // row idx has exactly one suppressed cell and published total
+			if j := s.pickComplement(idx, -1); j >= 0 {
+				s.Mask[idx][j] = true
+				s.Secondary++
+			} else {
+				s.RowTotalMask[idx] = true
+			}
+		case 2: // column idx
+			if i := s.pickComplement(-1, idx); i >= 0 {
+				s.Mask[i][idx] = true
+				s.Secondary++
+			} else {
+				s.ColTotalMask[idx] = true
+			}
+		}
+	}
+	return nil, ErrUnprotectable
+}
+
+// findRecoverable returns (1, row) or (2, col) for the first suppressed
+// cell recoverable by subtracting published cells from a published
+// marginal, or (0, 0) when the table is safe.
+func (s *Suppressed) findRecoverable() (int, int) {
+	nr, nc := len(s.RowTotals), len(s.ColTotals)
+	for i := 0; i < nr; i++ {
+		if s.RowTotalMask[i] {
+			continue
+		}
+		cnt := 0
+		for j := 0; j < nc; j++ {
+			if s.Mask[i][j] {
+				cnt++
+			}
+		}
+		if cnt == 1 {
+			return 1, i
+		}
+	}
+	for j := 0; j < nc; j++ {
+		if s.ColTotalMask[j] {
+			continue
+		}
+		cnt := 0
+		for i := 0; i < nr; i++ {
+			if s.Mask[i][j] {
+				cnt++
+			}
+		}
+		if cnt == 1 {
+			return 2, j
+		}
+	}
+	return 0, 0
+}
+
+// pickComplement chooses the smallest positive unsuppressed cell in the
+// given row (col = -1) or column (row = -1); zero cells are a last resort
+// (suppressing a zero protects nothing against subtraction, so they are
+// not chosen). Returns -1 when no candidate exists.
+func (s *Suppressed) pickComplement(row, col int) int {
+	best := -1
+	var bestV float64
+	consider := func(i, j int) {
+		if s.Mask[i][j] {
+			return
+		}
+		v := s.Table.Cells[i][j]
+		if v <= 0 {
+			return
+		}
+		idx := j
+		if col >= 0 {
+			idx = i
+		}
+		if best < 0 || v < bestV {
+			best, bestV = idx, v
+		}
+	}
+	if row >= 0 {
+		for j := range s.ColTotals {
+			consider(row, j)
+		}
+	} else {
+		for i := range s.RowTotals {
+			consider(i, col)
+		}
+	}
+	return best
+}
+
+// Published returns the cell as it would appear in the release: the value
+// and whether it is visible.
+func (s *Suppressed) Published(i, j int) (float64, bool) {
+	if s.Mask[i][j] {
+		return 0, false
+	}
+	return s.Table.Cells[i][j], true
+}
+
+// SuppressedCells returns the total number of withheld cells.
+func (s *Suppressed) SuppressedCells() int { return s.Primary + s.Secondary }
+
+// AuditSafe re-checks the single-constraint audit; true means no
+// suppressed cell is recoverable by one marginal subtraction.
+func (s *Suppressed) AuditSafe() bool {
+	kind, _ := s.findRecoverable()
+	return kind == 0
+}

@@ -1,0 +1,126 @@
+package privacy
+
+import (
+	"testing"
+)
+
+func TestNewCountTableValidation(t *testing.T) {
+	if _, err := NewCountTable([]string{"r"}, []string{"c"}, [][]float64{}); err == nil {
+		t.Error("row mismatch should fail")
+	}
+	if _, err := NewCountTable([]string{"r"}, []string{"c"}, [][]float64{{1, 2}}); err == nil {
+		t.Error("col mismatch should fail")
+	}
+	if _, err := NewCountTable([]string{"r"}, []string{"c"}, [][]float64{{-1}}); err == nil {
+		t.Error("negative count should fail")
+	}
+}
+
+func TestPrimarySuppression(t *testing.T) {
+	ct, err := NewCountTable(
+		[]string{"r1", "r2"},
+		[]string{"c1", "c2", "c3"},
+		[][]float64{
+			{10, 2, 30}, // the 2 is below threshold
+			{40, 50, 60},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Suppress(ct, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Primary != 1 {
+		t.Errorf("primary = %d", s.Primary)
+	}
+	if _, visible := s.Published(0, 1); visible {
+		t.Error("small cell still published")
+	}
+	// Complementary suppression must protect it: the audit passes.
+	if !s.AuditSafe() {
+		t.Error("table still recoverable")
+	}
+	// With only one suppressed cell in row 0 the row total would reveal it,
+	// so at least one complementary suppression (or marginal withholding)
+	// must exist.
+	if s.Secondary == 0 && !s.RowTotalMask[0] && !s.ColTotalMask[1] {
+		t.Error("no complementary protection added")
+	}
+}
+
+func TestNoSuppressionNeeded(t *testing.T) {
+	ct, _ := NewCountTable([]string{"r"}, []string{"c1", "c2"}, [][]float64{{10, 20}})
+	s, err := Suppress(ct, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SuppressedCells() != 0 {
+		t.Errorf("suppressed %d cells of a safe table", s.SuppressedCells())
+	}
+	if v, ok := s.Published(0, 0); !ok || v != 10 {
+		t.Errorf("published = %v, %v", v, ok)
+	}
+}
+
+func TestZeroCellsNotPrimary(t *testing.T) {
+	// Zero cells are publishable: they describe no individual.
+	ct, _ := NewCountTable([]string{"r"}, []string{"c1", "c2"}, [][]float64{{0, 20}})
+	s, err := Suppress(ct, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Primary != 0 {
+		t.Errorf("zero cell suppressed: primary = %d", s.Primary)
+	}
+}
+
+func TestDegenerateSingleColumn(t *testing.T) {
+	// One column: no complementary cell exists in the row, so the marginal
+	// must be withheld.
+	ct, _ := NewCountTable([]string{"r1", "r2", "r3"}, []string{"c"},
+		[][]float64{{3}, {10}, {20}})
+	s, err := Suppress(ct, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.AuditSafe() {
+		t.Error("degenerate table unprotected")
+	}
+	if !s.RowTotalMask[0] && !s.ColTotalMask[0] {
+		t.Error("expected a marginal to be withheld")
+	}
+}
+
+func TestCensusStyleTable(t *testing.T) {
+	// A bigger table with several primaries scattered around.
+	cells := [][]float64{
+		{120, 3, 45, 200},
+		{80, 90, 2, 150},
+		{1, 60, 70, 4},
+		{300, 210, 95, 85},
+	}
+	ct, _ := NewCountTable(
+		[]string{"county1", "county2", "county3", "county4"},
+		[]string{"age1", "age2", "age3", "age4"},
+		cells)
+	s, err := Suppress(ct, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Primary != 4 {
+		t.Errorf("primary = %d, want 4", s.Primary)
+	}
+	if !s.AuditSafe() {
+		t.Error("audit failed")
+	}
+	// Secondary suppressions cost utility: more cells withheld than the
+	// primaries alone.
+	if s.SuppressedCells() <= s.Primary {
+		t.Errorf("no complementary suppression happened: %d cells", s.SuppressedCells())
+	}
+	// Unsuppressed cells publish their true values.
+	if v, ok := s.Published(3, 0); !ok || v != 300 {
+		t.Errorf("Published(3,0) = %v, %v", v, ok)
+	}
+}

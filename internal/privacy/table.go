@@ -1,0 +1,187 @@
+// Package privacy implements statistical-inference control — Section 7 of
+// Shoshani's OLAP-vs-SDB survey. It provides:
+//
+//   - a micro-data table and the characteristic-formula query model of the
+//     inference literature (conjunctions of attribute=value terms and
+//     their negations, combined disjunctively);
+//   - a Guard that releases only statistical summaries, enforcing
+//     query-set-size restriction and, optionally, query-set-overlap
+//     auditing, random-sample answering, and output perturbation; input
+//     perturbation is provided as a table transformation;
+//   - the tracker attack of Denning & Schlörer [DS80], which compromises
+//     any size-restricted database — the paper's "important negative
+//     result" — implemented strictly against the Guard's public interface;
+//   - cell suppression for published macro-data tables, with primary and
+//     complementary suppression (the census-bureau technique).
+package privacy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Table is a micro-data table: n individuals with categorical attributes
+// and numeric attributes. It is the trusted store the Guard protects.
+type Table struct {
+	n    int
+	cats map[string][]string
+	nums map[string][]float64
+}
+
+// NewTable creates an empty micro-data table of n individuals.
+func NewTable(n int) *Table {
+	return &Table{n: n, cats: map[string][]string{}, nums: map[string][]float64{}}
+}
+
+// N returns the number of individuals.
+func (t *Table) N() int { return t.n }
+
+// AddCat registers a categorical attribute; vals must have length n.
+func (t *Table) AddCat(name string, vals []string) error {
+	if len(vals) != t.n {
+		return fmt.Errorf("privacy: attribute %q has %d values, want %d", name, len(vals), t.n)
+	}
+	if _, dup := t.cats[name]; dup {
+		return fmt.Errorf("privacy: duplicate attribute %q", name)
+	}
+	t.cats[name] = append([]string(nil), vals...)
+	return nil
+}
+
+// AddNum registers a numeric attribute; vals must have length n.
+func (t *Table) AddNum(name string, vals []float64) error {
+	if len(vals) != t.n {
+		return fmt.Errorf("privacy: attribute %q has %d values, want %d", name, len(vals), t.n)
+	}
+	if _, dup := t.nums[name]; dup {
+		return fmt.Errorf("privacy: duplicate attribute %q", name)
+	}
+	t.nums[name] = append([]float64(nil), vals...)
+	return nil
+}
+
+// CatAttrs returns the categorical attribute names, sorted.
+func (t *Table) CatAttrs() []string {
+	var out []string
+	for k := range t.cats {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CatValues returns the distinct values of a categorical attribute, sorted.
+func (t *Table) CatValues(attr string) []string {
+	set := map[string]bool{}
+	for _, v := range t.cats[attr] {
+		set[v] = true
+	}
+	var out []string
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Term is one literal of a characteristic formula: attribute = value,
+// optionally negated.
+type Term struct {
+	Attr   string
+	Value  string
+	Negate bool
+}
+
+// Conj is a conjunction of terms (all must hold).
+type Conj []Term
+
+// Formula is a disjunction of conjunctions (DNF); an individual satisfies
+// the formula if any conjunction matches. The tracker attack needs exactly
+// this much: C ∨ T and C ∨ ¬T.
+type Formula []Conj
+
+// Not negates a single-term conjunction. Negating richer formulas is not
+// needed by the implemented attacks.
+func Not(t Term) Term { return Term{Attr: t.Attr, Value: t.Value, Negate: !t.Negate} }
+
+// Or combines formulas disjunctively.
+func Or(fs ...Formula) Formula {
+	var out Formula
+	for _, f := range fs {
+		out = append(out, f...)
+	}
+	return out
+}
+
+// C builds a single-conjunction formula.
+func C(terms ...Term) Formula { return Formula{Conj(terms)} }
+
+// matches reports whether individual i satisfies the formula.
+func (t *Table) matches(f Formula, i int) (bool, error) {
+	for _, conj := range f {
+		all := true
+		for _, term := range conj {
+			col, ok := t.cats[term.Attr]
+			if !ok {
+				return false, fmt.Errorf("privacy: unknown attribute %q", term.Attr)
+			}
+			eq := col[i] == term.Value
+			if eq == term.Negate {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// QuerySet returns the indices of individuals satisfying the formula — the
+// "query set" of the inference literature. Trusted-side only; the Guard
+// never exposes it.
+func (t *Table) QuerySet(f Formula) ([]int, error) {
+	var out []int
+	for i := 0; i < t.n; i++ {
+		ok, err := t.matches(f, i)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}
+
+// TrueCount returns the exact count (trusted side; used by tests to verify
+// attacks).
+func (t *Table) TrueCount(f Formula) (int, error) {
+	qs, err := t.QuerySet(f)
+	if err != nil {
+		return 0, err
+	}
+	return len(qs), nil
+}
+
+// TrueSum returns the exact sum of a numeric attribute over the query set.
+func (t *Table) TrueSum(f Formula, attr string) (float64, error) {
+	col, ok := t.nums[attr]
+	if !ok {
+		return 0, fmt.Errorf("privacy: unknown numeric attribute %q", attr)
+	}
+	qs, err := t.QuerySet(f)
+	if err != nil {
+		return 0, err
+	}
+	var s float64
+	for _, i := range qs {
+		s += col[i]
+	}
+	return s, nil
+}
+
+// ErrUnknownAttr is returned for queries over undeclared attributes.
+var ErrUnknownAttr = errors.New("privacy: unknown attribute")

@@ -1,0 +1,117 @@
+package privacy
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file implements the general tracker of Denning & Schlörer, "A Fast
+// Procedure for Finding a Tracker in a Statistical Database" (TODS 1980)
+// [DS80] — the paper's Section 7 negative result: query-set-size
+// restriction alone cannot protect a statistical database, because almost
+// any database contains a formula T (the tracker) with
+//
+//	2k ≤ |T| ≤ n − 2k
+//
+// from which every restricted statistic is recoverable via the padding
+// identity
+//
+//	count(C) = count(C ∨ T) + count(C ∨ ¬T) − n,
+//	n        = count(T) + count(¬T),
+//
+// and analogously for sums. All arithmetic here uses only the Guard's
+// public answers; the attacker never touches the micro-data.
+
+// ErrNoTracker is returned when no single-term tracker exists (e.g. the
+// restriction threshold is too large relative to n).
+var ErrNoTracker = errors.New("privacy: no general tracker found")
+
+// Tracker is a discovered general tracker: a term whose query set size is
+// in [2k, n-2k], plus the database size inferred while validating it.
+type Tracker struct {
+	T Term
+	N float64 // inferred database size: count(T) + count(¬T)
+}
+
+// FindGeneralTracker searches for a single-term general tracker using only
+// Guard queries: it probes candidate terms (attr = value) and accepts the
+// first for which both count(T) and count(¬T) are answered — exactly the
+// "fast procedure" setting of [DS80], where candidate formulas are probed
+// through the query interface. k is the (known or assumed) restriction
+// threshold; the [2k, n−2k] window is certified arithmetically from the
+// two answered counts.
+func FindGeneralTracker(g *Guard, k int) (*Tracker, error) {
+	for _, attr := range g.tbl.CatAttrs() {
+		for _, val := range g.tbl.CatValues(attr) {
+			term := Term{Attr: attr, Value: val}
+			ct, err1 := g.Count(C(term))
+			cnt, err2 := g.Count(C(Not(term)))
+			if err1 != nil || err2 != nil {
+				continue // restricted: not a usable tracker
+			}
+			n := ct + cnt
+			if ct >= 2*float64(k) && ct <= n-2*float64(k) {
+				return &Tracker{T: term, N: n}, nil
+			}
+		}
+	}
+	return nil, ErrNoTracker
+}
+
+// Count infers count(C) for an arbitrary conjunction C, even when the
+// Guard would refuse it directly, using the padding identity. C must be a
+// single conjunction (the common compromising case: a formula identifying
+// one individual).
+func (tr *Tracker) Count(g *Guard, target Conj) (float64, error) {
+	cOrT, err := g.Count(Or(Formula{target}, C(tr.T)))
+	if err != nil {
+		return 0, fmt.Errorf("privacy: tracker padding query refused: %w", err)
+	}
+	cOrNotT, err := g.Count(Or(Formula{target}, C(Not(tr.T))))
+	if err != nil {
+		return 0, fmt.Errorf("privacy: tracker padding query refused: %w", err)
+	}
+	return cOrT + cOrNotT - tr.N, nil
+}
+
+// Sum infers sum(C, attr) the same way:
+//
+//	sum(C) = sum(C ∨ T) + sum(C ∨ ¬T) − sum(all),
+//
+// with sum(all) = sum(T) + sum(¬T).
+func (tr *Tracker) Sum(g *Guard, target Conj, attr string) (float64, error) {
+	sT, err := g.Sum(C(tr.T), attr)
+	if err != nil {
+		return 0, fmt.Errorf("privacy: tracker total query refused: %w", err)
+	}
+	sNotT, err := g.Sum(C(Not(tr.T)), attr)
+	if err != nil {
+		return 0, fmt.Errorf("privacy: tracker total query refused: %w", err)
+	}
+	sOrT, err := g.Sum(Or(Formula{target}, C(tr.T)), attr)
+	if err != nil {
+		return 0, fmt.Errorf("privacy: tracker padding query refused: %w", err)
+	}
+	sOrNotT, err := g.Sum(Or(Formula{target}, C(Not(tr.T))), attr)
+	if err != nil {
+		return 0, fmt.Errorf("privacy: tracker padding query refused: %w", err)
+	}
+	return sOrT + sOrNotT - (sT + sNotT), nil
+}
+
+// CompromiseIndividual runs the end-to-end attack: given a conjunction
+// believed to identify exactly one individual, verify |C| = 1 via the
+// tracker and return the individual's value of the numeric attribute.
+// It returns an error if the formula does not isolate one individual.
+func (tr *Tracker) CompromiseIndividual(g *Guard, target Conj, attr string) (float64, error) {
+	cnt, err := tr.Count(g, target)
+	if err != nil {
+		return 0, err
+	}
+	// The padding arithmetic is exact for unperturbed guards; tolerate
+	// small float error.
+	if cnt < 0.5 || cnt > 1.5 {
+		return 0, fmt.Errorf("privacy: formula identifies %.1f individuals, not 1", cnt)
+	}
+	return tr.Sum(g, target, attr)
+}

@@ -1,0 +1,156 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"statcube/internal/core"
+)
+
+// resolved locates a dimension/level pair for a name in a schema.
+type resolved struct {
+	dim   string
+	level string // level name within the dimension's classification
+}
+
+// resolveName maps a query name onto a dimension and level of the object's
+// schema. Accepted forms: a dimension name (its leaf level), a level name
+// unique across all classifications, or "dimension.level".
+func resolveName(o *core.StatObject, name string) (resolved, error) {
+	if i := strings.IndexByte(name, '.'); i > 0 {
+		dimName, levelName := name[:i], name[i+1:]
+		d, err := o.Schema().Dimension(dimName)
+		if err != nil {
+			return resolved{}, fmt.Errorf("%w: %q", ErrUnknown, name)
+		}
+		if _, err := d.Class.LevelIndex(levelName); err != nil {
+			return resolved{}, fmt.Errorf("%w: %q", ErrUnknown, name)
+		}
+		return resolved{dim: dimName, level: levelName}, nil
+	}
+	// Exact dimension name wins.
+	if _, err := o.Schema().Dimension(name); err == nil {
+		return resolved{dim: name}, nil
+	}
+	// Search classification levels.
+	var hits []resolved
+	for _, d := range o.Schema().Dimensions() {
+		for li := 0; li < d.Class.NumLevels(); li++ {
+			if d.Class.Level(li).Name == name {
+				hits = append(hits, resolved{dim: d.Name, level: name})
+			}
+		}
+	}
+	switch len(hits) {
+	case 0:
+		return resolved{}, fmt.Errorf("%w: %q", ErrUnknown, name)
+	case 1:
+		return hits[0], nil
+	default:
+		return resolved{}, fmt.Errorf("%w: %q", ErrAmbiguous, name)
+	}
+}
+
+// Eval runs a parsed query against a statistical object, returning the
+// result as a derived statistical object (its dimensions are the BY and
+// WHERE names).
+func Eval(o *core.StatObject, q *Query) (*core.StatObject, error) {
+	if _, err := o.Measure(q.Measure); err != nil {
+		return nil, err
+	}
+	auto := core.AutoQuery{Measure: q.Measure, Where: map[string]core.Pick{}}
+	whereOnly := map[string][]core.Value{}
+	for _, c := range q.Where {
+		r, err := resolveName(o, c.Name)
+		if err != nil {
+			return nil, err
+		}
+		if prev, dup := auto.Where[r.dim]; dup {
+			return nil, fmt.Errorf("query: dimension %q constrained twice (%v and %v)", r.dim, prev.Values, c.Values)
+		}
+		auto.Where[r.dim] = core.Pick{Level: r.level, Values: c.Values}
+		whereOnly[r.dim] = c.Values
+	}
+	for _, name := range q.By {
+		r, err := resolveName(o, name)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := auto.Where[r.dim]; dup {
+			return nil, fmt.Errorf("query: dimension %q appears in both BY and WHERE", r.dim)
+		}
+		delete(whereOnly, r.dim)
+		// BY keeps the dimension with every value of the named level.
+		d, err := o.Schema().Dimension(r.dim)
+		if err != nil {
+			return nil, err
+		}
+		level := r.level
+		if level == "" {
+			level = d.Class.LeafLevel().Name
+		}
+		li, err := d.Class.LevelIndex(level)
+		if err != nil {
+			return nil, err
+		}
+		auto.Where[r.dim] = core.Pick{Level: level, Values: d.Class.Level(li).Values}
+	}
+	res, err := o.AutoAggregate(auto)
+	if err != nil {
+		return nil, err
+	}
+	// Collapse WHERE-only dimensions: they constrained the data but were
+	// not asked for in BY, so the result should not be grouped by them.
+	// A single picked value is sliced away (no summarizability question);
+	// a multi-value restriction is summarized over, subject to the usual
+	// additivity checks. When only one dimension remains it must stay —
+	// the scalar reduction happens in RunScalar. Dimensions are collapsed
+	// in sorted order so the kept dimension is deterministic.
+	dims := make([]string, 0, len(whereOnly))
+	for dim := range whereOnly {
+		dims = append(dims, dim)
+	}
+	sort.Strings(dims)
+	for _, dim := range dims {
+		if res.Schema().NumDims() <= 1 {
+			break
+		}
+		vals := whereOnly[dim]
+		if len(vals) == 1 {
+			res, err = res.Slice(dim, vals[0])
+		} else {
+			res, err = res.SProject(dim)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Run parses and evaluates in one step.
+func Run(o *core.StatObject, input string) (*core.StatObject, error) {
+	q, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	return Eval(o, q)
+}
+
+// RunScalar parses, evaluates, and reduces to one number, for queries
+// whose conditions select single values (the Figure 13 case).
+func RunScalar(o *core.StatObject, input string) (float64, error) {
+	q, err := Parse(input)
+	if err != nil {
+		return 0, err
+	}
+	if len(q.By) > 0 {
+		return 0, fmt.Errorf("query: BY queries return tables; use Run")
+	}
+	res, err := Eval(o, q)
+	if err != nil {
+		return 0, err
+	}
+	return res.Total(q.Measure)
+}

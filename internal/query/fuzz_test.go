@@ -1,0 +1,45 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the parser never panics and that accepted inputs
+// round-trip into well-formed queries.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"SHOW m",
+		"SHOW average income WHERE year = 1980 AND professional class = engineer",
+		"show m by a, b where c in (1, 2)",
+		"SHOW m WHERE a = 'quoted value'",
+		"SHOW",
+		"",
+		"SHOW m WHERE a = ",
+		"SHOW m WHERE a IN (",
+		"((((",
+		"SHOW m BY",
+		"SHOW 'm' WHERE 'a' = 'b'",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if q.Measure == "" {
+			t.Errorf("accepted query with empty measure: %q", input)
+		}
+		for _, c := range q.Where {
+			if c.Name == "" || len(c.Values) == 0 {
+				t.Errorf("accepted malformed condition %+v from %q", c, input)
+			}
+		}
+		for _, b := range q.By {
+			if strings.TrimSpace(b) == "" {
+				t.Errorf("accepted empty BY name from %q", input)
+			}
+		}
+	})
+}

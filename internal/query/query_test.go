@@ -1,0 +1,207 @@
+package query
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"statcube/internal/core"
+	"statcube/internal/hierarchy"
+	"statcube/internal/schema"
+)
+
+// incomeObject builds the Figure 13 object: average income by sex by year
+// by profession.
+func incomeObject(t *testing.T) *core.StatObject {
+	t.Helper()
+	prof := hierarchy.NewBuilder("profession", "profession",
+		"chemical engineer", "civil engineer", "junior secretary").
+		Level("professional class", "engineer", "secretary").
+		Parent("chemical engineer", "engineer").
+		Parent("civil engineer", "engineer").
+		Parent("junior secretary", "secretary").
+		MustBuild()
+	sch := schema.MustNew("average income",
+		schema.Dimension{Name: "sex", Class: hierarchy.FlatClassification("sex", "M", "F")},
+		schema.Dimension{Name: "year", Class: hierarchy.FlatClassification("year", "1980", "1981"), Temporal: true},
+		schema.Dimension{Name: "profession", Class: prof},
+	)
+	o := core.MustNew(sch, []core.Measure{{Name: "average income", Unit: "dollars", Func: core.Avg, Type: core.ValuePerUnit}})
+	for _, c := range []struct {
+		sex, year, prof string
+		mean, n         float64
+	}{
+		{"M", "1980", "chemical engineer", 30000, 10},
+		{"M", "1980", "civil engineer", 32000, 20},
+		{"F", "1980", "chemical engineer", 28000, 10},
+		{"F", "1980", "civil engineer", 31000, 10},
+		{"M", "1981", "chemical engineer", 33000, 10},
+		{"M", "1980", "junior secretary", 20000, 50},
+	} {
+		if err := o.SetCellWeighted(map[string]core.Value{"sex": c.sex, "year": c.year, "profession": c.prof},
+			"average income", c.mean, c.n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return o
+}
+
+func TestParseBasics(t *testing.T) {
+	q, err := Parse("SHOW average income WHERE year = 1980 AND professional class = engineer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Measure != "average income" {
+		t.Errorf("measure = %q", q.Measure)
+	}
+	if len(q.Where) != 2 {
+		t.Fatalf("conds = %v", q.Where)
+	}
+	if q.Where[0].Name != "year" || q.Where[0].Values[0] != "1980" {
+		t.Errorf("cond0 = %+v", q.Where[0])
+	}
+	if q.Where[1].Name != "professional class" || q.Where[1].Values[0] != "engineer" {
+		t.Errorf("cond1 = %+v", q.Where[1])
+	}
+}
+
+func TestParseByAndIn(t *testing.T) {
+	q, err := Parse("show average income by sex, professional class where year in (1980, 1981)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(q.By, []string{"sex", "professional class"}) {
+		t.Errorf("by = %v", q.By)
+	}
+	if len(q.Where) != 1 || len(q.Where[0].Values) != 2 {
+		t.Errorf("where = %+v", q.Where)
+	}
+}
+
+func TestParseQuotedValues(t *testing.T) {
+	q, err := Parse("SHOW sales WHERE product = 'fuji apple'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where[0].Values[0] != "fuji apple" {
+		t.Errorf("quoted value = %q", q.Where[0].Values[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"FIND x",
+		"SHOW",
+		"SHOW m WHERE",
+		"SHOW m WHERE a",
+		"SHOW m WHERE a = ",
+		"SHOW m WHERE a IN 1",
+		"SHOW m WHERE a IN (1",
+		"SHOW m WHERE a = 'unterminated",
+		"SHOW m WHERE a = 1 garbage = 2",
+	} {
+		if _, err := Parse(bad); !errors.Is(err, ErrSyntax) {
+			t.Errorf("Parse(%q) err = %v, want ErrSyntax", bad, err)
+		}
+	}
+}
+
+func TestRunScalarFigure13(t *testing.T) {
+	o := incomeObject(t)
+	got, err := RunScalar(o, "SHOW average income WHERE year = 1980 AND professional class = engineer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (30000.0*10 + 32000*20 + 28000*10 + 31000*10) / 50
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("scalar = %v, want %v", got, want)
+	}
+}
+
+func TestRunByQuery(t *testing.T) {
+	o := incomeObject(t)
+	res, err := Run(o, "SHOW average income BY sex WHERE year = 1980")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema().NumDims() != 1 {
+		t.Fatalf("result dims = %d", res.Schema().NumDims())
+	}
+	m, ok, err := res.CellValue(map[string]core.Value{"sex": "M"}, "average income")
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	want := (30000.0*10 + 32000*20 + 20000*50) / 80
+	if math.Abs(m-want) > 1e-9 {
+		t.Errorf("M avg = %v, want %v", m, want)
+	}
+}
+
+func TestRunByLevel(t *testing.T) {
+	o := incomeObject(t)
+	res, err := Run(o, "SHOW average income BY professional class")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := res.Schema().Dimension("profession")
+	if d.Class.LeafLevel().Name != "professional class" {
+		t.Errorf("leaf level = %q", d.Class.LeafLevel().Name)
+	}
+	eng, ok, err := res.CellValue(map[string]core.Value{"profession": "engineer"}, "average income")
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	want := (30000.0*10 + 32000*20 + 28000*10 + 31000*10 + 33000*10) / 60
+	if math.Abs(eng-want) > 1e-9 {
+		t.Errorf("engineer avg = %v, want %v", eng, want)
+	}
+}
+
+func TestResolveQualifiedAndErrors(t *testing.T) {
+	o := incomeObject(t)
+	// Qualified form works.
+	if _, err := Run(o, "SHOW average income WHERE profession.professional class = engineer"); err != nil {
+		t.Errorf("qualified: %v", err)
+	}
+	// Unknown names.
+	if _, err := Run(o, "SHOW average income WHERE galaxy = m31"); !errors.Is(err, ErrUnknown) {
+		t.Errorf("unknown err = %v", err)
+	}
+	if _, err := Run(o, "SHOW nope WHERE year = 1980"); !errors.Is(err, core.ErrUnknownMeasure) {
+		t.Errorf("unknown measure err = %v", err)
+	}
+	// Dimension constrained twice.
+	if _, err := Run(o, "SHOW average income WHERE year = 1980 AND year = 1981"); err == nil {
+		t.Error("double constraint should fail")
+	}
+	// BY and WHERE on the same dimension.
+	if _, err := Run(o, "SHOW average income BY year WHERE year = 1980"); err == nil {
+		t.Error("BY+WHERE clash should fail")
+	}
+	// Scalar form rejects BY.
+	if _, err := RunScalar(o, "SHOW average income BY sex"); err == nil {
+		t.Error("RunScalar with BY should fail")
+	}
+}
+
+func TestResolveAmbiguousLevel(t *testing.T) {
+	// Two dimensions both with a level named "region".
+	mk := func(dim string) schema.Dimension {
+		c := hierarchy.NewBuilder(dim, dim, "x-"+dim).
+			Level("region", "r-"+dim).
+			Parent("x-"+dim, "r-"+dim).
+			MustBuild()
+		return schema.Dimension{Name: dim, Class: c}
+	}
+	sch := schema.MustNew("amb", mk("origin"), mk("destination"))
+	o := core.MustNew(sch, []core.Measure{{Name: "flights", Func: core.Sum, Type: core.Flow}})
+	if _, err := Run(o, "SHOW flights WHERE region = r-origin"); !errors.Is(err, ErrAmbiguous) {
+		t.Errorf("ambiguous err = %v", err)
+	}
+	// Qualification disambiguates.
+	if _, err := Run(o, "SHOW flights WHERE origin.region = r-origin"); err != nil {
+		t.Errorf("qualified: %v", err)
+	}
+}

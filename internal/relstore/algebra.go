@@ -1,0 +1,217 @@
+package relstore
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file implements the classical relational algebra over Relations:
+// selection, projection, set union, difference, cartesian product and
+// equijoin. These are the operators the statistical algebra is proved
+// complete against in [MRS92] (Figure 16), and the building blocks of the
+// ROLAP query plans benchmarked in Section 6.
+
+// Select returns the rows satisfying pred, preserving order.
+func (r *Relation) Select(pred func(Row) bool) *Relation {
+	out := MustNewRelation(r.name, r.cols...)
+	r.Scan(func(row Row) bool {
+		if pred(row) {
+			out.rows = append(out.rows, row)
+		}
+		return true
+	})
+	return out
+}
+
+// SelectEq selects rows whose column equals the value.
+func (r *Relation) SelectEq(col string, v Value) (*Relation, error) {
+	i, err := r.ColIndex(col)
+	if err != nil {
+		return nil, err
+	}
+	return r.Select(func(row Row) bool { return row[i].Equal(v) }), nil
+}
+
+// SelectIn selects rows whose column equals any of the values.
+func (r *Relation) SelectIn(col string, vals ...Value) (*Relation, error) {
+	i, err := r.ColIndex(col)
+	if err != nil {
+		return nil, err
+	}
+	set := map[string]bool{}
+	for _, v := range vals {
+		set[v.key()] = true
+	}
+	return r.Select(func(row Row) bool { return set[row[i].key()] }), nil
+}
+
+// Project keeps the named columns, preserving duplicates (SQL bag
+// semantics). Use Distinct afterwards for set semantics.
+func (r *Relation) Project(cols ...string) (*Relation, error) {
+	idx := make([]int, len(cols))
+	outCols := make([]Column, len(cols))
+	for k, name := range cols {
+		i, err := r.ColIndex(name)
+		if err != nil {
+			return nil, err
+		}
+		idx[k] = i
+		outCols[k] = r.cols[i]
+	}
+	out, err := NewRelation(r.name, outCols...)
+	if err != nil {
+		return nil, err
+	}
+	r.Scan(func(row Row) bool {
+		nr := make(Row, len(idx))
+		for k, i := range idx {
+			nr[k] = row[i]
+		}
+		out.rows = append(out.rows, nr)
+		return true
+	})
+	return out, nil
+}
+
+// Distinct removes duplicate rows, keeping first occurrences.
+func (r *Relation) Distinct() *Relation {
+	out := MustNewRelation(r.name, r.cols...)
+	seen := map[string]bool{}
+	r.Scan(func(row Row) bool {
+		k := rowKey(row)
+		if !seen[k] {
+			seen[k] = true
+			out.rows = append(out.rows, row)
+		}
+		return true
+	})
+	return out
+}
+
+func rowKey(row Row) string {
+	var b strings.Builder
+	for _, v := range row {
+		b.WriteString(v.key())
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+// compatible checks union-compatibility (same arity and kinds).
+func (r *Relation) compatible(o *Relation) error {
+	if len(r.cols) != len(o.cols) {
+		return fmt.Errorf("%w: %d vs %d columns", ErrSchemaClash, len(r.cols), len(o.cols))
+	}
+	for i := range r.cols {
+		if r.cols[i].Kind != o.cols[i].Kind {
+			return fmt.Errorf("%w: column %d is %v vs %v", ErrSchemaClash, i, r.cols[i].Kind, o.cols[i].Kind)
+		}
+	}
+	return nil
+}
+
+// Union returns the set union (duplicates removed).
+func (r *Relation) Union(o *Relation) (*Relation, error) {
+	if err := r.compatible(o); err != nil {
+		return nil, err
+	}
+	out := MustNewRelation(r.name, r.cols...)
+	seen := map[string]bool{}
+	add := func(row Row) bool {
+		k := rowKey(row)
+		if !seen[k] {
+			seen[k] = true
+			out.rows = append(out.rows, row)
+		}
+		return true
+	}
+	r.Scan(add)
+	o.Scan(add)
+	return out, nil
+}
+
+// UnionAll returns the bag union (duplicates kept).
+func (r *Relation) UnionAll(o *Relation) (*Relation, error) {
+	if err := r.compatible(o); err != nil {
+		return nil, err
+	}
+	out := MustNewRelation(r.name, r.cols...)
+	r.Scan(func(row Row) bool { out.rows = append(out.rows, row); return true })
+	o.Scan(func(row Row) bool { out.rows = append(out.rows, row); return true })
+	return out, nil
+}
+
+// Difference returns the rows of r not present in o (set semantics).
+func (r *Relation) Difference(o *Relation) (*Relation, error) {
+	if err := r.compatible(o); err != nil {
+		return nil, err
+	}
+	drop := map[string]bool{}
+	o.Scan(func(row Row) bool { drop[rowKey(row)] = true; return true })
+	out := MustNewRelation(r.name, r.cols...)
+	seen := map[string]bool{}
+	r.Scan(func(row Row) bool {
+		k := rowKey(row)
+		if !drop[k] && !seen[k] {
+			seen[k] = true
+			out.rows = append(out.rows, row)
+		}
+		return true
+	})
+	return out, nil
+}
+
+// Join computes the equijoin of r and o on leftCol = rightCol using a hash
+// table on the smaller input. Output columns are r's then o's, with o's
+// join column dropped and clashes disambiguated with the relation name.
+func (r *Relation) Join(o *Relation, leftCol, rightCol string) (*Relation, error) {
+	li, err := r.ColIndex(leftCol)
+	if err != nil {
+		return nil, err
+	}
+	ri, err := o.ColIndex(rightCol)
+	if err != nil {
+		return nil, err
+	}
+	var outCols []Column
+	outCols = append(outCols, r.cols...)
+	names := map[string]bool{}
+	for _, c := range r.cols {
+		names[c.Name] = true
+	}
+	var keepRight []int
+	for i, c := range o.cols {
+		if i == ri {
+			continue
+		}
+		name := c.Name
+		if names[name] {
+			name = o.name + "." + name
+		}
+		names[name] = true
+		outCols = append(outCols, Column{Name: name, Kind: c.Kind})
+		keepRight = append(keepRight, i)
+	}
+	out, err := NewRelation(r.name+"⋈"+o.name, outCols...)
+	if err != nil {
+		return nil, err
+	}
+	// Build on the right input.
+	build := map[string][]Row{}
+	o.Scan(func(row Row) bool {
+		build[row[ri].key()] = append(build[row[ri].key()], row)
+		return true
+	})
+	r.Scan(func(row Row) bool {
+		for _, m := range build[row[li].key()] {
+			nr := make(Row, 0, len(outCols))
+			nr = append(nr, row...)
+			for _, i := range keepRight {
+				nr = append(nr, m[i])
+			}
+			out.rows = append(out.rows, nr)
+		}
+		return true
+	})
+	return out, nil
+}

@@ -1,0 +1,119 @@
+package relstore
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSelectEqAndIn(t *testing.T) {
+	r := census(t)
+	sel, err := r.SelectEq("state", S("Alaska"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.NumRows() != 2 {
+		t.Errorf("Alaska rows = %d", sel.NumRows())
+	}
+	in, err := r.SelectIn("age_group", S("1-10"), S("11-20"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.NumRows() != 4 {
+		t.Errorf("in rows = %d", in.NumRows())
+	}
+	if _, err := r.SelectEq("nope", S("x")); !errors.Is(err, ErrUnknownColumn) {
+		t.Errorf("unknown column err = %v", err)
+	}
+}
+
+func TestProjectAndDistinct(t *testing.T) {
+	r := census(t)
+	p, err := r.Project("state", "year")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Columns()) != 2 || p.NumRows() != r.NumRows() {
+		t.Errorf("project shape = %d cols, %d rows", len(p.Columns()), p.NumRows())
+	}
+	d := p.Distinct()
+	if d.NumRows() != 3 { // Alabama/1990, Alaska/1990, Alaska/1991
+		t.Errorf("distinct rows = %d", d.NumRows())
+	}
+	if _, err := r.Project("nope"); err == nil {
+		t.Error("unknown column should fail")
+	}
+}
+
+func TestUnionDifference(t *testing.T) {
+	a := MustNewRelation("a", Column{"x", KInt})
+	b := MustNewRelation("b", Column{"x", KInt})
+	for _, v := range []int64{1, 2, 3} {
+		a.MustAppend(Row{I(v)})
+	}
+	for _, v := range []int64{3, 4} {
+		b.MustAppend(Row{I(v)})
+	}
+	u, err := a.Union(b)
+	if err != nil || u.NumRows() != 4 {
+		t.Errorf("union = %d rows, %v", u.NumRows(), err)
+	}
+	ua, err := a.UnionAll(b)
+	if err != nil || ua.NumRows() != 5 {
+		t.Errorf("union all = %d rows, %v", ua.NumRows(), err)
+	}
+	d, err := a.Difference(b)
+	if err != nil || d.NumRows() != 2 {
+		t.Errorf("difference = %d rows, %v", d.NumRows(), err)
+	}
+	// Incompatible schemas.
+	c := MustNewRelation("c", Column{"x", KString})
+	if _, err := a.Union(c); !errors.Is(err, ErrSchemaClash) {
+		t.Errorf("schema clash err = %v", err)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	fact := MustNewRelation("fact", Column{"hid", KInt}, Column{"n", KFloat})
+	fact.MustAppend(Row{I(1), F(10)})
+	fact.MustAppend(Row{I(2), F(20)})
+	fact.MustAppend(Row{I(1), F(5)})
+	dim := MustNewRelation("hospital", Column{"id", KInt}, Column{"city", KString}, Column{"n", KString})
+	dim.MustAppend(Row{I(1), S("berkeley"), S("alta bates")})
+	dim.MustAppend(Row{I(2), S("oakland"), S("highland")})
+	j, err := fact.Join(dim, "hid", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.NumRows() != 3 {
+		t.Errorf("join rows = %d", j.NumRows())
+	}
+	// Column name clash disambiguated with relation name.
+	if _, err := j.ColIndex("hospital.n"); err != nil {
+		t.Errorf("clash column missing: %v", err)
+	}
+	// Dangling key joins to nothing.
+	fact.MustAppend(Row{I(9), F(1)})
+	j2, _ := fact.Join(dim, "hid", "id")
+	if j2.NumRows() != 3 {
+		t.Errorf("dangling join rows = %d", j2.NumRows())
+	}
+	if _, err := fact.Join(dim, "nope", "id"); err == nil {
+		t.Error("unknown join column should fail")
+	}
+}
+
+func TestEqualCanonical(t *testing.T) {
+	a := MustNewRelation("a", Column{"x", KInt}, Column{"y", KFloat})
+	b := MustNewRelation("b", Column{"x", KInt}, Column{"y", KFloat})
+	a.MustAppend(Row{I(1), F(1.0)})
+	a.MustAppend(Row{I(2), F(2.0)})
+	b.MustAppend(Row{I(2), F(2.0)})
+	b.MustAppend(Row{I(1), F(1.0 + 1e-12)}) // within tolerance
+	if !a.Equal(b) {
+		t.Error("order-insensitive equality failed")
+	}
+	b.MustAppend(Row{I(3), F(3)})
+	if a.Equal(b) {
+		t.Error("different cardinality should differ")
+	}
+}

@@ -1,0 +1,317 @@
+package relstore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// AggOp is an aggregate function over a column.
+type AggOp int
+
+const (
+	AggSum AggOp = iota
+	AggCount
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String returns the SQL name.
+func (a AggOp) String() string {
+	switch a {
+	case AggSum:
+		return "sum"
+	case AggCount:
+		return "count"
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return fmt.Sprintf("AggOp(%d)", int(a))
+	}
+}
+
+// Agg specifies one aggregate output: op over Col, named As.
+type Agg struct {
+	Op  AggOp
+	Col string // ignored for AggCount
+	As  string
+}
+
+type accumulator struct {
+	sum   float64
+	count int64
+	min   float64
+	max   float64
+}
+
+func newAccumulator() accumulator {
+	return accumulator{min: math.Inf(1), max: math.Inf(-1)}
+}
+
+func (a *accumulator) observe(x float64) {
+	a.sum += x
+	a.count++
+	if x < a.min {
+		a.min = x
+	}
+	if x > a.max {
+		a.max = x
+	}
+}
+
+func (a *accumulator) result(op AggOp) Value {
+	switch op {
+	case AggSum:
+		return F(a.sum)
+	case AggCount:
+		return I(a.count)
+	case AggAvg:
+		if a.count == 0 {
+			return Null
+		}
+		return F(a.sum / float64(a.count))
+	case AggMin:
+		if a.count == 0 {
+			return Null
+		}
+		return F(a.min)
+	case AggMax:
+		if a.count == 0 {
+			return Null
+		}
+		return F(a.max)
+	default:
+		return Null
+	}
+}
+
+// GroupBy computes SQL GROUP BY groupCols with the given aggregates, using
+// a hash table — the standard ROLAP aggregation path. NULL values group
+// together; rows whose aggregated column is NULL are skipped by the
+// aggregate (SQL semantics) but still counted by COUNT(*).
+func (r *Relation) GroupBy(groupCols []string, aggs []Agg) (*Relation, error) {
+	gi := make([]int, len(groupCols))
+	outCols := make([]Column, 0, len(groupCols)+len(aggs))
+	for k, name := range groupCols {
+		i, err := r.ColIndex(name)
+		if err != nil {
+			return nil, err
+		}
+		gi[k] = i
+		outCols = append(outCols, r.cols[i])
+	}
+	ai := make([]int, len(aggs))
+	for k, a := range aggs {
+		if a.Op == AggCount && a.Col == "" {
+			ai[k] = -1
+		} else {
+			i, err := r.ColIndex(a.Col)
+			if err != nil {
+				return nil, err
+			}
+			ai[k] = i
+		}
+		kind := KFloat
+		if a.Op == AggCount {
+			kind = KInt
+		}
+		name := a.As
+		if name == "" {
+			name = fmt.Sprintf("%s(%s)", a.Op, a.Col)
+		}
+		outCols = append(outCols, Column{Name: name, Kind: kind})
+	}
+	out, err := NewRelation(r.name, outCols...)
+	if err != nil {
+		return nil, err
+	}
+	type group struct {
+		keyRow Row
+		accs   []accumulator
+	}
+	groups := map[string]*group{}
+	var order []string
+	r.Scan(func(row Row) bool {
+		keyRow := make(Row, len(gi))
+		for k, i := range gi {
+			keyRow[k] = row[i]
+		}
+		k := rowKey(keyRow)
+		g, ok := groups[k]
+		if !ok {
+			g = &group{keyRow: keyRow, accs: make([]accumulator, len(aggs))}
+			for i := range g.accs {
+				g.accs[i] = newAccumulator()
+			}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for k2, a := range aggs {
+			if a.Op == AggCount && ai[k2] == -1 {
+				g.accs[k2].observe(0) // COUNT(*)
+				continue
+			}
+			v := row[ai[k2]]
+			if v.IsNull() {
+				continue
+			}
+			g.accs[k2].observe(v.Float())
+		}
+		return true
+	})
+	for _, k := range order {
+		g := groups[k]
+		nr := make(Row, 0, len(outCols))
+		nr = append(nr, g.keyRow...)
+		for k2, a := range aggs {
+			nr = append(nr, g.accs[k2].result(a.Op))
+		}
+		out.rows = append(out.rows, nr)
+	}
+	return out, nil
+}
+
+// SortGroupBy computes the same result as GroupBy with a sort-based plan:
+// sort on the grouping columns, then aggregate adjacent runs. This is the
+// plan shape classic ROLAP cube pipelines share sorts across (Section 6.6
+// comparisons use both).
+func (r *Relation) SortGroupBy(groupCols []string, aggs []Agg) (*Relation, error) {
+	sorted := r.Clone()
+	if err := sorted.Sort(groupCols...); err != nil {
+		return nil, err
+	}
+	gi := make([]int, len(groupCols))
+	for k, name := range groupCols {
+		i, _ := sorted.ColIndex(name)
+		gi[k] = i
+	}
+	// Reuse GroupBy's machinery on runs: process rows in order, flushing
+	// when the grouping key changes.
+	outCols := make([]Column, 0, len(groupCols)+len(aggs))
+	for _, i := range gi {
+		outCols = append(outCols, sorted.cols[i])
+	}
+	ai := make([]int, len(aggs))
+	for k, a := range aggs {
+		if a.Op == AggCount && a.Col == "" {
+			ai[k] = -1
+		} else {
+			i, err := sorted.ColIndex(a.Col)
+			if err != nil {
+				return nil, err
+			}
+			ai[k] = i
+		}
+		kind := KFloat
+		if a.Op == AggCount {
+			kind = KInt
+		}
+		name := a.As
+		if name == "" {
+			name = fmt.Sprintf("%s(%s)", a.Op, a.Col)
+		}
+		outCols = append(outCols, Column{Name: name, Kind: kind})
+	}
+	out, err := NewRelation(r.name, outCols...)
+	if err != nil {
+		return nil, err
+	}
+	var curKey string
+	var keyRow Row
+	var accs []accumulator
+	flush := func() {
+		if keyRow == nil {
+			return
+		}
+		nr := make(Row, 0, len(outCols))
+		nr = append(nr, keyRow...)
+		for k, a := range aggs {
+			nr = append(nr, accs[k].result(a.Op))
+		}
+		out.rows = append(out.rows, nr)
+	}
+	sorted.Scan(func(row Row) bool {
+		kr := make(Row, len(gi))
+		for k, i := range gi {
+			kr[k] = row[i]
+		}
+		k := rowKey(kr)
+		if k != curKey || keyRow == nil {
+			flush()
+			curKey = k
+			keyRow = kr
+			accs = make([]accumulator, len(aggs))
+			for i := range accs {
+				accs[i] = newAccumulator()
+			}
+		}
+		for k2, a := range aggs {
+			if a.Op == AggCount && ai[k2] == -1 {
+				accs[k2].observe(0)
+				continue
+			}
+			v := row[ai[k2]]
+			if v.IsNull() {
+				continue
+			}
+			accs[k2].observe(v.Float())
+		}
+		return true
+	})
+	flush()
+	return out, nil
+}
+
+// sortRows orders a relation's rows deterministically by all columns; used
+// to compare group-by plans in tests.
+func (r *Relation) sortRows() {
+	sort.SliceStable(r.rows, func(a, b int) bool {
+		ra, rb := r.rows[a], r.rows[b]
+		for i := range ra {
+			if !ra[i].Equal(rb[i]) {
+				return ra[i].Less(rb[i])
+			}
+		}
+		return false
+	})
+}
+
+// Canonical returns a copy with rows in full-column sorted order, for
+// order-insensitive comparisons.
+func (r *Relation) Canonical() *Relation {
+	c := r.Clone()
+	c.sortRows()
+	return c
+}
+
+// Equal reports whether two relations have identical schemas and the same
+// bag of rows (order-insensitive).
+func (r *Relation) Equal(o *Relation) bool {
+	if err := r.compatible(o); err != nil {
+		return false
+	}
+	if len(r.rows) != len(o.rows) {
+		return false
+	}
+	a, b := r.Canonical(), o.Canonical()
+	for i := range a.rows {
+		for j := range a.rows[i] {
+			av, bv := a.rows[i][j], b.rows[i][j]
+			if av.kind == KFloat && bv.kind == KFloat && av.valid && bv.valid && !av.all && !bv.all {
+				if math.Abs(av.f-bv.f) > 1e-9*math.Max(1, math.Abs(av.f)) {
+					return false
+				}
+				continue
+			}
+			if !av.Equal(bv) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,256 @@
+package relstore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGroupByBasics(t *testing.T) {
+	r := census(t)
+	g, err := r.GroupBy([]string{"state"}, []Agg{
+		{Op: AggSum, Col: "population", As: "pop"},
+		{Op: AggCount, As: "n"},
+		{Op: AggAvg, Col: "avg_income", As: "inc"},
+		{Op: AggMin, Col: "population", As: "lo"},
+		{Op: AggMax, Col: "population", As: "hi"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumRows() != 2 {
+		t.Fatalf("groups = %d", g.NumRows())
+	}
+	byState := map[string]Row{}
+	g.Scan(func(row Row) bool { byState[row[0].Str()] = row; return true })
+	al := byState["Alabama"]
+	if al[1].Float() != 11763+9763+15763+8457+20000 {
+		t.Errorf("Alabama pop = %v", al[1])
+	}
+	if al[2].Int() != 5 {
+		t.Errorf("Alabama count = %v", al[2])
+	}
+	if al[4].Float() != 8457 || al[5].Float() != 20000 {
+		t.Errorf("Alabama min/max = %v/%v", al[4], al[5])
+	}
+	ak := byState["Alaska"]
+	if math.Abs(ak[3].Float()-28500) > 1e-9 {
+		t.Errorf("Alaska avg income = %v", ak[3])
+	}
+}
+
+func TestGroupByNullHandling(t *testing.T) {
+	r := MustNewRelation("x", Column{"g", KString}, Column{"v", KFloat})
+	r.MustAppend(Row{S("a"), F(1)})
+	r.MustAppend(Row{S("a"), Null}) // skipped by SUM/AVG, counted by COUNT(*)
+	r.MustAppend(Row{Null, F(5)})   // NULL groups together
+	r.MustAppend(Row{Null, F(7)})
+	g, err := r.GroupBy([]string{"g"}, []Agg{
+		{Op: AggSum, Col: "v", As: "s"},
+		{Op: AggCount, As: "n"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumRows() != 2 {
+		t.Fatalf("groups = %d", g.NumRows())
+	}
+	g.Scan(func(row Row) bool {
+		if row[0].IsNull() {
+			if row[1].Float() != 12 || row[2].Int() != 2 {
+				t.Errorf("null group = %v", row)
+			}
+		} else {
+			if row[1].Float() != 1 || row[2].Int() != 2 {
+				t.Errorf("a group = %v", row)
+			}
+		}
+		return true
+	})
+}
+
+func TestGroupByEmptyGroupColsIsGrandTotal(t *testing.T) {
+	r := census(t)
+	g, err := r.GroupBy(nil, []Agg{{Op: AggSum, Col: "population", As: "pop"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumRows() != 1 {
+		t.Fatalf("grand total rows = %d", g.NumRows())
+	}
+	if g.Row(0)[0].Float() != 11763+9763+15763+8457+20000+1200+1250 {
+		t.Errorf("grand total = %v", g.Row(0)[0])
+	}
+}
+
+func TestGroupByErrors(t *testing.T) {
+	r := census(t)
+	if _, err := r.GroupBy([]string{"nope"}, nil); err == nil {
+		t.Error("unknown group column should fail")
+	}
+	if _, err := r.GroupBy([]string{"state"}, []Agg{{Op: AggSum, Col: "nope"}}); err == nil {
+		t.Error("unknown agg column should fail")
+	}
+}
+
+func TestSortGroupByMatchesHashGroupBy(t *testing.T) {
+	r := census(t)
+	aggs := []Agg{{Op: AggSum, Col: "population", As: "pop"}, {Op: AggCount, As: "n"}}
+	h, err := r.GroupBy([]string{"state", "sex"}, aggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := r.SortGroupBy([]string{"state", "sex"}, aggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Equal(s) {
+		t.Errorf("plans disagree:\nhash:\n%s\nsort:\n%s", h, s)
+	}
+}
+
+// Property: hash and sort group-by agree on random data.
+func TestQuickGroupByPlansAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := MustNewRelation("x", Column{"a", KString}, Column{"b", KInt}, Column{"v", KFloat})
+		n := rng.Intn(300)
+		for i := 0; i < n; i++ {
+			r.MustAppend(Row{
+				S(string(rune('a' + rng.Intn(4)))),
+				I(int64(rng.Intn(3))),
+				F(float64(rng.Intn(100))),
+			})
+		}
+		aggs := []Agg{
+			{Op: AggSum, Col: "v", As: "s"},
+			{Op: AggMin, Col: "v", As: "lo"},
+			{Op: AggMax, Col: "v", As: "hi"},
+			{Op: AggCount, As: "n"},
+		}
+		h, err1 := r.GroupBy([]string{"a", "b"}, aggs)
+		s, err2 := r.SortGroupBy([]string{"a", "b"}, aggs)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return h.Equal(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCubeFigure15(t *testing.T) {
+	r := census(t)
+	c, err := r.Cube([]string{"state", "sex"}, []Agg{{Op: AggSum, Col: "population", As: "pop"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Groups: (state,sex): 4 combos present; (state,ALL): 2; (ALL,sex): 2; (ALL,ALL): 1.
+	if c.NumRows() != 9 {
+		t.Fatalf("cube rows = %d, want 9:\n%s", c.NumRows(), c)
+	}
+	var grand float64
+	found := false
+	c.Scan(func(row Row) bool {
+		if row[0].IsAll() && row[1].IsAll() {
+			grand = row[2].Float()
+			found = true
+		}
+		return true
+	})
+	if !found || grand != 11763+9763+15763+8457+20000+1200+1250 {
+		t.Errorf("grand total = %v (found=%v)", grand, found)
+	}
+}
+
+func TestRollupPrefixes(t *testing.T) {
+	r := census(t)
+	ru, err := r.Rollup([]string{"state", "county"}, []Agg{{Op: AggSum, Col: "population", As: "pop"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (state,county): 3 combos; (state,ALL): 2; (ALL,ALL): 1 => 6 rows.
+	if ru.NumRows() != 6 {
+		t.Fatalf("rollup rows = %d:\n%s", ru.NumRows(), ru)
+	}
+	// No (ALL, county) rows in a rollup.
+	ru.Scan(func(row Row) bool {
+		if row[0].IsAll() && !row[1].IsAll() {
+			t.Errorf("rollup emitted (ALL, %v)", row[1])
+		}
+		return true
+	})
+}
+
+func TestCubeMatchesGroupByUnion(t *testing.T) {
+	r := census(t)
+	aggs := []Agg{{Op: AggSum, Col: "population", As: "pop"}}
+	a, err := r.Cube([]string{"state", "race", "sex"}, aggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.GroupByUnion([]string{"state", "race", "sex"}, aggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("cube and explicit group-by union disagree")
+	}
+}
+
+func TestCubeRefusesTooManyColumns(t *testing.T) {
+	cols := make([]Column, 21)
+	names := make([]string, 21)
+	for i := range cols {
+		names[i] = string(rune('a' + i))
+		cols[i] = Column{names[i], KInt}
+	}
+	r := MustNewRelation("big", cols...)
+	if _, err := r.Cube(names, nil); err == nil {
+		t.Error("21-column cube should refuse")
+	}
+}
+
+// Property: ROLLUP's rows are a subset of CUBE's rows (the prefix
+// aggregations are among the 2^n), and both agree on shared groups.
+func TestQuickRollupSubsetOfCube(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := MustNewRelation("x",
+			Column{"a", KString}, Column{"b", KString}, Column{"v", KFloat})
+		n := int(rawN)%80 + 1
+		for i := 0; i < n; i++ {
+			r.MustAppend(Row{
+				S(string(rune('a' + rng.Intn(3)))),
+				S(string(rune('x' + rng.Intn(2)))),
+				F(float64(rng.Intn(50))),
+			})
+		}
+		aggs := []Agg{{Op: AggSum, Col: "v", As: "s"}}
+		cu, err1 := r.Cube([]string{"a", "b"}, aggs)
+		ru, err2 := r.Rollup([]string{"a", "b"}, aggs)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		cubeRows := map[string]float64{}
+		cu.Scan(func(row Row) bool {
+			cubeRows[row[0].key()+"|"+row[1].key()] = row[2].Float()
+			return true
+		})
+		ok := true
+		ru.Scan(func(row Row) bool {
+			v, found := cubeRows[row[0].key()+"|"+row[1].key()]
+			if !found || math.Abs(v-row[2].Float()) > 1e-9 {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok && ru.NumRows() <= cu.NumRows()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

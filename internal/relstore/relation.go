@@ -1,0 +1,205 @@
+package relstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Row is one tuple.
+type Row []Value
+
+// Relation is an in-memory table: a schema plus rows in insertion order.
+type Relation struct {
+	name    string
+	cols    []Column
+	byName  map[string]int
+	rows    []Row
+	scanned int64 // accounting: bytes touched by scans
+}
+
+// Common relation errors.
+var (
+	ErrUnknownColumn = errors.New("relstore: unknown column")
+	ErrSchemaClash   = errors.New("relstore: incompatible schemas")
+	ErrArity         = errors.New("relstore: row arity mismatch")
+)
+
+// NewRelation creates an empty relation.
+func NewRelation(name string, cols ...Column) (*Relation, error) {
+	r := &Relation{name: name, cols: append([]Column(nil), cols...), byName: map[string]int{}}
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, errors.New("relstore: column with empty name")
+		}
+		if _, dup := r.byName[c.Name]; dup {
+			return nil, fmt.Errorf("relstore: duplicate column %q", c.Name)
+		}
+		r.byName[c.Name] = i
+	}
+	if len(cols) == 0 {
+		return nil, errors.New("relstore: relation with no columns")
+	}
+	return r, nil
+}
+
+// MustNewRelation is NewRelation for statically known schemas.
+func MustNewRelation(name string, cols ...Column) *Relation {
+	r, err := NewRelation(name, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// Columns returns the schema.
+func (r *Relation) Columns() []Column { return r.cols }
+
+// NumRows returns the row count.
+func (r *Relation) NumRows() int { return len(r.rows) }
+
+// ColIndex returns the position of the named column.
+func (r *Relation) ColIndex(name string) (int, error) {
+	i, ok := r.byName[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q in %q", ErrUnknownColumn, name, r.name)
+	}
+	return i, nil
+}
+
+// Append adds a row; the value kinds must match the schema (NULL and ALL
+// fit any column).
+func (r *Relation) Append(row Row) error {
+	if len(row) != len(r.cols) {
+		return fmt.Errorf("%w: %d values for %d columns", ErrArity, len(row), len(r.cols))
+	}
+	for i, v := range row {
+		if v.valid && !v.all && v.kind != r.cols[i].Kind {
+			return fmt.Errorf("relstore: column %q is %v, got %v", r.cols[i].Name, r.cols[i].Kind, v.kind)
+		}
+	}
+	r.rows = append(r.rows, append(Row(nil), row...))
+	return nil
+}
+
+// MustAppend is Append that panics, for test fixtures and generators.
+func (r *Relation) MustAppend(row Row) {
+	if err := r.Append(row); err != nil {
+		panic(err)
+	}
+}
+
+// Row returns row i (shared storage; callers must not mutate).
+func (r *Relation) Row(i int) Row { return r.rows[i] }
+
+// Scan visits every row in order, charging the full row width to the scan
+// accounting — the row store must read all columns of a row (the
+// transposed-file comparison of Section 6.1 hinges on this). Iteration
+// stops if fn returns false.
+func (r *Relation) Scan(fn func(row Row) bool) {
+	for _, row := range r.rows {
+		for _, v := range row {
+			r.scanned += int64(v.width())
+		}
+		if !fn(row) {
+			return
+		}
+	}
+}
+
+// ScannedBytes returns the cumulative bytes charged to scans.
+func (r *Relation) ScannedBytes() int64 { return r.scanned }
+
+// ResetScanAccounting zeroes the scan counter.
+func (r *Relation) ResetScanAccounting() { r.scanned = 0 }
+
+// SizeBytes returns the accounting size of the whole relation — the
+// storage the row representation of the cross product occupies.
+func (r *Relation) SizeBytes() int64 {
+	var t int64
+	for _, row := range r.rows {
+		for _, v := range row {
+			t += int64(v.width())
+		}
+	}
+	return t
+}
+
+// Clone returns a deep copy with fresh accounting.
+func (r *Relation) Clone() *Relation {
+	out := MustNewRelation(r.name, r.cols...)
+	for _, row := range r.rows {
+		out.rows = append(out.rows, append(Row(nil), row...))
+	}
+	return out
+}
+
+// Sort orders rows by the named columns, ascending, ALL after values.
+func (r *Relation) Sort(cols ...string) error {
+	idx := make([]int, len(cols))
+	for k, name := range cols {
+		i, err := r.ColIndex(name)
+		if err != nil {
+			return err
+		}
+		idx[k] = i
+	}
+	sort.SliceStable(r.rows, func(a, b int) bool {
+		ra, rb := r.rows[a], r.rows[b]
+		for _, i := range idx {
+			if !ra[i].Equal(rb[i]) {
+				return ra[i].Less(rb[i])
+			}
+		}
+		return false
+	})
+	return nil
+}
+
+// String renders the relation as an aligned text table (for the CLI and
+// examples).
+func (r *Relation) String() string {
+	widths := make([]int, len(r.cols))
+	for i, c := range r.cols {
+		widths[i] = len(c.Name)
+	}
+	cells := make([][]string, len(r.rows))
+	for ri, row := range r.rows {
+		cells[ri] = make([]string, len(row))
+		for i, v := range row {
+			s := v.String()
+			cells[ri][i] = s
+			if len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, c := range r.cols {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], c.Name)
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		for i, s := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], s)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,149 @@
+package relstore
+
+import (
+	"strings"
+	"testing"
+)
+
+// census builds the Figure 10 relation: state, county, year, race, sex,
+// age-group, population, avg income.
+func census(t testing.TB) *Relation {
+	t.Helper()
+	r := MustNewRelation("census",
+		Column{"state", KString}, Column{"county", KString}, Column{"year", KInt},
+		Column{"race", KString}, Column{"sex", KString}, Column{"age_group", KString},
+		Column{"population", KFloat}, Column{"avg_income", KFloat})
+	rows := []struct {
+		st, co  string
+		yr      int64
+		ra, sx  string
+		ag      string
+		pop, ai float64
+	}{
+		{"Alabama", "Autauga", 1990, "white", "male", "1-10", 11763, 0},
+		{"Alabama", "Autauga", 1990, "white", "male", "11-20", 9763, 3342},
+		{"Alabama", "Autauga", 1990, "white", "male", "21-30", 15763, 34342},
+		{"Alabama", "Autauga", 1990, "white", "female", "1-10", 8457, 0},
+		{"Alabama", "Baldwin", 1990, "white", "male", "1-10", 20000, 0},
+		{"Alaska", "Nome", 1990, "inuit", "female", "21-30", 1200, 28000},
+		{"Alaska", "Nome", 1991, "inuit", "male", "21-30", 1250, 29000},
+	}
+	for _, x := range rows {
+		r.MustAppend(Row{S(x.st), S(x.co), I(x.yr), S(x.ra), S(x.sx), S(x.ag), F(x.pop), F(x.ai)})
+	}
+	return r
+}
+
+func TestNewRelationValidation(t *testing.T) {
+	if _, err := NewRelation("x"); err == nil {
+		t.Error("no columns should fail")
+	}
+	if _, err := NewRelation("x", Column{"", KInt}); err == nil {
+		t.Error("empty column name should fail")
+	}
+	if _, err := NewRelation("x", Column{"a", KInt}, Column{"a", KString}); err == nil {
+		t.Error("duplicate column should fail")
+	}
+}
+
+func TestAppendTypeChecking(t *testing.T) {
+	r := MustNewRelation("x", Column{"a", KInt}, Column{"b", KString})
+	if err := r.Append(Row{I(1), S("x")}); err != nil {
+		t.Errorf("valid append: %v", err)
+	}
+	if err := r.Append(Row{S("no"), S("x")}); err == nil {
+		t.Error("kind mismatch should fail")
+	}
+	if err := r.Append(Row{I(1)}); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	// NULL and ALL fit anywhere.
+	if err := r.Append(Row{Null, AllValue}); err != nil {
+		t.Errorf("null/all append: %v", err)
+	}
+}
+
+func TestValueBasics(t *testing.T) {
+	if !S("a").Equal(S("a")) || S("a").Equal(S("b")) {
+		t.Error("string equality wrong")
+	}
+	if !I(3).Equal(I(3)) || I(3).Equal(F(3)) {
+		t.Error("int equality wrong (cross-kind must differ)")
+	}
+	if !Null.Equal(Null) || Null.Equal(S("")) {
+		t.Error("null equality wrong")
+	}
+	if !AllValue.Equal(AllValue) || AllValue.Equal(S("ALL")) {
+		t.Error("ALL must differ from the string \"ALL\"")
+	}
+	if AllValue.String() != "ALL" || Null.String() != "NULL" {
+		t.Error("display strings wrong")
+	}
+	if S("ALL").key() == AllValue.key() {
+		t.Error("grouping keys collide between ALL marker and 'ALL' string")
+	}
+	if I(5).Float() != 5 || F(2.5).Float() != 2.5 {
+		t.Error("Float widening wrong")
+	}
+	if !Null.IsNull() || S("x").IsNull() || !AllValue.IsAll() {
+		t.Error("predicates wrong")
+	}
+}
+
+func TestValueOrdering(t *testing.T) {
+	if !S("a").Less(S("b")) || S("b").Less(S("a")) {
+		t.Error("string order")
+	}
+	if !S("z").Less(AllValue) || AllValue.Less(S("z")) {
+		t.Error("ALL must sort last")
+	}
+	if !Null.Less(S("")) || S("").Less(Null) {
+		t.Error("NULL must sort first")
+	}
+	if !I(1).Less(I(2)) || !F(1.5).Less(F(2)) {
+		t.Error("numeric order")
+	}
+}
+
+func TestScanAccounting(t *testing.T) {
+	r := census(t)
+	r.Scan(func(Row) bool { return true })
+	if r.ScannedBytes() != r.SizeBytes() {
+		t.Errorf("full scan charged %d, size %d", r.ScannedBytes(), r.SizeBytes())
+	}
+	r.ResetScanAccounting()
+	if r.ScannedBytes() != 0 {
+		t.Error("reset failed")
+	}
+	// Early-terminated scan charges only visited rows.
+	r.Scan(func(Row) bool { return false })
+	if r.ScannedBytes() >= r.SizeBytes() {
+		t.Error("early stop should charge less than full size")
+	}
+}
+
+func TestSortAndString(t *testing.T) {
+	r := census(t)
+	if err := r.Sort("state", "county"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Row(0)[0].Str() != "Alabama" || r.Row(r.NumRows() - 1)[0].Str() != "Alaska" {
+		t.Error("sort order wrong")
+	}
+	if err := r.Sort("nope"); err == nil {
+		t.Error("unknown sort column should fail")
+	}
+	s := r.String()
+	if !strings.Contains(s, "state") || !strings.Contains(s, "Autauga") {
+		t.Errorf("String() missing data:\n%s", s)
+	}
+}
+
+func TestClone(t *testing.T) {
+	r := census(t)
+	c := r.Clone()
+	c.MustAppend(c.Row(0))
+	if c.NumRows() != r.NumRows()+1 {
+		t.Error("clone shares rows")
+	}
+}

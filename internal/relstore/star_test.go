@@ -1,0 +1,138 @@
+package relstore
+
+import (
+	"testing"
+)
+
+// hospitalStar builds the Figure 11 star schema: a fact table of
+// (hospital.ID, procedure.ID, time.ID, number) with hospital, procedure
+// and time dimension tables.
+func hospitalStar(t *testing.T) *Star {
+	t.Helper()
+	fact := MustNewRelation("fact",
+		Column{"hospital_id", KInt}, Column{"procedure_id", KInt},
+		Column{"time_id", KInt}, Column{"number", KFloat})
+	for _, x := range []struct {
+		h, p, tm int64
+		n        float64
+	}{
+		{1, 10, 100, 5},
+		{1, 11, 100, 3},
+		{2, 10, 100, 7},
+		{2, 10, 101, 2},
+		{3, 11, 101, 4},
+	} {
+		fact.MustAppend(Row{I(x.h), I(x.p), I(x.tm), F(x.n)})
+	}
+	hosp := MustNewRelation("hospital",
+		Column{"id", KInt}, Column{"name", KString}, Column{"size", KInt},
+		Column{"city", KString}, Column{"state", KString})
+	hosp.MustAppend(Row{I(1), S("alta bates"), I(300), S("berkeley"), S("CA")})
+	hosp.MustAppend(Row{I(2), S("highland"), I(500), S("oakland"), S("CA")})
+	hosp.MustAppend(Row{I(3), S("ohsu"), I(600), S("portland"), S("OR")})
+	proc := MustNewRelation("procedure",
+		Column{"id", KInt}, Column{"name", KString}, Column{"type", KString}, Column{"branch", KString})
+	proc.MustAppend(Row{I(10), S("x-ray"), S("imaging"), S("radiology")})
+	proc.MustAppend(Row{I(11), S("biopsy"), S("surgical"), S("pathology")})
+	tm := MustNewRelation("time",
+		Column{"id", KInt}, Column{"day", KInt}, Column{"month", KInt}, Column{"year", KInt})
+	tm.MustAppend(Row{I(100), I(13), I(11), I(1996)})
+	tm.MustAppend(Row{I(101), I(14), I(11), I(1996)})
+	star, err := NewStar(fact,
+		DimTable{FactKey: "hospital_id", Key: "id", Table: hosp},
+		DimTable{FactKey: "procedure_id", Key: "id", Table: proc},
+		DimTable{FactKey: "time_id", Key: "id", Table: tm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return star
+}
+
+func TestNewStarValidation(t *testing.T) {
+	if _, err := NewStar(nil); err == nil {
+		t.Error("nil fact should fail")
+	}
+	fact := MustNewRelation("f", Column{"k", KInt})
+	dim := MustNewRelation("d", Column{"id", KInt})
+	if _, err := NewStar(fact, DimTable{FactKey: "nope", Key: "id", Table: dim}); err == nil {
+		t.Error("bad fact key should fail")
+	}
+	if _, err := NewStar(fact, DimTable{FactKey: "k", Key: "nope", Table: dim}); err == nil {
+		t.Error("bad dimension key should fail")
+	}
+	if _, err := NewStar(fact, DimTable{FactKey: "k", Key: "id", Table: nil}); err == nil {
+		t.Error("nil dimension table should fail")
+	}
+}
+
+func TestDenormalize(t *testing.T) {
+	s := hospitalStar(t)
+	wide, err := s.Denormalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.NumRows() != s.Fact.NumRows() {
+		t.Errorf("denormalized rows = %d, want %d", wide.NumRows(), s.Fact.NumRows())
+	}
+	// The wide relation carries the classification attributes (Figure 10's
+	// redundancy): state appears once per fact row.
+	if _, err := wide.ColIndex("state"); err != nil {
+		t.Errorf("state missing: %v", err)
+	}
+	if wide.SizeBytes() <= s.Fact.SizeBytes() {
+		t.Error("denormalization should inflate storage")
+	}
+}
+
+func TestStarQueryGroupByDimensionAttribute(t *testing.T) {
+	s := hospitalStar(t)
+	res, err := s.StarQuery([]string{"city"}, []Agg{{Op: AggSum, Col: "number", As: "n"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]float64{}
+	res.Scan(func(row Row) bool { got[row[0].Str()] = row[1].Float(); return true })
+	want := map[string]float64{"berkeley": 8, "oakland": 9, "portland": 4}
+	for city, n := range want {
+		if got[city] != n {
+			t.Errorf("%s = %v, want %v", city, got[city], n)
+		}
+	}
+}
+
+func TestStarQueryWithFilter(t *testing.T) {
+	s := hospitalStar(t)
+	// Number of procedures in CA hospitals by procedure type.
+	res, err := s.StarQuery([]string{"type"},
+		[]Agg{{Op: AggSum, Col: "number", As: "n"}},
+		[]Filter{{Dim: 0, Col: "state", Value: S("CA")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]float64{}
+	res.Scan(func(row Row) bool { got[row[0].Str()] = row[1].Float(); return true })
+	if got["imaging"] != 14 || got["surgical"] != 3 {
+		t.Errorf("CA by type = %v", got)
+	}
+}
+
+func TestStarQueryFactColumnGroup(t *testing.T) {
+	s := hospitalStar(t)
+	res, err := s.StarQuery([]string{"hospital_id"}, []Agg{{Op: AggCount, As: "n"}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 3 {
+		t.Errorf("groups = %d", res.NumRows())
+	}
+}
+
+func TestStarQueryErrors(t *testing.T) {
+	s := hospitalStar(t)
+	if _, err := s.StarQuery([]string{"nope"}, nil, nil); err == nil {
+		t.Error("unknown group column should fail")
+	}
+	if _, err := s.StarQuery([]string{"city"}, nil, []Filter{{Dim: 9, Col: "x", Value: Null}}); err == nil {
+		t.Error("filter dim out of range should fail")
+	}
+}

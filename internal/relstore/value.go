@@ -1,0 +1,184 @@
+// Package relstore is a small typed in-memory relational engine — the
+// ROLAP substrate of the reproduction. It provides the relational
+// representation of a statistical object (Figure 10 of Shoshani's
+// OLAP-vs-SDB survey), the star schema of fact and dimension tables
+// (Figure 11, [MicroStrategy]), the reserved ALL value and the CUBE /
+// ROLLUP operators of Gray et al. [GB+96] (Figure 15), and the relational
+// algebra (select, project, union, join, group-by) that the statistical
+// algebra completeness argument of [MRS92] (Figure 16) is checked against.
+//
+// Rows are fixed-width in accounting terms: every value occupies one slot
+// of 8 bytes plus string bytes, so the I/O comparisons against transposed
+// files (package colstore) measure the row-store's obligation to read
+// every column of every row.
+package relstore
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind is a column's data type.
+type Kind int
+
+const (
+	KString Kind = iota
+	KInt
+	KFloat
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KString:
+		return "string"
+	case KInt:
+		return "int"
+	case KFloat:
+		return "float"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Value is one typed cell of a relation. The zero Value is the SQL NULL.
+// All is the reserved marker value of [GB+96], representable in every
+// column kind, used by CUBE and ROLLUP output.
+type Value struct {
+	kind  Kind
+	s     string
+	i     int64
+	f     float64
+	valid bool // false = NULL
+	all   bool // the reserved ALL marker
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// AllValue is the reserved ALL value of [GB+96].
+var AllValue = Value{valid: true, all: true}
+
+// S makes a string value.
+func S(s string) Value { return Value{kind: KString, s: s, valid: true} }
+
+// I makes an integer value.
+func I(i int64) Value { return Value{kind: KInt, i: i, valid: true} }
+
+// F makes a float value.
+func F(f float64) Value { return Value{kind: KFloat, f: f, valid: true} }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return !v.valid }
+
+// IsAll reports whether the value is the reserved ALL marker.
+func (v Value) IsAll() bool { return v.all }
+
+// Str returns the string contents (zero value for non-strings).
+func (v Value) Str() string { return v.s }
+
+// Int returns the integer contents.
+func (v Value) Int() int64 { return v.i }
+
+// Float returns the numeric contents, widening integers.
+func (v Value) Float() float64 {
+	if v.kind == KInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// Equal reports deep equality; NULL equals NULL here (grouping semantics),
+// and ALL equals only ALL.
+func (v Value) Equal(o Value) bool {
+	if v.all || o.all {
+		return v.all == o.all
+	}
+	if !v.valid || !o.valid {
+		return v.valid == o.valid
+	}
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KString:
+		return v.s == o.s
+	case KInt:
+		return v.i == o.i
+	default:
+		return v.f == o.f || (math.IsNaN(v.f) && math.IsNaN(o.f))
+	}
+}
+
+// Less orders values within one kind; ALL sorts after everything, NULL
+// before everything — the order CUBE output is reported in.
+func (v Value) Less(o Value) bool {
+	switch {
+	case v.all:
+		return false
+	case o.all:
+		return true
+	case !v.valid:
+		return o.valid
+	case !o.valid:
+		return false
+	}
+	if v.kind != o.kind {
+		return v.kind < o.kind
+	}
+	switch v.kind {
+	case KString:
+		return v.s < o.s
+	case KInt:
+		return v.i < o.i
+	default:
+		return v.f < o.f
+	}
+}
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch {
+	case v.all:
+		return "ALL"
+	case !v.valid:
+		return "NULL"
+	}
+	switch v.kind {
+	case KString:
+		return v.s
+	case KInt:
+		return strconv.FormatInt(v.i, 10)
+	default:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	}
+}
+
+// key renders the value as a grouping key component. Distinct from String
+// so "ALL" the string and ALL the marker cannot collide.
+func (v Value) key() string {
+	switch {
+	case v.all:
+		return "\x01ALL"
+	case !v.valid:
+		return "\x01NULL"
+	}
+	switch v.kind {
+	case KString:
+		return "s" + v.s
+	case KInt:
+		return "i" + strconv.FormatInt(v.i, 10)
+	default:
+		return "f" + strconv.FormatFloat(v.f, 'b', -1, 64)
+	}
+}
+
+// width returns the accounting width in bytes (8-byte slot plus string
+// payload), used by the I/O cost model.
+func (v Value) width() int {
+	if v.kind == KString {
+		return 8 + len(v.s)
+	}
+	return 8
+}

@@ -1,0 +1,177 @@
+package rle
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrAbsent is returned by Header.Forward when the logical position falls
+// in an absent (null) run, i.e. the cell was compressed out.
+var ErrAbsent = errors.New("rle: logical position is null (compressed out)")
+
+// Header is the header-compression run structure of [EOA81] (Figure 21 of
+// the paper). A logical sequence of length n with many nulls is described
+// as alternating runs of present and absent positions. Only present values
+// are stored physically, in logical order; the header maps between logical
+// and physical positions.
+//
+// Internally the header keeps, for each run, the cumulative logical count
+// up to and including the run, plus the cumulative present count — the
+// "accumulate so a monotonically increasing sequence is formed" step the
+// paper describes, which makes both mappings binary-searchable.
+type Header struct {
+	endLogical []int  // cumulative logical positions at end of each run
+	endPresent []int  // cumulative present positions at end of each run
+	present    []bool // whether run i is a present run
+	n          int    // total logical length
+	p          int    // total present count
+}
+
+// HeaderBuilder incrementally constructs a Header by appending runs or by
+// scanning a presence mask.
+type HeaderBuilder struct {
+	h       Header
+	lastSet bool // whether any run appended yet
+	lastVal bool
+}
+
+// AppendRun appends a run of length elements, present or absent. Adjacent
+// runs of the same kind are merged.
+func (b *HeaderBuilder) AppendRun(present bool, length int) {
+	if length < 0 {
+		panic("rle: negative run length")
+	}
+	if length == 0 {
+		return
+	}
+	h := &b.h
+	h.n += length
+	if present {
+		h.p += length
+	}
+	if b.lastSet && b.lastVal == present {
+		h.endLogical[len(h.endLogical)-1] = h.n
+		h.endPresent[len(h.endPresent)-1] = h.p
+		return
+	}
+	h.endLogical = append(h.endLogical, h.n)
+	h.endPresent = append(h.endPresent, h.p)
+	h.present = append(h.present, present)
+	b.lastSet, b.lastVal = true, present
+}
+
+// AppendBit appends a single logical position.
+func (b *HeaderBuilder) AppendBit(present bool) { b.AppendRun(present, 1) }
+
+// Build returns the completed header. The builder must not be used after.
+func (b *HeaderBuilder) Build() *Header {
+	h := b.h
+	return &h
+}
+
+// BuildHeader constructs a Header from a presence mask in one pass.
+func BuildHeader(mask []bool) *Header {
+	var b HeaderBuilder
+	for _, m := range mask {
+		b.AppendBit(m)
+	}
+	return b.Build()
+}
+
+// Len returns the total logical length.
+func (h *Header) Len() int { return h.n }
+
+// Present returns the number of present (stored) positions.
+func (h *Header) Present() int { return h.p }
+
+// NumRuns returns the number of alternating runs.
+func (h *Header) NumRuns() int { return len(h.endLogical) }
+
+// runFor returns the index of the run containing logical position i.
+func (h *Header) runFor(i int) int {
+	// First run whose endLogical > i.
+	lo, hi := 0, len(h.endLogical)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.endLogical[mid] > i {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Forward maps a logical position to its physical position among the stored
+// values. It returns ErrAbsent if the position was compressed out.
+func (h *Header) Forward(logical int) (int, error) {
+	if logical < 0 || logical >= h.n {
+		return 0, fmt.Errorf("rle: logical position %d out of range [0,%d)", logical, h.n)
+	}
+	r := h.runFor(logical)
+	if !h.present[r] {
+		return 0, ErrAbsent
+	}
+	startLogical, startPresent := 0, 0
+	if r > 0 {
+		startLogical = h.endLogical[r-1]
+		startPresent = h.endPresent[r-1]
+	}
+	return startPresent + (logical - startLogical), nil
+}
+
+// IsPresent reports whether the logical position holds a stored value.
+func (h *Header) IsPresent(logical int) bool {
+	if logical < 0 || logical >= h.n {
+		return false
+	}
+	return h.present[h.runFor(logical)]
+}
+
+// Inverse maps a physical position (index into the stored values) back to
+// its logical position — the inverse mapping [EOA81] supports with the same
+// accumulated structure.
+func (h *Header) Inverse(physical int) (int, error) {
+	if physical < 0 || physical >= h.p {
+		return 0, fmt.Errorf("rle: physical position %d out of range [0,%d)", physical, h.p)
+	}
+	// First run whose endPresent > physical; absent runs never match because
+	// their endPresent equals the previous run's.
+	lo, hi := 0, len(h.endPresent)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.endPresent[mid] > physical {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	r := lo
+	startLogical, startPresent := 0, 0
+	if r > 0 {
+		startLogical = h.endLogical[r-1]
+		startPresent = h.endPresent[r-1]
+	}
+	return startLogical + (physical - startPresent), nil
+}
+
+// ForEachPresentRun calls fn(logicalStart, physicalStart, length) for every
+// present run, in order. This is the bulk-scan entry point used by
+// compressed array aggregation.
+func (h *Header) ForEachPresentRun(fn func(logicalStart, physicalStart, length int)) {
+	for r := range h.present {
+		if !h.present[r] {
+			continue
+		}
+		startLogical, startPresent := 0, 0
+		if r > 0 {
+			startLogical = h.endLogical[r-1]
+			startPresent = h.endPresent[r-1]
+		}
+		fn(startLogical, startPresent, h.endLogical[r]-startLogical)
+	}
+}
+
+// SizeEntries reports the number of header entries (runs), the compressed
+// metadata size for space accounting.
+func (h *Header) SizeEntries() int { return len(h.endLogical) }

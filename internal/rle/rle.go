@@ -1,0 +1,110 @@
+// Package rle implements run-length encoding of value sequences and the
+// "header compression" run structure of Eggers, Olken & Shoshani (VLDB
+// 1981), surveyed in Sections 6.1 and 6.2 of Shoshani's OLAP-vs-SDB paper.
+//
+// Two encodings are provided:
+//
+//   - Runs: generic run-length encoding of a column whose values repeat in
+//     long stretches (the "least rapidly varying" columns of a stored cross
+//     product, Figure 19 of the paper).
+//
+//   - Header: the alternating present/absent run sequence used by header
+//     compression (Figure 21). The header stores, per run, the cumulative
+//     count of logical positions and of present (non-null) positions, so
+//     both the forward mapping (logical index -> physical index) and the
+//     inverse mapping (physical index -> logical index) are O(log r) via
+//     binary search, or via a B+tree built over the accumulated sequence.
+package rle
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Run is one maximal stretch of equal values in an encoded column.
+type Run[T comparable] struct {
+	Value  T
+	Length int
+}
+
+// Runs is a run-length-encoded column.
+type Runs[T comparable] struct {
+	runs []Run[T]
+	cum  []int // lazy cumulative run lengths for At
+	n    int
+}
+
+// Encode run-length-encodes vals.
+func Encode[T comparable](vals []T) *Runs[T] {
+	r := &Runs[T]{}
+	for _, v := range vals {
+		r.Append(v)
+	}
+	return r
+}
+
+// Append adds one value to the end of the encoded column.
+func (r *Runs[T]) Append(v T) {
+	if k := len(r.runs); k > 0 && r.runs[k-1].Value == v {
+		r.runs[k-1].Length++
+	} else {
+		r.runs = append(r.runs, Run[T]{Value: v, Length: 1})
+	}
+	r.n++
+}
+
+// Len returns the logical (decoded) length.
+func (r *Runs[T]) Len() int { return r.n }
+
+// NumRuns returns the number of runs.
+func (r *Runs[T]) NumRuns() int { return len(r.runs) }
+
+// At returns the value at logical position i. It is O(log runs).
+func (r *Runs[T]) At(i int) T {
+	if i < 0 || i >= r.n {
+		panic(fmt.Sprintf("rle: index %d out of range [0,%d)", i, r.n))
+	}
+	// Binary search over cumulative lengths computed on the fly would be
+	// O(runs); keep a cumulative cache instead.
+	r.ensureCum()
+	k := sort.SearchInts(r.cum, i+1)
+	return r.runs[k].Value
+}
+
+// cum[i] = total length of runs[0..i]. Lazily built, invalidated by Append.
+func (r *Runs[T]) ensureCum() {
+	if len(r.cum) == len(r.runs) && (len(r.cum) == 0 || r.cum[len(r.cum)-1] == r.n) {
+		return
+	}
+	r.cum = r.cum[:0]
+	t := 0
+	for _, run := range r.runs {
+		t += run.Length
+		r.cum = append(r.cum, t)
+	}
+}
+
+// Decode materializes the full column.
+func (r *Runs[T]) Decode() []T {
+	out := make([]T, 0, r.n)
+	for _, run := range r.runs {
+		for i := 0; i < run.Length; i++ {
+			out = append(out, run.Value)
+		}
+	}
+	return out
+}
+
+// ForEachRun calls fn(start, run) for every run in order. start is the
+// logical position of the run's first element.
+func (r *Runs[T]) ForEachRun(fn func(start int, run Run[T])) {
+	pos := 0
+	for _, run := range r.runs {
+		fn(pos, run)
+		pos += run.Length
+	}
+}
+
+// SizeEntries reports the number of (value,length) entries, the natural
+// measure of compressed size for space accounting.
+func (r *Runs[T]) SizeEntries() int { return len(r.runs) }

@@ -1,0 +1,258 @@
+package rle
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"a"},
+		{"a", "a", "a"},
+		{"a", "b", "a"},
+		{"x", "x", "y", "y", "y", "z"},
+	}
+	for _, in := range cases {
+		r := Encode(in)
+		out := r.Decode()
+		if len(in) == 0 && len(out) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Errorf("round trip %v -> %v", in, out)
+		}
+	}
+}
+
+func TestRunsMerging(t *testing.T) {
+	r := Encode([]int{1, 1, 1, 2, 2, 1})
+	if r.NumRuns() != 3 {
+		t.Errorf("NumRuns = %d, want 3", r.NumRuns())
+	}
+	if r.Len() != 6 {
+		t.Errorf("Len = %d, want 6", r.Len())
+	}
+}
+
+func TestRunsAt(t *testing.T) {
+	in := []int{5, 5, 7, 7, 7, 9, 5}
+	r := Encode(in)
+	for i, want := range in {
+		if got := r.At(i); got != want {
+			t.Errorf("At(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestRunsAtAfterAppend(t *testing.T) {
+	r := Encode([]int{1, 1})
+	if r.At(0) != 1 {
+		t.Fatal("At before append wrong")
+	}
+	r.Append(2)
+	r.Append(2)
+	if got := r.At(3); got != 2 {
+		t.Errorf("At(3) after append = %d, want 2", got)
+	}
+	if r.Len() != 4 || r.NumRuns() != 2 {
+		t.Errorf("Len=%d NumRuns=%d, want 4, 2", r.Len(), r.NumRuns())
+	}
+}
+
+func TestRunsAtOutOfRangePanics(t *testing.T) {
+	r := Encode([]int{1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(1) did not panic")
+		}
+	}()
+	r.At(1)
+}
+
+func TestForEachRun(t *testing.T) {
+	r := Encode([]string{"a", "a", "b", "c", "c", "c"})
+	type rec struct {
+		start int
+		val   string
+		n     int
+	}
+	var got []rec
+	r.ForEachRun(func(start int, run Run[string]) {
+		got = append(got, rec{start, run.Value, run.Length})
+	})
+	want := []rec{{0, "a", 2}, {2, "b", 1}, {3, "c", 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ForEachRun = %v, want %v", got, want)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(rawN) % 200
+		in := make([]byte, n)
+		for i := range in {
+			in[i] = byte(rng.Intn(3)) // few distinct values -> long runs
+		}
+		out := Encode(in).Decode()
+		if n == 0 {
+			return len(out) == 0
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeaderBasics(t *testing.T) {
+	// mask: V V _ _ V _ (V=present)
+	h := BuildHeader([]bool{true, true, false, false, true, false})
+	if h.Len() != 6 || h.Present() != 3 {
+		t.Fatalf("Len=%d Present=%d, want 6, 3", h.Len(), h.Present())
+	}
+	if h.NumRuns() != 4 {
+		t.Errorf("NumRuns = %d, want 4", h.NumRuns())
+	}
+	wantPhys := map[int]int{0: 0, 1: 1, 4: 2}
+	for logical := 0; logical < 6; logical++ {
+		phys, err := h.Forward(logical)
+		if want, ok := wantPhys[logical]; ok {
+			if err != nil || phys != want {
+				t.Errorf("Forward(%d) = %d, %v; want %d", logical, phys, err, want)
+			}
+			if !h.IsPresent(logical) {
+				t.Errorf("IsPresent(%d) = false", logical)
+			}
+		} else {
+			if err != ErrAbsent {
+				t.Errorf("Forward(%d) err = %v, want ErrAbsent", logical, err)
+			}
+			if h.IsPresent(logical) {
+				t.Errorf("IsPresent(%d) = true", logical)
+			}
+		}
+	}
+	for phys, logical := range map[int]int{0: 0, 1: 1, 2: 4} {
+		got, err := h.Inverse(phys)
+		if err != nil || got != logical {
+			t.Errorf("Inverse(%d) = %d, %v; want %d", phys, got, err, logical)
+		}
+	}
+}
+
+func TestHeaderBounds(t *testing.T) {
+	h := BuildHeader([]bool{true, false})
+	if _, err := h.Forward(-1); err == nil {
+		t.Error("Forward(-1) should error")
+	}
+	if _, err := h.Forward(2); err == nil {
+		t.Error("Forward(2) should error")
+	}
+	if _, err := h.Inverse(-1); err == nil {
+		t.Error("Inverse(-1) should error")
+	}
+	if _, err := h.Inverse(1); err == nil {
+		t.Error("Inverse(1) should error")
+	}
+	if h.IsPresent(-1) || h.IsPresent(5) {
+		t.Error("IsPresent out of range should be false")
+	}
+}
+
+func TestHeaderAllPresentAllAbsent(t *testing.T) {
+	all := BuildHeader([]bool{true, true, true})
+	if all.NumRuns() != 1 || all.Present() != 3 {
+		t.Errorf("all-present: runs=%d present=%d", all.NumRuns(), all.Present())
+	}
+	for i := 0; i < 3; i++ {
+		if p, err := all.Forward(i); err != nil || p != i {
+			t.Errorf("all-present Forward(%d) = %d, %v", i, p, err)
+		}
+	}
+	none := BuildHeader([]bool{false, false})
+	if none.Present() != 0 {
+		t.Errorf("all-absent Present = %d", none.Present())
+	}
+	if _, err := none.Forward(0); err != ErrAbsent {
+		t.Errorf("all-absent Forward err = %v", err)
+	}
+}
+
+func TestHeaderBuilderMergesRuns(t *testing.T) {
+	var b HeaderBuilder
+	b.AppendRun(true, 2)
+	b.AppendRun(true, 3)
+	b.AppendRun(false, 1)
+	b.AppendRun(false, 0) // no-op
+	b.AppendRun(true, 4)
+	h := b.Build()
+	if h.NumRuns() != 3 {
+		t.Errorf("NumRuns = %d, want 3", h.NumRuns())
+	}
+	if h.Len() != 10 || h.Present() != 9 {
+		t.Errorf("Len=%d Present=%d, want 10, 9", h.Len(), h.Present())
+	}
+}
+
+func TestHeaderForEachPresentRun(t *testing.T) {
+	h := BuildHeader([]bool{false, true, true, false, true})
+	type rec struct{ l, p, n int }
+	var got []rec
+	h.ForEachPresentRun(func(l, p, n int) { got = append(got, rec{l, p, n}) })
+	want := []rec{{1, 0, 2}, {4, 2, 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ForEachPresentRun = %v, want %v", got, want)
+	}
+}
+
+// Property: Forward and Inverse are mutual inverses over present positions.
+func TestQuickHeaderForwardInverse(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(rawN)%300 + 1
+		mask := make([]bool, n)
+		for i := range mask {
+			mask[i] = rng.Intn(4) != 0 // ~75% present
+		}
+		h := BuildHeader(mask)
+		phys := 0
+		for logical, m := range mask {
+			if !m {
+				if _, err := h.Forward(logical); err != ErrAbsent {
+					return false
+				}
+				continue
+			}
+			p, err := h.Forward(logical)
+			if err != nil || p != phys {
+				return false
+			}
+			back, err := h.Inverse(p)
+			if err != nil || back != logical {
+				return false
+			}
+			phys++
+		}
+		return phys == h.Present()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkHeaderForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	mask := make([]bool, 1<<18)
+	for i := range mask {
+		mask[i] = rng.Intn(10) == 0 // sparse
+	}
+	h := BuildHeader(mask)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = h.Forward(i % len(mask))
+	}
+}

@@ -1,0 +1,182 @@
+// Package sampling implements random sampling from databases — the
+// Section 5.6 operation Shoshani's survey singles out as the one where
+// pushing statistics into the database clearly pays: "it is very
+// inefficient to extract large collections of data from the database
+// system, only to sample the collection outside the system". The
+// techniques follow Olken & Rotem's survey [OR95]: reservoir sampling over
+// streams, Bernoulli sampling, stratified sampling, and (via package
+// btree) rank-based and acceptance/rejection sampling from B+trees.
+//
+// Extraction cost is modeled explicitly: every sampler reports how many
+// items it had to materialize, so the in-DB vs extract-then-sample
+// comparison (bench E14) measures the asymmetry the paper describes.
+package sampling
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// ErrBadArgs is returned for invalid sampling parameters.
+var ErrBadArgs = errors.New("sampling: invalid arguments")
+
+// Reservoir maintains a uniform k-sample of a stream using Vitter's
+// algorithm R: each of the n items seen so far is in the sample with
+// probability k/n, using O(k) memory — the in-DB way to sample a scan.
+type Reservoir[T any] struct {
+	k      int
+	seen   int
+	sample []T
+	rng    *rand.Rand
+}
+
+// NewReservoir creates a reservoir of capacity k.
+func NewReservoir[T any](k int, rng *rand.Rand) (*Reservoir[T], error) {
+	if k <= 0 || rng == nil {
+		return nil, fmt.Errorf("%w: k=%d", ErrBadArgs, k)
+	}
+	return &Reservoir[T]{k: k, rng: rng}, nil
+}
+
+// Add offers one stream item to the reservoir.
+func (r *Reservoir[T]) Add(item T) {
+	r.seen++
+	if len(r.sample) < r.k {
+		r.sample = append(r.sample, item)
+		return
+	}
+	if j := r.rng.Intn(r.seen); j < r.k {
+		r.sample[j] = item
+	}
+}
+
+// Seen returns the number of items offered.
+func (r *Reservoir[T]) Seen() int { return r.seen }
+
+// Sample returns the current sample (length min(k, seen)).
+func (r *Reservoir[T]) Sample() []T { return append([]T(nil), r.sample...) }
+
+// Bernoulli returns each item independently with probability p, plus the
+// number of items scanned (always len(items): Bernoulli sampling is a full
+// scan, but inside the database only the sample crosses the interface).
+func Bernoulli[T any](items []T, p float64, rng *rand.Rand) ([]T, int, error) {
+	if p < 0 || p > 1 || rng == nil {
+		return nil, 0, fmt.Errorf("%w: p=%v", ErrBadArgs, p)
+	}
+	var out []T
+	for _, it := range items {
+		if rng.Float64() < p {
+			out = append(out, it)
+		}
+	}
+	return out, len(items), nil
+}
+
+// WithoutReplacement draws k distinct items uniformly via a partial
+// Fisher–Yates shuffle.
+func WithoutReplacement[T any](items []T, k int, rng *rand.Rand) ([]T, error) {
+	if k < 0 || k > len(items) || rng == nil {
+		return nil, fmt.Errorf("%w: k=%d of %d", ErrBadArgs, k, len(items))
+	}
+	idx := make([]int, len(items))
+	for i := range idx {
+		idx[i] = i
+	}
+	out := make([]T, 0, k)
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(len(idx)-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		out = append(out, items[idx[i]])
+	}
+	return out, nil
+}
+
+// Stratum is one stratum of a stratified sample.
+type Stratum[T any] struct {
+	Name  string
+	Items []T
+}
+
+// StratifiedProportional draws a total of k items allocated to strata
+// proportionally to their sizes (at least one from each non-empty stratum
+// when k allows), sampling without replacement within each stratum —
+// the survey-statistics workhorse over classified populations.
+func StratifiedProportional[T any](strata []Stratum[T], k int, rng *rand.Rand) (map[string][]T, error) {
+	if k <= 0 || rng == nil {
+		return nil, fmt.Errorf("%w: k=%d", ErrBadArgs, k)
+	}
+	total := 0
+	for _, s := range strata {
+		total += len(s.Items)
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("%w: empty strata", ErrBadArgs)
+	}
+	if k > total {
+		k = total
+	}
+	out := map[string][]T{}
+	// Largest-remainder allocation.
+	type alloc struct {
+		i     int
+		base  int
+		remd  float64
+		limit int
+	}
+	allocs := make([]alloc, len(strata))
+	assigned := 0
+	for i, s := range strata {
+		exact := float64(k) * float64(len(s.Items)) / float64(total)
+		b := int(exact)
+		if b > len(s.Items) {
+			b = len(s.Items)
+		}
+		allocs[i] = alloc{i: i, base: b, remd: exact - float64(int(exact)), limit: len(s.Items)}
+		assigned += b
+	}
+	sort.Slice(allocs, func(a, b int) bool { return allocs[a].remd > allocs[b].remd })
+	for j := 0; assigned < k && j < len(allocs); j++ {
+		if allocs[j].base < allocs[j].limit {
+			allocs[j].base++
+			assigned++
+		}
+	}
+	for _, a := range allocs {
+		s := strata[a.i]
+		if a.base == 0 {
+			continue
+		}
+		picked, err := WithoutReplacement(s.Items, a.base, rng)
+		if err != nil {
+			return nil, err
+		}
+		out[s.Name] = picked
+	}
+	return out, nil
+}
+
+// ExtractThenSample models the anti-pattern: the client pulls the whole
+// collection across the interface and samples locally. It returns the
+// sample and the number of items that crossed the interface (all of them).
+func ExtractThenSample[T any](items []T, k int, rng *rand.Rand) ([]T, int, error) {
+	extracted := make([]T, len(items)) // the full copy the paper decries
+	copy(extracted, items)
+	s, err := WithoutReplacement(extracted, k, rng)
+	return s, len(extracted), err
+}
+
+// InDBSample models the sampling-pushed-into-the-DB alternative: a
+// reservoir pass inside the engine; only k items cross the interface.
+func InDBSample[T any](items []T, k int, rng *rand.Rand) ([]T, int, error) {
+	r, err := NewReservoir[T](k, rng)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, it := range items {
+		r.Add(it)
+	}
+	s := r.Sample()
+	return s, len(s), nil
+}

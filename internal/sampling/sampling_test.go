@@ -1,0 +1,162 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func ints(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestReservoirValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewReservoir[int](0, rng); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := NewReservoir[int](1, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+}
+
+func TestReservoirSizeAndMembership(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	r, _ := NewReservoir[int](10, rng)
+	for _, x := range ints(1000) {
+		r.Add(x)
+	}
+	s := r.Sample()
+	if len(s) != 10 || r.Seen() != 1000 {
+		t.Fatalf("sample %d, seen %d", len(s), r.Seen())
+	}
+	seen := map[int]bool{}
+	for _, x := range s {
+		if x < 0 || x >= 1000 || seen[x] {
+			t.Fatalf("bad sample element %d", x)
+		}
+		seen[x] = true
+	}
+	// Fewer items than k: keep all.
+	r2, _ := NewReservoir[int](10, rng)
+	for _, x := range ints(3) {
+		r2.Add(x)
+	}
+	if len(r2.Sample()) != 3 {
+		t.Errorf("small stream sample = %d", len(r2.Sample()))
+	}
+}
+
+func TestReservoirUniformity(t *testing.T) {
+	// Each of 20 items should appear in a k=5 sample with p=0.25.
+	rng := rand.New(rand.NewSource(3))
+	counts := make([]int, 20)
+	const trials = 20000
+	for trial := 0; trial < trials; trial++ {
+		r, _ := NewReservoir[int](5, rng)
+		for _, x := range ints(20) {
+			r.Add(x)
+		}
+		for _, x := range r.Sample() {
+			counts[x]++
+		}
+	}
+	want := float64(trials) * 5 / 20
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("item %d appeared %d times, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s, scanned, err := Bernoulli(ints(10000), 0.3, rng)
+	if err != nil || scanned != 10000 {
+		t.Fatalf("scanned %d, %v", scanned, err)
+	}
+	if math.Abs(float64(len(s))-3000) > 200 {
+		t.Errorf("sample size %d, want ~3000", len(s))
+	}
+	if _, _, err := Bernoulli(ints(5), 1.5, rng); err == nil {
+		t.Error("p>1 should fail")
+	}
+}
+
+func TestWithoutReplacement(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s, err := WithoutReplacement(ints(100), 30, rng)
+	if err != nil || len(s) != 30 {
+		t.Fatalf("sample %d, %v", len(s), err)
+	}
+	seen := map[int]bool{}
+	for _, x := range s {
+		if seen[x] {
+			t.Fatalf("duplicate %d", x)
+		}
+		seen[x] = true
+	}
+	if _, err := WithoutReplacement(ints(5), 6, rng); err == nil {
+		t.Error("k>n should fail")
+	}
+	// k == n returns a permutation.
+	s, _ = WithoutReplacement(ints(5), 5, rng)
+	if len(s) != 5 {
+		t.Errorf("full sample = %d", len(s))
+	}
+}
+
+func TestStratifiedProportional(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	strata := []Stratum[int]{
+		{Name: "big", Items: ints(900)},
+		{Name: "small", Items: ints(100)},
+	}
+	out, err := StratifiedProportional(strata, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, ns := len(out["big"]), len(out["small"])
+	if nb+ns != 100 {
+		t.Fatalf("total = %d", nb+ns)
+	}
+	if nb < 85 || nb > 95 {
+		t.Errorf("big stratum got %d, want ~90", nb)
+	}
+	// k > total clips.
+	out, err = StratifiedProportional([]Stratum[int]{{Name: "x", Items: ints(3)}}, 10, rng)
+	if err != nil || len(out["x"]) != 3 {
+		t.Errorf("clipped = %v, %v", out, err)
+	}
+	// Errors.
+	if _, err := StratifiedProportional([]Stratum[int]{}, 5, rng); err == nil {
+		t.Error("empty strata should fail")
+	}
+	if _, err := StratifiedProportional(strata, 0, rng); err == nil {
+		t.Error("k=0 should fail")
+	}
+}
+
+func TestExtractVsInDBCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	items := ints(100000)
+	_, extracted, err := ExtractThenSample(items, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, crossed, err := InDBSample(items, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extracted != 100000 || crossed != 100 {
+		t.Errorf("extract moved %d, in-DB moved %d", extracted, crossed)
+	}
+	// The paper's point: 1000x less data crosses the interface.
+	if crossed*100 > extracted {
+		t.Error("in-DB sampling did not reduce interface traffic substantially")
+	}
+}

@@ -1,0 +1,94 @@
+package schema
+
+import "fmt"
+
+// This file implements the tabular-model operators of Özsoyoğlu,
+// Özsoyoğlu & Malta [OOM85] (Section 5.2 of the survey): "attribute
+// split" and "attribute merge", which let users specify how the category
+// attributes of a 2-D statistical table are organized on rows and columns.
+// In this model they are pure layout transformations — the statistical
+// object itself is order-insensitive (Section 4.1).
+
+// MoveToRows returns a layout with dim moved to the end of the row
+// dimensions (the [OOM85] attribute merge into the stub).
+func (l Layout2D) MoveToRows(dim string) (Layout2D, error) {
+	return l.move(dim, true)
+}
+
+// MoveToCols returns a layout with dim moved to the end of the column
+// dimensions.
+func (l Layout2D) MoveToCols(dim string) (Layout2D, error) {
+	return l.move(dim, false)
+}
+
+func (l Layout2D) move(dim string, toRows bool) (Layout2D, error) {
+	out := Layout2D{
+		Rows: append([]string(nil), l.Rows...),
+		Cols: append([]string(nil), l.Cols...),
+	}
+	found := false
+	out.Rows = removeName(out.Rows, dim, &found)
+	out.Cols = removeName(out.Cols, dim, &found)
+	if !found {
+		return Layout2D{}, fmt.Errorf("%w: %q in layout", ErrUnknownDimension, dim)
+	}
+	if toRows {
+		out.Rows = append(out.Rows, dim)
+	} else {
+		out.Cols = append(out.Cols, dim)
+	}
+	return out, nil
+}
+
+func removeName(s []string, name string, found *bool) []string {
+	out := s[:0]
+	for _, x := range s {
+		if x == name {
+			*found = true
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+// Transpose swaps rows and columns wholesale — the simplest [OOM85]
+// restructuring.
+func (l Layout2D) Transpose() Layout2D {
+	return Layout2D{
+		Rows: append([]string(nil), l.Cols...),
+		Cols: append([]string(nil), l.Rows...),
+	}
+}
+
+// Reorder returns a layout with the row and column dimensions in the given
+// orders; both lists must be permutations of the current assignment.
+func (l Layout2D) Reorder(rows, cols []string) (Layout2D, error) {
+	if err := samePermutation(l.Rows, rows); err != nil {
+		return Layout2D{}, fmt.Errorf("schema: rows: %w", err)
+	}
+	if err := samePermutation(l.Cols, cols); err != nil {
+		return Layout2D{}, fmt.Errorf("schema: cols: %w", err)
+	}
+	return Layout2D{
+		Rows: append([]string(nil), rows...),
+		Cols: append([]string(nil), cols...),
+	}, nil
+}
+
+func samePermutation(a, b []string) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("length mismatch %d vs %d", len(a), len(b))
+	}
+	counts := map[string]int{}
+	for _, x := range a {
+		counts[x]++
+	}
+	for _, x := range b {
+		counts[x]--
+		if counts[x] < 0 {
+			return fmt.Errorf("%q is not in the current assignment", x)
+		}
+	}
+	return nil
+}

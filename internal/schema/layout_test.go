@@ -1,0 +1,64 @@
+package schema
+
+import (
+	"reflect"
+	"testing"
+)
+
+func baseLayout() Layout2D {
+	return Layout2D{Rows: []string{"sex", "year"}, Cols: []string{"profession"}}
+}
+
+func TestMoveToRowsAndCols(t *testing.T) {
+	l := baseLayout()
+	moved, err := l.MoveToRows("profession")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(moved.Rows, []string{"sex", "year", "profession"}) || len(moved.Cols) != 0 {
+		t.Errorf("MoveToRows = %+v", moved)
+	}
+	back, err := moved.MoveToCols("year")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Rows, []string{"sex", "profession"}) ||
+		!reflect.DeepEqual(back.Cols, []string{"year"}) {
+		t.Errorf("MoveToCols = %+v", back)
+	}
+	// Original untouched.
+	if len(l.Cols) != 1 {
+		t.Error("move mutated the original layout")
+	}
+	if _, err := l.MoveToRows("nope"); err == nil {
+		t.Error("unknown dimension should fail")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	l := baseLayout().Transpose()
+	if !reflect.DeepEqual(l.Rows, []string{"profession"}) ||
+		!reflect.DeepEqual(l.Cols, []string{"sex", "year"}) {
+		t.Errorf("Transpose = %+v", l)
+	}
+}
+
+func TestReorder(t *testing.T) {
+	l := baseLayout()
+	r, err := l.Reorder([]string{"year", "sex"}, []string{"profession"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.Rows, []string{"year", "sex"}) {
+		t.Errorf("Reorder = %+v", r)
+	}
+	if _, err := l.Reorder([]string{"sex"}, []string{"profession"}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := l.Reorder([]string{"sex", "profession"}, []string{"year"}); err == nil {
+		t.Error("non-permutation should fail")
+	}
+	if _, err := l.Reorder([]string{"sex", "sex"}, []string{"profession"}); err == nil {
+		t.Error("duplicate should fail")
+	}
+}

@@ -1,0 +1,249 @@
+// Package schema implements the STORM-style schema graph model for
+// statistical objects (Rafanelli & Shoshani [RS90]; Section 4.1 and
+// Figures 4–7 of Shoshani's OLAP-vs-SDB survey).
+//
+// A schema graph has three node kinds:
+//
+//   - S-nodes: summary attributes ("measures" in OLAP) — held by the owning
+//     statistical object in package core;
+//   - the X-node tree: the cross product defining the multidimensional
+//     space, where nested X-nodes group dimensions into semantic subject
+//     groups (Figure 5's "socio-economic categories") — mathematically
+//     equivalent to the flat cross product (Figure 6);
+//   - C-node chains: each dimension's category attribute together with its
+//     classification hierarchy, represented by a hierarchy.Classification
+//     whose levels are the chain of C-nodes.
+//
+// The graph cleanly separates the schema (category attributes and their
+// structure) from the instances (category values), the improvement [RS90]
+// made over the earlier value-labelled graphs [CS81] (Figure 3 vs 4).
+//
+// The package also maps a schema onto a 2-D tabular layout (Figure 7):
+// assigning ordered dimension groups to rows and columns captures the
+// physical layout of a legacy 2-D statistical table.
+package schema
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"statcube/internal/hierarchy"
+)
+
+// Common schema errors.
+var (
+	ErrUnknownDimension   = errors.New("schema: unknown dimension")
+	ErrDuplicateDimension = errors.New("schema: duplicate dimension name")
+	ErrEmptySchema        = errors.New("schema: no dimensions")
+)
+
+// Dimension is a C-node chain: a named dimension whose category attribute
+// carries a (possibly multi-level) classification. A dimension may be
+// declared Temporal, which the summarizability rules treat specially
+// (stock measures are not additive across time, Section 3.3.2).
+type Dimension struct {
+	Name     string
+	Class    *hierarchy.Classification
+	Temporal bool
+}
+
+// Cardinality returns the number of leaf-level category values.
+func (d Dimension) Cardinality() int { return len(d.Class.LeafLevel().Values) }
+
+// Group is an X-node: an ordered collection of dimensions and nested
+// groups. The root group is the statistical object's cross product.
+type Group struct {
+	Name      string
+	Dims      []Dimension
+	Subgroups []*Group
+}
+
+// Graph is the schema of a statistical object's multidimensional space.
+type Graph struct {
+	Name string
+	Root *Group
+
+	flat   []Dimension // cache of flattened dimensions
+	byName map[string]int
+}
+
+// New creates a schema graph with a flat list of dimensions, the common
+// case. Use NewGrouped for nested X-node structures.
+func New(name string, dims ...Dimension) (*Graph, error) {
+	return NewGrouped(name, &Group{Name: name, Dims: dims})
+}
+
+// NewGrouped creates a schema graph from an explicit X-node tree.
+func NewGrouped(name string, root *Group) (*Graph, error) {
+	g := &Graph{Name: name, Root: root}
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// MustNew is New for statically known schemas; it panics on error.
+func MustNew(name string, dims ...Dimension) *Graph {
+	g, err := New(name, dims...)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// validate flattens the X-node tree and checks structural invariants.
+func (g *Graph) validate() error {
+	if g.Root == nil {
+		return ErrEmptySchema
+	}
+	g.flat = nil
+	g.byName = map[string]int{}
+	var walk func(grp *Group) error
+	walk = func(grp *Group) error {
+		for _, d := range grp.Dims {
+			if d.Name == "" {
+				return errors.New("schema: dimension with empty name")
+			}
+			if d.Class == nil {
+				return fmt.Errorf("schema: dimension %q has no classification", d.Name)
+			}
+			if _, dup := g.byName[d.Name]; dup {
+				return fmt.Errorf("%w: %q", ErrDuplicateDimension, d.Name)
+			}
+			g.byName[d.Name] = len(g.flat)
+			g.flat = append(g.flat, d)
+		}
+		for _, sub := range grp.Subgroups {
+			if sub == nil {
+				return errors.New("schema: nil subgroup")
+			}
+			if err := walk(sub); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(g.Root); err != nil {
+		return err
+	}
+	if len(g.flat) == 0 {
+		return ErrEmptySchema
+	}
+	return nil
+}
+
+// Dimensions returns the flattened dimensions in document order — the
+// Figure 6 equivalence: nested X-node groups collapse to one cross
+// product.
+func (g *Graph) Dimensions() []Dimension { return g.flat }
+
+// NumDims returns the number of dimensions.
+func (g *Graph) NumDims() int { return len(g.flat) }
+
+// Dimension returns the named dimension.
+func (g *Graph) Dimension(name string) (Dimension, error) {
+	i, ok := g.byName[name]
+	if !ok {
+		return Dimension{}, fmt.Errorf("%w: %q in schema %q", ErrUnknownDimension, name, g.Name)
+	}
+	return g.flat[i], nil
+}
+
+// DimIndex returns the position of the named dimension in the flattened
+// cross product.
+func (g *Graph) DimIndex(name string) (int, error) {
+	i, ok := g.byName[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q in schema %q", ErrUnknownDimension, name, g.Name)
+	}
+	return i, nil
+}
+
+// Shape returns the leaf-level cardinality of each dimension, in order.
+func (g *Graph) Shape() []int {
+	s := make([]int, len(g.flat))
+	for i, d := range g.flat {
+		s[i] = d.Cardinality()
+	}
+	return s
+}
+
+// SpaceSize returns the size of the full cross product (the number of
+// cells of the dense multidimensional space).
+func (g *Graph) SpaceSize() int {
+	n := 1
+	for _, d := range g.flat {
+		n *= d.Cardinality()
+	}
+	return n
+}
+
+// Layout2D assigns dimensions to the rows and columns of a 2-D statistical
+// table (Figure 7): ordered row dimensions vary slowest-first down the
+// stub, ordered column dimensions across the header.
+type Layout2D struct {
+	Rows []string
+	Cols []string
+}
+
+// DefaultLayout splits the dimensions half/half, preserving order — the
+// "arbitrary order" a 2-D table imposes (Section 2.1 point (i)).
+func (g *Graph) DefaultLayout() Layout2D {
+	names := make([]string, len(g.flat))
+	for i, d := range g.flat {
+		names[i] = d.Name
+	}
+	h := (len(names) + 1) / 2
+	return Layout2D{Rows: names[:h], Cols: names[h:]}
+}
+
+// ValidateLayout checks that a layout mentions every dimension exactly once.
+func (g *Graph) ValidateLayout(l Layout2D) error {
+	seen := map[string]bool{}
+	for _, n := range append(append([]string(nil), l.Rows...), l.Cols...) {
+		if _, ok := g.byName[n]; !ok {
+			return fmt.Errorf("%w: %q in layout", ErrUnknownDimension, n)
+		}
+		if seen[n] {
+			return fmt.Errorf("schema: dimension %q appears twice in layout", n)
+		}
+		seen[n] = true
+	}
+	if len(seen) != len(g.flat) {
+		return fmt.Errorf("schema: layout covers %d of %d dimensions", len(seen), len(g.flat))
+	}
+	return nil
+}
+
+// String renders the schema graph as an indented tree, the textual stand-in
+// for the multi-window schema browser Section 4.1 describes.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "X %s\n", g.Root.Name)
+	var walk func(grp *Group, indent string)
+	walk = func(grp *Group, indent string) {
+		for _, d := range grp.Dims {
+			fmt.Fprintf(&b, "%sC %s", indent, d.Name)
+			cls := d.Class
+			if cls.NumLevels() > 1 {
+				names := make([]string, cls.NumLevels())
+				for i := 0; i < cls.NumLevels(); i++ {
+					// coarsest first, matching the paper's top-down drawings
+					names[cls.NumLevels()-1-i] = cls.Level(i).Name
+				}
+				fmt.Fprintf(&b, " [%s]", strings.Join(names, " --> "))
+			}
+			if d.Temporal {
+				b.WriteString(" (temporal)")
+			}
+			b.WriteByte('\n')
+		}
+		for _, sub := range grp.Subgroups {
+			fmt.Fprintf(&b, "%sX %s\n", indent, sub.Name)
+			walk(sub, indent+"  ")
+		}
+	}
+	walk(g.Root, "  ")
+	return b.String()
+}

@@ -1,0 +1,196 @@
+package schema
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"statcube/internal/hierarchy"
+)
+
+func dim(name string, values ...string) Dimension {
+	return Dimension{Name: name, Class: hierarchy.FlatClassification(name, values...)}
+}
+
+func professionDim() Dimension {
+	c := hierarchy.NewBuilder("profession", "profession",
+		"chemical engineer", "civil engineer", "junior secretary").
+		Level("professional class", "engineer", "secretary").
+		Parent("chemical engineer", "engineer").
+		Parent("civil engineer", "engineer").
+		Parent("junior secretary", "secretary").
+		MustBuild()
+	return Dimension{Name: "profession", Class: c}
+}
+
+func employment(t *testing.T) *Graph {
+	t.Helper()
+	g, err := New("employment",
+		dim("sex", "male", "female"),
+		Dimension{Name: "year", Class: hierarchy.FlatClassification("year", "1988", "1989", "1990", "1991", "1992"), Temporal: true},
+		professionDim(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBasics(t *testing.T) {
+	g := employment(t)
+	if g.NumDims() != 3 {
+		t.Errorf("NumDims = %d", g.NumDims())
+	}
+	d, err := g.Dimension("profession")
+	if err != nil || d.Class.NumLevels() != 2 {
+		t.Errorf("Dimension(profession) = %+v, %v", d, err)
+	}
+	if _, err := g.Dimension("nope"); !errors.Is(err, ErrUnknownDimension) {
+		t.Errorf("unknown dimension err = %v", err)
+	}
+	i, err := g.DimIndex("year")
+	if err != nil || i != 1 {
+		t.Errorf("DimIndex(year) = %d, %v", i, err)
+	}
+	if _, err := g.DimIndex("nope"); err == nil {
+		t.Error("DimIndex(nope) should error")
+	}
+}
+
+func TestShapeAndSpaceSize(t *testing.T) {
+	g := employment(t)
+	shape := g.Shape()
+	if len(shape) != 3 || shape[0] != 2 || shape[1] != 5 || shape[2] != 3 {
+		t.Errorf("Shape = %v", shape)
+	}
+	if g.SpaceSize() != 30 {
+		t.Errorf("SpaceSize = %d", g.SpaceSize())
+	}
+}
+
+func TestGroupedFlattening(t *testing.T) {
+	// Figure 5: socio-economic categories grouped under a nested X-node.
+	root := &Group{
+		Name: "avg income",
+		Dims: []Dimension{dim("year", "1990", "1991")},
+		Subgroups: []*Group{
+			{Name: "socio-economic", Dims: []Dimension{
+				dim("race", "white", "black", "asian"),
+				dim("sex", "male", "female"),
+				dim("age", "young", "old"),
+			}},
+		},
+	}
+	g, err := NewGrouped("avg income", root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 6 equivalence: nested groups flatten to one cross product.
+	if g.NumDims() != 4 {
+		t.Errorf("NumDims = %d", g.NumDims())
+	}
+	if g.SpaceSize() != 2*3*2*2 {
+		t.Errorf("SpaceSize = %d", g.SpaceSize())
+	}
+	names := []string{}
+	for _, d := range g.Dimensions() {
+		names = append(names, d.Name)
+	}
+	want := "year race sex age"
+	if got := strings.Join(names, " "); got != want {
+		t.Errorf("flattened order = %q, want %q", got, want)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New("x"); !errors.Is(err, ErrEmptySchema) {
+		t.Errorf("empty schema err = %v", err)
+	}
+	if _, err := NewGrouped("x", nil); !errors.Is(err, ErrEmptySchema) {
+		t.Errorf("nil root err = %v", err)
+	}
+	if _, err := New("x", dim("a", "1"), dim("a", "2")); !errors.Is(err, ErrDuplicateDimension) {
+		t.Errorf("duplicate err = %v", err)
+	}
+	if _, err := New("x", Dimension{Name: "", Class: hierarchy.FlatClassification("z", "1")}); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := New("x", Dimension{Name: "a"}); err == nil {
+		t.Error("nil classification should fail")
+	}
+	if _, err := NewGrouped("x", &Group{Subgroups: []*Group{nil}}); err == nil {
+		t.Error("nil subgroup should fail")
+	}
+	// Duplicate across nesting levels.
+	root := &Group{
+		Dims:      []Dimension{dim("a", "1")},
+		Subgroups: []*Group{{Dims: []Dimension{dim("a", "2")}}},
+	}
+	if _, err := NewGrouped("x", root); !errors.Is(err, ErrDuplicateDimension) {
+		t.Errorf("nested duplicate err = %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew on empty schema did not panic")
+		}
+	}()
+	MustNew("x")
+}
+
+func TestDefaultLayout(t *testing.T) {
+	g := employment(t)
+	l := g.DefaultLayout()
+	if len(l.Rows) != 2 || len(l.Cols) != 1 {
+		t.Errorf("DefaultLayout = %+v", l)
+	}
+	if err := g.ValidateLayout(l); err != nil {
+		t.Errorf("default layout invalid: %v", err)
+	}
+}
+
+func TestValidateLayout(t *testing.T) {
+	g := employment(t)
+	ok := Layout2D{Rows: []string{"sex", "year"}, Cols: []string{"profession"}}
+	if err := g.ValidateLayout(ok); err != nil {
+		t.Errorf("valid layout rejected: %v", err)
+	}
+	if err := g.ValidateLayout(Layout2D{Rows: []string{"sex"}, Cols: []string{"profession"}}); err == nil {
+		t.Error("missing dimension should fail")
+	}
+	if err := g.ValidateLayout(Layout2D{Rows: []string{"sex", "sex", "year"}, Cols: []string{"profession"}}); err == nil {
+		t.Error("duplicate dimension should fail")
+	}
+	if err := g.ValidateLayout(Layout2D{Rows: []string{"sex", "year", "nope"}, Cols: []string{"profession"}}); err == nil {
+		t.Error("unknown dimension should fail")
+	}
+}
+
+func TestString(t *testing.T) {
+	g := employment(t)
+	s := g.String()
+	for _, want := range []string{"X employment", "C sex", "C year", "(temporal)", "C profession", "professional class --> profession"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestStringNestedGroups(t *testing.T) {
+	root := &Group{
+		Name: "top",
+		Subgroups: []*Group{
+			{Name: "inner", Dims: []Dimension{dim("a", "1")}},
+		},
+	}
+	g, err := NewGrouped("top", root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.String()
+	if !strings.Contains(s, "X inner") || !strings.Contains(s, "C a") {
+		t.Errorf("nested String() = %q", s)
+	}
+}

@@ -1,0 +1,33 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"statcube/internal/stats"
+)
+
+// Example_stockRollup rolls a daily price series up to weekly summaries —
+// the stock-market classification hierarchy over time of Section 3.2(ii).
+func Example_stockRollup() {
+	obs := []stats.Observation{
+		{Period: "w1", Value: 100}, {Period: "w1", Value: 104}, {Period: "w1", Value: 98},
+		{Period: "w2", Value: 101}, {Period: "w2", Value: 107},
+	}
+	for _, w := range stats.RollupPeriods(obs) {
+		fmt.Printf("%s open=%.0f close=%.0f high=%.0f low=%.0f\n",
+			w.Period, w.Open, w.Close, w.High, w.Low)
+	}
+	// Output:
+	// w1 open=100 close=98 high=104 low=98
+	// w2 open=101 close=107 high=107 low=101
+}
+
+// ExampleTrimmedMean shows the outlier robustness that motivates pushing
+// richer statistics into the database (Section 5.6).
+func ExampleTrimmedMean() {
+	xs := []float64{10, 11, 12, 13, 14, 15, 16, 17, 18, 1000}
+	plain, _ := stats.Mean(xs)
+	trimmed, _ := stats.TrimmedMean(xs, 0.1)
+	fmt.Printf("mean=%.1f trimmed=%.1f\n", plain, trimmed)
+	// Output: mean=112.6 trimmed=14.5
+}

@@ -1,0 +1,147 @@
+package table
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"statcube/internal/core"
+	"statcube/internal/hierarchy"
+	"statcube/internal/schema"
+)
+
+// This file reads legacy 2-D statistical tables back into statistical
+// objects — the direction Figure 7 motivates: "in case that one needs to
+// interface to legacy systems that store and access information according
+// to the 2-D layout". The supported interchange format is wide CSV:
+//
+//	sex,year,engineer,secretary,teacher      <- row dim names, then column values
+//	male,1991,438800,688400,336683
+//	male,1992,487900,711900,359287
+//
+// The first nRowDims header cells name the row dimensions; the remaining
+// header cells are the column dimension's category values. Empty cells and
+// "." mark absent data.
+
+// ErrWideFormat is returned for malformed wide-format input.
+var ErrWideFormat = errors.New("table: malformed wide-format table")
+
+// ParseWide reads a wide-format 2-D table into a statistical object with
+// nRowDims row dimensions, a column dimension named colDim, and the given
+// measure. All classifications are flat (legacy layout carries no
+// hierarchy metadata; attach one afterwards with SAggregateVia if known).
+func ParseWide(r io.Reader, nRowDims int, colDim string, measure core.Measure) (*core.StatObject, error) {
+	if nRowDims < 1 {
+		return nil, fmt.Errorf("%w: need at least one row dimension", ErrWideFormat)
+	}
+	rd := csv.NewReader(r)
+	rd.TrimLeadingSpace = true
+	header, err := rd.Read()
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrWideFormat, err)
+	}
+	if len(header) < nRowDims+1 {
+		return nil, fmt.Errorf("%w: header has %d cells, need %d row dims plus at least one column value",
+			ErrWideFormat, len(header), nRowDims)
+	}
+	rowDimNames := make([]string, nRowDims)
+	for i := range rowDimNames {
+		rowDimNames[i] = strings.TrimSpace(header[i])
+		if rowDimNames[i] == "" {
+			return nil, fmt.Errorf("%w: empty row dimension name in header cell %d", ErrWideFormat, i+1)
+		}
+	}
+	colValues := make([]core.Value, 0, len(header)-nRowDims)
+	seenCol := map[core.Value]bool{}
+	for _, h := range header[nRowDims:] {
+		v := strings.TrimSpace(h)
+		if v == "" {
+			return nil, fmt.Errorf("%w: empty column value in header", ErrWideFormat)
+		}
+		if seenCol[v] {
+			return nil, fmt.Errorf("%w: duplicate column value %q in header", ErrWideFormat, v)
+		}
+		seenCol[v] = true
+		colValues = append(colValues, v)
+	}
+	// First pass: collect rows and discover row-dimension values in order.
+	type record struct {
+		rowVals []core.Value
+		cells   []string
+	}
+	var records []record
+	valueOrder := make([][]core.Value, nRowDims)
+	seen := make([]map[core.Value]bool, nRowDims)
+	for i := range seen {
+		seen[i] = map[core.Value]bool{}
+	}
+	lineNo := 1
+	for {
+		rec, err := rd.Read()
+		if err == io.EOF {
+			break
+		}
+		lineNo++
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrWideFormat, lineNo, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("%w: line %d has %d cells, want %d", ErrWideFormat, lineNo, len(rec), len(header))
+		}
+		rv := make([]core.Value, nRowDims)
+		for i := 0; i < nRowDims; i++ {
+			rv[i] = strings.TrimSpace(rec[i])
+			if !seen[i][rv[i]] {
+				seen[i][rv[i]] = true
+				valueOrder[i] = append(valueOrder[i], rv[i])
+			}
+		}
+		records = append(records, record{rowVals: rv, cells: rec[nRowDims:]})
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("%w: no data rows", ErrWideFormat)
+	}
+	var dims []schema.Dimension
+	for i, name := range rowDimNames {
+		dims = append(dims, schema.Dimension{
+			Name:  name,
+			Class: hierarchy.FlatClassification(name, valueOrder[i]...),
+		})
+	}
+	dims = append(dims, schema.Dimension{
+		Name:  colDim,
+		Class: hierarchy.FlatClassification(colDim, colValues...),
+	})
+	sch, err := schema.New("imported table", dims...)
+	if err != nil {
+		return nil, err
+	}
+	obj, err := core.New(sch, []core.Measure{measure})
+	if err != nil {
+		return nil, err
+	}
+	for ri, rec := range records {
+		for ci, cell := range rec.cells {
+			s := strings.TrimSpace(cell)
+			if s == "" || s == "." {
+				continue
+			}
+			x, err := strconv.ParseFloat(strings.ReplaceAll(s, ",", ""), 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: data row %d, column %q: bad number %q",
+					ErrWideFormat, ri+1, colValues[ci], cell)
+			}
+			coords := map[string]core.Value{colDim: colValues[ci]}
+			for i, name := range rowDimNames {
+				coords[name] = rec.rowVals[i]
+			}
+			if err := obj.SetCell(coords, map[string]float64{measure.Name: x}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return obj, nil
+}

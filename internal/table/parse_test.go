@@ -1,0 +1,94 @@
+package table
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"statcube/internal/core"
+	"statcube/internal/schema"
+)
+
+const wideCSV = `sex,year,engineer,secretary,teacher
+male,1991,438800,688400,336683
+male,1992,487900,711900,.
+female,1991,137800,829600,491194
+`
+
+func wideMeasure() core.Measure {
+	return core.Measure{Name: "employment", Func: core.Sum, Type: core.Stock}
+}
+
+func TestParseWide(t *testing.T) {
+	obj, err := ParseWide(strings.NewReader(wideCSV), 2, "profession", wideMeasure())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Schema().NumDims() != 3 {
+		t.Fatalf("dims = %d", obj.Schema().NumDims())
+	}
+	if obj.Cells() != 8 { // 9 cells minus one "." absent
+		t.Errorf("cells = %d", obj.Cells())
+	}
+	v, ok, err := obj.CellValue(map[string]core.Value{
+		"sex": "male", "year": "1991", "profession": "engineer",
+	}, "employment")
+	if err != nil || !ok || v != 438800 {
+		t.Errorf("cell = %v, %v, %v", v, ok, err)
+	}
+	// The absent cell stayed absent.
+	_, ok, _ = obj.CellValue(map[string]core.Value{
+		"sex": "male", "year": "1992", "profession": "teacher",
+	}, "employment")
+	if ok {
+		t.Error("'.' cell should be absent")
+	}
+	// Round trip: render the parsed object back as a table.
+	out, err := Render(obj, schema.Layout2D{Rows: []string{"sex", "year"}, Cols: []string{"profession"}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "438800") || !strings.Contains(out, "491194") {
+		t.Errorf("round trip lost data:\n%s", out)
+	}
+}
+
+func TestParseWideThousandsSeparators(t *testing.T) {
+	in := "region,q1\nwest,\"1,463,883\"\n"
+	obj, err := ParseWide(strings.NewReader(in), 1, "quarter", wideMeasure())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ := obj.CellValue(map[string]core.Value{"region": "west", "quarter": "q1"}, "employment")
+	if !ok || v != 1463883 {
+		t.Errorf("cell = %v, %v", v, ok)
+	}
+}
+
+func TestParseWideErrors(t *testing.T) {
+	m := wideMeasure()
+	cases := []struct {
+		name, in string
+		nRowDims int
+	}{
+		{"zero row dims", wideCSV, 0},
+		{"header too short", "a\n1\n", 1},
+		{"empty header name", ",x\nv,1\n", 1},
+		{"empty column value", "a,\nv,1\n", 1},
+		{"ragged row", "a,x\nv\n", 1},
+		{"no data rows", "a,x\n", 1},
+		{"bad number", "a,x\nv,notanumber\n", 1},
+	}
+	for _, c := range cases {
+		if _, err := ParseWide(strings.NewReader(c.in), c.nRowDims, "col", m); !errors.Is(err, ErrWideFormat) {
+			t.Errorf("%s: err = %v, want ErrWideFormat", c.name, err)
+		}
+	}
+}
+
+func TestParseWideDuplicateColumnHeader(t *testing.T) {
+	in := "region,q1,q1\nwest,1,2\n"
+	if _, err := ParseWide(strings.NewReader(in), 1, "quarter", wideMeasure()); !errors.Is(err, ErrWideFormat) {
+		t.Errorf("duplicate header err = %v, want ErrWideFormat", err)
+	}
+}

@@ -1,0 +1,363 @@
+// Package table renders a statistical object as the traditional 2-D
+// statistical table (Figures 1 and 9 of Shoshani's OLAP-vs-SDB survey):
+// dimensions are assigned to rows and columns in a chosen order, category
+// values nest across the stub and the header, classification parents are
+// shown above their children, and "marginals" — the totals statisticians
+// print on the margins — can be added per row, per column and overall.
+//
+// Marginals are only computed where the object's summarizability rules
+// allow; a dimension that cannot be summed over (a stock measure along
+// time, a non-strict hierarchy) yields "n/s" cells rather than silently
+// wrong totals, making Section 3.3.2 visible in the output.
+package table
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"statcube/internal/core"
+	"statcube/internal/schema"
+)
+
+// Options configure rendering.
+type Options struct {
+	// Measure selects which measure to print; empty defaults to the
+	// object's single measure.
+	Measure string
+	// Marginals adds a total column, a total row and the grand total.
+	Marginals bool
+	// GroupSubtotals adds a subtotal column after each classification
+	// group of the column dimension — Figure 9's per-professional-class
+	// "total" columns. Requires a single column dimension with a
+	// classification hierarchy.
+	GroupSubtotals bool
+	// Empty is printed for absent cells (default ".").
+	Empty string
+}
+
+// ErrSubtotalLayout is returned when GroupSubtotals is requested for a
+// layout it does not support.
+var ErrSubtotalLayout = errors.New("table: group subtotals need exactly one column dimension with a hierarchy")
+
+// ErrAmbiguousMeasure is returned when Measure is empty and the object has
+// several measures.
+var ErrAmbiguousMeasure = errors.New("table: object has several measures; set Options.Measure")
+
+// Render draws the object as an aligned text table under the layout.
+func Render(o *core.StatObject, layout schema.Layout2D, opts Options) (string, error) {
+	if err := o.Schema().ValidateLayout(layout); err != nil {
+		return "", err
+	}
+	measure := opts.Measure
+	if measure == "" {
+		ms := o.Measures()
+		if len(ms) != 1 {
+			return "", ErrAmbiguousMeasure
+		}
+		measure = ms[0].Name
+	}
+	if _, err := o.Measure(measure); err != nil {
+		return "", err
+	}
+	empty := opts.Empty
+	if empty == "" {
+		empty = "."
+	}
+
+	rowDims, err := dimsOf(o, layout.Rows)
+	if err != nil {
+		return "", err
+	}
+	colDims, err := dimsOf(o, layout.Cols)
+	if err != nil {
+		return "", err
+	}
+	rowTuples := crossProduct(rowDims)
+
+	// Build the display columns: plain leaf tuples, or — with group
+	// subtotals — the single column dimension's leaves grouped by parent
+	// with a subtotal column per group (Figure 9).
+	vcols, err := buildColumns(colDims, layout.Cols, opts.GroupSubtotals)
+	if err != nil {
+		return "", err
+	}
+	subtotalOK := !opts.GroupSubtotals || summable(o, measure, layout.Cols)
+
+	// Precompute marginal feasibility: the total column sums over every
+	// column dimension; the total row over every row dimension.
+	colTotalOK := opts.Marginals && summable(o, measure, layout.Cols)
+	rowTotalOK := opts.Marginals && summable(o, measure, layout.Rows)
+
+	// Grid assembly: stub columns, then the display columns, then the
+	// optional total column.
+	nStub := len(rowDims)
+	nCols := nStub + len(vcols)
+	if opts.Marginals {
+		nCols++
+	}
+	var grid [][]string
+
+	// Header: one line per column dimension (parents-of-leaf line first if
+	// the leaf classification has an upper level, Figure 1's two-tier
+	// header).
+	for ci, d := range colDims {
+		if d.Class.NumLevels() > 1 {
+			line := make([]string, nCols)
+			for ti, vc := range vcols {
+				if vc.subtotal {
+					line[nStub+ti] = vc.parent
+					continue
+				}
+				parents, err := d.Class.Parents(0, vc.tuple[ci])
+				if err == nil && len(parents) > 0 {
+					line[nStub+ti] = parents[0]
+				}
+			}
+			grid = append(grid, line)
+		}
+		line := make([]string, nCols)
+		for i, lbl := range layout.Rows {
+			if ci == len(colDims)-1 {
+				line[i] = lbl // stub headings on the last header line
+			}
+		}
+		for ti, vc := range vcols {
+			if vc.subtotal {
+				if ci == len(colDims)-1 {
+					line[nStub+ti] = "total"
+				}
+				continue
+			}
+			line[nStub+ti] = vc.tuple[ci]
+		}
+		if opts.Marginals && ci == len(colDims)-1 {
+			line[nCols-1] = "total"
+		}
+		grid = append(grid, line)
+	}
+
+	format := func(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+	cellValue := func(coords map[string]core.Value) (string, float64, bool) {
+		v, ok, err := o.CellValue(coords, measure)
+		if err != nil || !ok {
+			return empty, 0, false
+		}
+		return format(v), v, true
+	}
+
+	colTotals := make([]float64, len(vcols))
+	colAny := make([]bool, len(vcols))
+	var grand float64
+	var grandAny bool
+
+	for _, rt := range rowTuples {
+		line := make([]string, nCols)
+		copy(line, rt)
+		rowTotal := 0.0
+		rowAny := false
+		groupTotal := 0.0
+		groupAny := false
+		for ti, vc := range vcols {
+			if vc.subtotal {
+				switch {
+				case !subtotalOK:
+					line[nStub+ti] = "n/s"
+				case groupAny:
+					line[nStub+ti] = format(groupTotal)
+					colTotals[ti] += groupTotal
+					colAny[ti] = true
+				default:
+					line[nStub+ti] = empty
+				}
+				groupTotal, groupAny = 0, false
+				continue
+			}
+			coords := map[string]core.Value{}
+			for i, name := range layout.Rows {
+				coords[name] = rt[i]
+			}
+			for i, name := range layout.Cols {
+				coords[name] = vc.tuple[i]
+			}
+			s, v, ok := cellValue(coords)
+			line[nStub+ti] = s
+			if ok {
+				rowTotal += v
+				rowAny = true
+				colTotals[ti] += v
+				colAny[ti] = true
+				grand += v
+				grandAny = true
+				groupTotal += v
+				groupAny = true
+			}
+		}
+		if opts.Marginals {
+			switch {
+			case !colTotalOK:
+				line[nCols-1] = "n/s"
+			case rowAny:
+				line[nCols-1] = format(rowTotal)
+			default:
+				line[nCols-1] = empty
+			}
+		}
+		grid = append(grid, line)
+	}
+
+	if opts.Marginals {
+		line := make([]string, nCols)
+		line[0] = "total"
+		for ti, vc := range vcols {
+			switch {
+			case !rowTotalOK || (vc.subtotal && !subtotalOK):
+				line[nStub+ti] = "n/s"
+			case colAny[ti]:
+				line[nStub+ti] = format(colTotals[ti])
+			default:
+				line[nStub+ti] = empty
+			}
+		}
+		switch {
+		case !rowTotalOK || !colTotalOK:
+			line[nCols-1] = "n/s"
+		case grandAny:
+			line[nCols-1] = format(grand)
+		default:
+			line[nCols-1] = empty
+		}
+		grid = append(grid, line)
+	}
+
+	return align(grid), nil
+}
+
+// vcol is one display column: a concrete leaf tuple or a group subtotal.
+type vcol struct {
+	tuple    []core.Value // leaf tuple (nil for subtotals)
+	subtotal bool
+	parent   core.Value // the classification group a subtotal closes
+}
+
+// buildColumns lays out the display columns. Without subtotals, one column
+// per cross-product tuple. With subtotals, the single hierarchical column
+// dimension's leaves are grouped by their level-1 parent, each group
+// followed by its subtotal column.
+func buildColumns(colDims []schema.Dimension, colNames []string, subtotals bool) ([]vcol, error) {
+	if !subtotals {
+		var out []vcol
+		for _, t := range crossProduct(colDims) {
+			out = append(out, vcol{tuple: t})
+		}
+		return out, nil
+	}
+	if len(colDims) != 1 || colDims[0].Class.NumLevels() < 2 {
+		return nil, ErrSubtotalLayout
+	}
+	cls := colDims[0].Class
+	if !cls.IsStrictEdge(0) {
+		return nil, fmt.Errorf("%w: non-strict classification %q", ErrSubtotalLayout, cls.Name())
+	}
+	var out []vcol
+	for _, parent := range cls.Level(1).Values {
+		children, err := cls.Children(1, parent)
+		if err != nil {
+			return nil, err
+		}
+		if len(children) == 0 {
+			continue
+		}
+		for _, child := range children {
+			out = append(out, vcol{tuple: []core.Value{child}})
+		}
+		out = append(out, vcol{subtotal: true, parent: parent})
+	}
+	return out, nil
+}
+
+// dimsOf resolves layout names to schema dimensions.
+func dimsOf(o *core.StatObject, names []string) ([]schema.Dimension, error) {
+	out := make([]schema.Dimension, len(names))
+	for i, n := range names {
+		d, err := o.Schema().Dimension(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+// crossProduct enumerates the leaf-value tuples of the dimensions in
+// nesting order (first dimension slowest).
+func crossProduct(dims []schema.Dimension) [][]core.Value {
+	tuples := [][]core.Value{{}}
+	for _, d := range dims {
+		var next [][]core.Value
+		for _, t := range tuples {
+			for _, v := range d.Class.LeafLevel().Values {
+				nt := make([]core.Value, len(t)+1)
+				copy(nt, t)
+				nt[len(t)] = v
+				next = append(next, nt)
+			}
+		}
+		tuples = next
+	}
+	if len(dims) == 0 {
+		return [][]core.Value{{}}
+	}
+	return tuples
+}
+
+// summable reports whether the measure may be summed over every named
+// dimension — a dry-run of the marginal computation's summarizability.
+func summable(o *core.StatObject, measure string, dims []string) bool {
+	m, err := o.Measure(measure)
+	if err != nil {
+		return false
+	}
+	if m.Func == core.Avg || m.Func == core.Min || m.Func == core.Max {
+		// Marginals of non-additive summary functions are not simple sums;
+		// refuse rather than print misleading totals.
+		return false
+	}
+	for _, name := range dims {
+		d, err := o.Schema().Dimension(name)
+		if err != nil {
+			return false
+		}
+		if err := m.CheckAdditiveAlong(d.Name, d.Temporal); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// align renders the grid with padded columns.
+func align(grid [][]string) string {
+	if len(grid) == 0 {
+		return ""
+	}
+	widths := make([]int, len(grid[0]))
+	for _, row := range grid {
+		for i, s := range row {
+			if len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	for _, row := range grid {
+		for i, s := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], s)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,246 @@
+package table
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"statcube/internal/core"
+	"statcube/internal/hierarchy"
+	"statcube/internal/schema"
+)
+
+// figure1 builds a small version of the paper's "Employment in California"
+// object: sex × year × profession with a professional-class hierarchy.
+// Employment is a flow-ish count here so marginals over every dimension
+// are allowed; the stock variant is tested separately.
+func figure1(t *testing.T, mtype core.MeasureType) *core.StatObject {
+	t.Helper()
+	prof := hierarchy.NewBuilder("profession", "profession",
+		"chemical engineer", "civil engineer", "junior secretary").
+		Level("professional class", "engineer", "secretary").
+		Parent("chemical engineer", "engineer").
+		Parent("civil engineer", "engineer").
+		Parent("junior secretary", "secretary").
+		MustBuild()
+	sch := schema.MustNew("employment",
+		schema.Dimension{Name: "sex", Class: hierarchy.FlatClassification("sex", "male", "female")},
+		schema.Dimension{Name: "year", Class: hierarchy.FlatClassification("year", "1991", "1992"), Temporal: true},
+		schema.Dimension{Name: "profession", Class: prof},
+	)
+	o := core.MustNew(sch, []core.Measure{{Name: "employment", Func: core.Sum, Type: mtype}})
+	cells := []struct {
+		sex, year, prof string
+		v               float64
+	}{
+		{"male", "1991", "chemical engineer", 100},
+		{"male", "1991", "civil engineer", 200},
+		{"male", "1992", "chemical engineer", 110},
+		{"female", "1991", "junior secretary", 300},
+		{"female", "1992", "junior secretary", 320},
+	}
+	for _, c := range cells {
+		if err := o.SetCell(map[string]core.Value{"sex": c.sex, "year": c.year, "profession": c.prof},
+			map[string]float64{"employment": c.v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return o
+}
+
+func layoutSYxP() schema.Layout2D {
+	return schema.Layout2D{Rows: []string{"sex", "year"}, Cols: []string{"profession"}}
+}
+
+func TestRenderBasic(t *testing.T) {
+	o := figure1(t, core.Flow)
+	out, err := Render(o, layoutSYxP(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two-tier header: professional class above profession.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[0], "engineer") || !strings.Contains(lines[0], "secretary") {
+		t.Errorf("parent header missing:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "chemical engineer") {
+		t.Errorf("leaf header missing:\n%s", out)
+	}
+	// Stub labels and data present.
+	if !strings.Contains(out, "male") || !strings.Contains(out, "1991") {
+		t.Errorf("stub missing:\n%s", out)
+	}
+	if !strings.Contains(out, "200") || !strings.Contains(out, "320") {
+		t.Errorf("cells missing:\n%s", out)
+	}
+	// Empty cells marked.
+	if !strings.Contains(out, ".") {
+		t.Errorf("empty marker missing:\n%s", out)
+	}
+	// Header + 4 row tuples = 2 + 4 lines.
+	if len(lines) != 6 {
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderMarginals(t *testing.T) {
+	o := figure1(t, core.Flow)
+	out, err := Render(o, layoutSYxP(), Options{Marginals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "total") {
+		t.Fatalf("no totals:\n%s", out)
+	}
+	// Row male/1991: 100+200 = 300; grand total 1030.
+	var maleRow string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "male") && strings.Contains(line, "1991") && !strings.Contains(line, "female") {
+			maleRow = line
+		}
+	}
+	if !strings.Contains(maleRow, "300") {
+		t.Errorf("male 1991 total missing: %q", maleRow)
+	}
+	if !strings.Contains(out, "1030") {
+		t.Errorf("grand total missing:\n%s", out)
+	}
+}
+
+func TestRenderStockMarginalsNotSummarizable(t *testing.T) {
+	// Employment as a Stock measure: the total column sums over the
+	// profession columns (fine), but the total row sums over sex AND the
+	// temporal year — not summarizable, so "n/s" must appear.
+	o := figure1(t, core.Stock)
+	out, err := Render(o, layoutSYxP(), Options{Marginals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "n/s") {
+		t.Errorf("expected n/s markers for stock-over-time totals:\n%s", out)
+	}
+	// The per-row totals (over professions only) are still real numbers.
+	if !strings.Contains(out, "300") {
+		t.Errorf("per-row total missing:\n%s", out)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	o := figure1(t, core.Flow)
+	// Invalid layout.
+	if _, err := Render(o, schema.Layout2D{Rows: []string{"sex"}}, Options{}); err == nil {
+		t.Error("incomplete layout should fail")
+	}
+	// Unknown measure.
+	if _, err := Render(o, layoutSYxP(), Options{Measure: "nope"}); !errors.Is(err, core.ErrUnknownMeasure) {
+		t.Errorf("unknown measure err = %v", err)
+	}
+	// Ambiguous measure.
+	sch := schema.MustNew("x",
+		schema.Dimension{Name: "a", Class: hierarchy.FlatClassification("a", "1", "2")},
+		schema.Dimension{Name: "b", Class: hierarchy.FlatClassification("b", "1")})
+	multi := core.MustNew(sch, []core.Measure{
+		{Name: "m1", Func: core.Sum, Type: core.Flow},
+		{Name: "m2", Func: core.Sum, Type: core.Flow},
+	})
+	if _, err := Render(multi, schema.Layout2D{Rows: []string{"a"}, Cols: []string{"b"}}, Options{}); !errors.Is(err, ErrAmbiguousMeasure) {
+		t.Errorf("ambiguous measure err = %v", err)
+	}
+}
+
+func TestRenderAvgMarginalsRefused(t *testing.T) {
+	sch := schema.MustNew("x",
+		schema.Dimension{Name: "a", Class: hierarchy.FlatClassification("a", "1", "2")},
+		schema.Dimension{Name: "b", Class: hierarchy.FlatClassification("b", "1")})
+	o := core.MustNew(sch, []core.Measure{{Name: "price", Func: core.Avg, Type: core.ValuePerUnit}})
+	_ = o.SetCell(map[string]core.Value{"a": "1", "b": "1"}, map[string]float64{"price": 10})
+	out, err := Render(o, schema.Layout2D{Rows: []string{"a"}, Cols: []string{"b"}}, Options{Marginals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "n/s") {
+		t.Errorf("avg marginals should be refused:\n%s", out)
+	}
+}
+
+func TestRenderCustomEmptyMarker(t *testing.T) {
+	o := figure1(t, core.Flow)
+	out, err := Render(o, layoutSYxP(), Options{Empty: "-"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "-") {
+		t.Errorf("custom empty marker missing:\n%s", out)
+	}
+}
+
+func TestRenderGroupSubtotals(t *testing.T) {
+	o := figure1(t, core.Flow)
+	out, err := Render(o, layoutSYxP(), Options{GroupSubtotals: true, Marginals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Parent header line shows each class over its subtotal column too.
+	if !strings.Contains(lines[0], "engineer") || !strings.Contains(lines[0], "secretary") {
+		t.Errorf("parent header missing:\n%s", out)
+	}
+	// Figure 9: male/1991 engineer subtotal = 100 + 200 = 300.
+	var maleRow string
+	for _, line := range lines {
+		if strings.Contains(line, "male") && strings.Contains(line, "1991") && !strings.Contains(line, "female") {
+			maleRow = line
+		}
+	}
+	if !strings.Contains(maleRow, "300") {
+		t.Errorf("engineer subtotal missing: %q", maleRow)
+	}
+	// The leaf header line carries "total" labels for the subtotal columns.
+	if !strings.Contains(lines[1], "total") {
+		t.Errorf("subtotal header missing:\n%s", out)
+	}
+}
+
+func TestRenderGroupSubtotalsLayoutErrors(t *testing.T) {
+	o := figure1(t, core.Flow)
+	// Two column dimensions: unsupported.
+	bad := schema.Layout2D{Rows: []string{"sex"}, Cols: []string{"year", "profession"}}
+	if _, err := Render(o, bad, Options{GroupSubtotals: true}); !errors.Is(err, ErrSubtotalLayout) {
+		t.Errorf("two-col err = %v", err)
+	}
+	// Flat column dimension: unsupported.
+	flat := schema.Layout2D{Rows: []string{"year", "profession"}, Cols: []string{"sex"}}
+	if _, err := Render(o, flat, Options{GroupSubtotals: true}); !errors.Is(err, ErrSubtotalLayout) {
+		t.Errorf("flat err = %v", err)
+	}
+}
+
+func TestRenderGroupSubtotalsNonStrictRejected(t *testing.T) {
+	phys := hierarchy.NewBuilder("physician", "physician", "dr-a", "dr-b").
+		Level("specialty", "onc", "pulm").
+		Parent("dr-a", "onc").
+		Parent("dr-b", "onc").
+		Parent("dr-b", "pulm").
+		MustBuild()
+	sch := schema.MustNew("hmo",
+		schema.Dimension{Name: "year", Class: hierarchy.FlatClassification("year", "1996")},
+		schema.Dimension{Name: "physician", Class: phys})
+	o := core.MustNew(sch, []core.Measure{{Name: "cost", Func: core.Sum, Type: core.Flow}})
+	layout := schema.Layout2D{Rows: []string{"year"}, Cols: []string{"physician"}}
+	if _, err := Render(o, layout, Options{GroupSubtotals: true}); !errors.Is(err, ErrSubtotalLayout) {
+		t.Errorf("non-strict err = %v", err)
+	}
+}
+
+func TestRenderGroupSubtotalsStockNS(t *testing.T) {
+	// Stock measure over a temporal row dim: column subtotals sum over the
+	// profession dimension only, which IS allowed; verify numbers appear.
+	o := figure1(t, core.Stock)
+	out, err := Render(o, layoutSYxP(), Options{GroupSubtotals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "300") {
+		t.Errorf("stock subtotal over professions should be allowed:\n%s", out)
+	}
+}

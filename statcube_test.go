@@ -1,0 +1,166 @@
+package statcube_test
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"statcube"
+)
+
+// buildEmployment assembles the paper's Figure 1 object through the public
+// facade only.
+func buildEmployment(t testing.TB) *statcube.StatObject {
+	t.Helper()
+	prof, err := statcube.NewHierarchy("profession", "profession",
+		"chemical engineer", "civil engineer", "junior secretary").
+		Level("professional class", "engineer", "secretary").
+		Parent("chemical engineer", "engineer").
+		Parent("civil engineer", "engineer").
+		Parent("junior secretary", "secretary").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := statcube.NewSchema("employment in california",
+		statcube.FlatDimension("sex", "male", "female"),
+		statcube.Dimension{Name: "year",
+			Class:    statcube.FlatDimension("year", "1991", "1992").Class,
+			Temporal: true},
+		statcube.Dimension{Name: "profession", Class: prof},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := statcube.New(sch, []statcube.Measure{
+		{Name: "employment", Func: statcube.Sum, Type: statcube.Stock},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		sex, year, prof string
+		v               float64
+	}{
+		{"male", "1991", "chemical engineer", 197700},
+		{"male", "1991", "civil engineer", 241100},
+		{"male", "1992", "civil engineer", 278000},
+		{"female", "1991", "junior secretary", 667300},
+		{"female", "1992", "junior secretary", 692500},
+	} {
+		err := o.SetCell(map[string]statcube.Value{
+			"sex": c.sex, "year": c.year, "profession": c.prof,
+		}, map[string]float64{"employment": c.v})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return o
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	o := buildEmployment(t)
+
+	// Concise query with automatic aggregation.
+	got, err := statcube.QueryScalar(o, "SHOW employment WHERE year = 1991 AND professional class = engineer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 197700+241100 {
+		t.Errorf("engineers 1991 = %v", got)
+	}
+
+	// Algebra: roll up the profession hierarchy, slice a year.
+	up, err := o.SAggregate("profession", "professional class")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := up.CellValue(map[string]statcube.Value{
+		"sex": "male", "year": "1991", "profession": "engineer",
+	}, "employment")
+	if err != nil || !ok || v != 438800 {
+		t.Errorf("rollup cell = %v, %v, %v", v, ok, err)
+	}
+
+	// Summarizability: employment is a stock; summing over years refused.
+	if _, err := o.SProject("year"); !errors.Is(err, statcube.ErrNotSummarizable) {
+		t.Errorf("stock-over-time err = %v", err)
+	}
+
+	// Table rendering with marginals.
+	out, err := statcube.RenderTable(o,
+		statcube.Layout2D{Rows: []string{"sex", "year"}, Cols: []string{"profession"}},
+		statcube.TableOptions{Marginals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "total") || !strings.Contains(out, "n/s") {
+		t.Errorf("table missing totals/markers:\n%s", out)
+	}
+}
+
+func TestFacadePrivacy(t *testing.T) {
+	md := statcube.NewMicrodata(100)
+	age := make([]string, 100)
+	income := make([]float64, 100)
+	for i := range age {
+		age[i] = "young"
+		income[i] = 1000
+	}
+	age[0] = "old"
+	income[0] = 9999
+	if err := md.AddCat("age", age); err != nil {
+		t.Fatal(err)
+	}
+	if err := md.AddNum("income", income); err != nil {
+		t.Fatal(err)
+	}
+	g := statcube.NewGuard(md, statcube.WithSizeRestriction(5))
+	if _, err := g.Count(statcube.C(statcube.Term{Attr: "age", Value: "old"})); !errors.Is(err, statcube.ErrRestricted) {
+		t.Errorf("restricted err = %v", err)
+	}
+}
+
+func TestFacadeIntervalMatching(t *testing.T) {
+	a, err := statcube.ParseIntervals([]string{"0-5", "6-10"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := statcube.ParseIntervals([]string{"0-1", "2-10"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, ref, rep, err := statcube.MergeAlignedDatasets([]float64{60, 40}, a, []float64{20, 80}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != len(ref) || rep.Method == "" {
+		t.Errorf("merge = %v over %v (%q)", merged, ref, rep.Method)
+	}
+	var total float64
+	for _, v := range merged {
+		total += v
+	}
+	if math.Abs(total-200) > 1e-9 {
+		t.Errorf("merged total = %v", total)
+	}
+}
+
+func ExampleQueryScalar() {
+	sch, _ := statcube.NewSchema("sales",
+		statcube.FlatDimension("product", "apple", "banana"),
+		statcube.FlatDimension("store", "s1", "s2"),
+	)
+	o, _ := statcube.New(sch, []statcube.Measure{
+		{Name: "amount", Func: statcube.Sum, Type: statcube.Flow},
+	})
+	_ = o.SetCell(map[string]statcube.Value{"product": "apple", "store": "s1"},
+		map[string]float64{"amount": 10})
+	_ = o.SetCell(map[string]statcube.Value{"product": "apple", "store": "s2"},
+		map[string]float64{"amount": 5})
+	v, _ := statcube.QueryScalar(o, "SHOW amount WHERE product = apple")
+	fmt.Println(v)
+	// Output: 15
+}
