@@ -4,23 +4,46 @@
 //
 // Usage:
 //
-//	cubebench           run every experiment
-//	cubebench E5 E9     run selected experiments by ID
+//	cubebench                 run every experiment
+//	cubebench E5 E9           run selected experiments by ID
+//	cubebench -stats-json     emit one JSON object per experiment (NDJSON)
+//	                          with timing and engine metric deltas
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"statcube/internal/experiments"
+	"statcube/internal/obs"
 )
 
+// statsLine is the -stats-json record for one experiment: the report plus
+// wall-clock time and the delta of every engine counter the run moved.
+type statsLine struct {
+	ID         string           `json:"id"`
+	Title      string           `json:"title"`
+	PaperClaim string           `json:"paper_claim"`
+	Lines      []string         `json:"lines,omitempty"`
+	Shape      string           `json:"shape,omitempty"`
+	Error      string           `json:"error,omitempty"`
+	DurationMS float64          `json:"duration_ms"`
+	Counters   map[string]int64 `json:"counters,omitempty"`
+}
+
 func main() {
+	statsJSON := flag.Bool("stats-json", false, "emit one JSON object per experiment instead of text reports")
+	flag.Parse()
+
 	want := map[string]bool{}
-	for _, arg := range os.Args[1:] {
+	for _, arg := range flag.Args() {
 		want[strings.ToUpper(arg)] = true
 	}
+	enc := json.NewEncoder(os.Stdout)
 	known := map[string]bool{}
 	failed := 0
 	for _, exp := range experiments.All() {
@@ -28,11 +51,33 @@ func main() {
 		if len(want) > 0 && !want[exp.ID] {
 			continue
 		}
+		before := obs.Default().Snapshot()
+		start := time.Now()
 		rep := exp.Run()
-		fmt.Println(rep)
+		elapsed := time.Since(start)
 		if rep.Err != nil {
 			failed++
 		}
+		if *statsJSON {
+			line := statsLine{
+				ID:         rep.ID,
+				Title:      rep.Title,
+				PaperClaim: rep.PaperClaim,
+				Lines:      rep.Lines,
+				Shape:      rep.Shape,
+				DurationMS: float64(elapsed.Microseconds()) / 1000,
+				Counters:   obs.Default().Snapshot().Sub(before).Counters,
+			}
+			if rep.Err != nil {
+				line.Error = rep.Err.Error()
+			}
+			if err := enc.Encode(line); err != nil {
+				fmt.Fprintln(os.Stderr, "cubebench:", err)
+				os.Exit(1)
+			}
+			continue
+		}
+		fmt.Println(rep)
 	}
 	for id := range want {
 		if !known[id] {

@@ -36,7 +36,19 @@ func main() {
 	tableSpec := flag.String("table", "", "render a 2-D table: rowdims:coldims (comma-separated)")
 	showSchema := flag.Bool("schema", false, "print the schema graph and conceptual structure")
 	list := flag.Bool("list", false, "list the built-in demo datasets (directory-style)")
+	explain := flag.Bool("explain", false, "print an EXPLAIN ANALYZE span tree for each query")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address and stay up after the work")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		ln, err := statcube.ServeMetrics(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "statcli:", err)
+			os.Exit(1)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "statcli: serving metrics on http://%s/metrics\n", ln.Addr())
+	}
 
 	if *list {
 		if err := listDemos(os.Stdout); err != nil {
@@ -63,7 +75,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "statcli:", err)
 			os.Exit(1)
 		}
-		out, err := statcube.RenderTable(obj, layout, statcube.TableOptions{Marginals: true})
+		topts := statcube.TableOptions{Marginals: true}
+		if ms := obj.Measures(); len(ms) > 1 {
+			topts.Measure = ms[0].Name // default to the first measure
+		}
+		out, err := statcube.RenderTable(obj, layout, topts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "statcli:", err)
 			os.Exit(1)
@@ -71,17 +87,29 @@ func main() {
 		fmt.Print(out)
 	}
 	for _, q := range flag.Args() {
+		if *explain {
+			res, span, err := statcube.QueryExplain(obj, q)
+			fmt.Printf("> %s\n", q)
+			fmt.Print(span.Render(statcube.SpanRenderOptions{Durations: true}))
+			fmt.Printf("cells scanned: %d\n", span.SumInt("cells_scanned"))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "statcli: %q: %v\n", q, err)
+				os.Exit(1)
+			}
+			printCells(res)
+			continue
+		}
 		res, err := statcube.Query(obj, q)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "statcli: %q: %v\n", q, err)
 			os.Exit(1)
 		}
 		fmt.Printf("> %s\n", q)
-		if res.Cells() == 1 && res.Schema().NumDims() >= 1 {
-			printCells(res)
-			continue
-		}
 		printCells(res)
+	}
+	if *metricsAddr != "" {
+		fmt.Fprintln(os.Stderr, "statcli: metrics endpoint up; interrupt to exit")
+		select {}
 	}
 	if *demo == "" && *csvPath == "" {
 		flag.Usage()
@@ -170,7 +198,7 @@ func listDemos(w io.Writer) error {
 func loadDemo(name string) (*statcube.StatObject, error) {
 	switch name {
 	case "employment":
-		return buildEmployment()
+		return workload.NewEmployment()
 	case "retail":
 		r, err := workload.NewRetail(40, 12, 60, 20000, 1)
 		if err != nil {
@@ -197,78 +225,6 @@ func loadDemo(name string) (*statcube.StatObject, error) {
 	default:
 		return nil, fmt.Errorf("unknown demo %q (have employment, retail, census, hmo)", name)
 	}
-}
-
-// buildEmployment assembles the Figure 1 dataset.
-func buildEmployment() (*statcube.StatObject, error) {
-	prof, err := statcube.NewHierarchy("profession", "profession",
-		"chemical engineer", "civil engineer",
-		"junior secretary", "executive secretary",
-		"elementary teacher", "high school teacher").
-		Level("professional class", "engineer", "secretary", "teacher").
-		Parent("chemical engineer", "engineer").
-		Parent("civil engineer", "engineer").
-		Parent("junior secretary", "secretary").
-		Parent("executive secretary", "secretary").
-		Parent("elementary teacher", "teacher").
-		Parent("high school teacher", "teacher").
-		Build()
-	if err != nil {
-		return nil, err
-	}
-	sch, err := statcube.NewSchema("employment in california",
-		statcube.FlatDimension("sex", "male", "female"),
-		statcube.Dimension{Name: "year",
-			Class:    statcube.FlatDimension("year", "1991", "1992").Class,
-			Temporal: true},
-		statcube.Dimension{Name: "profession", Class: prof},
-	)
-	if err != nil {
-		return nil, err
-	}
-	obj, err := statcube.New(sch, []statcube.Measure{
-		{Name: "employment", Func: statcube.Sum, Type: statcube.Stock},
-	})
-	if err != nil {
-		return nil, err
-	}
-	for _, c := range []struct {
-		sex, year, prof string
-		v               float64
-	}{
-		{"male", "1991", "chemical engineer", 197700},
-		{"male", "1991", "civil engineer", 241100},
-		{"male", "1991", "junior secretary", 534300},
-		{"male", "1991", "executive secretary", 154100},
-		{"male", "1991", "elementary teacher", 212943},
-		{"male", "1991", "high school teacher", 123740},
-		{"male", "1992", "chemical engineer", 209900},
-		{"male", "1992", "civil engineer", 278000},
-		{"male", "1992", "junior secretary", 542100},
-		{"male", "1992", "executive secretary", 169800},
-		{"male", "1992", "elementary teacher", 213521},
-		{"male", "1992", "high school teacher", 145766},
-		{"female", "1991", "chemical engineer", 25800},
-		{"female", "1991", "civil engineer", 112000},
-		{"female", "1991", "junior secretary", 667300},
-		{"female", "1991", "executive secretary", 162300},
-		{"female", "1991", "elementary teacher", 216071},
-		{"female", "1991", "high school teacher", 275123},
-		{"female", "1992", "chemical engineer", 28900},
-		{"female", "1992", "civil engineer", 127600},
-		{"female", "1992", "junior secretary", 692500},
-		{"female", "1992", "executive secretary", 174400},
-		{"female", "1992", "elementary teacher", 217520},
-		{"female", "1992", "high school teacher", 299344},
-	} {
-		err := obj.SetCell(map[string]statcube.Value{
-			"sex": c.sex, "year": c.year, "profession": c.prof,
-		}, map[string]float64{"employment": c.v})
-		if err != nil {
-			return nil, err
-		}
-	}
-	return obj, nil
 }
 
 // loadCSV builds a statistical object from a CSV file: the named dims

@@ -3,6 +3,8 @@ package bitvec
 import (
 	"fmt"
 	"math/bits"
+
+	"statcube/internal/obs"
 )
 
 // Sliced is a bit-sliced (bit-transposed) column: the i-th slice holds bit i
@@ -141,8 +143,15 @@ func (s *Sliced) SumSelected(sel *Vector) uint64 {
 		}
 		sum += uint64(c) << uint(b)
 	}
+	if obs.On() {
+		slicedBytes.Add(int64(s.SizeBytes()))
+	}
 	return sum
 }
+
+// slicedBytes mirrors the slice volume word-parallel sums touch into the
+// process-wide registry; one atomic add per SumSelected call.
+var slicedBytes = obs.Default().Counter("bitvec.bytes_scanned")
 
 // countAnd returns |a AND b| without allocating.
 func countAnd(a, b *Vector) int {

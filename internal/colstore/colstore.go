@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"statcube/internal/bitvec"
+	"statcube/internal/obs"
 	"statcube/internal/relstore"
 )
 
@@ -160,6 +161,19 @@ func (t *Table) NumRows() int { return t.n }
 // Columns returns the column names in relation order.
 func (t *Table) Columns() []string { return t.order }
 
+// colstoreBytes mirrors per-table scan accounting into the process-wide
+// registry so the HTTP endpoint and EXPLAIN see column-scan volume.
+var colstoreBytes = obs.Default().Counter("colstore.bytes_scanned")
+
+// charge adds n bytes to the table's scan accounting and, when
+// observability is on, to the global colstore.bytes_scanned counter.
+func (t *Table) charge(n int64) {
+	t.scanned += n
+	if obs.On() {
+		colstoreBytes.Add(n)
+	}
+}
+
 // ScannedBytes returns the cumulative bytes charged to operations.
 func (t *Table) ScannedBytes() int64 { return t.scanned }
 
@@ -219,7 +233,7 @@ func (t *Table) SelectEq(col, val string) (*bitvec.Vector, error) {
 	if !ok {
 		return out, nil // no rows match an unknown value
 	}
-	t.scanned += c.eqMask(code, out)
+	t.charge(c.eqMask(code, out))
 	return out, nil
 }
 
@@ -233,7 +247,7 @@ func (t *Table) SelectIn(col string, vals ...string) (*bitvec.Vector, error) {
 	out := bitvec.New(t.n)
 	for _, v := range vals {
 		if code, ok := c.code(v); ok {
-			t.scanned += c.eqMask(code, out)
+			t.charge(c.eqMask(code, out))
 		}
 	}
 	return out, nil
@@ -264,7 +278,7 @@ func (t *Table) SelectRange(col, lo, hi string) (*bitvec.Vector, error) {
 	if cLo > cHi {
 		return out, nil
 	}
-	t.scanned += c.rangeMask(cLo, cHi, out)
+	t.charge(c.rangeMask(cLo, cHi, out))
 	return out, nil
 }
 
@@ -297,7 +311,7 @@ func (t *Table) Sum(col string, sel *bitvec.Vector) (float64, error) {
 		return 0, fmt.Errorf("%w: %q", ErrNotMeasure, col)
 	}
 	if c.sliced != nil {
-		t.scanned += int64(c.sliced.SizeBytes())
+		t.charge(int64(c.sliced.SizeBytes()))
 		return float64(c.sliced.SumSelected(sel)), nil
 	}
 	var s float64
@@ -305,11 +319,11 @@ func (t *Table) Sum(col string, sel *bitvec.Vector) (float64, error) {
 		for _, v := range c.vals {
 			s += v
 		}
-		t.scanned += c.sizeBytes()
+		t.charge(c.sizeBytes())
 		return s, nil
 	}
 	sel.ForEach(func(i int) { s += c.vals[i] })
-	t.scanned += int64(sel.Count() * 8)
+	t.charge(int64(sel.Count() * 8))
 	return s, nil
 }
 
@@ -334,14 +348,14 @@ func (t *Table) GroupSum(groupCol, measureCol string, sel *bitvec.Vector) (map[s
 			sums[code] += m.vals[i]
 			any[code] = true
 		}
-		t.scanned += g.sizeBytes() + m.sizeBytes()
+		t.charge(g.sizeBytes() + m.sizeBytes())
 	} else {
 		sel.ForEach(func(i int) {
 			code, _ := g.code(g.get(i))
 			sums[code] += m.vals[i]
 			any[code] = true
 		})
-		t.scanned += int64(sel.Count()) * (g.rowBytes() + 8)
+		t.charge(int64(sel.Count()) * (g.rowBytes() + 8))
 	}
 	out := map[string]float64{}
 	for i, v := range dict {
@@ -363,11 +377,11 @@ func (t *Table) Row(i int) (map[string]string, map[string]float64, error) {
 	nums := map[string]float64{}
 	for name, c := range t.cats {
 		cats[name] = c.get(i)
-		t.scanned += c.rowBytes()
+		t.charge(c.rowBytes())
 	}
 	for name, c := range t.nums {
 		nums[name] = c.vals[i]
-		t.scanned += 8
+		t.charge(8)
 	}
 	return cats, nums, nil
 }

@@ -3,6 +3,9 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
+
+	"statcube/internal/obs"
 )
 
 // This file implements "automatic aggregation" [S82] (Section 5.1,
@@ -35,6 +38,15 @@ type AutoQuery struct {
 // values, rolled up to the picked levels — with all other dimensions
 // summarized away. Summarizability is checked along the way.
 func (o *StatObject) AutoAggregate(q AutoQuery) (*StatObject, error) {
+	return o.AutoAggregateSpan(q, nil)
+}
+
+// AutoAggregateSpan is AutoAggregate with tracing: each storage-level
+// operator (the store scan behind S-select/S-aggregate/S-project) opens a
+// child span on sp annotated with the cells it scanned and the groups it
+// emitted. A nil span evaluates identically with tracing off — Span
+// methods are nil-safe.
+func (o *StatObject) AutoAggregateSpan(q AutoQuery, sp *obs.Span) (*StatObject, error) {
 	if len(q.Where) == 0 {
 		return nil, fmt.Errorf("core: AutoAggregate with no conditions; use Total for the grand total")
 	}
@@ -44,6 +56,20 @@ func (o *StatObject) AutoAggregate(q AutoQuery) (*StatObject, error) {
 		mentioned = append(mentioned, dim)
 	}
 	sort.Strings(mentioned) // deterministic evaluation order
+	// step runs one storage operator under a child span, charging the
+	// cells its store scan visited and the groups the derived object holds.
+	step := func(name string, in *StatObject, op func() (*StatObject, error)) (*StatObject, error) {
+		child := sp.Child(name)
+		child.AddInt("cells_scanned", int64(in.Cells()))
+		out, err := op()
+		if err != nil {
+			child.SetErr(err)
+		} else {
+			child.AddInt("groups_out", int64(out.Cells()))
+		}
+		child.End()
+		return out, err
+	}
 	for _, dim := range mentioned {
 		pick := q.Where[dim]
 		d, err := cur.sch.Dimension(dim)
@@ -62,15 +88,21 @@ func (o *StatObject) AutoAggregate(q AutoQuery) (*StatObject, error) {
 			return nil, fmt.Errorf("core: empty condition for dimension %q", dim)
 		}
 		if li == 0 {
-			cur, err = cur.SSelect(dim, pick.Values...)
+			cur, err = step("scan:s-select:"+dim, cur, func() (*StatObject, error) {
+				return cur.SSelect(dim, pick.Values...)
+			})
 		} else {
 			// Keep the subtrees under the picked values, then roll up to
 			// the picked level; whole subtrees preserve completeness.
-			cur, err = cur.SSelectLevel(dim, level, pick.Values...)
+			cur, err = step("scan:s-select-level:"+dim, cur, func() (*StatObject, error) {
+				return cur.SSelectLevel(dim, level, pick.Values...)
+			})
 			if err != nil {
 				return nil, err
 			}
-			cur, err = cur.SAggregate(dim, level)
+			cur, err = step("scan:s-aggregate:"+dim, cur, func() (*StatObject, error) {
+				return cur.SAggregate(dim, level)
+			})
 		}
 		if err != nil {
 			return nil, err
@@ -84,11 +116,18 @@ func (o *StatObject) AutoAggregate(q AutoQuery) (*StatObject, error) {
 		}
 	}
 	if len(drop) > 0 {
+		child := sp.Child("scan:s-project")
+		child.SetStr("dims", strings.Join(drop, ","))
+		child.AddInt("cells_scanned", int64(cur.Cells()))
 		var err error
 		cur, err = cur.SProject(drop...)
 		if err != nil {
+			child.SetErr(err)
+			child.End()
 			return nil, err
 		}
+		child.AddInt("groups_out", int64(cur.Cells()))
+		child.End()
 	}
 	return cur, nil
 }

@@ -1,0 +1,37 @@
+package core
+
+import "statcube/internal/obs"
+
+// Aggregation-kernel instrumentation: every statistical-algebra operator
+// batches one counter update per call (cells visited by its store scan,
+// cells in the derived object), so the cost is a few atomic adds per
+// operator — never per cell. Counters live in the obs default registry:
+//
+//	core.ops                          operator invocations
+//	core.cells_scanned                input cells visited by operators
+//	core.groups_emitted               output cells produced by operators
+//	core.summarizability_rejections   operations refused by [LS97] checks
+var (
+	opsCount        = obs.Default().Counter("core.ops")
+	opsCellsScanned = obs.Default().Counter("core.cells_scanned")
+	opsGroups       = obs.Default().Counter("core.groups_emitted")
+	opsRejections   = obs.Default().Counter("core.summarizability_rejections")
+)
+
+// recordOp charges one operator invocation.
+func recordOp(scanned, emitted int) {
+	if !obs.On() {
+		return
+	}
+	opsCount.Inc()
+	opsCellsScanned.Add(int64(scanned))
+	opsGroups.Add(int64(emitted))
+}
+
+// recordRejection charges one summarizability refusal.
+func recordRejection() {
+	if !obs.On() {
+		return
+	}
+	opsRejections.Inc()
+}

@@ -92,6 +92,7 @@ func (o *StatObject) SSelect(dim string, values ...Value) (*StatObject, error) {
 		out.store.Put(nc, append([]float64(nil), slots...))
 		return true
 	})
+	recordOp(o.Cells(), out.Cells())
 	return out, nil
 }
 
@@ -171,6 +172,7 @@ func (o *StatObject) SProject(removeDims ...string) (*StatObject, error) {
 		}
 		for _, m := range o.measures {
 			if err := m.checkAdditive(name, d.Temporal); err != nil {
+				recordRejection()
 				return nil, err
 			}
 		}
@@ -200,6 +202,7 @@ func (o *StatObject) SProject(removeDims ...string) (*StatObject, error) {
 		out.mergeSlots(nc, slots)
 		return true
 	})
+	recordOp(o.Cells(), out.Cells())
 	return out, nil
 }
 
@@ -245,10 +248,12 @@ func (o *StatObject) sAggregate(dim, toLevel string, check bool) (*StatObject, e
 	}
 	if check {
 		if err := d.Class.CheckSummarizable(0, li); err != nil {
+			recordRejection()
 			return nil, fmt.Errorf("%w: %v", ErrNotSummarizable, err)
 		}
 		for _, m := range o.measures {
 			if err := m.checkAdditive(dim, d.Temporal); err != nil {
+				recordRejection()
 				return nil, err
 			}
 		}
@@ -288,6 +293,7 @@ func (o *StatObject) sAggregate(dim, toLevel string, check bool) (*StatObject, e
 		}
 		return true
 	})
+	recordOp(o.Cells(), out.Cells())
 	return out, nil
 }
 
@@ -343,6 +349,7 @@ func (o *StatObject) projectSingleton(dim string) (*StatObject, error) {
 		out.store.Put(nc, append([]float64(nil), slots...))
 		return true
 	})
+	recordOp(o.Cells(), out.Cells())
 	return out, nil
 }
 
@@ -441,6 +448,7 @@ func (o *StatObject) DisaggregateByProxy(dim string, finer *hierarchy.Classifica
 		}
 		return true
 	})
+	recordOp(o.Cells(), out.Cells())
 	return out, nil
 }
 
@@ -520,5 +528,6 @@ func (o *StatObject) SUnion(other *StatObject) (*StatObject, error) {
 	if err := put(other, true); err != nil {
 		return nil, err
 	}
+	recordOp(o.Cells()+other.Cells(), out.Cells())
 	return out, nil
 }

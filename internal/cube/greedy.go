@@ -52,6 +52,7 @@ func (l *Lattice) GreedySelect(k int) ([]int, int64) {
 		chosen = append(chosen, bestV)
 		total += bestB
 	}
+	recordGreedy(total)
 	return chosen, total
 }
 
@@ -88,6 +89,7 @@ func (l *Lattice) GreedySelectSpace(budget int64) ([]int, int64) {
 		total += bestB
 		used += l.sizes[bestV]
 	}
+	recordGreedy(total)
 	return chosen, total
 }
 

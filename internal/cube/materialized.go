@@ -85,11 +85,13 @@ func (m *MaterializedSet) Answer(mask int) (map[uint64]float64, int64, error) {
 		return nil, 0, fmt.Errorf("cube: view mask %d out of range", mask)
 	}
 	if view, ok := m.views[mask]; ok {
+		recordAnswer(true, 0)
 		return view, 0, nil
 	}
 	parent := m.smallestParent(mask)
 	cost := int64(len(m.views[parent]))
 	m.scanCost += cost
+	recordAnswer(false, cost)
 	return m.aggregate(parent, mask), cost, nil
 }
 

@@ -1,0 +1,40 @@
+package cube
+
+import "statcube/internal/obs"
+
+// View-selection and view-answering instrumentation:
+//
+//	cube.view_hits       Answer calls served by a stored (materialized) view
+//	cube.view_misses     Answer calls aggregated from a materialized ancestor
+//	cube.cells_scanned   ancestor entries read by those aggregations
+//	cube.greedy_runs     greedy view-selection invocations
+//	cube.greedy_benefit  (gauge) total benefit of the latest greedy run
+var (
+	viewHits     = obs.Default().Counter("cube.view_hits")
+	viewMisses   = obs.Default().Counter("cube.view_misses")
+	cellsScanned = obs.Default().Counter("cube.cells_scanned")
+	greedyRuns   = obs.Default().Counter("cube.greedy_runs")
+)
+
+// recordAnswer charges one Answer call: a hit costs nothing, a miss charges
+// the rows aggregated from the smallest materialized ancestor.
+func recordAnswer(hit bool, cost int64) {
+	if !obs.On() {
+		return
+	}
+	if hit {
+		viewHits.Inc()
+		return
+	}
+	viewMisses.Inc()
+	cellsScanned.Add(cost)
+}
+
+// recordGreedy publishes the outcome of one greedy selection run.
+func recordGreedy(benefit int64) {
+	if !obs.On() {
+		return
+	}
+	greedyRuns.Inc()
+	obs.Default().Gauge("cube.greedy_benefit").Set(float64(benefit))
+}

@@ -98,8 +98,7 @@ func (c *Chunked) Get(coords []int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	c.chunksRead++
-	c.bytesRead += int64(Size(c.chunkShape) * 8)
+	c.chargeChunk(int64(Size(c.chunkShape) * 8))
 	if ch := c.chunks[ci]; ch != nil {
 		return ch.data[off], nil
 	}
@@ -153,8 +152,7 @@ func (c *Chunked) sumWithinChunk(chunkCoords, lo, hi []int) float64 {
 	for i, g := range c.grid {
 		idx = idx*g + chunkCoords[i]
 	}
-	c.chunksRead++
-	c.bytesRead += int64(Size(c.chunkShape) * 8)
+	c.chargeChunk(int64(Size(c.chunkShape) * 8))
 	ch := c.chunks[idx]
 	if ch == nil || !ch.used {
 		return 0

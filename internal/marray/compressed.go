@@ -94,8 +94,10 @@ func (c *Compressed) Get(coords []int) (float64, bool, error) {
 	}
 	phys, err := c.header.Forward(pos)
 	if err != nil {
+		recordLookup(false)
 		return 0, false, nil // compressed out: null
 	}
+	recordLookup(true)
 	return c.vals[phys], true, nil
 }
 
@@ -108,8 +110,10 @@ func (c *Compressed) GetViaBTree(coords []int) (float64, bool, error) {
 	}
 	_, rec, ok := c.tree.Floor(pos)
 	if !ok || pos >= rec.logStart+rec.length {
+		recordLookup(false)
 		return 0, false, nil
 	}
+	recordLookup(true)
 	return c.vals[rec.physStart+(pos-rec.logStart)], true, nil
 }
 

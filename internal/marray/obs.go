@@ -1,0 +1,42 @@
+package marray
+
+import "statcube/internal/obs"
+
+// Array-storage instrumentation, mirrored into the process-wide registry
+// alongside each structure's own accounting fields:
+//
+//	marray.chunks_read          chunks touched by Get/RangeSum
+//	marray.bytes_read           bytes those chunk reads represent
+//	marray.compressed_lookups   point lookups against compressed arrays
+//	marray.compressed_hits      lookups that found a stored (non-null) cell
+//
+// The hit ratio compressed_hits/compressed_lookups measures how often the
+// header-compression scheme answers from stored cells versus inferring a
+// null — the access pattern Figure 21's B+tree serves.
+var (
+	chunksReadC  = obs.Default().Counter("marray.chunks_read")
+	bytesReadC   = obs.Default().Counter("marray.bytes_read")
+	compLookupsC = obs.Default().Counter("marray.compressed_lookups")
+	compHitsC    = obs.Default().Counter("marray.compressed_hits")
+)
+
+// chargeChunk records one chunk read of b bytes.
+func (c *Chunked) chargeChunk(b int64) {
+	c.chunksRead++
+	c.bytesRead += b
+	if obs.On() {
+		chunksReadC.Inc()
+		bytesReadC.Add(b)
+	}
+}
+
+// recordLookup records one compressed-array point lookup and its outcome.
+func recordLookup(hit bool) {
+	if !obs.On() {
+		return
+	}
+	compLookupsC.Inc()
+	if hit {
+		compHitsC.Inc()
+	}
+}

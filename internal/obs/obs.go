@@ -1,0 +1,317 @@
+// Package obs is the engine-wide observability layer: dependency-free
+// atomic counters, gauges, bounded histograms, a span-based tracer, and a
+// process-wide default registry with deterministic text/JSON snapshots.
+//
+// The paper's efficiency story (transposed files vs row scans, header
+// compression, the greedy view lattice) is only credible with per-operator
+// cost accounting; this package is where every layer of the engine reports
+// it: cells scanned by the statistical algebra, bytes touched by the
+// storage backends, materialized-view hits, privacy refusals, query
+// latencies. `cmd/statcli -explain` renders the per-query span tree,
+// Serve exposes the registry over HTTP, and `cmd/cubebench -stats-json`
+// attaches counter deltas to every experiment.
+//
+// Everything here is stdlib-only and safe for concurrent use. Metric
+// updates are single atomic operations; instrumented hot paths gate on
+// On() so a disabled registry costs one atomic load per operation.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// enabled gates all package-level recording helpers. Default on: the
+// instrumentation points batch their updates (one atomic add per operator
+// call, not per cell), so the steady-state cost is negligible.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// On reports whether recording is enabled.
+func On() bool { return enabled.Load() }
+
+// SetEnabled turns recording on or off process-wide. Disabling reduces
+// instrumented hot paths to a single atomic load.
+func SetEnabled(v bool) { enabled.Store(v) }
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomically settable float64 value (last write wins).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// histBuckets is the bounded bucket count: bucket 0 holds values below 1,
+// bucket i (1..64) holds values in [2^(i-1), 2^i). Exponential buckets
+// bound the memory at 65 words while keeping quantile estimates within a
+// factor of two — ample for latency and cell-count distributions.
+const histBuckets = 65
+
+// Histogram is a bounded, lock-free histogram of non-negative values with
+// exact count/sum/min/max and bucketed quantile estimates. Use
+// NewHistogram (or a Registry) to create one; the zero value is not valid.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+	minBits atomic.Uint64 // float64 bits, starts at +Inf
+	maxBits atomic.Uint64 // float64 bits, starts at -Inf
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v float64) int {
+	if v < 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(v))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// Observe records one value. Negative values are clamped to zero.
+func (h *Histogram) Observe(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	for {
+		old := h.minBits.Load()
+		if math.Float64frombits(old) <= v || h.minBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if math.Float64frombits(old) >= v || h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() float64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.minBits.Load())
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() float64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.maxBits.Load())
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the buckets,
+// interpolating linearly within the chosen bucket and clamping to the
+// observed [min, max]. The bucket geometry bounds the relative error at 2x.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	rank := q * float64(total-1)
+	var cum float64
+	for i := 0; i < histBuckets; i++ {
+		n := float64(h.buckets[i].Load())
+		if n == 0 {
+			continue
+		}
+		if rank < cum+n {
+			lo, hi := bucketBounds(i)
+			est := lo + (hi-lo)*((rank-cum+0.5)/n)
+			return clamp(est, h.Min(), h.Max())
+		}
+		cum += n
+	}
+	return h.Max()
+}
+
+// bucketBounds returns the value range [lo, hi) of bucket i.
+func bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 1
+	}
+	return math.Pow(2, float64(i-1)), math.Pow(2, float64(i))
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Registry is a named collection of counters, gauges and histograms.
+// Lookup is get-or-create; instruments are never removed.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry every instrumented package
+// reports into.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	h = NewHistogram()
+	r.hists[name] = h
+	return h
+}
+
+// names returns the sorted instrument names of one kind.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Add increments a default-registry counter when recording is enabled.
+func Add(name string, d int64) {
+	if !On() {
+		return
+	}
+	defaultRegistry.Counter(name).Add(d)
+}
+
+// Inc increments a default-registry counter by one when enabled.
+func Inc(name string) { Add(name, 1) }
+
+// SetGauge stores a default-registry gauge value when enabled.
+func SetGauge(name string, v float64) {
+	if !On() {
+		return
+	}
+	defaultRegistry.Gauge(name).Set(v)
+}
+
+// Observe records a value into a default-registry histogram when enabled.
+func Observe(name string, v float64) {
+	if !On() {
+		return
+	}
+	defaultRegistry.Histogram(name).Observe(v)
+}
+
+// ObserveDuration records a duration in nanoseconds into a
+// default-registry histogram when enabled.
+func ObserveDuration(name string, d time.Duration) {
+	Observe(name, float64(d.Nanoseconds()))
+}

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(3.5)
+	if g.Value() != 3.5 {
+		t.Errorf("gauge = %v", g.Value())
+	}
+	g.Set(-1)
+	if g.Value() != -1 {
+		t.Errorf("gauge = %v", g.Value())
+	}
+}
+
+func TestHistogramExactStats(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Errorf("empty histogram: count=%d min=%v max=%v p50=%v",
+			h.Count(), h.Min(), h.Max(), h.Quantile(0.5))
+	}
+	for _, v := range []float64{5, 1, 9, 3, 7} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Sum() != 25 {
+		t.Errorf("sum = %v", h.Sum())
+	}
+	if h.Min() != 1 || h.Max() != 9 {
+		t.Errorf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+// TestHistogramQuantileAccuracy checks the documented guarantee: the
+// exponential buckets bound the estimate within a factor of two of the
+// true quantile (and within the observed min/max).
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	// 1..1000 uniformly: true p50 ≈ 500, p95 ≈ 950, p99 ≈ 990.
+	for v := 1; v <= 1000; v++ {
+		h.Observe(float64(v))
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 500}, {0.95, 950}, {0.99, 990},
+	} {
+		got := h.Quantile(tc.q)
+		if got < tc.want/2 || got > tc.want*2 {
+			t.Errorf("p%v = %v, want within 2x of %v", tc.q*100, got, tc.want)
+		}
+		if got < h.Min() || got > h.Max() {
+			t.Errorf("p%v = %v outside [min=%v, max=%v]", tc.q*100, got, h.Min(), h.Max())
+		}
+	}
+	if q0, q1 := h.Quantile(0), h.Quantile(1); q0 != h.Min() || q1 != h.Max() {
+		t.Errorf("q0=%v q1=%v, want min=%v max=%v", q0, q1, h.Min(), h.Max())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(float64(w*perWorker + i + 1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	n := int64(workers * perWorker)
+	if h.Count() != n {
+		t.Errorf("count = %d, want %d", h.Count(), n)
+	}
+	wantSum := float64(n) * float64(n+1) / 2
+	if h.Sum() != wantSum {
+		t.Errorf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+	if h.Min() != 1 || h.Max() != float64(n) {
+		t.Errorf("min/max = %v/%v, want 1/%d", h.Min(), h.Max(), n)
+	}
+}
+
+func TestHistogramEdgeValues(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-5)         // clamped to 0
+	h.Observe(math.NaN()) // clamped to 0
+	h.Observe(0.25)       // bucket 0
+	h.Observe(1 << 40)    // large value, high bucket
+	if h.Min() != 0 {
+		t.Errorf("min = %v", h.Min())
+	}
+	if h.Max() != 1<<40 {
+		t.Errorf("max = %v", h.Max())
+	}
+	if h.Count() != 4 {
+		t.Errorf("count = %d", h.Count())
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Error("counter lookup is not stable")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Error("gauge lookup is not stable")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Error("histogram lookup is not stable")
+	}
+	// Concurrent get-or-create resolves to one instrument.
+	var wg sync.WaitGroup
+	results := make([]*Counter, 16)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = r.Counter("racy")
+		}(i)
+	}
+	wg.Wait()
+	for _, c := range results {
+		if c != results[0] {
+			t.Fatal("concurrent Counter returned different instances")
+		}
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	r := NewRegistry()
+	defer SetEnabled(true)
+	SetEnabled(false)
+	if On() {
+		t.Fatal("On() after SetEnabled(false)")
+	}
+	// Package helpers are gated; direct instrument use is not.
+	Add("test.gated", 5)
+	if Default().Counter("test.gated").Value() != 0 {
+		t.Error("gated Add recorded while disabled")
+	}
+	r.Counter("direct").Inc()
+	if r.Counter("direct").Value() != 1 {
+		t.Error("direct counter should always record")
+	}
+	SetEnabled(true)
+	if !On() {
+		t.Fatal("On() after SetEnabled(true)")
+	}
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// HistStat is a histogram's summary at snapshot time.
+type HistStat struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot is a point-in-time copy of a registry's instruments. Maps keep
+// JSON output deterministic (encoding/json sorts map keys), and Text sorts
+// names explicitly.
+type Snapshot struct {
+	Counters   map[string]int64    `json:"counters"`
+	Gauges     map[string]float64  `json:"gauges"`
+	Histograms map[string]HistStat `json:"histograms"`
+}
+
+// Snapshot copies the registry's current values. Concurrent updates may
+// land between instrument reads; each individual value is atomically read.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistStat, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = sanitize(g.Value())
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = HistStat{
+			Count: h.Count(),
+			Sum:   sanitize(h.Sum()),
+			Min:   sanitize(h.Min()),
+			Max:   sanitize(h.Max()),
+			P50:   sanitize(h.Quantile(0.50)),
+			P95:   sanitize(h.Quantile(0.95)),
+			P99:   sanitize(h.Quantile(0.99)),
+		}
+	}
+	return s
+}
+
+// sanitize replaces NaN/Inf (which encoding/json rejects) with zero.
+func sanitize(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// Sub returns the delta snapshot s minus prev: counters and histogram
+// count/sum are subtracted, gauges and percentiles keep s's values (they
+// are levels, not totals). Instruments absent from prev pass through.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]float64, len(s.Gauges)),
+		Histograms: make(map[string]HistStat, len(s.Histograms)),
+	}
+	for name, v := range s.Counters {
+		if d := v - prev.Counters[name]; d != 0 {
+			out.Counters[name] = d
+		}
+	}
+	for name, v := range s.Gauges {
+		out.Gauges[name] = v
+	}
+	for name, h := range s.Histograms {
+		p := prev.Histograms[name]
+		h.Count -= p.Count
+		h.Sum -= p.Sum
+		if h.Count != 0 {
+			out.Histograms[name] = h
+		}
+	}
+	return out
+}
+
+// Text renders the snapshot as sorted "name value" lines, expvar-style:
+// counters first, then gauges, then histograms with their summary stats.
+func (s Snapshot) Text() string {
+	var b strings.Builder
+	for _, name := range sortedKeys(s.Counters) {
+		fmt.Fprintf(&b, "counter %s %d\n", name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(&b, "gauge %s %s\n", name, strconv.FormatFloat(s.Gauges[name], 'g', -1, 64))
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		fmt.Fprintf(&b, "histogram %s count=%d sum=%g min=%g max=%g p50=%g p95=%g p99=%g\n",
+			name, h.Count, h.Sum, h.Min, h.Max, h.P50, h.P95, h.P99)
+	}
+	return b.String()
+}
+
+// JSON renders the snapshot as deterministic indented JSON.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// CounterNames returns the snapshot's counter names, sorted.
+func (s Snapshot) CounterNames() []string {
+	names := sortedKeys(s.Counters)
+	sort.Strings(names)
+	return names
+}

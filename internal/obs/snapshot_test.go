@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotDeterminism(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.second").Add(2)
+	r.Counter("a.first").Add(1)
+	r.Gauge("g.level").Set(0.5)
+	r.Histogram("h.lat").Observe(10)
+
+	s := r.Snapshot()
+	text1 := s.Text()
+	json1, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		s2 := r.Snapshot()
+		if got := s2.Text(); got != text1 {
+			t.Fatalf("Text differs across snapshots:\n%s\nvs\n%s", got, text1)
+		}
+		json2, err := s2.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(json1, json2) {
+			t.Fatalf("JSON differs across snapshots:\n%s\nvs\n%s", json1, json2)
+		}
+	}
+	// Counters render sorted.
+	if !strings.Contains(text1, "counter a.first 1\ncounter b.second 2\n") {
+		t.Errorf("counters not sorted:\n%s", text1)
+	}
+	if !strings.Contains(text1, "gauge g.level 0.5") {
+		t.Errorf("gauge missing:\n%s", text1)
+	}
+	if !strings.Contains(text1, "histogram h.lat count=1 sum=10") {
+		t.Errorf("histogram missing:\n%s", text1)
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(5)
+	r.Counter("quiet").Add(1)
+	r.Histogram("h").Observe(100)
+	before := r.Snapshot()
+	r.Counter("c").Add(3)
+	r.Histogram("h").Observe(50)
+	delta := r.Snapshot().Sub(before)
+	if delta.Counters["c"] != 3 {
+		t.Errorf("delta c = %d, want 3", delta.Counters["c"])
+	}
+	if _, ok := delta.Counters["quiet"]; ok {
+		t.Error("zero-delta counter should be dropped")
+	}
+	h := delta.Histograms["h"]
+	if h.Count != 1 || h.Sum != 50 {
+		t.Errorf("delta hist = %+v", h)
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("srv.hits").Add(7)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "counter srv.hits 7") {
+		t.Errorf("/metrics = %d, %q", code, body)
+	}
+	if code, body := get("/metrics.json"); code != 200 || !strings.Contains(body, `"srv.hits": 7`) {
+		t.Errorf("/metrics.json = %d, %q", code, body)
+	}
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d", code)
+		_ = body
+	}
+}
+
+func TestServe(t *testing.T) {
+	ln, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	resp, err := http.Get("http://" + ln.Addr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one node of a query trace: a named, timed region with ordered
+// attributes and child spans. Spans drive EXPLAIN ANALYZE: the query layer
+// opens a root span, each evaluation stage opens children, and the storage
+// operators annotate them with cell counts.
+//
+// All methods are nil-safe: code instruments unconditionally with
+// `sp.Child(...)` / `sp.AddInt(...)`, and an un-traced call path simply
+// passes a nil span, reducing the instrumentation to a pointer test.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	dur      time.Duration
+	ended    bool
+	errMsg   string
+	attrs    []Attr
+	children []*Span
+}
+
+// Attr is one span attribute, either numeric or string valued.
+type Attr struct {
+	Key   string
+	Num   int64
+	Str   string
+	IsNum bool
+}
+
+// NewSpan starts a root span.
+func NewSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// Child starts a nested span. Nil-safe: a nil receiver returns nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := NewSpan(name)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End records the span's duration; further Ends are no-ops.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.dur = time.Since(s.start)
+		s.ended = true
+	}
+	s.mu.Unlock()
+}
+
+// Name returns the span's name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the recorded duration (elapsed time if not yet ended).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		return time.Since(s.start)
+	}
+	return s.dur
+}
+
+// Children returns the child spans in creation order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// AddInt adds delta to the named numeric attribute, creating it at zero.
+func (s *Span) AddInt(key string, delta int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key && s.attrs[i].IsNum {
+			s.attrs[i].Num += delta
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Num: delta, IsNum: true})
+}
+
+// SetStr sets the named string attribute.
+func (s *Span) SetStr(key, val string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key && !s.attrs[i].IsNum {
+			s.attrs[i].Str = val
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Str: val})
+}
+
+// SetErr records an error on the span.
+func (s *Span) SetErr(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.SetStr("error", err.Error())
+}
+
+// IntAttr returns the named numeric attribute and whether it is set.
+func (s *Span) IntAttr(key string) (int64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range s.attrs {
+		if a.Key == key && a.IsNum {
+			return a.Num, true
+		}
+	}
+	return 0, false
+}
+
+// SumInt returns the total of the named numeric attribute over this span
+// and all descendants.
+func (s *Span) SumInt(key string) int64 {
+	if s == nil {
+		return 0
+	}
+	total, _ := s.IntAttr(key)
+	for _, c := range s.Children() {
+		total += c.SumInt(key)
+	}
+	return total
+}
+
+// Attrs returns a copy of the span's attributes in first-set order.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Attr(nil), s.attrs...)
+}
+
+// Walk visits the span tree depth-first, parents before children.
+func (s *Span) Walk(fn func(depth int, sp *Span)) {
+	if s == nil {
+		return
+	}
+	s.walk(0, fn)
+}
+
+func (s *Span) walk(depth int, fn func(depth int, sp *Span)) {
+	fn(depth, s)
+	for _, c := range s.Children() {
+		c.walk(depth+1, fn)
+	}
+}
+
+// RenderOptions configure span-tree rendering.
+type RenderOptions struct {
+	// Durations includes per-span wall-clock times. Golden-file tests turn
+	// this off for byte-stable output.
+	Durations bool
+}
+
+// Render draws the span tree as an indented EXPLAIN ANALYZE listing:
+//
+//	query text='SHOW ...' (1.2ms)
+//	  parse (13µs)
+//	  eval cells_scanned=24 (1.1ms)
+//	    scan:s-select:year cells_in=36 cells_out=12 (401µs)
+func (s *Span) Render(opts RenderOptions) string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	s.Walk(func(depth int, sp *Span) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(sp.Name())
+		for _, a := range sp.Attrs() {
+			if a.IsNum {
+				fmt.Fprintf(&b, " %s=%d", a.Key, a.Num)
+			} else {
+				fmt.Fprintf(&b, " %s=%q", a.Key, a.Str)
+			}
+		}
+		if opts.Durations {
+			fmt.Fprintf(&b, " (%s)", sp.Duration().Round(time.Microsecond))
+		}
+		b.WriteByte('\n')
+	})
+	return b.String()
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSpanTreeNesting(t *testing.T) {
+	root := NewSpan("query")
+	root.SetStr("text", "SHOW x")
+	a := root.Child("resolve")
+	a.End()
+	b := root.Child("auto-aggregate")
+	b1 := b.Child("scan:s-select:year")
+	b1.AddInt("cells_scanned", 36)
+	b1.AddInt("groups_out", 12)
+	b1.End()
+	b2 := b.Child("scan:s-project")
+	b2.AddInt("cells_scanned", 12)
+	b2.End()
+	b.End()
+	root.End()
+
+	kids := root.Children()
+	if len(kids) != 2 || kids[0].Name() != "resolve" || kids[1].Name() != "auto-aggregate" {
+		t.Fatalf("children = %v", kids)
+	}
+	if got := len(kids[1].Children()); got != 2 {
+		t.Fatalf("grandchildren = %d", got)
+	}
+	if got := root.SumInt("cells_scanned"); got != 48 {
+		t.Errorf("SumInt = %d, want 48", got)
+	}
+	var depths []int
+	root.Walk(func(depth int, sp *Span) { depths = append(depths, depth) })
+	want := []int{0, 1, 1, 2, 2}
+	if len(depths) != len(want) {
+		t.Fatalf("walk visited %d spans, want %d", len(depths), len(want))
+	}
+	for i := range want {
+		if depths[i] != want[i] {
+			t.Errorf("walk depth[%d] = %d, want %d", i, depths[i], want[i])
+		}
+	}
+}
+
+func TestSpanRender(t *testing.T) {
+	root := NewSpan("query")
+	root.SetStr("text", "SHOW x")
+	c := root.Child("scan:s-select:year")
+	c.AddInt("cells_scanned", 36)
+	c.End()
+	root.End()
+	got := root.Render(RenderOptions{})
+	want := "query text=\"SHOW x\"\n  scan:s-select:year cells_scanned=36\n"
+	if got != want {
+		t.Errorf("Render = %q, want %q", got, want)
+	}
+	withDur := root.Render(RenderOptions{Durations: true})
+	if !strings.Contains(withDur, "(") || !strings.Contains(withDur, ")") {
+		t.Errorf("Render with durations lacks timings: %q", withDur)
+	}
+}
+
+func TestSpanAttrAccumulation(t *testing.T) {
+	s := NewSpan("op")
+	s.AddInt("n", 3)
+	s.AddInt("n", 4)
+	if v, ok := s.IntAttr("n"); !ok || v != 7 {
+		t.Errorf("IntAttr = %d, %v", v, ok)
+	}
+	s.SetStr("k", "a")
+	s.SetStr("k", "b") // last write wins
+	if got := s.Render(RenderOptions{}); !strings.Contains(got, `k="b"`) || strings.Contains(got, `k="a"`) {
+		t.Errorf("SetStr overwrite: %q", got)
+	}
+	s.SetErr(errors.New("boom"))
+	if got := s.Render(RenderOptions{}); !strings.Contains(got, `error="boom"`) {
+		t.Errorf("SetErr missing: %q", got)
+	}
+}
+
+func TestNilSpanSafe(t *testing.T) {
+	var s *Span
+	c := s.Child("x")
+	if c != nil {
+		t.Fatal("nil.Child should be nil")
+	}
+	// None of these may panic.
+	c.End()
+	c.AddInt("k", 1)
+	c.SetStr("k", "v")
+	c.SetErr(errors.New("e"))
+	if c.Name() != "" || c.Duration() != 0 || c.SumInt("k") != 0 || c.Render(RenderOptions{}) != "" {
+		t.Error("nil span should be inert")
+	}
+	if _, ok := c.IntAttr("k"); ok {
+		t.Error("nil IntAttr should report absent")
+	}
+	c.Walk(func(int, *Span) { t.Error("nil Walk should not visit") })
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	s := NewSpan("x")
+	s.End()
+	d := s.Duration()
+	s.End()
+	if s.Duration() != d {
+		t.Error("second End changed duration")
+	}
+}

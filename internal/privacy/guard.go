@@ -103,16 +103,19 @@ func (g *Guard) admit(f Formula) ([]int, float64, error) {
 	size := len(qs)
 	if g.minSize > 0 && size < g.minSize {
 		g.queriesRefused++
+		recordAdmit(false)
 		return nil, 0, fmt.Errorf("%w: query set size %d below %d", ErrRestricted, size, g.minSize)
 	}
 	if g.twoSided && size > g.tbl.n-g.minSize {
 		g.queriesRefused++
+		recordAdmit(false)
 		return nil, 0, fmt.Errorf("%w: query set size %d above %d", ErrRestricted, size, g.tbl.n-g.minSize)
 	}
 	if g.audit {
 		for _, prev := range g.answered {
 			if overlap(qs, prev) > g.maxOverlap {
 				g.queriesRefused++
+				recordAdmit(false)
 				return nil, 0, fmt.Errorf("%w: query set overlaps a previous one in more than %d individuals",
 					ErrRestricted, g.maxOverlap)
 			}
@@ -131,6 +134,7 @@ func (g *Guard) admit(f Formula) ([]int, float64, error) {
 		scale = 1 / g.sampleRate
 	}
 	g.queriesAnswered++
+	recordAdmit(true)
 	return qs, scale, nil
 }
 

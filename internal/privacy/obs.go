@@ -1,0 +1,29 @@
+package privacy
+
+import "statcube/internal/obs"
+
+// Inference-control instrumentation, mirroring each Guard's own Stats()
+// into the process-wide registry:
+//
+//	privacy.queries_answered   statistical queries admitted by the controls
+//	privacy.queries_refused    queries refused (size, overlap, two-sided)
+//	privacy.tracker_probes     candidate terms probed by tracker searches
+//	privacy.trackers_found     general trackers successfully certified
+var (
+	pAnswered     = obs.Default().Counter("privacy.queries_answered")
+	pRefused      = obs.Default().Counter("privacy.queries_refused")
+	trackerProbes = obs.Default().Counter("privacy.tracker_probes")
+	trackersFound = obs.Default().Counter("privacy.trackers_found")
+)
+
+// recordAdmit charges one admission decision.
+func recordAdmit(answered bool) {
+	if !obs.On() {
+		return
+	}
+	if answered {
+		pAnswered.Inc()
+	} else {
+		pRefused.Inc()
+	}
+}

@@ -3,6 +3,8 @@ package privacy
 import (
 	"errors"
 	"fmt"
+
+	"statcube/internal/obs"
 )
 
 // This file implements the general tracker of Denning & Schlörer, "A Fast
@@ -44,6 +46,9 @@ func FindGeneralTracker(g *Guard, k int) (*Tracker, error) {
 	for _, attr := range g.tbl.CatAttrs() {
 		for _, val := range g.tbl.CatValues(attr) {
 			term := Term{Attr: attr, Value: val}
+			if obs.On() {
+				trackerProbes.Inc()
+			}
 			ct, err1 := g.Count(C(term))
 			cnt, err2 := g.Count(C(Not(term)))
 			if err1 != nil || err2 != nil {
@@ -51,6 +56,9 @@ func FindGeneralTracker(g *Guard, k int) (*Tracker, error) {
 			}
 			n := ct + cnt
 			if ct >= 2*float64(k) && ct <= n-2*float64(k) {
+				if obs.On() {
+					trackersFound.Inc()
+				}
 				return &Tracker{T: term, N: n}, nil
 			}
 		}

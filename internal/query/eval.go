@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"statcube/internal/core"
+	"statcube/internal/obs"
 )
 
 // resolved locates a dimension/level pair for a name in a schema.
@@ -56,18 +58,30 @@ func resolveName(o *core.StatObject, name string) (resolved, error) {
 // result as a derived statistical object (its dimensions are the BY and
 // WHERE names).
 func Eval(o *core.StatObject, q *Query) (*core.StatObject, error) {
+	return evalSpan(o, q, nil)
+}
+
+// evalSpan is Eval with tracing: resolution, automatic aggregation and
+// WHERE-collapse each open a child span on sp (nil disables tracing).
+func evalSpan(o *core.StatObject, q *Query, sp *obs.Span) (*core.StatObject, error) {
 	if _, err := o.Measure(q.Measure); err != nil {
 		return nil, err
 	}
+	rs := sp.Child("resolve")
 	auto := core.AutoQuery{Measure: q.Measure, Where: map[string]core.Pick{}}
 	whereOnly := map[string][]core.Value{}
+	resolveErr := func(err error) (*core.StatObject, error) {
+		rs.SetErr(err)
+		rs.End()
+		return nil, err
+	}
 	for _, c := range q.Where {
 		r, err := resolveName(o, c.Name)
 		if err != nil {
-			return nil, err
+			return resolveErr(err)
 		}
 		if prev, dup := auto.Where[r.dim]; dup {
-			return nil, fmt.Errorf("query: dimension %q constrained twice (%v and %v)", r.dim, prev.Values, c.Values)
+			return resolveErr(fmt.Errorf("query: dimension %q constrained twice (%v and %v)", r.dim, prev.Values, c.Values))
 		}
 		auto.Where[r.dim] = core.Pick{Level: r.level, Values: c.Values}
 		whereOnly[r.dim] = c.Values
@@ -75,16 +89,16 @@ func Eval(o *core.StatObject, q *Query) (*core.StatObject, error) {
 	for _, name := range q.By {
 		r, err := resolveName(o, name)
 		if err != nil {
-			return nil, err
+			return resolveErr(err)
 		}
 		if _, dup := auto.Where[r.dim]; dup {
-			return nil, fmt.Errorf("query: dimension %q appears in both BY and WHERE", r.dim)
+			return resolveErr(fmt.Errorf("query: dimension %q appears in both BY and WHERE", r.dim))
 		}
 		delete(whereOnly, r.dim)
 		// BY keeps the dimension with every value of the named level.
 		d, err := o.Schema().Dimension(r.dim)
 		if err != nil {
-			return nil, err
+			return resolveErr(err)
 		}
 		level := r.level
 		if level == "" {
@@ -92,11 +106,15 @@ func Eval(o *core.StatObject, q *Query) (*core.StatObject, error) {
 		}
 		li, err := d.Class.LevelIndex(level)
 		if err != nil {
-			return nil, err
+			return resolveErr(err)
 		}
 		auto.Where[r.dim] = core.Pick{Level: level, Values: d.Class.Level(li).Values}
 	}
-	res, err := o.AutoAggregate(auto)
+	rs.End()
+	aa := sp.Child("auto-aggregate")
+	res, err := o.AutoAggregateSpan(auto, aa)
+	aa.SetErr(err)
+	aa.End()
 	if err != nil {
 		return nil, err
 	}
@@ -117,40 +135,57 @@ func Eval(o *core.StatObject, q *Query) (*core.StatObject, error) {
 			break
 		}
 		vals := whereOnly[dim]
+		cs := sp.Child("collapse:" + dim)
+		cs.AddInt("cells_scanned", int64(res.Cells()))
 		if len(vals) == 1 {
 			res, err = res.Slice(dim, vals[0])
 		} else {
 			res, err = res.SProject(dim)
 		}
 		if err != nil {
+			cs.SetErr(err)
+			cs.End()
 			return nil, err
 		}
+		cs.AddInt("groups_out", int64(res.Cells()))
+		cs.End()
 	}
 	return res, nil
 }
 
 // Run parses and evaluates in one step.
 func Run(o *core.StatObject, input string) (*core.StatObject, error) {
+	start := time.Now()
 	q, err := Parse(input)
 	if err != nil {
+		recordQuery(start, err)
 		return nil, err
 	}
-	return Eval(o, q)
+	res, err := Eval(o, q)
+	recordQuery(start, err)
+	return res, err
 }
 
 // RunScalar parses, evaluates, and reduces to one number, for queries
 // whose conditions select single values (the Figure 13 case).
 func RunScalar(o *core.StatObject, input string) (float64, error) {
+	start := time.Now()
 	q, err := Parse(input)
 	if err != nil {
+		recordQuery(start, err)
 		return 0, err
 	}
 	if len(q.By) > 0 {
-		return 0, fmt.Errorf("query: BY queries return tables; use Run")
+		err := fmt.Errorf("query: BY queries return tables; use Run")
+		recordQuery(start, err)
+		return 0, err
 	}
 	res, err := Eval(o, q)
 	if err != nil {
+		recordQuery(start, err)
 		return 0, err
 	}
-	return res.Total(q.Measure)
+	v, err := res.Total(q.Measure)
+	recordQuery(start, err)
+	return v, err
 }

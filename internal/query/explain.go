@@ -1,0 +1,37 @@
+package query
+
+import (
+	"time"
+
+	"statcube/internal/core"
+	"statcube/internal/obs"
+)
+
+// RunExplain parses and evaluates input like Run, but additionally records
+// an execution trace: a root "query" span with "parse", "resolve",
+// "auto-aggregate" and per-dimension "collapse:*"/"scan:*" child spans,
+// each annotated with cells_scanned/groups_out and wall-clock duration.
+// This is the engine's EXPLAIN ANALYZE — the plan is the trace of the run
+// that actually happened, not an estimate.
+//
+// The span is always returned, even on error (the failing step carries the
+// error message), so callers can show how far execution got.
+func RunExplain(o *core.StatObject, input string) (*core.StatObject, *obs.Span, error) {
+	start := time.Now()
+	root := obs.NewSpan("query")
+	root.SetStr("text", input)
+	ps := root.Child("parse")
+	q, err := Parse(input)
+	ps.SetErr(err)
+	ps.End()
+	if err != nil {
+		root.End()
+		recordQuery(start, err)
+		return nil, root, err
+	}
+	res, err := evalSpan(o, q, root)
+	root.SetErr(err)
+	root.End()
+	recordQuery(start, err)
+	return res, root, err
+}

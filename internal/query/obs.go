@@ -1,0 +1,30 @@
+package query
+
+import (
+	"time"
+
+	"statcube/internal/obs"
+)
+
+// Query-layer instrumentation, charged once per Run/RunScalar/RunExplain:
+//
+//	query.queries      queries started
+//	query.errors       queries that returned an error (parse, resolve, eval)
+//	query.latency_ns   end-to-end latency histogram (ns)
+var (
+	qCount   = obs.Default().Counter("query.queries")
+	qErrors  = obs.Default().Counter("query.errors")
+	qLatency = obs.Default().Histogram("query.latency_ns")
+)
+
+// recordQuery charges one completed query attempt.
+func recordQuery(start time.Time, err error) {
+	if !obs.On() {
+		return
+	}
+	qCount.Inc()
+	if err != nil {
+		qErrors.Inc()
+	}
+	qLatency.Observe(float64(time.Since(start).Nanoseconds()))
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"statcube/internal/obs"
 )
 
 // Column describes one attribute of a relation.
@@ -107,15 +109,24 @@ func (r *Relation) Row(i int) Row { return r.rows[i] }
 // transposed-file comparison of Section 6.1 hinges on this). Iteration
 // stops if fn returns false.
 func (r *Relation) Scan(fn func(row Row) bool) {
+	visited := 0
 	for _, row := range r.rows {
 		for _, v := range row {
 			r.scanned += int64(v.width())
 		}
+		visited++
 		if !fn(row) {
-			return
+			break
 		}
 	}
+	if obs.On() {
+		rowsScanned.Add(int64(visited))
+	}
 }
+
+// rowsScanned mirrors Scan volume into the process-wide registry; one
+// atomic add per Scan call, never per row.
+var rowsScanned = obs.Default().Counter("relstore.rows_scanned")
 
 // ScannedBytes returns the cumulative bytes charged to scans.
 func (r *Relation) ScannedBytes() int64 { return r.scanned }

@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"statcube/internal/core"
+	"statcube/internal/hierarchy"
+	"statcube/internal/schema"
+)
+
+// NewEmployment assembles the paper's running example (Figure 1):
+// employment in California classified by sex, year and profession, with
+// the profession dimension carrying the professional-class rollup of
+// Figure 5. Alongside the Stock measure "employment" it carries a second,
+// Flow measure "total income" (dollars paid over the year — the measure
+// Figure 13's automatic-aggregation example queries), so the demo
+// exercises multi-measure objects and both summarizability types [LS97]:
+// employment (Stock) cannot be summed across the temporal year dimension,
+// total income (Flow) can. The year 1980 extends the printed figure so
+// queries like "SHOW total income WHERE year = 1980" have data to hit.
+func NewEmployment() (*core.StatObject, error) {
+	prof, err := hierarchy.NewBuilder("profession", "profession",
+		"chemical engineer", "civil engineer",
+		"junior secretary", "executive secretary",
+		"elementary teacher", "high school teacher").
+		Level("professional class", "engineer", "secretary", "teacher").
+		Parent("chemical engineer", "engineer").
+		Parent("civil engineer", "engineer").
+		Parent("junior secretary", "secretary").
+		Parent("executive secretary", "secretary").
+		Parent("elementary teacher", "teacher").
+		Parent("high school teacher", "teacher").
+		Build()
+	if err != nil {
+		return nil, err
+	}
+	sch, err := schema.New("employment in california",
+		schema.Dimension{Name: "sex", Class: hierarchy.FlatClassification("sex", "male", "female")},
+		schema.Dimension{Name: "year",
+			Class:    hierarchy.FlatClassification("year", "1980", "1991", "1992"),
+			Temporal: true},
+		schema.Dimension{Name: "profession", Class: prof},
+	)
+	if err != nil {
+		return nil, err
+	}
+	obj, err := core.New(sch, []core.Measure{
+		{Name: "employment", Func: core.Sum, Type: core.Stock},
+		{Name: "total income", Unit: "dollars", Func: core.Sum, Type: core.Flow},
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Average annual salary per profession and year; total income per cell
+	// is employment × salary.
+	salary := map[string]map[string]float64{
+		"1980": {"chemical engineer": 28000, "civil engineer": 26000,
+			"junior secretary": 12000, "executive secretary": 16000,
+			"elementary teacher": 15000, "high school teacher": 17000},
+		"1991": {"chemical engineer": 52000, "civil engineer": 48000,
+			"junior secretary": 21000, "executive secretary": 28000,
+			"elementary teacher": 27000, "high school teacher": 30000},
+		"1992": {"chemical engineer": 54000, "civil engineer": 50000,
+			"junior secretary": 22000, "executive secretary": 29000,
+			"elementary teacher": 28000, "high school teacher": 31000},
+	}
+	for _, c := range []struct {
+		sex, year, prof string
+		employment      float64
+	}{
+		{"male", "1980", "chemical engineer", 152000},
+		{"male", "1980", "civil engineer", 198400},
+		{"male", "1980", "junior secretary", 489200},
+		{"male", "1980", "executive secretary", 131900},
+		{"male", "1980", "elementary teacher", 187230},
+		{"male", "1980", "high school teacher", 104610},
+		{"male", "1991", "chemical engineer", 197700},
+		{"male", "1991", "civil engineer", 241100},
+		{"male", "1991", "junior secretary", 534300},
+		{"male", "1991", "executive secretary", 154100},
+		{"male", "1991", "elementary teacher", 212943},
+		{"male", "1991", "high school teacher", 123740},
+		{"male", "1992", "chemical engineer", 209900},
+		{"male", "1992", "civil engineer", 278000},
+		{"male", "1992", "junior secretary", 542100},
+		{"male", "1992", "executive secretary", 169800},
+		{"male", "1992", "elementary teacher", 213521},
+		{"male", "1992", "high school teacher", 145766},
+		{"female", "1980", "chemical engineer", 9100},
+		{"female", "1980", "civil engineer", 41800},
+		{"female", "1980", "junior secretary", 601700},
+		{"female", "1980", "executive secretary", 141000},
+		{"female", "1980", "elementary teacher", 196480},
+		{"female", "1980", "high school teacher", 231070},
+		{"female", "1991", "chemical engineer", 25800},
+		{"female", "1991", "civil engineer", 112000},
+		{"female", "1991", "junior secretary", 667300},
+		{"female", "1991", "executive secretary", 162300},
+		{"female", "1991", "elementary teacher", 216071},
+		{"female", "1991", "high school teacher", 275123},
+		{"female", "1992", "chemical engineer", 28900},
+		{"female", "1992", "civil engineer", 127600},
+		{"female", "1992", "junior secretary", 692500},
+		{"female", "1992", "executive secretary", 174400},
+		{"female", "1992", "elementary teacher", 217520},
+		{"female", "1992", "high school teacher", 299344},
+	} {
+		err := obj.SetCell(map[string]core.Value{
+			"sex": c.sex, "year": c.year, "profession": c.prof,
+		}, map[string]float64{
+			"employment":   c.employment,
+			"total income": c.employment * salary[c.year][c.prof],
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return obj, nil
+}

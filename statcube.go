@@ -28,10 +28,13 @@
 package statcube
 
 import (
+	"net"
+
 	"statcube/internal/catalog"
 	"statcube/internal/core"
 	"statcube/internal/hierarchy"
 	"statcube/internal/metadata"
+	"statcube/internal/obs"
 	"statcube/internal/privacy"
 	"statcube/internal/query"
 	"statcube/internal/relstore"
@@ -236,3 +239,34 @@ var (
 	RealignIntervals     = hierarchy.Realign
 	MergeAlignedDatasets = hierarchy.MergeAligned
 )
+
+// Observability re-exports: the engine-wide metrics registry and the
+// query tracer behind EXPLAIN ANALYZE. See DESIGN.md "Observability".
+type (
+	// Span is one node of a query-execution trace.
+	Span = obs.Span
+	// SpanRenderOptions configure Span.Render.
+	SpanRenderOptions = obs.RenderOptions
+	// MetricsSnapshot is a point-in-time copy of the metrics registry.
+	MetricsSnapshot = obs.Snapshot
+)
+
+// QueryExplain runs a concise query like Query, additionally returning the
+// execution trace — EXPLAIN ANALYZE for statistical objects. The span is
+// returned even when the query fails, showing how far execution got.
+func QueryExplain(o *StatObject, q string) (*StatObject, *Span, error) {
+	return query.RunExplain(o, q)
+}
+
+// Metrics snapshots the process-wide metrics registry.
+func Metrics() MetricsSnapshot { return obs.Default().Snapshot() }
+
+// SetObservability turns the engine's metrics and tracing on or off
+// process-wide (on by default; the disabled fast path is one atomic load
+// per instrumented operation).
+func SetObservability(on bool) { obs.SetEnabled(on) }
+
+// ServeMetrics starts the opt-in observability HTTP endpoint (/metrics,
+// /metrics.json, /debug/pprof/) on addr and returns the bound listener;
+// close it to stop serving.
+func ServeMetrics(addr string) (net.Listener, error) { return obs.Serve(addr) }
