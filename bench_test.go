@@ -292,6 +292,43 @@ func BenchmarkE9CubeMOLAP(b *testing.B) {
 	}
 }
 
+// Parallel counterparts of the E9 builds: same inputs, Workers: 4. The
+// sequential benches above serve as the baseline for the speedup ratio
+// tracked in EXPERIMENTS.md (meaningful only on multi-core hosts).
+
+func BenchmarkE9CubeROLAPNaiveParallel(b *testing.B) {
+	in := benchRetailInput(b)
+	opts := cube.Options{Workers: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cube.BuildROLAPNaiveWith(in, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE9CubeROLAPSmallestParentParallel(b *testing.B) {
+	in := benchRetailInput(b)
+	opts := cube.Options{Workers: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cube.BuildROLAPSmallestParentWith(in, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE9CubeMOLAPParallel(b *testing.B) {
+	in := benchRetailInput(b)
+	opts := cube.Options{Workers: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cube.BuildMOLAPWith(in, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // ---- E10: tracker attack (Section 7) ----
 
 func BenchmarkE10TrackerAttack(b *testing.B) {

@@ -16,13 +16,17 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"statcube"
 	"statcube/internal/workload"
@@ -40,14 +44,15 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address and stay up after the work")
 	flag.Parse()
 
+	var metrics *statcube.MetricsServer
 	if *metricsAddr != "" {
-		ln, err := statcube.ServeMetrics(*metricsAddr)
+		var err error
+		metrics, err = statcube.ServeMetrics(*metricsAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "statcli:", err)
 			os.Exit(1)
 		}
-		defer ln.Close()
-		fmt.Fprintf(os.Stderr, "statcli: serving metrics on http://%s/metrics\n", ln.Addr())
+		fmt.Fprintf(os.Stderr, "statcli: serving metrics on http://%s/metrics\n", metrics.Addr())
 	}
 
 	if *list {
@@ -107,9 +112,19 @@ func main() {
 		fmt.Printf("> %s\n", q)
 		printCells(res)
 	}
-	if *metricsAddr != "" {
+	if metrics != nil {
+		// Stay up until interrupted, then drain connections gracefully
+		// instead of dropping them mid-response.
 		fmt.Fprintln(os.Stderr, "statcli: metrics endpoint up; interrupt to exit")
-		select {}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		<-ctx.Done()
+		stop()
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := metrics.Shutdown(sctx); err != nil {
+			fmt.Fprintln(os.Stderr, "statcli: metrics shutdown:", err)
+			os.Exit(1)
+		}
 	}
 	if *demo == "" && *csvPath == "" {
 		flag.Usage()

@@ -74,6 +74,12 @@ func (s *Sliced) Code(i int) uint64 {
 
 // EQ returns the selection vector of rows whose code equals c.
 func (s *Sliced) EQ(c uint64) *Vector {
+	if c >= 1<<uint(len(s.slices)) {
+		// c is not representable in this width: nothing can match. Without
+		// this guard the slice loop would silently compare against the low
+		// bits of c (EQ(16) on a 4-bit column matched code 0).
+		return New(s.n)
+	}
 	res := New(s.n)
 	res.SetAll()
 	for b, sl := range s.slices {
@@ -91,6 +97,15 @@ func (s *Sliced) EQ(c uint64) *Vector {
 // significant slice, lt accumulates rows already decided smaller, eq tracks
 // rows still tied with the prefix of c.
 func (s *Sliced) LT(c uint64) *Vector {
+	if c >= 1<<uint(len(s.slices)) {
+		// Every representable code is below c. The MSB-first loop below
+		// would only consult the low bits of c and return the wrong set —
+		// and since GE is derived as LT(c).Not(), that wrong (empty) set
+		// turned into GE selecting every row.
+		all := New(s.n)
+		all.SetAll()
+		return all
+	}
 	lt := New(s.n)
 	eq := New(s.n)
 	eq.SetAll()

@@ -192,3 +192,81 @@ func BenchmarkSlicedSum(b *testing.B) {
 		s.SumSelected(nil)
 	}
 }
+
+// TestSlicedTailBits pins down the complement-derived predicates (GE via
+// LT.Not, GT via LE.Not) at lengths straddling the 64-bit word boundary:
+// any unmasked tail bit in the complement would surface as a phantom
+// selected row beyond the row count, inflating Count.
+func TestSlicedTailBits(t *testing.T) {
+	for _, n := range []int{63, 64, 65} {
+		s, codes := buildRandom(t, n, 4, int64(n))
+		for c := uint64(0); c < 16; c++ {
+			for name, got := range map[string]*Vector{
+				"GE":  s.GE(c),
+				"GT":  s.GT(c),
+				"NOT": s.EQ(c).Not(),
+			} {
+				want := 0
+				for _, v := range codes {
+					switch name {
+					case "GE":
+						if v >= c {
+							want++
+						}
+					case "GT":
+						if v > c {
+							want++
+						}
+					case "NOT":
+						if v != c {
+							want++
+						}
+					}
+				}
+				if got.Len() != n {
+					t.Fatalf("n=%d %s(%d): Len = %d", n, name, c, got.Len())
+				}
+				if got.Count() != want {
+					t.Fatalf("n=%d %s(%d): Count = %d, want %d (phantom tail bits?)",
+						n, name, c, got.Count(), want)
+				}
+				got.ForEach(func(i int) {
+					if i >= n {
+						t.Fatalf("n=%d %s(%d): phantom row %d beyond length", n, name, c, i)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSlicedOutOfWidthConstants is the regression test for comparison
+// constants that exceed the column's code width: EQ must match nothing
+// (it used to alias to the low bits, so EQ(16) on a 4-bit column matched
+// code 0), LT must match everything (it used to match nothing, which made
+// the derived GE select every row).
+func TestSlicedOutOfWidthConstants(t *testing.T) {
+	for _, n := range []int{63, 64, 65, 200} {
+		s, _ := buildRandom(t, n, 4, int64(n))
+		for _, c := range []uint64{16, 17, 31, 1 << 20} {
+			if got := s.EQ(c).Count(); got != 0 {
+				t.Errorf("n=%d EQ(%d) selected %d rows, want 0", n, c, got)
+			}
+			if got := s.LT(c).Count(); got != n {
+				t.Errorf("n=%d LT(%d) selected %d rows, want all %d", n, c, got, n)
+			}
+			if got := s.LE(c).Count(); got != n {
+				t.Errorf("n=%d LE(%d) selected %d rows, want all %d", n, c, got, n)
+			}
+			if got := s.GE(c).Count(); got != 0 {
+				t.Errorf("n=%d GE(%d) selected %d rows, want 0", n, c, got)
+			}
+			if got := s.GT(c).Count(); got != 0 {
+				t.Errorf("n=%d GT(%d) selected %d rows, want 0", n, c, got)
+			}
+			if got := s.Range(0, c).Count(); got != n {
+				t.Errorf("n=%d Range(0,%d) selected %d rows, want all %d", n, c, got, n)
+			}
+		}
+	}
+}

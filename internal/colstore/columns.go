@@ -90,21 +90,13 @@ func (c *plainCat) sizeBytes() int64 { return c.size }
 func (c *plainCat) rowBytes() int64  { return c.size / int64(max(len(c.vals), 1)) }
 func (c *plainCat) eqMask(code int, out *bitvec.Vector) int64 {
 	want := c.d[code]
-	for i, v := range c.vals {
-		if v == want {
-			out.Set(i)
-		}
-	}
+	eqMaskSegmented(len(c.vals), out, func(i int) bool { return c.vals[i] == want })
 	return c.size // the whole raw column is read
 }
 
 func (c *plainCat) rangeMask(cLo, cHi int, out *bitvec.Vector) int64 {
 	lo, hi := c.d[cLo], c.d[cHi]
-	for i, v := range c.vals {
-		if v >= lo && v <= hi {
-			out.Set(i)
-		}
-	}
+	eqMaskSegmented(len(c.vals), out, func(i int) bool { return c.vals[i] >= lo && c.vals[i] <= hi })
 	return c.size
 }
 
@@ -142,21 +134,13 @@ func (c *dictCat) sizeBytes() int64 {
 func (c *dictCat) rowBytes() int64 { return int64(c.bits+7) / 8 }
 func (c *dictCat) eqMask(code int, out *bitvec.Vector) int64 {
 	want := uint32(code)
-	for i, cd := range c.codes {
-		if cd == want {
-			out.Set(i)
-		}
-	}
+	eqMaskSegmented(len(c.codes), out, func(i int) bool { return c.codes[i] == want })
 	return int64(len(c.codes)*c.bits+7) / 8 // read all packed codes
 }
 
 func (c *dictCat) rangeMask(cLo, cHi int, out *bitvec.Vector) int64 {
 	lo, hi := uint32(cLo), uint32(cHi)
-	for i, cd := range c.codes {
-		if cd >= lo && cd <= hi {
-			out.Set(i)
-		}
-	}
+	eqMaskSegmented(len(c.codes), out, func(i int) bool { return c.codes[i] >= lo && c.codes[i] <= hi })
 	return int64(len(c.codes)*c.bits+7) / 8
 }
 

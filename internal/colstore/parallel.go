@@ -1,0 +1,52 @@
+package colstore
+
+import (
+	"statcube/internal/bitvec"
+	"statcube/internal/parallel"
+)
+
+var (
+	// parMinRows is the column-length threshold below which predicate
+	// scans stay sequential (tests lower it to force the parallel path).
+	parMinRows = parallel.MinWork
+	// parWorkers caps the scan fan-out: 0 means GOMAXPROCS. Tests pin it
+	// to exercise multi-worker scans on any machine.
+	parWorkers = 0
+)
+
+// scanSegments runs scan over [0, n) split into word-aligned (multiple of
+// 64 rows) contiguous segments, one fan-out task each. Because segments
+// align to 64-row boundaries, concurrent segments set bits in disjoint
+// words of the selection vector — no locks, and the merged vector is
+// identical to one sequential pass. Small columns scan inline.
+func scanSegments(n int, scan func(lo, hi int)) {
+	w := parallel.Workers(parWorkers, n)
+	if w <= 1 || n < parMinRows {
+		scan(0, n)
+		return
+	}
+	words := (n + 63) / 64
+	per := (words + w - 1) / w * 64
+	nseg := (n + per - 1) / per
+	st := parallel.Stage{Name: "colstore.scan", Workers: w}
+	_ = st.ForEach(nseg, func(s int) error {
+		lo, hi := s*per, (s+1)*per
+		if hi > n {
+			hi = n
+		}
+		scan(lo, hi)
+		return nil
+	})
+}
+
+// eqMaskSegmented sets out's bit for every row in [0, n) matching the
+// predicate, fanning out across word-aligned segments.
+func eqMaskSegmented(n int, out *bitvec.Vector, match func(i int) bool) {
+	scanSegments(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if match(i) {
+				out.Set(i)
+			}
+		}
+	})
+}

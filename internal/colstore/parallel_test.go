@@ -1,0 +1,62 @@
+package colstore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"statcube/internal/relstore"
+)
+
+// forceScanParallel drives the segment fan-out on any machine, restoring
+// the gates on cleanup.
+func forceScanParallel(t *testing.T, workers int) {
+	t.Helper()
+	oldW, oldMin := parWorkers, parMinRows
+	parWorkers, parMinRows = workers, 0
+	t.Cleanup(func() { parWorkers, parMinRows = oldW, oldMin })
+}
+
+// TestParallelMasksMatchSequential checks the segmented predicate scans
+// produce the same selection vectors as a sequential pass, across
+// encodings and at lengths straddling word boundaries.
+func TestParallelMasksMatchSequential(t *testing.T) {
+	for _, n := range []int{63, 64, 65, 1000, 4096} {
+		rel := relstore.MustNewRelation("t", relstore.Column{Name: "c", Kind: relstore.KString})
+		rng := rand.New(rand.NewSource(int64(n)))
+		for i := 0; i < n; i++ {
+			rel.MustAppend(relstore.Row{relstore.S(fmt.Sprintf("v%02d", rng.Intn(17)))})
+		}
+		for _, enc := range []Encoding{Plain, Dict} {
+			tab, err := FromRelation(rel, map[string]Encoding{"c": enc})
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, err := tab.SelectEq("c", "v03")
+			if err != nil {
+				t.Fatal(err)
+			}
+			seqRange, err := tab.SelectRange("c", "v02", "v09")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 5} {
+				forceScanParallel(t, workers)
+				par, err := tab.SelectEq("c", "v03")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if par.Clone().Xor(seq).Count() != 0 {
+					t.Fatalf("n=%d enc=%v workers=%d: parallel eq mask differs", n, enc, workers)
+				}
+				parRange, err := tab.SelectRange("c", "v02", "v09")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if parRange.Clone().Xor(seqRange).Count() != 0 {
+					t.Fatalf("n=%d enc=%v workers=%d: parallel range mask differs", n, enc, workers)
+				}
+			}
+		}
+	}
+}

@@ -58,10 +58,12 @@ func (o *StatObject) AutoAggregateSpan(q AutoQuery, sp *obs.Span) (*StatObject, 
 	sort.Strings(mentioned) // deterministic evaluation order
 	// step runs one storage operator under a child span, charging the
 	// cells its store scan visited and the groups the derived object holds.
-	step := func(name string, in *StatObject, op func() (*StatObject, error)) (*StatObject, error) {
+	// The child span is handed to the operator so its fan-out stage can
+	// attach the parallel-vs-sequential breakdown beneath it.
+	step := func(name string, in *StatObject, op func(child *obs.Span) (*StatObject, error)) (*StatObject, error) {
 		child := sp.Child(name)
 		child.AddInt("cells_scanned", int64(in.Cells()))
-		out, err := op()
+		out, err := op(child)
 		if err != nil {
 			child.SetErr(err)
 		} else {
@@ -88,20 +90,20 @@ func (o *StatObject) AutoAggregateSpan(q AutoQuery, sp *obs.Span) (*StatObject, 
 			return nil, fmt.Errorf("core: empty condition for dimension %q", dim)
 		}
 		if li == 0 {
-			cur, err = step("scan:s-select:"+dim, cur, func() (*StatObject, error) {
+			cur, err = step("scan:s-select:"+dim, cur, func(*obs.Span) (*StatObject, error) {
 				return cur.SSelect(dim, pick.Values...)
 			})
 		} else {
 			// Keep the subtrees under the picked values, then roll up to
 			// the picked level; whole subtrees preserve completeness.
-			cur, err = step("scan:s-select-level:"+dim, cur, func() (*StatObject, error) {
+			cur, err = step("scan:s-select-level:"+dim, cur, func(*obs.Span) (*StatObject, error) {
 				return cur.SSelectLevel(dim, level, pick.Values...)
 			})
 			if err != nil {
 				return nil, err
 			}
-			cur, err = step("scan:s-aggregate:"+dim, cur, func() (*StatObject, error) {
-				return cur.SAggregate(dim, level)
+			cur, err = step("scan:s-aggregate:"+dim, cur, func(child *obs.Span) (*StatObject, error) {
+				return cur.SAggregateSpan(child, dim, level)
 			})
 		}
 		if err != nil {
@@ -120,7 +122,7 @@ func (o *StatObject) AutoAggregateSpan(q AutoQuery, sp *obs.Span) (*StatObject, 
 		child.SetStr("dims", strings.Join(drop, ","))
 		child.AddInt("cells_scanned", int64(cur.Cells()))
 		var err error
-		cur, err = cur.SProject(drop...)
+		cur, err = cur.SProjectSpan(child, drop...)
 		if err != nil {
 			child.SetErr(err)
 			child.End()

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"statcube/internal/hierarchy"
+	"statcube/internal/obs"
 	"statcube/internal/schema"
 )
 
@@ -161,6 +162,13 @@ func (o *StatObject) Dice(ranges map[string][]Value) (*StatObject, error) {
 // OLAP's "slice" in its summarize-over-a-dimension reading (Section 4.4).
 // Summarizability of each measure along each removed dimension is checked.
 func (o *StatObject) SProject(removeDims ...string) (*StatObject, error) {
+	return o.SProjectSpan(nil, removeDims...)
+}
+
+// SProjectSpan is SProject with tracing: the underlying store scan runs as
+// a fan-out stage that reports itself (parallel or sequential, task and
+// worker counts) as a child of sp. A nil span disables tracing only.
+func (o *StatObject) SProjectSpan(sp *obs.Span, removeDims ...string) (*StatObject, error) {
 	if len(removeDims) == 0 {
 		return o, nil
 	}
@@ -194,13 +202,14 @@ func (o *StatObject) SProject(removeDims ...string) (*StatObject, error) {
 		return nil, err
 	}
 	out := o.derive(nsch, "s-project")
-	nc := make([]int, len(keepIdx))
-	o.store.ForEach(func(coords []int, slots []float64) bool {
-		for j, i := range keepIdx {
-			nc[j] = coords[i]
+	o.groupFold(sp, "s-project", out, func() func([]int, func([]int)) {
+		nc := make([]int, len(keepIdx))
+		return func(coords []int, emit func([]int)) {
+			for j, i := range keepIdx {
+				nc[j] = coords[i]
+			}
+			emit(nc)
 		}
-		out.mergeSlots(nc, slots)
-		return true
 	})
 	recordOp(o.Cells(), out.Cells())
 	return out, nil
@@ -222,7 +231,14 @@ func (o *StatObject) mergeSlots(coords []int, slots []float64) {
 // the traversed classification edges must be strict and complete, and each
 // measure must be additive along the dimension.
 func (o *StatObject) SAggregate(dim, toLevel string) (*StatObject, error) {
-	return o.sAggregate(dim, toLevel, true)
+	return o.sAggregate(nil, dim, toLevel, true)
+}
+
+// SAggregateSpan is SAggregate with tracing: the roll-up's store scan runs
+// as a fan-out stage that reports itself as a child of sp (see
+// SProjectSpan).
+func (o *StatObject) SAggregateSpan(sp *obs.Span, dim, toLevel string) (*StatObject, error) {
+	return o.sAggregate(sp, dim, toLevel, true)
 }
 
 // SAggregateUnchecked performs the same roll-up without summarizability
@@ -231,10 +247,10 @@ func (o *StatObject) SAggregate(dim, toLevel string) (*StatObject, error) {
 // caller takes responsibility (e.g. after verifying the query semantics
 // really want overlapping groups).
 func (o *StatObject) SAggregateUnchecked(dim, toLevel string) (*StatObject, error) {
-	return o.sAggregate(dim, toLevel, false)
+	return o.sAggregate(nil, dim, toLevel, false)
 }
 
-func (o *StatObject) sAggregate(dim, toLevel string, check bool) (*StatObject, error) {
+func (o *StatObject) sAggregate(sp *obs.Span, dim, toLevel string, check bool) (*StatObject, error) {
 	d, err := o.sch.Dimension(dim)
 	if err != nil {
 		return nil, err
@@ -284,14 +300,15 @@ func (o *StatObject) sAggregate(dim, toLevel string, check bool) (*StatObject, e
 			up[ord] = append(up[ord], aOrd)
 		}
 	}
-	nc := make([]int, len(o.sch.Dimensions()))
-	o.store.ForEach(func(coords []int, slots []float64) bool {
-		copy(nc, coords)
-		for _, aOrd := range up[coords[di]] {
-			nc[di] = aOrd
-			out.mergeSlots(nc, slots)
+	o.groupFold(sp, "s-aggregate", out, func() func([]int, func([]int)) {
+		nc := make([]int, len(o.sch.Dimensions()))
+		return func(coords []int, emit func([]int)) {
+			copy(nc, coords)
+			for _, aOrd := range up[coords[di]] {
+				nc[di] = aOrd
+				emit(nc)
+			}
 		}
-		return true
 	})
 	recordOp(o.Cells(), out.Cells())
 	return out, nil

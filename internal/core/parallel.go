@@ -1,0 +1,108 @@
+package core
+
+import (
+	"statcube/internal/obs"
+	"statcube/internal/parallel"
+)
+
+// This file runs the group-by shaped operators (S-projection and
+// S-aggregation) through the engine's fan-out layer. The contract matches
+// the cube builders': the parallel path produces byte-identical cells to
+// the sequential scan, because every destination key is reduced by exactly
+// one worker in the store's deterministic ForEach order.
+
+var (
+	// parMinCells is the cell-count threshold below which group-bys stay
+	// sequential (tests lower it to force the parallel path).
+	parMinCells = parallel.MinWork
+	// parWorkers caps the operators' fan-out: 0 means GOMAXPROCS. Tests
+	// pin it to exercise multi-worker merges on any machine.
+	parWorkers = 0
+)
+
+// groupFold folds every cell of o into out. newFanout builds one fanout
+// instance per worker (instances may reuse scratch buffers); a fanout maps
+// an input cell's coordinates to zero or more destination coordinates, and
+// each destination cell accumulates the source slots with the measures'
+// merge functions — exactly what the sequential ForEach+mergeSlots loop
+// does.
+func (o *StatObject) groupFold(sp *obs.Span, name string, out *StatObject, newFanout func() func(coords []int, emit func(dst []int))) {
+	n := o.store.Cells()
+	st := parallel.Stage{Name: name, Workers: parWorkers, Span: sp}
+	w := parallel.Workers(parWorkers, n)
+	if ms, ok := out.store.(*MapStore); ok && n >= parMinCells && w > 1 {
+		if o.groupFoldPar(st, ms, out, n, w, newFanout) {
+			return
+		}
+	}
+	c := st.Begin(false, n, 1)
+	fanout := newFanout()
+	o.store.ForEach(func(coords []int, slots []float64) bool {
+		fanout(coords, func(dst []int) { out.mergeSlots(dst, slots) })
+		return true
+	})
+	c.End()
+}
+
+// groupFoldPar is the parallel path: the store is snapshotted into flat
+// coordinate/slot arrays (ForEach callbacks must not retain their
+// arguments), then a deterministic grouped reduction routes each
+// destination key to its owning worker's partial map. Per-key merges
+// replay in snapshot order — the same order the sequential loop merges in
+// — so inserting the disjoint partials into the output store reproduces
+// it bit for bit.
+func (o *StatObject) groupFoldPar(st parallel.Stage, ms *MapStore, out *StatObject, n, w int, newFanout func() func(coords []int, emit func(dst []int))) bool {
+	nd := len(o.sch.Dimensions())
+	coords := make([]int32, 0, n*nd)
+	slots := make([]float64, 0, n*o.nslots)
+	o.store.ForEach(func(c []int, s []float64) bool {
+		for _, x := range c {
+			coords = append(coords, int32(x))
+		}
+		slots = append(slots, s...)
+		return true
+	})
+	// Per-chunk fanout instances and coordinate buffers, created lazily by
+	// the single goroutine that owns each chunk.
+	fanouts := make([]func([]int, func([]int)), w)
+	cbufs := make([][]int, w)
+	parts := make([]map[uint64][]float64, w)
+	for i := range parts {
+		parts[i] = map[uint64][]float64{}
+	}
+	ran := st.GroupReduce(n, parallel.HashOwner(w),
+		func(chunk, i int, emit func(uint64)) {
+			if fanouts[chunk] == nil {
+				fanouts[chunk] = newFanout()
+				cbufs[chunk] = make([]int, nd)
+			}
+			cb := cbufs[chunk]
+			for d := 0; d < nd; d++ {
+				cb[d] = int(coords[i*nd+d])
+			}
+			fanouts[chunk](cb, func(dst []int) { emit(ms.key(dst)) })
+		},
+		func(owner int, key uint64, i, _ int) {
+			part := parts[owner]
+			acc, ok := part[key]
+			if !ok {
+				acc = make([]float64, out.nslots)
+				out.identitySlots(acc)
+				part[key] = acc
+			}
+			src := slots[i*o.nslots : (i+1)*o.nslots]
+			for mi, m := range out.measures {
+				lo, hi := out.offsets[mi], out.offsets[mi]+m.slots()
+				m.merge(acc[lo:hi], src[lo:hi])
+			}
+		})
+	if !ran {
+		return false
+	}
+	for _, part := range parts {
+		for k, acc := range part {
+			ms.cells[k] = acc
+		}
+	}
+	return true
+}

@@ -2,8 +2,12 @@ package cube
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"sort"
+
+	"statcube/internal/obs"
+	"statcube/internal/parallel"
 )
 
 // This file implements full-cube construction — every view of the lattice
@@ -119,22 +123,83 @@ func (v *Views) Equal(o *Views) bool {
 	return true
 }
 
+// Options configure a cube build. The zero value is the auto-tuned
+// default: fan out across GOMAXPROCS when the input is large enough,
+// stay sequential otherwise. Whatever the settings, the produced Views
+// are byte-identical — parallelism never changes a single bit of output.
+type Options struct {
+	// Workers caps the fan-out: 0 means GOMAXPROCS, 1 forces the
+	// sequential path.
+	Workers int
+	// Span, when non-nil, receives one child span per build stage,
+	// rendering the parallel-vs-sequential split in EXPLAIN output.
+	Span *obs.Span
+}
+
+// parMinRows is the input-row threshold below which the builders stay
+// sequential (tests lower it to drive the parallel path on small inputs).
+var parMinRows = parallel.MinWork
+
+// stage resolves build options into a fan-out stage: below the row
+// threshold the stage is pinned to one worker, which makes every
+// ForEach/GroupReduce on it run inline.
+func (o Options) stage(name string, rows int) parallel.Stage {
+	st := parallel.Stage{Name: name, Workers: o.Workers, Span: o.Span}
+	if rows < parMinRows {
+		st.Workers = 1
+	}
+	return st
+}
+
+// Identical reports whether two cubes are exactly equal: same keys, with
+// bit-identical float values. The parallel builders guarantee this against
+// their sequential counterparts.
+func (v *Views) Identical(o *Views) bool {
+	if len(v.ByMask) != len(o.ByMask) {
+		return false
+	}
+	for mask := range v.ByMask {
+		a, b := v.ByMask[mask], o.ByMask[mask]
+		if len(a) != len(b) {
+			return false
+		}
+		for k, av := range a {
+			bv, ok := b[k]
+			if !ok || math.Float64bits(av) != math.Float64bits(bv) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // BuildROLAPNaive computes every view with an independent hash group-by
 // over the base rows: 2^n full scans.
 func BuildROLAPNaive(in *Input) (*Views, error) {
+	return BuildROLAPNaiveWith(in, Options{})
+}
+
+// BuildROLAPNaiveWith is BuildROLAPNaive with explicit build options. The
+// 2^n group-bys are independent, so views fan out one task per mask; each
+// task scans the rows in order into its own map, making the parallel
+// result trivially byte-identical to the sequential one.
+func BuildROLAPNaiveWith(in *Input, opt Options) (*Views, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
 	n := len(in.Card)
-	out := &Views{Card: append([]int(nil), in.Card...), ByMask: make([]map[uint64]float64, 1<<uint(n))}
-	for mask := 0; mask < 1<<uint(n); mask++ {
+	nviews := 1 << uint(n)
+	out := &Views{Card: append([]int(nil), in.Card...), ByMask: make([]map[uint64]float64, nviews)}
+	st := opt.stage("cube.rolap_naive", len(in.Rows))
+	_ = st.ForEach(nviews, func(mask int) error {
 		dims := maskDims(mask, n)
 		m := map[uint64]float64{}
 		for ri, row := range in.Rows {
 			m[groupKey(row, dims, in.Card)] += in.Vals[ri]
 		}
 		out.ByMask[mask] = m
-	}
+		return nil
+	})
 	return out, nil
 }
 
@@ -143,6 +208,18 @@ func BuildROLAPNaive(in *Input) (*Views, error) {
 // lattice base-first. Aggregating from a (usually much smaller) parent is
 // the standard relational cube optimization.
 func BuildROLAPSmallestParent(in *Input) (*Views, error) {
+	return BuildROLAPSmallestParentWith(in, Options{})
+}
+
+// BuildROLAPSmallestParentWith is BuildROLAPSmallestParent with explicit
+// build options. The base group-by runs as a deterministic grouped
+// reduction over the rows; the lattice walk then proceeds one popcount
+// level at a time, computing every view of a level concurrently. Parent
+// choices for a level are resolved sequentially before the fan-out — views
+// of equal popcount can never derive from each other, so the choices match
+// the sequential walk exactly and the concurrent tasks only read finished
+// parent views.
+func BuildROLAPSmallestParentWith(in *Input, opt Options) (*Views, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -150,12 +227,8 @@ func BuildROLAPSmallestParent(in *Input) (*Views, error) {
 	nviews := 1 << uint(n)
 	out := &Views{Card: append([]int(nil), in.Card...), ByMask: make([]map[uint64]float64, nviews)}
 	base := nviews - 1
-	baseDims := maskDims(base, n)
-	bm := map[uint64]float64{}
-	for ri, row := range in.Rows {
-		bm[groupKey(row, baseDims, in.Card)] += in.Vals[ri]
-	}
-	out.ByMask[base] = bm
+	st := opt.stage("cube.rolap_sp", len(in.Rows))
+	out.ByMask[base] = baseGroupBy(in, maskDims(base, n), st)
 	// Process masks in descending popcount so parents exist.
 	order := make([]int, 0, nviews-1)
 	for mask := 0; mask < nviews; mask++ {
@@ -164,11 +237,59 @@ func BuildROLAPSmallestParent(in *Input) (*Views, error) {
 		}
 	}
 	sortByPopcountDesc(order)
-	for _, mask := range order {
-		parent := smallestComputedParent(mask, out)
-		out.ByMask[mask] = aggregateFromParent(out, parent, mask, n)
+	for lo := 0; lo < len(order); {
+		hi := lo
+		pc := bits.OnesCount(uint(order[lo]))
+		for hi < len(order) && bits.OnesCount(uint(order[hi])) == pc {
+			hi++
+		}
+		level := order[lo:hi]
+		parents := make([]int, len(level))
+		for i, mask := range level {
+			parents[i] = smallestComputedParent(mask, out)
+		}
+		_ = st.ForEach(len(level), func(i int) error {
+			out.ByMask[level[i]] = aggregateFromParent(out, parents[i], level[i], n)
+			return nil
+		})
+		lo = hi
 	}
 	return out, nil
+}
+
+// baseGroupBy aggregates the base view from the raw rows. The parallel
+// path routes rows to per-worker partial maps by key ownership; each key
+// is summed by exactly one worker in row order, so unioning the disjoint
+// partials reproduces the sequential map byte for byte.
+func baseGroupBy(in *Input, dims []int, st parallel.Stage) map[uint64]float64 {
+	w := parallel.Workers(st.Workers, len(in.Rows))
+	if w > 1 {
+		parts := make([]map[uint64]float64, w)
+		for o := range parts {
+			parts[o] = map[uint64]float64{}
+		}
+		ran := st.GroupReduce(len(in.Rows), parallel.HashOwner(w),
+			func(_, i int, out func(uint64)) { out(groupKey(in.Rows[i], dims, in.Card)) },
+			func(o int, key uint64, i, _ int) { parts[o][key] += in.Vals[i] })
+		if ran {
+			total := 0
+			for _, p := range parts {
+				total += len(p)
+			}
+			m := make(map[uint64]float64, total)
+			for _, p := range parts {
+				for k, v := range p {
+					m[k] = v
+				}
+			}
+			return m
+		}
+	}
+	m := map[uint64]float64{}
+	for ri, row := range in.Rows {
+		m[groupKey(row, dims, in.Card)] += in.Vals[ri]
+	}
+	return m
 }
 
 // sortByPopcountDesc orders masks so larger (finer) views come first.
@@ -202,6 +323,10 @@ func smallestComputedParent(mask int, v *Views) int {
 
 // aggregateFromParent rolls a parent view's entries up into the child
 // view, decoding the parent keys and re-keying onto the child's dims.
+// Parent entries are visited in ascending key order so each child key
+// accumulates its float sum in one fixed order — the determinism the
+// byte-identical parallel/sequential guarantee rests on (map iteration
+// order would reshuffle the additions run to run).
 func aggregateFromParent(v *Views, parent, child, n int) map[uint64]float64 {
 	pd := maskDims(parent, n)
 	cd := maskDims(child, n)
@@ -221,7 +346,13 @@ func aggregateFromParent(v *Views, parent, child, n int) map[uint64]float64 {
 	}
 	out := make(map[uint64]float64, len(v.ByMask[parent])/2+1)
 	coords := make([]int, len(pd))
-	for k, val := range v.ByMask[parent] {
+	keys := make([]uint64, 0, len(v.ByMask[parent]))
+	for k := range v.ByMask[parent] {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		val := v.ByMask[parent][k]
 		// Decode the parent key (row-major over pd).
 		kk := k
 		for i := len(pd) - 1; i >= 0; i-- {

@@ -1,6 +1,11 @@
 package cube
 
-import "statcube/internal/marray"
+import (
+	"math/bits"
+
+	"statcube/internal/marray"
+	"statcube/internal/parallel"
+)
 
 // BuildMOLAP computes the full cube the multidimensional-array way
 // ([ZDN97]'s array-based algorithm, simplified to in-memory arrays): the
@@ -14,6 +19,17 @@ import "statcube/internal/marray"
 // its advantage over ROLAP hashing is exactly what the Section 6.6 debate
 // (and the E9 bench) is about.
 func BuildMOLAP(in *Input) (*Views, error) {
+	return BuildMOLAPWith(in, Options{})
+}
+
+// BuildMOLAPWith is BuildMOLAP with explicit build options. The base load
+// runs as a deterministic grouped reduction whose reducers own disjoint
+// index ranges of the dense array; the lattice walk then computes each
+// popcount level's roll-ups concurrently (parents precomputed before the
+// fan-out, exactly as in the ROLAP builder), and the final map conversion
+// fans out one task per view. All three stages are byte-identical to the
+// sequential pass.
+func BuildMOLAPWith(in *Input, opt Options) (*Views, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -23,9 +39,8 @@ func BuildMOLAP(in *Input) (*Views, error) {
 	arrays := make([]*dense, nviews)
 	base := nviews - 1
 	arrays[base] = newDenseView(in.Card, base)
-	for ri, row := range in.Rows {
-		arrays[base].add(row, in.Vals[ri])
-	}
+	st := opt.stage("cube.molap", len(in.Rows))
+	loadDense(in, arrays[base], st)
 	order := make([]int, 0, nviews-1)
 	for mask := 0; mask < nviews; mask++ {
 		if mask != base {
@@ -33,16 +48,58 @@ func BuildMOLAP(in *Input) (*Views, error) {
 		}
 	}
 	sortByPopcountDesc(order)
-	for _, mask := range order {
-		parent := smallestDenseParent(mask, arrays)
-		arrays[mask] = arrays[parent].rollup(mask)
+	for lo := 0; lo < len(order); {
+		hi := lo
+		pc := bits.OnesCount(uint(order[lo]))
+		for hi < len(order) && bits.OnesCount(uint(order[hi])) == pc {
+			hi++
+		}
+		level := order[lo:hi]
+		parents := make([]int, len(level))
+		for i, mask := range level {
+			parents[i] = smallestDenseParent(mask, arrays)
+		}
+		_ = st.ForEach(len(level), func(i int) error {
+			arrays[level[i]] = arrays[parents[i]].rollup(level[i])
+			return nil
+		})
+		lo = hi
 	}
 	// Convert to Views for comparison.
 	out := &Views{Card: append([]int(nil), in.Card...), ByMask: make([]map[uint64]float64, nviews)}
-	for mask, a := range arrays {
-		out.ByMask[mask] = a.toMap()
-	}
+	_ = st.ForEach(nviews, func(mask int) error {
+		out.ByMask[mask] = arrays[mask].toMap()
+		return nil
+	})
 	return out, nil
+}
+
+// loadDense folds the rows into the base array. The parallel path owns the
+// array by contiguous index range, so each cell is written by exactly one
+// reducer, in row order — no locks, and bit-identical sums.
+func loadDense(in *Input, a *dense, st parallel.Stage) {
+	w := parallel.Workers(st.Workers, len(in.Rows))
+	if w > 1 {
+		ran := st.GroupReduce(len(in.Rows), parallel.RangeOwner(w, uint64(len(a.vals))),
+			func(_, i int, out func(uint64)) {
+				pos := 0
+				row := in.Rows[i]
+				for j, d := range a.dims {
+					pos = pos*a.shape[j] + row[d]
+				}
+				out(uint64(pos))
+			},
+			func(_ int, key uint64, i, _ int) {
+				a.vals[key] += in.Vals[i]
+				a.present[key] = true
+			})
+		if ran {
+			return
+		}
+	}
+	for ri, row := range in.Rows {
+		a.add(row, in.Vals[ri])
+	}
 }
 
 // dense is a view-local dense array: vals indexed by the row-major

@@ -1,9 +1,12 @@
 package obs
 
 import (
+	"context"
+	"errors"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 )
 
 // Handler returns an http.Handler exposing the registry snapshot at
@@ -35,16 +38,65 @@ func (r *Registry) Handler() http.Handler {
 // Handler exposes the default registry (see Registry.Handler).
 func Handler() http.Handler { return defaultRegistry.Handler() }
 
+// Server is a running metrics endpoint: the handle Serve returns. Earlier
+// revisions returned the bare net.Listener, which leaked the http.Server —
+// closing the listener stopped accepts but never shut down active
+// connections, and the serve loop's exit error vanished. The handle owns
+// both halves: Shutdown drains connections gracefully and surfaces the
+// serve error.
+type Server struct {
+	ln       net.Listener
+	srv      *http.Server
+	done     chan error // the srv.Serve result, delivered exactly once
+	once     sync.Once
+	serveErr error
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// waitServe collects the serve loop's exit error; safe to call from both
+// Shutdown and Close, in any order. http.ErrServerClosed — the normal
+// stopped-on-purpose exit — is filtered out.
+func (s *Server) waitServe() error {
+	s.once.Do(func() {
+		if err := <-s.done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.serveErr = err
+		}
+	})
+	return s.serveErr
+}
+
+// Shutdown gracefully stops the server: accepts stop immediately, active
+// connections drain until they finish or ctx expires. It returns the
+// first error among the shutdown itself and the serve loop's exit.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if serveErr := s.waitServe(); err == nil {
+		err = serveErr
+	}
+	return err
+}
+
+// Close stops the server immediately, dropping active connections.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	if serveErr := s.waitServe(); err == nil {
+		err = serveErr
+	}
+	return err
+}
+
 // Serve starts an HTTP server for the default registry on addr (e.g.
-// "localhost:6060" or ":0" for an ephemeral port) and returns the bound
-// listener; close it to stop the server. The endpoint is opt-in — nothing
-// is served unless the embedding process calls Serve.
-func Serve(addr string) (net.Listener, error) {
+// "localhost:6060" or ":0" for an ephemeral port) and returns a handle;
+// call Shutdown (graceful) or Close (immediate) to stop it. The endpoint
+// is opt-in — nothing is served unless the embedding process calls Serve.
+func Serve(addr string) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: Handler()}
-	go func() { _ = srv.Serve(ln) }()
-	return ln, nil
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler()}, done: make(chan error, 1)}
+	go func() { s.done <- s.srv.Serve(ln) }()
+	return s, nil
 }

@@ -2,11 +2,13 @@ package obs
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestSnapshotDeterminism(t *testing.T) {
@@ -96,17 +98,42 @@ func TestHandlerEndpoints(t *testing.T) {
 }
 
 func TestServe(t *testing.T) {
-	ln, err := Serve("127.0.0.1:0")
+	srv, err := Serve("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer ln.Close()
-	resp, err := http.Get("http://" + ln.Addr().String() + "/metrics")
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr().String() + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != 200 {
 		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestServeShutdown(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr().String()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("server still answering after Shutdown")
+	}
+	// Idempotent: a second stop neither blocks nor errors.
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close after Shutdown: %v", err)
 	}
 }

@@ -1,0 +1,184 @@
+// Package parallel is the engine-wide fan-out layer: a GOMAXPROCS-aware
+// bounded worker pool with deterministic merge order and error propagation
+// that cancels queued work. The cube builders, the colstore/relstore scans
+// and the core group-by operators all run their hot loops through this
+// package, so every parallel stage in the engine shares one contract:
+//
+//   - the parallel path produces byte-identical output to the sequential
+//     path (see GroupReduce for how order-sensitive reductions keep this);
+//   - inputs smaller than MinWork stay sequential — fan-out overhead must
+//     never regress small queries;
+//   - every stage is observable through internal/obs (stage counters, a
+//     pool queue-depth gauge, per-stage worker-count gauges) and, when a
+//     span is attached, renders as a parallel:/sequential: child in
+//     EXPLAIN ANALYZE output.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"statcube/internal/obs"
+)
+
+// MinWork is the default input-size threshold below which callers should
+// keep their sequential path: fan-out setup costs more than it saves on
+// small inputs, and small queries must not regress.
+const MinWork = 4096
+
+// Workers resolves a worker-count request against the task count: 0 (or
+// negative) means GOMAXPROCS, and the result never exceeds the number of
+// tasks nor drops below 1.
+func Workers(limit, tasks int) int {
+	w := limit
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > tasks {
+		w = tasks
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Stage is one named fan-out point. Workers caps the fan-out (0 means
+// GOMAXPROCS); Span, when non-nil, receives a parallel:/sequential: child
+// annotated with the task and worker counts.
+type Stage struct {
+	Name    string
+	Workers int
+	Span    *obs.Span
+}
+
+// Stage metrics: how many stages ran parallel vs sequential, total tasks
+// executed, and the pool's remaining-task depth (sampled on each claim).
+var (
+	stagesPar  = obs.Default().Counter("parallel.stages_parallel")
+	stagesSeq  = obs.Default().Counter("parallel.stages_sequential")
+	tasksRun   = obs.Default().Counter("parallel.tasks")
+	queueDepth = obs.Default().Gauge("parallel.queue_depth")
+)
+
+func (s Stage) name() string {
+	if s.Name == "" {
+		return "stage"
+	}
+	return s.Name
+}
+
+// Begin records one stage execution — counters, the per-stage worker-count
+// gauge, and a span child — and returns the child span; callers End it
+// when the stage completes. ForEach and GroupReduce call this themselves;
+// it is exported for call sites that run their own loop shape but still
+// want the stage to show up in metrics and EXPLAIN output.
+func (s Stage) Begin(par bool, tasks, workers int) *obs.Span {
+	if obs.On() {
+		if par {
+			stagesPar.Inc()
+		} else {
+			stagesSeq.Inc()
+		}
+		tasksRun.Add(int64(tasks))
+		obs.Default().Gauge("parallel.workers." + s.name()).Set(float64(workers))
+	}
+	mode := "sequential:"
+	if par {
+		mode = "parallel:"
+	}
+	c := s.Span.Child(mode + s.name())
+	c.AddInt("tasks", int64(tasks))
+	c.AddInt("workers", int64(workers))
+	return c
+}
+
+// ForEach runs fn(0), …, fn(n-1) across the stage's workers. Tasks are
+// claimed from an atomic counter, so each index runs exactly once; with
+// one worker (or fewer than two tasks) the loop runs inline with no
+// goroutines. The first error — lowest task index among the tasks that
+// ran — is returned, and any error stops workers from claiming further
+// tasks: in-flight tasks finish, queued ones never start.
+//
+// A stage whose tasks write disjoint outputs (distinct slice elements,
+// per-task maps) therefore produces identical results on the sequential
+// and parallel paths.
+func (s Stage) ForEach(n int, fn func(task int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(s.Workers, n)
+	if w <= 1 {
+		sp := s.Begin(false, n, 1)
+		defer sp.End()
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				sp.SetErr(err)
+				return err
+			}
+		}
+		return nil
+	}
+	sp := s.Begin(true, n, w)
+	defer sp.End()
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		mu       sync.Mutex
+		firstIdx = -1
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	enabled := obs.On()
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				if enabled {
+					queueDepth.Set(float64(n - 1 - i))
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstIdx < 0 || i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					stop.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if enabled {
+		queueDepth.Set(0)
+	}
+	if firstErr != nil {
+		sp.SetErr(firstErr)
+	}
+	return firstErr
+}
+
+// Map runs fn for every index and returns the results in index order —
+// the deterministic merge order of a fan-out stage. On error the partial
+// results are discarded.
+func Map[T any](s Stage, n int, fn func(task int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := s.ForEach(n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -31,8 +31,24 @@ func resolveName(o *core.StatObject, name string) (resolved, error) {
 		}
 		return resolved{dim: dimName, level: levelName}, nil
 	}
-	// Exact dimension name wins.
+	// An exact dimension name wins over levels of its own classification
+	// (flat dimensions name their leaf level after the dimension), but a
+	// same-named level on a *different* dimension makes the bare name
+	// genuinely ambiguous — silently preferring the dimension would answer
+	// a different question than the user may have asked. The dotted
+	// "dimension.level" form disambiguates.
 	if _, err := o.Schema().Dimension(name); err == nil {
+		for _, d := range o.Schema().Dimensions() {
+			if d.Name == name {
+				continue
+			}
+			for li := 0; li < d.Class.NumLevels(); li++ {
+				if d.Class.Level(li).Name == name {
+					return resolved{}, fmt.Errorf("%w: %q is both a dimension and a level of dimension %q (use the dimension.level form, e.g. %q)",
+						ErrAmbiguous, name, d.Name, d.Name+"."+name)
+				}
+			}
+		}
 		return resolved{dim: name}, nil
 	}
 	// Search classification levels.
@@ -140,7 +156,7 @@ func evalSpan(o *core.StatObject, q *Query, sp *obs.Span) (*core.StatObject, err
 		if len(vals) == 1 {
 			res, err = res.Slice(dim, vals[0])
 		} else {
-			res, err = res.SProject(dim)
+			res, err = res.SProjectSpan(cs, dim)
 		}
 		if err != nil {
 			cs.SetErr(err)

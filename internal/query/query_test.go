@@ -205,3 +205,37 @@ func TestResolveAmbiguousLevel(t *testing.T) {
 		t.Errorf("qualified: %v", err)
 	}
 }
+
+func TestResolveDimensionLevelCollision(t *testing.T) {
+	// Dimension "state" collides with a level "state" on the *city*
+	// dimension's classification: the bare name must be rejected as
+	// ambiguous rather than silently resolving to the dimension.
+	city := hierarchy.NewBuilder("city", "city", "oakland", "fresno").
+		Level("state", "CA").
+		Parent("oakland", "CA").
+		Parent("fresno", "CA").
+		MustBuild()
+	sch := schema.MustNew("collision",
+		schema.Dimension{Name: "state", Class: hierarchy.FlatClassification("state", "CA", "NV")},
+		schema.Dimension{Name: "city", Class: city},
+	)
+	o := core.MustNew(sch, []core.Measure{{Name: "pop", Func: core.Sum, Type: core.Stock}})
+	if err := o.SetCell(map[string]core.Value{"state": "CA", "city": "oakland"},
+		map[string]float64{"pop": 10}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(o, "SHOW pop WHERE state = CA"); !errors.Is(err, ErrAmbiguous) {
+		t.Errorf("bare colliding name: err = %v, want ErrAmbiguous", err)
+	}
+	// Qualification selects each reading explicitly.
+	if _, err := Run(o, "SHOW pop WHERE city.state = CA"); err != nil {
+		t.Errorf("city.state: %v", err)
+	}
+	if _, err := Run(o, "SHOW pop WHERE state.state = CA"); err != nil {
+		t.Errorf("state.state (the dimension's own leaf level): %v", err)
+	}
+	// A non-colliding dimension name still resolves bare.
+	if _, err := Run(o, "SHOW pop WHERE city = oakland"); err != nil {
+		t.Errorf("bare non-colliding dimension: %v", err)
+	}
+}

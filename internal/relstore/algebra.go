@@ -3,6 +3,9 @@ package relstore
 import (
 	"fmt"
 	"strings"
+
+	"statcube/internal/obs"
+	"statcube/internal/parallel"
 )
 
 // This file implements the classical relational algebra over Relations:
@@ -11,15 +14,63 @@ import (
 // complete against in [MRS92] (Figure 16), and the building blocks of the
 // ROLAP query plans benchmarked in Section 6.
 
-// Select returns the rows satisfying pred, preserving order.
+// parMinRows is the row threshold below which Select stays sequential
+// (tests lower it to force the parallel path); parWorkers caps the
+// fan-out, 0 meaning GOMAXPROCS.
+var (
+	parMinRows = parallel.MinWork
+	parWorkers = 0
+)
+
+// Select returns the rows satisfying pred, preserving order. Large
+// relations are filtered in per-segment partial scans whose results —
+// matched rows and scan-byte tallies alike — are merged in segment order,
+// so the output and the accounting are identical to a sequential scan.
+// pred must therefore be safe for concurrent calls; the pure predicates
+// used throughout (column comparisons, set membership) all qualify.
 func (r *Relation) Select(pred func(Row) bool) *Relation {
 	out := MustNewRelation(r.name, r.cols...)
-	r.Scan(func(row Row) bool {
-		if pred(row) {
-			out.rows = append(out.rows, row)
+	n := len(r.rows)
+	w := parallel.Workers(parWorkers, n)
+	if w <= 1 || n < parMinRows {
+		r.Scan(func(row Row) bool {
+			if pred(row) {
+				out.rows = append(out.rows, row)
+			}
+			return true
+		})
+		return out
+	}
+	type seg struct {
+		rows    []Row
+		scanned int64
+	}
+	per := (n + w - 1) / w
+	st := parallel.Stage{Name: "relstore.select", Workers: w}
+	parts, _ := parallel.Map(st, (n+per-1)/per, func(s int) (seg, error) {
+		lo, hi := s*per, (s+1)*per
+		if hi > n {
+			hi = n
 		}
-		return true
+		var sg seg
+		for i := lo; i < hi; i++ {
+			row := r.rows[i]
+			for _, v := range row {
+				sg.scanned += int64(v.width())
+			}
+			if pred(row) {
+				sg.rows = append(sg.rows, row)
+			}
+		}
+		return sg, nil
 	})
+	for _, sg := range parts {
+		r.scanned += sg.scanned
+		out.rows = append(out.rows, sg.rows...)
+	}
+	if obs.On() {
+		rowsScanned.Add(int64(n))
+	}
 	return out
 }
 

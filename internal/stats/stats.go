@@ -17,6 +17,22 @@ import (
 // ErrEmpty is returned when a statistic of an empty sample is requested.
 var ErrEmpty = errors.New("stats: empty data")
 
+// ErrNaN is returned when the data (or a parameter) contains NaN. The
+// order statistics here sort their input, and sort.Float64s places NaN
+// unspecifiedly — a percentile of NaN-laced data would silently be
+// garbage rather than loudly wrong.
+var ErrNaN = errors.New("stats: data contains NaN")
+
+// checkNaN rejects samples containing NaN.
+func checkNaN(xs []float64) error {
+	for i, x := range xs {
+		if math.IsNaN(x) {
+			return fmt.Errorf("%w (index %d)", ErrNaN, i)
+		}
+	}
+	return nil
+}
+
 // Mean returns the arithmetic mean.
 func Mean(xs []float64) (float64, error) {
 	if len(xs) == 0 {
@@ -59,8 +75,13 @@ func Percentile(xs []float64, p float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
 	}
-	if p < 0 || p > 100 {
+	// NaN fails every comparison, so `p < 0 || p > 100` alone lets a NaN
+	// rank slip through.
+	if math.IsNaN(p) || p < 0 || p > 100 {
 		return 0, fmt.Errorf("stats: percentile %v out of [0,100]", p)
+	}
+	if err := checkNaN(xs); err != nil {
+		return 0, err
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
@@ -86,8 +107,11 @@ func TrimmedMean(xs []float64, trim float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrEmpty
 	}
-	if trim < 0 || trim >= 0.5 {
+	if math.IsNaN(trim) || trim < 0 || trim >= 0.5 {
 		return 0, fmt.Errorf("stats: trim %v out of [0,0.5)", trim)
+	}
+	if err := checkNaN(xs); err != nil {
+		return 0, err
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)

@@ -168,3 +168,29 @@ func TestQuickStatsInvariants(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestNaNRejected(t *testing.T) {
+	nan := math.NaN()
+	data := []float64{3, 1, nan, 2}
+	if _, err := Percentile(data, 50); !errors.Is(err, ErrNaN) {
+		t.Errorf("Percentile on NaN data: err = %v, want ErrNaN", err)
+	}
+	if _, err := Median(data); !errors.Is(err, ErrNaN) {
+		t.Errorf("Median on NaN data: err = %v, want ErrNaN", err)
+	}
+	if _, err := TrimmedMean(data, 0.1); !errors.Is(err, ErrNaN) {
+		t.Errorf("TrimmedMean on NaN data: err = %v, want ErrNaN", err)
+	}
+	// NaN parameters fail every range comparison, so the bounds checks
+	// must test for them explicitly.
+	if _, err := Percentile([]float64{1, 2}, nan); err == nil {
+		t.Error("Percentile with NaN rank: no error")
+	}
+	if _, err := TrimmedMean([]float64{1, 2}, nan); err == nil {
+		t.Error("TrimmedMean with NaN trim: no error")
+	}
+	// Clean data still works.
+	if m, err := Median([]float64{3, 1, 2}); err != nil || m != 2 {
+		t.Errorf("Median clean = %v, %v", m, err)
+	}
+}

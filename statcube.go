@@ -28,8 +28,6 @@
 package statcube
 
 import (
-	"net"
-
 	"statcube/internal/catalog"
 	"statcube/internal/core"
 	"statcube/internal/hierarchy"
@@ -266,7 +264,12 @@ func Metrics() MetricsSnapshot { return obs.Default().Snapshot() }
 // per instrumented operation).
 func SetObservability(on bool) { obs.SetEnabled(on) }
 
+// MetricsServer is the handle for a running ServeMetrics endpoint: Addr
+// reports the bound address, Shutdown drains connections gracefully, Close
+// stops immediately.
+type MetricsServer = obs.Server
+
 // ServeMetrics starts the opt-in observability HTTP endpoint (/metrics,
-// /metrics.json, /debug/pprof/) on addr and returns the bound listener;
-// close it to stop serving.
-func ServeMetrics(addr string) (net.Listener, error) { return obs.Serve(addr) }
+// /metrics.json, /debug/pprof/) on addr; stop it with Shutdown or Close on
+// the returned handle.
+func ServeMetrics(addr string) (*MetricsServer, error) { return obs.Serve(addr) }
