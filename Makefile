@@ -1,0 +1,47 @@
+# The CI pipeline's jobs, reproducible locally: `make verify` is the
+# tier-1 gate, `make fuzz-smoke` the fuzz job, `make bench` the
+# bench-regression job. See .github/workflows/ci.yml — each job runs the
+# matching target, so a green local make means a green pipeline.
+
+GO ?= go
+FUZZTIME ?= 30s
+BENCH_OUT ?= bench_current.ndjson
+
+.PHONY: verify fmt vet build test fuzz-smoke bench bench-baseline
+
+# Tier-1 gate: vet, build, race-checked order-shuffled tests.
+verify: vet build test
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race -shuffle=on ./...
+
+# Fuzz smoke: every Fuzz* target for $(FUZZTIME) each, seeded from the
+# committed corpora under */testdata/fuzz/.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzParseInterval$$' -fuzztime=$(FUZZTIME) ./internal/hierarchy
+	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/query
+	$(GO) test -run='^$$' -fuzz='^FuzzGovernorReserve$$' -fuzztime=$(FUZZTIME) ./internal/budget
+
+# Bench regression: the E9 micro-benchmarks (sanity, 1 iteration) plus the
+# full experiment suite's deterministic counters diffed against
+# BENCH_BASELINE.json. Fails only on a tolerance breach (counters ±30%,
+# duration one-sided; see scripts/benchdiff.go).
+bench:
+	$(GO) test -bench=E9 -benchtime=1x -count=3 -run='^$$' .
+	$(GO) run ./cmd/cubebench -stats-json > $(BENCH_OUT)
+	$(GO) run ./scripts/benchdiff.go -baseline BENCH_BASELINE.json -current $(BENCH_OUT)
+
+# Regenerate the committed baseline from this machine.
+bench-baseline:
+	$(GO) run ./cmd/cubebench -stats-json > $(BENCH_OUT)
+	$(GO) run ./scripts/benchdiff.go -baseline BENCH_BASELINE.json -current $(BENCH_OUT) -update

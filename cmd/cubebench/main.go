@@ -11,11 +11,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"statcube/internal/experiments"
@@ -37,7 +40,16 @@ type statsLine struct {
 
 func main() {
 	statsJSON := flag.Bool("stats-json", false, "emit one JSON object per experiment instead of text reports")
+	timeout := flag.Duration("timeout", 0, "stop starting new experiments after this long (0 means no limit); an interrupt stops the suite the same way")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	want := map[string]bool{}
 	for _, arg := range flag.Args() {
@@ -50,6 +62,11 @@ func main() {
 		known[exp.ID] = true
 		if len(want) > 0 && !want[exp.ID] {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "cubebench: stopping before %s: %v\n", exp.ID, err)
+			failed++
+			break
 		}
 		before := obs.Default().Snapshot()
 		start := time.Now()

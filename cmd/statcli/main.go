@@ -42,7 +42,15 @@ func main() {
 	list := flag.Bool("list", false, "list the built-in demo datasets (directory-style)")
 	explain := flag.Bool("explain", false, "print an EXPLAIN ANALYZE span tree for each query")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address and stay up after the work")
+	timeout := flag.Duration("timeout", 0, "per-query deadline (e.g. 500ms, 2s); 0 means none")
+	maxBytes := flag.Int64("max-bytes", 0, "per-query memory budget in bytes; 0 means unlimited")
 	flag.Parse()
+
+	// Interrupts cancel the in-flight query (and, later, the metrics wait
+	// loop) instead of killing the process mid-scan: the engine unwinds with
+	// ErrCanceled and partial state is discarded.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var metrics *statcube.MetricsServer
 	if *metricsAddr != "" {
@@ -92,8 +100,19 @@ func main() {
 		fmt.Print(out)
 	}
 	for _, q := range flag.Args() {
+		// Each query gets its own deadline and budget under the
+		// interrupt-cancelable root context.
+		qctx := ctx
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			qctx, cancel = context.WithTimeout(qctx, *timeout)
+			defer cancel()
+		}
+		if *maxBytes > 0 {
+			qctx = statcube.WithGovernor(qctx, statcube.NewGovernor(statcube.Limits{MaxBytes: *maxBytes}))
+		}
 		if *explain {
-			res, span, err := statcube.QueryExplain(obj, q)
+			res, span, err := statcube.QueryExplainCtx(qctx, obj, q)
 			fmt.Printf("> %s\n", q)
 			fmt.Print(span.Render(statcube.SpanRenderOptions{Durations: true}))
 			fmt.Printf("cells scanned: %d\n", span.SumInt("cells_scanned"))
@@ -104,7 +123,7 @@ func main() {
 			printCells(res)
 			continue
 		}
-		res, err := statcube.Query(obj, q)
+		res, err := statcube.QueryCtx(qctx, obj, q)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "statcli: %q: %v\n", q, err)
 			os.Exit(1)
@@ -116,7 +135,6 @@ func main() {
 		// Stay up until interrupted, then drain connections gracefully
 		// instead of dropping them mid-response.
 		fmt.Fprintln(os.Stderr, "statcli: metrics endpoint up; interrupt to exit")
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		<-ctx.Done()
 		stop()
 		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

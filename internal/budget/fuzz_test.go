@@ -1,0 +1,72 @@
+package budget
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzGovernorReserve drives a governor with an arbitrary op sequence and
+// asserts the ledger invariants: reserved bytes never exceed MaxBytes,
+// never go negative, a denied reservation leaves the ledger untouched, and
+// the ledger always equals the sum of admitted reservations minus releases
+// (clamped at zero).
+//
+// Each op byte encodes one call: the low two bits pick the operation
+// (reserve / release / add-cells / check usage), the high six bits the
+// amount.
+func FuzzGovernorReserve(f *testing.F) {
+	f.Add(int64(100), int64(50), []byte{0x10, 0x11, 0x20, 0x05})
+	f.Add(int64(0), int64(0), []byte{0xff, 0x00, 0x81})
+	f.Add(int64(1), int64(1), []byte{0x04, 0x04, 0x04})
+	f.Add(int64(-5), int64(-5), []byte{0x40, 0x41, 0x42, 0x43})
+	f.Fuzz(func(t *testing.T, maxBytes, maxCells int64, ops []byte) {
+		if maxBytes < 0 {
+			maxBytes = -maxBytes
+		}
+		if maxCells < 0 {
+			maxCells = -maxCells
+		}
+		g := NewGovernor(Limits{MaxBytes: maxBytes, MaxCells: maxCells})
+		var ledger int64 // shadow of admitted reservations
+		for _, op := range ops {
+			amt := int64(op >> 2)
+			switch op & 3 {
+			case 0: // reserve
+				before := g.BytesReserved()
+				err := g.Reserve(amt)
+				if err != nil {
+					if !errors.Is(err, ErrBudgetExceeded) {
+						t.Fatalf("Reserve returned non-taxonomy error %v", err)
+					}
+					if got := g.BytesReserved(); got != before {
+						t.Fatalf("denied Reserve moved ledger %d -> %d", before, got)
+					}
+				} else {
+					ledger += amt
+				}
+			case 1: // release
+				g.Release(amt)
+				ledger -= amt
+				if ledger < 0 {
+					ledger = 0
+				}
+			case 2: // add cells
+				if err := g.AddCells(amt); err != nil && !errors.Is(err, ErrBudgetExceeded) {
+					t.Fatalf("AddCells returned non-taxonomy error %v", err)
+				}
+			case 3: // read back
+				_ = g.CellsUsed()
+			}
+			got := g.BytesReserved()
+			if got != ledger {
+				t.Fatalf("ledger mismatch: governor %d, shadow %d", got, ledger)
+			}
+			if got < 0 {
+				t.Fatalf("negative reservation ledger: %d", got)
+			}
+			if maxBytes > 0 && got > maxBytes {
+				t.Fatalf("ledger %d exceeds MaxBytes %d", got, maxBytes)
+			}
+		}
+	})
+}

@@ -1,0 +1,140 @@
+package colstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"statcube/internal/budget"
+	"statcube/internal/relstore"
+)
+
+// cancelTable builds a transposed table big enough for segmented scans,
+// one category column per encoding plus a measure.
+func cancelTable(t *testing.T, rows int) *Table {
+	t.Helper()
+	r := relstore.MustNewRelation("facts",
+		relstore.Column{Name: "plain", Kind: relstore.KString},
+		relstore.Column{Name: "dict", Kind: relstore.KString},
+		relstore.Column{Name: "rle", Kind: relstore.KString},
+		relstore.Column{Name: "bits", Kind: relstore.KString},
+		relstore.Column{Name: "amount", Kind: relstore.KFloat},
+	)
+	for i := 0; i < rows; i++ {
+		if err := r.Append(relstore.Row{
+			relstore.S(fmt.Sprintf("p-%d", i%17)),
+			relstore.S(fmt.Sprintf("d-%d", i%11)),
+			relstore.S(fmt.Sprintf("r-%d", (i/512)%5)),
+			relstore.S(fmt.Sprintf("b-%d", i%7)),
+			relstore.F(float64(i % 131)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tab, err := FromRelation(r, map[string]Encoding{
+		"plain": Plain, "dict": Dict, "rle": DictRLE, "bits": BitSliced,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// TestScanPreCanceled: a done context aborts every scan entry point with
+// the typed taxonomy and no vector/result.
+func TestScanPreCanceled(t *testing.T) {
+	tab := cancelTable(t, 9000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, col := range []string{"plain", "dict", "rle", "bits"} {
+		if v, err := tab.SelectEqCtx(ctx, col, col[:1]+"-1"); err == nil || v != nil {
+			t.Errorf("SelectEqCtx(%s): v=%v err=%v", col, v, err)
+		} else if !budget.IsCanceled(err) {
+			t.Errorf("SelectEqCtx(%s): %v is not ErrCanceled", col, err)
+		}
+	}
+	if _, err := tab.SelectInCtx(ctx, "dict", "d-1", "d-2"); !budget.IsCanceled(err) {
+		t.Errorf("SelectInCtx: %v is not ErrCanceled", err)
+	}
+	if _, err := tab.SelectRangeCtx(ctx, "dict", "d-1", "d-5"); !budget.IsCanceled(err) {
+		t.Errorf("SelectRangeCtx: %v is not ErrCanceled", err)
+	}
+	if _, err := tab.SumCtx(ctx, "amount", nil); !budget.IsCanceled(err) {
+		t.Errorf("SumCtx: %v is not ErrCanceled", err)
+	}
+	if _, err := tab.GroupSumCtx(ctx, "dict", "amount", nil); !budget.IsCanceled(err) {
+		t.Errorf("GroupSumCtx: %v is not ErrCanceled", err)
+	}
+}
+
+// TestScanCtxMatchesPlain: under a live context the Ctx variants must
+// return exactly what the plain entry points do.
+func TestScanCtxMatchesPlain(t *testing.T) {
+	tab := cancelTable(t, 9000)
+	ctx := context.Background()
+	want, err := tab.SelectEq("dict", "d-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tab.SelectEqCtx(ctx, "dict", "d-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Count() != got.Count() {
+		t.Errorf("SelectEq counts differ: %d vs %d", want.Count(), got.Count())
+	}
+	ws, err := tab.Sum("amount", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := tab.SumCtx(ctx, "amount", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws != gs {
+		t.Errorf("Sum differs: %v vs %v", ws, gs)
+	}
+	wg, err := tab.GroupSum("rle", "amount", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gg, err := tab.GroupSumCtx(ctx, "rle", "amount", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wg) != len(gg) {
+		t.Fatalf("GroupSum group counts differ: %d vs %d", len(wg), len(gg))
+	}
+	for k, v := range wg {
+		if gg[k] != v {
+			t.Errorf("group %q: %v vs %v", k, v, gg[k])
+		}
+	}
+}
+
+// TestScanParallelCanceled: cancellation aborts the segmented parallel
+// scan path too, not just the inline loop.
+func TestScanParallelCanceled(t *testing.T) {
+	oldMin, oldW := parMinRows, parWorkers
+	parMinRows, parWorkers = 64, 4
+	t.Cleanup(func() { parMinRows, parWorkers = oldMin, oldW })
+	tab := cancelTable(t, 9000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tab.SelectEqCtx(ctx, "dict", "d-3"); !budget.IsCanceled(err) {
+		t.Errorf("parallel SelectEqCtx: %v is not ErrCanceled", err)
+	}
+}
+
+// TestGroupSumCellQuota: a governor on the context bounds the groups a
+// cross-tabulation may emit.
+func TestGroupSumCellQuota(t *testing.T) {
+	tab := cancelTable(t, 2000)
+	gov := budget.NewGovernor(budget.Limits{MaxCells: 2})
+	ctx := budget.WithGovernor(context.Background(), gov)
+	_, err := tab.GroupSumCtx(ctx, "dict", "amount", nil) // 11 groups > 2
+	if !errors.Is(err, budget.ErrBudgetExceeded) {
+		t.Errorf("quota not enforced: %v", err)
+	}
+}

@@ -24,10 +24,12 @@
 package colstore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"statcube/internal/bitvec"
+	"statcube/internal/budget"
 	"statcube/internal/obs"
 	"statcube/internal/relstore"
 )
@@ -79,10 +81,14 @@ type Table struct {
 type catColumn interface {
 	encoding() Encoding
 	// eqMask ORs into out the rows equal to code; returns bytes touched.
-	eqMask(code int, out *bitvec.Vector) int64
+	// Row-by-row encodings poll ctx between row segments and may leave the
+	// vector partially set on cancellation — the Table re-checks ctx after
+	// the call and discards the vector.
+	eqMask(ctx context.Context, code int, out *bitvec.Vector) int64
 	// rangeMask ORs into out the rows whose code is in [cLo, cHi],
-	// reading the column once; returns bytes touched.
-	rangeMask(cLo, cHi int, out *bitvec.Vector) int64
+	// reading the column once; returns bytes touched. Same cancellation
+	// contract as eqMask.
+	rangeMask(ctx context.Context, cLo, cHi int, out *bitvec.Vector) int64
 	// get returns the value at row i (charges full column metadata only in
 	// accounting-sensitive paths; row access charges are handled by Row).
 	get(i int) string
@@ -224,6 +230,13 @@ func (t *Table) Cardinality(name string) (int, error) {
 // SelectEq returns the selection vector of rows whose category column
 // equals val, touching only that column.
 func (t *Table) SelectEq(col, val string) (*bitvec.Vector, error) {
+	return t.SelectEqCtx(context.Background(), col, val)
+}
+
+// SelectEqCtx is SelectEq under a context: the column scan polls ctx
+// between row segments, and a canceled scan returns the typed
+// budget.ErrCanceled with no vector.
+func (t *Table) SelectEqCtx(ctx context.Context, col, val string) (*bitvec.Vector, error) {
 	c, ok := t.cats[col]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotCategory, col)
@@ -233,22 +246,37 @@ func (t *Table) SelectEq(col, val string) (*bitvec.Vector, error) {
 	if !ok {
 		return out, nil // no rows match an unknown value
 	}
-	t.charge(c.eqMask(code, out))
+	t.charge(c.eqMask(ctx, code, out))
+	if err := budget.Check(ctx); err != nil {
+		return nil, err // the partially-set vector is discarded
+	}
 	return out, nil
 }
 
 // SelectIn returns the selection vector of rows whose column equals any of
 // the values.
 func (t *Table) SelectIn(col string, vals ...string) (*bitvec.Vector, error) {
+	return t.SelectInCtx(context.Background(), col, vals...)
+}
+
+// SelectInCtx is SelectIn under a context (see SelectEqCtx); cancellation
+// is additionally checked between the per-value column passes.
+func (t *Table) SelectInCtx(ctx context.Context, col string, vals ...string) (*bitvec.Vector, error) {
 	c, ok := t.cats[col]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotCategory, col)
 	}
 	out := bitvec.New(t.n)
 	for _, v := range vals {
-		if code, ok := c.code(v); ok {
-			t.charge(c.eqMask(code, out))
+		if err := budget.Check(ctx); err != nil {
+			return nil, err
 		}
+		if code, ok := c.code(v); ok {
+			t.charge(c.eqMask(ctx, code, out))
+		}
+	}
+	if err := budget.Check(ctx); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -259,6 +287,11 @@ func (t *Table) SelectIn(col string, vals ...string) (*bitvec.Vector, error) {
 // the word-parallel comparison kernels of [WL+85]; other encodings test
 // code membership row by row.
 func (t *Table) SelectRange(col, lo, hi string) (*bitvec.Vector, error) {
+	return t.SelectRangeCtx(context.Background(), col, lo, hi)
+}
+
+// SelectRangeCtx is SelectRange under a context (see SelectEqCtx).
+func (t *Table) SelectRangeCtx(ctx context.Context, col, lo, hi string) (*bitvec.Vector, error) {
 	c, ok := t.cats[col]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotCategory, col)
@@ -278,7 +311,10 @@ func (t *Table) SelectRange(col, lo, hi string) (*bitvec.Vector, error) {
 	if cLo > cHi {
 		return out, nil
 	}
-	t.charge(c.rangeMask(cLo, cHi, out))
+	t.charge(c.rangeMask(ctx, cLo, cHi, out))
+	if err := budget.Check(ctx); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -306,9 +342,19 @@ func bitSliceMeasure(vals []float64) (*bitvec.Sliced, error) {
 // touching only that measure column. A bit-sliced measure sums via
 // per-slice popcounts ([WL+85]); otherwise the float values are added.
 func (t *Table) Sum(col string, sel *bitvec.Vector) (float64, error) {
+	return t.SumCtx(context.Background(), col, sel)
+}
+
+// SumCtx is Sum under a context: the full-column float pass polls ctx
+// between row segments; the popcount and selected paths are checked before
+// the (word-parallel, selection-bounded) work.
+func (t *Table) SumCtx(ctx context.Context, col string, sel *bitvec.Vector) (float64, error) {
 	c, ok := t.nums[col]
 	if !ok {
 		return 0, fmt.Errorf("%w: %q", ErrNotMeasure, col)
+	}
+	if err := budget.Check(ctx); err != nil {
+		return 0, err
 	}
 	if c.sliced != nil {
 		t.charge(int64(c.sliced.SizeBytes()))
@@ -316,7 +362,11 @@ func (t *Table) Sum(col string, sel *bitvec.Vector) (float64, error) {
 	}
 	var s float64
 	if sel == nil {
+		tick := budget.NewTicker(ctx, 0)
 		for _, v := range c.vals {
+			if err := tick.Tick(); err != nil {
+				return 0, err
+			}
 			s += v
 		}
 		t.charge(c.sizeBytes())
@@ -331,6 +381,13 @@ func (t *Table) Sum(col string, sel *bitvec.Vector) (float64, error) {
 // selection (nil = all rows) — the cross-tabulation workload of [THC79].
 // Only the grouping and measure columns are touched.
 func (t *Table) GroupSum(groupCol, measureCol string, sel *bitvec.Vector) (map[string]float64, error) {
+	return t.GroupSumCtx(context.Background(), groupCol, measureCol, sel)
+}
+
+// GroupSumCtx is GroupSum under a context: the full-table pass polls ctx
+// between row segments, and a governor on ctx is charged for the result's
+// groups.
+func (t *Table) GroupSumCtx(ctx context.Context, groupCol, measureCol string, sel *bitvec.Vector) (map[string]float64, error) {
 	g, ok := t.cats[groupCol]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotCategory, groupCol)
@@ -339,11 +396,18 @@ func (t *Table) GroupSum(groupCol, measureCol string, sel *bitvec.Vector) (map[s
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotMeasure, measureCol)
 	}
+	if err := budget.Check(ctx); err != nil {
+		return nil, err
+	}
 	dict := g.dict()
 	sums := make([]float64, len(dict))
 	any := make([]bool, len(dict))
 	if sel == nil {
+		tick := budget.NewTicker(ctx, 0)
 		for i := 0; i < t.n; i++ {
+			if err := tick.Tick(); err != nil {
+				return nil, err
+			}
 			code, _ := g.code(g.get(i))
 			sums[code] += m.vals[i]
 			any[code] = true
@@ -362,6 +426,9 @@ func (t *Table) GroupSum(groupCol, measureCol string, sel *bitvec.Vector) (map[s
 		if any[i] {
 			out[v] = sums[i]
 		}
+	}
+	if err := budget.From(ctx).AddCells(int64(len(out))); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

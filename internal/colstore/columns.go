@@ -1,6 +1,7 @@
 package colstore
 
 import (
+	"context"
 	"sort"
 
 	"statcube/internal/bitvec"
@@ -88,15 +89,15 @@ func (c *plainCat) code(v string) (int, bool) {
 func (c *plainCat) get(i int) string { return c.vals[i] }
 func (c *plainCat) sizeBytes() int64 { return c.size }
 func (c *plainCat) rowBytes() int64  { return c.size / int64(max(len(c.vals), 1)) }
-func (c *plainCat) eqMask(code int, out *bitvec.Vector) int64 {
+func (c *plainCat) eqMask(ctx context.Context, code int, out *bitvec.Vector) int64 {
 	want := c.d[code]
-	eqMaskSegmented(len(c.vals), out, func(i int) bool { return c.vals[i] == want })
+	eqMaskSegmented(ctx, len(c.vals), out, func(i int) bool { return c.vals[i] == want })
 	return c.size // the whole raw column is read
 }
 
-func (c *plainCat) rangeMask(cLo, cHi int, out *bitvec.Vector) int64 {
+func (c *plainCat) rangeMask(ctx context.Context, cLo, cHi int, out *bitvec.Vector) int64 {
 	lo, hi := c.d[cLo], c.d[cHi]
-	eqMaskSegmented(len(c.vals), out, func(i int) bool { return c.vals[i] >= lo && c.vals[i] <= hi })
+	eqMaskSegmented(ctx, len(c.vals), out, func(i int) bool { return c.vals[i] >= lo && c.vals[i] <= hi })
 	return c.size
 }
 
@@ -132,15 +133,15 @@ func (c *dictCat) sizeBytes() int64 {
 	return int64(len(c.codes)*c.bits+7)/8 + dictBytes(c.d)
 }
 func (c *dictCat) rowBytes() int64 { return int64(c.bits+7) / 8 }
-func (c *dictCat) eqMask(code int, out *bitvec.Vector) int64 {
+func (c *dictCat) eqMask(ctx context.Context, code int, out *bitvec.Vector) int64 {
 	want := uint32(code)
-	eqMaskSegmented(len(c.codes), out, func(i int) bool { return c.codes[i] == want })
+	eqMaskSegmented(ctx, len(c.codes), out, func(i int) bool { return c.codes[i] == want })
 	return int64(len(c.codes)*c.bits+7) / 8 // read all packed codes
 }
 
-func (c *dictCat) rangeMask(cLo, cHi int, out *bitvec.Vector) int64 {
+func (c *dictCat) rangeMask(ctx context.Context, cLo, cHi int, out *bitvec.Vector) int64 {
 	lo, hi := uint32(cLo), uint32(cHi)
-	eqMaskSegmented(len(c.codes), out, func(i int) bool { return c.codes[i] >= lo && c.codes[i] <= hi })
+	eqMaskSegmented(ctx, len(c.codes), out, func(i int) bool { return c.codes[i] >= lo && c.codes[i] <= hi })
 	return int64(len(c.codes)*c.bits+7) / 8
 }
 
@@ -179,7 +180,7 @@ func (c *rleCat) sizeBytes() int64 {
 	return int64(c.runs.SizeEntries())*c.rleEntryBytes() + dictBytes(c.d)
 }
 func (c *rleCat) rowBytes() int64 { return c.rleEntryBytes() }
-func (c *rleCat) eqMask(code int, out *bitvec.Vector) int64 {
+func (c *rleCat) eqMask(_ context.Context, code int, out *bitvec.Vector) int64 {
 	want := uint32(code)
 	c.runs.ForEachRun(func(start int, run rle.Run[uint32]) {
 		if run.Value == want {
@@ -191,7 +192,7 @@ func (c *rleCat) eqMask(code int, out *bitvec.Vector) int64 {
 	return int64(c.runs.SizeEntries()) * c.rleEntryBytes() // read all runs
 }
 
-func (c *rleCat) rangeMask(cLo, cHi int, out *bitvec.Vector) int64 {
+func (c *rleCat) rangeMask(_ context.Context, cLo, cHi int, out *bitvec.Vector) int64 {
 	lo, hi := uint32(cLo), uint32(cHi)
 	c.runs.ForEachRun(func(start int, run rle.Run[uint32]) {
 		if run.Value >= lo && run.Value <= hi {
@@ -238,12 +239,12 @@ func (c *bitCat) sizeBytes() int64 {
 	return int64(c.sliced.SizeBytes()) + dictBytes(c.d)
 }
 func (c *bitCat) rowBytes() int64 { return int64(c.sliced.Width()+7) / 8 }
-func (c *bitCat) eqMask(code int, out *bitvec.Vector) int64 {
+func (c *bitCat) eqMask(_ context.Context, code int, out *bitvec.Vector) int64 {
 	out.Or(c.sliced.EQ(uint64(code)))
 	return int64(c.sliced.SizeBytes()) // all slices read, word-parallel
 }
 
-func (c *bitCat) rangeMask(cLo, cHi int, out *bitvec.Vector) int64 {
+func (c *bitCat) rangeMask(_ context.Context, cLo, cHi int, out *bitvec.Vector) int64 {
 	out.Or(c.sliced.Range(uint64(cLo), uint64(cHi)))
 	return int64(c.sliced.SizeBytes())
 }

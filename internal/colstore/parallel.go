@@ -1,7 +1,10 @@
 package colstore
 
 import (
+	"context"
+
 	"statcube/internal/bitvec"
+	"statcube/internal/budget"
 	"statcube/internal/parallel"
 )
 
@@ -18,17 +21,30 @@ var (
 // 64 rows) contiguous segments, one fan-out task each. Because segments
 // align to 64-row boundaries, concurrent segments set bits in disjoint
 // words of the selection vector — no locks, and the merged vector is
-// identical to one sequential pass. Small columns scan inline.
-func scanSegments(n int, scan func(lo, hi int)) {
+// identical to one sequential pass. Small columns scan inline, polling the
+// context between row batches. Cancellation aborts between segments; the
+// caller re-checks ctx and discards the partially-set vector.
+func scanSegments(ctx context.Context, n int, scan func(lo, hi int)) {
 	w := parallel.Workers(parWorkers, n)
 	if w <= 1 || n < parMinRows {
-		scan(0, n)
+		// One segment per tick interval so a huge sequential scan still
+		// notices cancellation with bounded latency.
+		for lo := 0; lo < n; lo += budget.DefaultTickEvery {
+			if budget.Check(ctx) != nil {
+				return
+			}
+			hi := lo + budget.DefaultTickEvery
+			if hi > n {
+				hi = n
+			}
+			scan(lo, hi)
+		}
 		return
 	}
 	words := (n + 63) / 64
 	per := (words + w - 1) / w * 64
 	nseg := (n + per - 1) / per
-	st := parallel.Stage{Name: "colstore.scan", Workers: w}
+	st := parallel.Stage{Name: "colstore.scan", Workers: w, Ctx: ctx}
 	_ = st.ForEach(nseg, func(s int) error {
 		lo, hi := s*per, (s+1)*per
 		if hi > n {
@@ -41,8 +57,8 @@ func scanSegments(n int, scan func(lo, hi int)) {
 
 // eqMaskSegmented sets out's bit for every row in [0, n) matching the
 // predicate, fanning out across word-aligned segments.
-func eqMaskSegmented(n int, out *bitvec.Vector, match func(i int) bool) {
-	scanSegments(n, func(lo, hi int) {
+func eqMaskSegmented(ctx context.Context, n int, out *bitvec.Vector, match func(i int) bool) {
+	scanSegments(ctx, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if match(i) {
 				out.Set(i)

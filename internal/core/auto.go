@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
+	"statcube/internal/budget"
 	"statcube/internal/obs"
 )
 
@@ -38,7 +40,7 @@ type AutoQuery struct {
 // values, rolled up to the picked levels — with all other dimensions
 // summarized away. Summarizability is checked along the way.
 func (o *StatObject) AutoAggregate(q AutoQuery) (*StatObject, error) {
-	return o.AutoAggregateSpan(q, nil)
+	return o.AutoAggregateCtx(context.Background(), q, nil)
 }
 
 // AutoAggregateSpan is AutoAggregate with tracing: each storage-level
@@ -47,6 +49,15 @@ func (o *StatObject) AutoAggregate(q AutoQuery) (*StatObject, error) {
 // emitted. A nil span evaluates identically with tracing off — Span
 // methods are nil-safe.
 func (o *StatObject) AutoAggregateSpan(q AutoQuery, sp *obs.Span) (*StatObject, error) {
+	return o.AutoAggregateCtx(context.Background(), q, sp)
+}
+
+// AutoAggregateCtx is AutoAggregate with a context and optional tracing
+// span — the cancellable, budget-governed entry point. The context is
+// checked between operators and, inside the group-by shaped ones, between
+// cell segments, so cancellation latency is bounded by one segment; a
+// governor on ctx is charged for every derived object's cells.
+func (o *StatObject) AutoAggregateCtx(ctx context.Context, q AutoQuery, sp *obs.Span) (*StatObject, error) {
 	if len(q.Where) == 0 {
 		return nil, fmt.Errorf("core: AutoAggregate with no conditions; use Total for the grand total")
 	}
@@ -61,6 +72,9 @@ func (o *StatObject) AutoAggregateSpan(q AutoQuery, sp *obs.Span) (*StatObject, 
 	// The child span is handed to the operator so its fan-out stage can
 	// attach the parallel-vs-sequential breakdown beneath it.
 	step := func(name string, in *StatObject, op func(child *obs.Span) (*StatObject, error)) (*StatObject, error) {
+		if err := budget.Check(ctx); err != nil {
+			return nil, err
+		}
 		child := sp.Child(name)
 		child.AddInt("cells_scanned", int64(in.Cells()))
 		out, err := op(child)
@@ -103,7 +117,7 @@ func (o *StatObject) AutoAggregateSpan(q AutoQuery, sp *obs.Span) (*StatObject, 
 				return nil, err
 			}
 			cur, err = step("scan:s-aggregate:"+dim, cur, func(child *obs.Span) (*StatObject, error) {
-				return cur.SAggregateSpan(child, dim, level)
+				return cur.SAggregateCtx(ctx, child, dim, level)
 			})
 		}
 		if err != nil {
@@ -118,11 +132,14 @@ func (o *StatObject) AutoAggregateSpan(q AutoQuery, sp *obs.Span) (*StatObject, 
 		}
 	}
 	if len(drop) > 0 {
+		if err := budget.Check(ctx); err != nil {
+			return nil, err
+		}
 		child := sp.Child("scan:s-project")
 		child.SetStr("dims", strings.Join(drop, ","))
 		child.AddInt("cells_scanned", int64(cur.Cells()))
 		var err error
-		cur, err = cur.SProjectSpan(child, drop...)
+		cur, err = cur.SProjectCtx(ctx, child, drop...)
 		if err != nil {
 			child.SetErr(err)
 			child.End()

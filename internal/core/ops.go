@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -162,13 +163,22 @@ func (o *StatObject) Dice(ranges map[string][]Value) (*StatObject, error) {
 // OLAP's "slice" in its summarize-over-a-dimension reading (Section 4.4).
 // Summarizability of each measure along each removed dimension is checked.
 func (o *StatObject) SProject(removeDims ...string) (*StatObject, error) {
-	return o.SProjectSpan(nil, removeDims...)
+	return o.SProjectCtx(context.Background(), nil, removeDims...)
 }
 
 // SProjectSpan is SProject with tracing: the underlying store scan runs as
 // a fan-out stage that reports itself (parallel or sequential, task and
 // worker counts) as a child of sp. A nil span disables tracing only.
 func (o *StatObject) SProjectSpan(sp *obs.Span, removeDims ...string) (*StatObject, error) {
+	return o.SProjectCtx(context.Background(), sp, removeDims...)
+}
+
+// SProjectCtx is SProject with a context and optional tracing span — the
+// cancellable, budget-governed entry point. The store scan checks ctx
+// between cell segments, so canceling mid-scan returns budget.ErrCanceled
+// promptly with no partial result; a governor on ctx has the output cells
+// charged against its quota.
+func (o *StatObject) SProjectCtx(ctx context.Context, sp *obs.Span, removeDims ...string) (*StatObject, error) {
 	if len(removeDims) == 0 {
 		return o, nil
 	}
@@ -202,7 +212,7 @@ func (o *StatObject) SProjectSpan(sp *obs.Span, removeDims ...string) (*StatObje
 		return nil, err
 	}
 	out := o.derive(nsch, "s-project")
-	o.groupFold(sp, "s-project", out, func() func([]int, func([]int)) {
+	err = o.groupFold(ctx, sp, "s-project", out, func() func([]int, func([]int)) {
 		nc := make([]int, len(keepIdx))
 		return func(coords []int, emit func([]int)) {
 			for j, i := range keepIdx {
@@ -211,6 +221,9 @@ func (o *StatObject) SProjectSpan(sp *obs.Span, removeDims ...string) (*StatObje
 			emit(nc)
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	recordOp(o.Cells(), out.Cells())
 	return out, nil
 }
@@ -231,14 +244,21 @@ func (o *StatObject) mergeSlots(coords []int, slots []float64) {
 // the traversed classification edges must be strict and complete, and each
 // measure must be additive along the dimension.
 func (o *StatObject) SAggregate(dim, toLevel string) (*StatObject, error) {
-	return o.sAggregate(nil, dim, toLevel, true)
+	return o.sAggregate(context.Background(), nil, dim, toLevel, true)
 }
 
 // SAggregateSpan is SAggregate with tracing: the roll-up's store scan runs
 // as a fan-out stage that reports itself as a child of sp (see
 // SProjectSpan).
 func (o *StatObject) SAggregateSpan(sp *obs.Span, dim, toLevel string) (*StatObject, error) {
-	return o.sAggregate(sp, dim, toLevel, true)
+	return o.sAggregate(context.Background(), sp, dim, toLevel, true)
+}
+
+// SAggregateCtx is SAggregate with a context and optional tracing span —
+// the cancellable, budget-governed entry point (see SProjectCtx for the
+// cancellation and quota semantics).
+func (o *StatObject) SAggregateCtx(ctx context.Context, sp *obs.Span, dim, toLevel string) (*StatObject, error) {
+	return o.sAggregate(ctx, sp, dim, toLevel, true)
 }
 
 // SAggregateUnchecked performs the same roll-up without summarizability
@@ -247,10 +267,10 @@ func (o *StatObject) SAggregateSpan(sp *obs.Span, dim, toLevel string) (*StatObj
 // caller takes responsibility (e.g. after verifying the query semantics
 // really want overlapping groups).
 func (o *StatObject) SAggregateUnchecked(dim, toLevel string) (*StatObject, error) {
-	return o.sAggregate(nil, dim, toLevel, false)
+	return o.sAggregate(context.Background(), nil, dim, toLevel, false)
 }
 
-func (o *StatObject) sAggregate(sp *obs.Span, dim, toLevel string, check bool) (*StatObject, error) {
+func (o *StatObject) sAggregate(ctx context.Context, sp *obs.Span, dim, toLevel string, check bool) (*StatObject, error) {
 	d, err := o.sch.Dimension(dim)
 	if err != nil {
 		return nil, err
@@ -300,7 +320,7 @@ func (o *StatObject) sAggregate(sp *obs.Span, dim, toLevel string, check bool) (
 			up[ord] = append(up[ord], aOrd)
 		}
 	}
-	o.groupFold(sp, "s-aggregate", out, func() func([]int, func([]int)) {
+	err = o.groupFold(ctx, sp, "s-aggregate", out, func() func([]int, func([]int)) {
 		nc := make([]int, len(o.sch.Dimensions()))
 		return func(coords []int, emit func([]int)) {
 			copy(nc, coords)
@@ -310,6 +330,9 @@ func (o *StatObject) sAggregate(sp *obs.Span, dim, toLevel string, check bool) (
 			}
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	recordOp(o.Cells(), out.Cells())
 	return out, nil
 }

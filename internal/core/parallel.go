@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+
+	"statcube/internal/budget"
 	"statcube/internal/obs"
 	"statcube/internal/parallel"
 )
@@ -9,7 +12,10 @@ import (
 // S-aggregation) through the engine's fan-out layer. The contract matches
 // the cube builders': the parallel path produces byte-identical cells to
 // the sequential scan, because every destination key is reduced by exactly
-// one worker in the store's deterministic ForEach order.
+// one worker in the store's deterministic ForEach order. Both paths honor
+// context cancellation between cell segments, so a canceled query stops a
+// group-by mid-scan with the typed budget.ErrCanceled and no partial
+// output object.
 
 var (
 	// parMinCells is the cell-count threshold below which group-bys stay
@@ -25,23 +31,44 @@ var (
 // an input cell's coordinates to zero or more destination coordinates, and
 // each destination cell accumulates the source slots with the measures'
 // merge functions — exactly what the sequential ForEach+mergeSlots loop
-// does.
-func (o *StatObject) groupFold(sp *obs.Span, name string, out *StatObject, newFanout func() func(coords []int, emit func(dst []int))) {
+// does. A canceled ctx aborts between segments and surfaces as
+// budget.ErrCanceled; the governor on ctx is charged for the output cells.
+func (o *StatObject) groupFold(ctx context.Context, sp *obs.Span, name string, out *StatObject, newFanout func() func(coords []int, emit func(dst []int))) error {
 	n := o.store.Cells()
-	st := parallel.Stage{Name: name, Workers: parWorkers, Span: sp}
+	st := parallel.Stage{Name: name, Workers: parWorkers, Span: sp, Ctx: ctx}
 	w := parallel.Workers(parWorkers, n)
 	if ms, ok := out.store.(*MapStore); ok && n >= parMinCells && w > 1 {
-		if o.groupFoldPar(st, ms, out, n, w, newFanout) {
-			return
+		done, err := o.groupFoldPar(ctx, st, ms, out, n, w, newFanout)
+		if err != nil {
+			return err
+		}
+		if done {
+			return chargeCells(ctx, out)
 		}
 	}
 	c := st.Begin(false, n, 1)
+	defer c.End()
 	fanout := newFanout()
+	tick := budget.NewTicker(ctx, 0)
+	var tickErr error
 	o.store.ForEach(func(coords []int, slots []float64) bool {
+		if tickErr = tick.Tick(); tickErr != nil {
+			return false
+		}
 		fanout(coords, func(dst []int) { out.mergeSlots(dst, slots) })
 		return true
 	})
-	c.End()
+	if tickErr != nil {
+		c.SetErr(tickErr)
+		return tickErr
+	}
+	return chargeCells(ctx, out)
+}
+
+// chargeCells charges the derived object's cells to the context's
+// governor — the row/group quota of the resource budget.
+func chargeCells(ctx context.Context, out *StatObject) error {
+	return budget.From(ctx).AddCells(int64(out.Cells()))
 }
 
 // groupFoldPar is the parallel path: the store is snapshotted into flat
@@ -50,18 +77,28 @@ func (o *StatObject) groupFold(sp *obs.Span, name string, out *StatObject, newFa
 // destination key to its owning worker's partial map. Per-key merges
 // replay in snapshot order — the same order the sequential loop merges in
 // — so inserting the disjoint partials into the output store reproduces
-// it bit for bit.
-func (o *StatObject) groupFoldPar(st parallel.Stage, ms *MapStore, out *StatObject, n, w int, newFanout func() func(coords []int, emit func(dst []int))) bool {
+// it bit for bit. It reports whether the parallel path completed; (false,
+// nil) means the caller should run the sequential loop, and a non-nil
+// error aborts the fold with nothing written to the output store.
+func (o *StatObject) groupFoldPar(ctx context.Context, st parallel.Stage, ms *MapStore, out *StatObject, n, w int, newFanout func() func(coords []int, emit func(dst []int))) (bool, error) {
 	nd := len(o.sch.Dimensions())
 	coords := make([]int32, 0, n*nd)
 	slots := make([]float64, 0, n*o.nslots)
+	tick := budget.NewTicker(ctx, 0)
+	var tickErr error
 	o.store.ForEach(func(c []int, s []float64) bool {
+		if tickErr = tick.Tick(); tickErr != nil {
+			return false
+		}
 		for _, x := range c {
 			coords = append(coords, int32(x))
 		}
 		slots = append(slots, s...)
 		return true
 	})
+	if tickErr != nil {
+		return false, tickErr
+	}
 	// Per-chunk fanout instances and coordinate buffers, created lazily by
 	// the single goroutine that owns each chunk.
 	fanouts := make([]func([]int, func([]int)), w)
@@ -97,12 +134,18 @@ func (o *StatObject) groupFoldPar(st parallel.Stage, ms *MapStore, out *StatObje
 			}
 		})
 	if !ran {
-		return false
+		// Either the stage resolved to one worker or the context was
+		// canceled mid-reduction; in the latter case the partial maps are
+		// garbage, so surface the cancellation rather than falling back.
+		if err := budget.Check(ctx); err != nil {
+			return false, err
+		}
+		return false, nil
 	}
 	for _, part := range parts {
 		for k, acc := range part {
 			ms.cells[k] = acc
 		}
 	}
-	return true
+	return true, nil
 }

@@ -1,11 +1,14 @@
 package cube
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
 	"sort"
+	"sync/atomic"
 
+	"statcube/internal/budget"
 	"statcube/internal/obs"
 	"statcube/internal/parallel"
 )
@@ -142,13 +145,71 @@ var parMinRows = parallel.MinWork
 
 // stage resolves build options into a fan-out stage: below the row
 // threshold the stage is pinned to one worker, which makes every
-// ForEach/GroupReduce on it run inline.
-func (o Options) stage(name string, rows int) parallel.Stage {
-	st := parallel.Stage{Name: name, Workers: o.Workers, Span: o.Span}
+// ForEach/GroupReduce on it run inline. The build context rides on the
+// stage, so every level fan-out and row scan checks it between tasks.
+func (o Options) stage(ctx context.Context, name string, rows int) parallel.Stage {
+	st := parallel.Stage{Name: name, Workers: o.Workers, Span: o.Span, Ctx: ctx}
 	if rows < parMinRows {
 		st.Workers = 1
 	}
 	return st
+}
+
+// rolapEntryBytes is the budget charge per ROLAP view-map entry: an 8-byte
+// key, an 8-byte float sum, and the amortized Go map overhead (buckets,
+// top-hash bytes, load factor headroom).
+const rolapEntryBytes = 48
+
+// accountant tracks one build's reservations against the context's
+// governor so they can be charged view by view (concurrently — the
+// governor is atomic) and released wholesale when the build hands its
+// result off or aborts.
+type accountant struct {
+	gov      *budget.Governor
+	reserved atomic.Int64
+	cells    atomic.Int64
+}
+
+func newAccountant(ctx context.Context) *accountant {
+	return &accountant{gov: budget.From(ctx)}
+}
+
+// chargeView reserves the working memory of one finished view and charges
+// its entries against the cell quota.
+func (a *accountant) chargeView(entries int, entryBytes int64) error {
+	if a.gov == nil {
+		return nil
+	}
+	if err := a.gov.AddCells(int64(entries)); err != nil {
+		return err
+	}
+	b := int64(entries) * entryBytes
+	if err := a.gov.Reserve(b); err != nil {
+		return err
+	}
+	a.reserved.Add(b)
+	a.cells.Add(int64(entries))
+	return nil
+}
+
+// reserve claims raw bytes (the MOLAP dense-array estimate).
+func (a *accountant) reserve(b int64) error {
+	if a.gov == nil {
+		return nil
+	}
+	if err := a.gov.Reserve(b); err != nil {
+		return err
+	}
+	a.reserved.Add(b)
+	return nil
+}
+
+// close releases everything the build reserved; the result's footprint is
+// the caller's to govern from here.
+func (a *accountant) close() {
+	if a.gov != nil {
+		a.gov.Release(a.reserved.Swap(0))
+	}
 }
 
 // Identical reports whether two cubes are exactly equal: same keys, with
@@ -176,30 +237,51 @@ func (v *Views) Identical(o *Views) bool {
 // BuildROLAPNaive computes every view with an independent hash group-by
 // over the base rows: 2^n full scans.
 func BuildROLAPNaive(in *Input) (*Views, error) {
-	return BuildROLAPNaiveWith(in, Options{})
+	return BuildROLAPNaiveCtx(context.Background(), in, Options{})
 }
 
-// BuildROLAPNaiveWith is BuildROLAPNaive with explicit build options. The
-// 2^n group-bys are independent, so views fan out one task per mask; each
-// task scans the rows in order into its own map, making the parallel
-// result trivially byte-identical to the sequential one.
+// BuildROLAPNaiveWith is BuildROLAPNaive with explicit build options.
 func BuildROLAPNaiveWith(in *Input, opt Options) (*Views, error) {
+	return BuildROLAPNaiveCtx(context.Background(), in, opt)
+}
+
+// BuildROLAPNaiveCtx is BuildROLAPNaive with a context and build options:
+// the 2^n group-bys are independent, so views fan out one task per mask;
+// each task scans the rows in order into its own map, making the parallel
+// result trivially byte-identical to the sequential one. Cancellation is
+// checked between views and between row segments inside each scan, and a
+// governor on ctx is charged per finished view map; on any failure the
+// build returns the typed error and no Views.
+func BuildROLAPNaiveCtx(ctx context.Context, in *Input, opt Options) (*Views, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
 	n := len(in.Card)
 	nviews := 1 << uint(n)
 	out := &Views{Card: append([]int(nil), in.Card...), ByMask: make([]map[uint64]float64, nviews)}
-	st := opt.stage("cube.rolap_naive", len(in.Rows))
-	_ = st.ForEach(nviews, func(mask int) error {
+	st := opt.stage(ctx, "cube.rolap_naive", len(in.Rows))
+	acct := newAccountant(ctx)
+	defer acct.close()
+	err := st.ForEach(nviews, func(mask int) error {
 		dims := maskDims(mask, n)
 		m := map[uint64]float64{}
+		tick := budget.NewTicker(ctx, 0)
 		for ri, row := range in.Rows {
+			if err := tick.Tick(); err != nil {
+				return err
+			}
 			m[groupKey(row, dims, in.Card)] += in.Vals[ri]
+		}
+		if err := acct.chargeView(len(m), rolapEntryBytes); err != nil {
+			return err
 		}
 		out.ByMask[mask] = m
 		return nil
 	})
+	if err != nil {
+		recordBuildAbort(err)
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -208,18 +290,26 @@ func BuildROLAPNaiveWith(in *Input, opt Options) (*Views, error) {
 // lattice base-first. Aggregating from a (usually much smaller) parent is
 // the standard relational cube optimization.
 func BuildROLAPSmallestParent(in *Input) (*Views, error) {
-	return BuildROLAPSmallestParentWith(in, Options{})
+	return BuildROLAPSmallestParentCtx(context.Background(), in, Options{})
 }
 
 // BuildROLAPSmallestParentWith is BuildROLAPSmallestParent with explicit
-// build options. The base group-by runs as a deterministic grouped
+// build options.
+func BuildROLAPSmallestParentWith(in *Input, opt Options) (*Views, error) {
+	return BuildROLAPSmallestParentCtx(context.Background(), in, opt)
+}
+
+// BuildROLAPSmallestParentCtx is BuildROLAPSmallestParent with a context
+// and build options. The base group-by runs as a deterministic grouped
 // reduction over the rows; the lattice walk then proceeds one popcount
 // level at a time, computing every view of a level concurrently. Parent
 // choices for a level are resolved sequentially before the fan-out — views
 // of equal popcount can never derive from each other, so the choices match
 // the sequential walk exactly and the concurrent tasks only read finished
-// parent views.
-func BuildROLAPSmallestParentWith(in *Input, opt Options) (*Views, error) {
+// parent views. Cancellation is checked between levels and between row
+// segments, bounding latency; a governor on ctx is charged one map-entry
+// reservation per finished view.
+func BuildROLAPSmallestParentCtx(ctx context.Context, in *Input, opt Options) (*Views, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -227,8 +317,19 @@ func BuildROLAPSmallestParentWith(in *Input, opt Options) (*Views, error) {
 	nviews := 1 << uint(n)
 	out := &Views{Card: append([]int(nil), in.Card...), ByMask: make([]map[uint64]float64, nviews)}
 	base := nviews - 1
-	st := opt.stage("cube.rolap_sp", len(in.Rows))
-	out.ByMask[base] = baseGroupBy(in, maskDims(base, n), st)
+	st := opt.stage(ctx, "cube.rolap_sp", len(in.Rows))
+	acct := newAccountant(ctx)
+	defer acct.close()
+	bm, err := baseGroupBy(ctx, in, maskDims(base, n), st)
+	if err != nil {
+		recordBuildAbort(err)
+		return nil, err
+	}
+	if err := acct.chargeView(len(bm), rolapEntryBytes); err != nil {
+		recordBuildAbort(err)
+		return nil, err
+	}
+	out.ByMask[base] = bm
 	// Process masks in descending popcount so parents exist.
 	order := make([]int, 0, nviews-1)
 	for mask := 0; mask < nviews; mask++ {
@@ -238,6 +339,10 @@ func BuildROLAPSmallestParentWith(in *Input, opt Options) (*Views, error) {
 	}
 	sortByPopcountDesc(order)
 	for lo := 0; lo < len(order); {
+		if err := budget.Check(ctx); err != nil {
+			recordBuildAbort(err)
+			return nil, err
+		}
 		hi := lo
 		pc := bits.OnesCount(uint(order[lo]))
 		for hi < len(order) && bits.OnesCount(uint(order[hi])) == pc {
@@ -248,10 +353,18 @@ func BuildROLAPSmallestParentWith(in *Input, opt Options) (*Views, error) {
 		for i, mask := range level {
 			parents[i] = smallestComputedParent(mask, out)
 		}
-		_ = st.ForEach(len(level), func(i int) error {
-			out.ByMask[level[i]] = aggregateFromParent(out, parents[i], level[i], n)
+		err := st.ForEach(len(level), func(i int) error {
+			m := aggregateFromParent(out, parents[i], level[i], n)
+			if err := acct.chargeView(len(m), rolapEntryBytes); err != nil {
+				return err
+			}
+			out.ByMask[level[i]] = m
 			return nil
 		})
+		if err != nil {
+			recordBuildAbort(err)
+			return nil, err
+		}
 		lo = hi
 	}
 	return out, nil
@@ -260,8 +373,10 @@ func BuildROLAPSmallestParentWith(in *Input, opt Options) (*Views, error) {
 // baseGroupBy aggregates the base view from the raw rows. The parallel
 // path routes rows to per-worker partial maps by key ownership; each key
 // is summed by exactly one worker in row order, so unioning the disjoint
-// partials reproduces the sequential map byte for byte.
-func baseGroupBy(in *Input, dims []int, st parallel.Stage) map[uint64]float64 {
+// partials reproduces the sequential map byte for byte. A canceled context
+// aborts the grouped reduction between row segments and surfaces here as
+// budget.ErrCanceled — partial maps are discarded, never merged.
+func baseGroupBy(ctx context.Context, in *Input, dims []int, st parallel.Stage) (map[uint64]float64, error) {
 	w := parallel.Workers(st.Workers, len(in.Rows))
 	if w > 1 {
 		parts := make([]map[uint64]float64, w)
@@ -282,14 +397,21 @@ func baseGroupBy(in *Input, dims []int, st parallel.Stage) map[uint64]float64 {
 					m[k] = v
 				}
 			}
-			return m
+			return m, nil
 		}
+		// GroupReduce declined (single worker after all) or aborted on a
+		// canceled context; the ticker below returns the typed error in
+		// the latter case before any sequential work happens.
 	}
 	m := map[uint64]float64{}
+	tick := budget.NewTicker(ctx, 0)
 	for ri, row := range in.Rows {
+		if err := tick.Tick(); err != nil {
+			return nil, err
+		}
 		m[groupKey(row, dims, in.Card)] += in.Vals[ri]
 	}
-	return m
+	return m, nil
 }
 
 // sortByPopcountDesc orders masks so larger (finer) views come first.

@@ -1,8 +1,11 @@
 package cube
 
 import (
+	"context"
 	"fmt"
 	"sort"
+
+	"statcube/internal/budget"
 )
 
 // MaterializedSet is a set of actually-computed views with the lattice's
@@ -20,6 +23,15 @@ type MaterializedSet struct {
 // Materialize computes the base cuboid plus the requested view masks from
 // the input.
 func Materialize(in *Input, masks []int) (*MaterializedSet, error) {
+	return MaterializeCtx(context.Background(), in, masks)
+}
+
+// MaterializeCtx is Materialize with a context: cancellation is checked
+// between the base scan's row segments and between views, and a governor
+// on ctx is charged per materialized view. On any failure the set under
+// construction is discarded whole — callers never see (or register) a
+// partially-materialized set.
+func MaterializeCtx(ctx context.Context, in *Input, masks []int) (*MaterializedSet, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -30,10 +42,21 @@ func Materialize(in *Input, masks []int) (*MaterializedSet, error) {
 		views: map[int]map[uint64]float64{},
 		base:  base,
 	}
+	acct := newAccountant(ctx)
+	defer acct.close()
 	baseDims := maskDims(base, n)
 	bm := map[uint64]float64{}
+	tick := budget.NewTicker(ctx, 0)
 	for ri, row := range in.Rows {
+		if err := tick.Tick(); err != nil {
+			recordBuildAbort(err)
+			return nil, err
+		}
 		bm[groupKey(row, baseDims, in.Card)] += in.Vals[ri]
+	}
+	if err := acct.chargeView(len(bm), rolapEntryBytes); err != nil {
+		recordBuildAbort(err)
+		return nil, err
 	}
 	m.views[base] = bm
 	// Compute requested views from their smallest already-computed parent,
@@ -41,6 +64,10 @@ func Materialize(in *Input, masks []int) (*MaterializedSet, error) {
 	sorted := append([]int(nil), masks...)
 	sort.Slice(sorted, func(a, b int) bool { return PopCount(sorted[a]) > PopCount(sorted[b]) })
 	for _, mask := range sorted {
+		if err := budget.Check(ctx); err != nil {
+			recordBuildAbort(err)
+			return nil, err
+		}
 		if mask < 0 || mask > base {
 			return nil, fmt.Errorf("cube: view mask %d out of range", mask)
 		}
@@ -48,7 +75,12 @@ func Materialize(in *Input, masks []int) (*MaterializedSet, error) {
 			continue
 		}
 		parent := m.smallestParent(mask)
-		m.views[mask] = m.aggregate(parent, mask)
+		view := m.aggregate(parent, mask)
+		if err := acct.chargeView(len(view), rolapEntryBytes); err != nil {
+			recordBuildAbort(err)
+			return nil, err
+		}
+		m.views[mask] = view
 	}
 	return m, nil
 }

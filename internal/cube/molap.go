@@ -1,8 +1,10 @@
 package cube
 
 import (
+	"context"
 	"math/bits"
 
+	"statcube/internal/budget"
 	"statcube/internal/marray"
 	"statcube/internal/parallel"
 )
@@ -17,21 +19,76 @@ import (
 // The dense base array requires ∏ card cells, so this path — like real
 // MOLAP systems — is the right choice when the cube is reasonably dense;
 // its advantage over ROLAP hashing is exactly what the Section 6.6 debate
-// (and the E9 bench) is about.
+// (and the E9 bench) is about. That same density makes it memory-bound:
+// BuildMOLAPCtx reserves the full dense-array estimate up front and
+// downgrades to the smallest-parent ROLAP build when a governor refuses
+// it.
 func BuildMOLAP(in *Input) (*Views, error) {
-	return BuildMOLAPWith(in, Options{})
+	return BuildMOLAPCtx(context.Background(), in, Options{})
 }
 
-// BuildMOLAPWith is BuildMOLAP with explicit build options. The base load
-// runs as a deterministic grouped reduction whose reducers own disjoint
-// index ranges of the dense array; the lattice walk then computes each
-// popcount level's roll-ups concurrently (parents precomputed before the
-// fan-out, exactly as in the ROLAP builder), and the final map conversion
-// fans out one task per view. All three stages are byte-identical to the
-// sequential pass.
+// BuildMOLAPWith is BuildMOLAP with explicit build options.
 func BuildMOLAPWith(in *Input, opt Options) (*Views, error) {
+	return BuildMOLAPCtx(context.Background(), in, opt)
+}
+
+// denseCellBytes is the per-cell footprint of a dense view array: an
+// 8-byte float64 value plus its presence bit (stored as a bool).
+const denseCellBytes = 9
+
+// EstimateMOLAPBytes returns the working memory a full MOLAP build of the
+// given cardinalities needs: every view of the lattice is a dense array of
+// ∏_{d∈mask} card[d] cells, and the sum over all 2^n masks telescopes to
+// ∏ (card[d]+1) cells, each denseCellBytes wide. Returns -1 on overflow —
+// treat as "more than any budget".
+func EstimateMOLAPBytes(card []int) int64 {
+	total := int64(1)
+	for _, c := range card {
+		f := int64(c) + 1
+		if f <= 0 || total > (1<<62)/f {
+			return -1
+		}
+		total *= f
+	}
+	if total > (1<<62)/denseCellBytes {
+		return -1
+	}
+	return total * denseCellBytes
+}
+
+// BuildMOLAPCtx is BuildMOLAP with a context and build options — the
+// budget-governed entry point. Before allocating anything it reserves the
+// dense-array estimate (cells × cell width summed over every view) against
+// the context's governor; if the reservation is refused, the build
+// degrades to BuildROLAPSmallestParentCtx — hash maps sized by the data,
+// not the cross product — and records why: the cube.molap_degraded counter
+// and, when a Span is attached, a "degrade:molap→rolap_sp" child carrying
+// the refusal. Cancellation is checked between lattice levels and row
+// segments; on cancellation the typed budget.ErrCanceled is returned and
+// no Views.
+func BuildMOLAPCtx(ctx context.Context, in *Input, opt Options) (*Views, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
+	}
+	acct := newAccountant(ctx)
+	defer acct.close()
+	est := EstimateMOLAPBytes(in.Card)
+	if est < 0 {
+		est = 1 << 62 // overflow: force the reservation to decide
+	}
+	if acct.gov != nil {
+		if err := acct.reserve(est); err != nil {
+			// Degradation ladder: dense arrays refused → smallest-parent
+			// ROLAP, whose maps grow with the data instead of the cross
+			// product. The reason is recorded on the span so EXPLAIN
+			// ANALYZE shows the downgrade, and in the metrics registry.
+			recordDegrade()
+			d := opt.Span.Child("degrade:molap→rolap_sp")
+			d.SetStr("reason", err.Error())
+			d.AddInt("estimated_bytes", est)
+			d.End()
+			return BuildROLAPSmallestParentCtx(ctx, in, opt)
+		}
 	}
 	n := len(in.Card)
 	nviews := 1 << uint(n)
@@ -39,8 +96,11 @@ func BuildMOLAPWith(in *Input, opt Options) (*Views, error) {
 	arrays := make([]*dense, nviews)
 	base := nviews - 1
 	arrays[base] = newDenseView(in.Card, base)
-	st := opt.stage("cube.molap", len(in.Rows))
-	loadDense(in, arrays[base], st)
+	st := opt.stage(ctx, "cube.molap", len(in.Rows))
+	if err := loadDense(ctx, in, arrays[base], st); err != nil {
+		recordBuildAbort(err)
+		return nil, err
+	}
 	order := make([]int, 0, nviews-1)
 	for mask := 0; mask < nviews; mask++ {
 		if mask != base {
@@ -49,6 +109,10 @@ func BuildMOLAPWith(in *Input, opt Options) (*Views, error) {
 	}
 	sortByPopcountDesc(order)
 	for lo := 0; lo < len(order); {
+		if err := budget.Check(ctx); err != nil {
+			recordBuildAbort(err)
+			return nil, err
+		}
 		hi := lo
 		pc := bits.OnesCount(uint(order[lo]))
 		for hi < len(order) && bits.OnesCount(uint(order[hi])) == pc {
@@ -59,25 +123,42 @@ func BuildMOLAPWith(in *Input, opt Options) (*Views, error) {
 		for i, mask := range level {
 			parents[i] = smallestDenseParent(mask, arrays)
 		}
-		_ = st.ForEach(len(level), func(i int) error {
+		err := st.ForEach(len(level), func(i int) error {
 			arrays[level[i]] = arrays[parents[i]].rollup(level[i])
 			return nil
 		})
+		if err != nil {
+			recordBuildAbort(err)
+			return nil, err
+		}
 		lo = hi
 	}
-	// Convert to Views for comparison.
+	// Convert to Views for comparison; the map form is charged per view
+	// against the cell quota (the dense bytes are already reserved).
 	out := &Views{Card: append([]int(nil), in.Card...), ByMask: make([]map[uint64]float64, nviews)}
-	_ = st.ForEach(nviews, func(mask int) error {
-		out.ByMask[mask] = arrays[mask].toMap()
+	err := st.ForEach(nviews, func(mask int) error {
+		m := arrays[mask].toMap()
+		if acct.gov != nil {
+			if err := acct.gov.AddCells(int64(len(m))); err != nil {
+				return err
+			}
+		}
+		out.ByMask[mask] = m
 		return nil
 	})
+	if err != nil {
+		recordBuildAbort(err)
+		return nil, err
+	}
 	return out, nil
 }
 
 // loadDense folds the rows into the base array. The parallel path owns the
 // array by contiguous index range, so each cell is written by exactly one
-// reducer, in row order — no locks, and bit-identical sums.
-func loadDense(in *Input, a *dense, st parallel.Stage) {
+// reducer, in row order — no locks, and bit-identical sums. Cancellation
+// aborts between row segments; the partially-loaded array is discarded by
+// the caller.
+func loadDense(ctx context.Context, in *Input, a *dense, st parallel.Stage) error {
 	w := parallel.Workers(st.Workers, len(in.Rows))
 	if w > 1 {
 		ran := st.GroupReduce(len(in.Rows), parallel.RangeOwner(w, uint64(len(a.vals))),
@@ -94,12 +175,20 @@ func loadDense(in *Input, a *dense, st parallel.Stage) {
 				a.present[key] = true
 			})
 		if ran {
-			return
+			return nil
 		}
+		// Aborted mid-reduction on a canceled context: the array holds
+		// partial sums, so the sequential retry below must not run — the
+		// ticker's first poll returns the typed error instead.
 	}
+	tick := budget.NewTicker(ctx, 0)
 	for ri, row := range in.Rows {
+		if err := tick.Tick(); err != nil {
+			return err
+		}
 		a.add(row, in.Vals[ri])
 	}
+	return nil
 }
 
 // dense is a view-local dense array: vals indexed by the row-major

@@ -1,6 +1,11 @@
 package cube
 
-import "statcube/internal/obs"
+import (
+	"errors"
+
+	"statcube/internal/budget"
+	"statcube/internal/obs"
+)
 
 // View-selection and view-answering instrumentation:
 //
@@ -15,6 +20,38 @@ var (
 	cellsScanned = obs.Default().Counter("cube.cells_scanned")
 	greedyRuns   = obs.Default().Counter("cube.greedy_runs")
 )
+
+// Resource-governance instrumentation:
+//
+//	cube.builds_canceled   builds abandoned on a canceled context/deadline
+//	cube.builds_denied     builds refused by a budget quota
+//	cube.molap_degraded    MOLAP builds downgraded to smallest-parent ROLAP
+var (
+	buildsCanceled = obs.Default().Counter("cube.builds_canceled")
+	buildsDenied   = obs.Default().Counter("cube.builds_denied")
+	molapDegraded  = obs.Default().Counter("cube.molap_degraded")
+)
+
+// recordBuildAbort classifies one failed build into the error taxonomy.
+func recordBuildAbort(err error) {
+	if !obs.On() {
+		return
+	}
+	switch {
+	case budget.IsCanceled(err):
+		buildsCanceled.Inc()
+		budget.RecordCanceled()
+	case errors.Is(err, budget.ErrBudgetExceeded):
+		buildsDenied.Inc()
+	}
+}
+
+// recordDegrade charges one MOLAP→ROLAP downgrade.
+func recordDegrade() {
+	if obs.On() {
+		molapDegraded.Inc()
+	}
+}
 
 // recordAnswer charges one Answer call: a hit costs nothing, a miss charges
 // the rows aggregated from the smallest materialized ancestor.

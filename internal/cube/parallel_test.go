@@ -1,6 +1,7 @@
 package cube
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"runtime"
@@ -121,11 +122,11 @@ func TestSequentialBuildIsStable(t *testing.T) {
 // test override, a small input must not fan out.
 func TestSmallInputStaysSequential(t *testing.T) {
 	in := fuzzyInput([]int{3, 3}, 50, 1)
-	st := Options{Workers: 8}.stage("test", len(in.Rows))
+	st := Options{Workers: 8}.stage(context.Background(), "test", len(in.Rows))
 	if st.Workers != 1 {
 		t.Fatalf("stage below threshold got %d workers, want 1", st.Workers)
 	}
-	big := Options{Workers: 8}.stage("test", parMinRows)
+	big := Options{Workers: 8}.stage(context.Background(), "test", parMinRows)
 	if big.Workers != 8 {
 		t.Fatalf("stage at threshold got %d workers, want 8", big.Workers)
 	}

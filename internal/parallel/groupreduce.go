@@ -3,6 +3,9 @@ package parallel
 import (
 	"math"
 	"sync"
+	"sync/atomic"
+
+	"statcube/internal/budget"
 )
 
 // pair routes one emission to its owning reducer: the key, the item that
@@ -61,10 +64,14 @@ func RangeOwner(workers int, size uint64) func(uint64) int {
 //
 // emit runs concurrently across chunks but serially within one chunk;
 // reduce runs concurrently across owners but serially within one owner.
-// GroupReduce reports whether the parallel path ran: false means the
-// stage resolved to a single worker (or n exceeds the int32 routing
-// capacity) and the caller should run its plain sequential loop, which
-// avoids the routing buffers entirely.
+// GroupReduce reports whether the parallel path ran to completion: false
+// means the stage resolved to a single worker (or n exceeds the int32
+// routing capacity), or the stage context was canceled mid-reduction. In
+// both cases the caller should run its plain sequential loop — a canceled
+// context makes that loop fail fast on its own context check, so partial
+// reductions written by an aborted parallel pass are never returned as
+// results. Workers poll the context between items, bounding cancellation
+// latency, and every goroutine drains before GroupReduce returns.
 func (s Stage) GroupReduce(
 	n int,
 	ownerOf func(key uint64) int,
@@ -77,6 +84,7 @@ func (s Stage) GroupReduce(
 	}
 	sp := s.Begin(true, n, w)
 	defer sp.End()
+	var aborted atomic.Bool
 	// bufs[chunk][owner] holds the pairs chunk routed to owner; each inner
 	// slice is written by one chunk goroutine and read by one owner
 	// goroutine, strictly after the phase barrier.
@@ -93,7 +101,12 @@ func (s Stage) GroupReduce(
 				hi = n
 			}
 			route := bufs[c]
+			tick := budget.NewTicker(s.Ctx, 0)
 			for i := lo; i < hi; i++ {
+				if tick.Tick() != nil || aborted.Load() {
+					aborted.Store(true)
+					return
+				}
 				sub := int32(0)
 				emit(c, i, func(key uint64) {
 					o := ownerOf(key)
@@ -104,17 +117,30 @@ func (s Stage) GroupReduce(
 		}(c)
 	}
 	wg.Wait()
+	if aborted.Load() {
+		sp.SetErr(budget.Check(s.Ctx))
+		return false
+	}
 	for o := 0; o < w; o++ {
 		wg.Add(1)
 		go func(o int) {
 			defer wg.Done()
+			tick := budget.NewTicker(s.Ctx, 0)
 			for c := 0; c < w; c++ {
 				for _, p := range bufs[c][o] {
+					if tick.Tick() != nil || aborted.Load() {
+						aborted.Store(true)
+						return
+					}
 					reduce(o, p.key, int(p.item), int(p.sub))
 				}
 			}
 		}(o)
 	}
 	wg.Wait()
+	if aborted.Load() {
+		sp.SetErr(budget.Check(s.Ctx))
+		return false
+	}
 	return true
 }

@@ -11,14 +11,21 @@
 //   - every stage is observable through internal/obs (stage counters, a
 //     pool queue-depth gauge, per-stage worker-count gauges) and, when a
 //     span is attached, renders as a parallel:/sequential: child in
-//     EXPLAIN ANALYZE output.
+//     EXPLAIN ANALYZE output;
+//   - every stage honors context cancellation and deadlines: a stage with
+//     a Ctx attached checks it between tasks (sequential and parallel
+//     paths alike), so cancellation latency is bounded by one task, the
+//     pool drains its goroutines, and the caller gets the typed
+//     budget.ErrCanceled instead of partial output.
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"statcube/internal/budget"
 	"statcube/internal/obs"
 )
 
@@ -46,11 +53,14 @@ func Workers(limit, tasks int) int {
 
 // Stage is one named fan-out point. Workers caps the fan-out (0 means
 // GOMAXPROCS); Span, when non-nil, receives a parallel:/sequential: child
-// annotated with the task and worker counts.
+// annotated with the task and worker counts; Ctx, when non-nil, is checked
+// between tasks so a canceled or deadline-expired context stops the stage
+// with budget.ErrCanceled before the next task starts.
 type Stage struct {
 	Name    string
 	Workers int
 	Span    *obs.Span
+	Ctx     context.Context
 }
 
 // Stage metrics: how many stages ran parallel vs sequential, total tasks
@@ -101,6 +111,11 @@ func (s Stage) Begin(par bool, tasks, workers int) *obs.Span {
 // ran — is returned, and any error stops workers from claiming further
 // tasks: in-flight tasks finish, queued ones never start.
 //
+// A canceled stage context counts as an error on the task about to be
+// claimed, so cancellation propagates exactly like a task failure: queued
+// tasks never start, every worker drains, and the returned error matches
+// budget.ErrCanceled.
+//
 // A stage whose tasks write disjoint outputs (distinct slice elements,
 // per-task maps) therefore produces identical results on the sequential
 // and parallel paths.
@@ -113,6 +128,10 @@ func (s Stage) ForEach(n int, fn func(task int) error) error {
 		sp := s.Begin(false, n, 1)
 		defer sp.End()
 		for i := 0; i < n; i++ {
+			if err := budget.Check(s.Ctx); err != nil {
+				sp.SetErr(err)
+				return err
+			}
 			if err := fn(i); err != nil {
 				sp.SetErr(err)
 				return err
@@ -130,6 +149,14 @@ func (s Stage) ForEach(n int, fn func(task int) error) error {
 		firstErr error
 		wg       sync.WaitGroup
 	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if firstIdx < 0 || i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
 	enabled := obs.On()
 	for k := 0; k < w; k++ {
 		wg.Add(1)
@@ -140,16 +167,15 @@ func (s Stage) ForEach(n int, fn func(task int) error) error {
 				if i >= n {
 					return
 				}
+				if err := budget.Check(s.Ctx); err != nil {
+					record(i, err)
+					return
+				}
 				if enabled {
 					queueDepth.Set(float64(n - 1 - i))
 				}
 				if err := fn(i); err != nil {
-					mu.Lock()
-					if firstIdx < 0 || i < firstIdx {
-						firstIdx, firstErr = i, err
-					}
-					mu.Unlock()
-					stop.Store(true)
+					record(i, err)
 				}
 			}
 		}()

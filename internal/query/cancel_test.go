@@ -1,0 +1,104 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"statcube/internal/budget"
+	"statcube/internal/obs"
+)
+
+// TestRunCtxPreCanceled: a done context aborts evaluation with the typed
+// taxonomy before any operator runs.
+func TestRunCtxPreCanceled(t *testing.T) {
+	o := incomeObject(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCtx(ctx, o, "SHOW average income BY year"); !budget.IsCanceled(err) {
+		t.Errorf("RunCtx: %v is not ErrCanceled", err)
+	}
+	if _, err := RunScalarCtx(ctx, o, "SHOW average income WHERE year = 1980 AND professional class = engineer"); !budget.IsCanceled(err) {
+		t.Errorf("RunScalarCtx: %v is not ErrCanceled", err)
+	}
+}
+
+// TestRunCtxCancellationCause: cancellation with a cause must surface it
+// through the error chain.
+func TestRunCtxCancellationCause(t *testing.T) {
+	o := incomeObject(t)
+	shed := errors.New("shedding load")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(shed)
+	_, err := RunCtx(ctx, o, "SHOW average income BY year")
+	if !budget.IsCanceled(err) {
+		t.Fatalf("%v is not ErrCanceled", err)
+	}
+	if !strings.Contains(err.Error(), "shedding load") {
+		t.Errorf("cause lost from error: %v", err)
+	}
+}
+
+// TestRunExplainCtxRecordsCancellation: a canceled EXPLAIN ANALYZE must
+// return the span tree anyway, with the root carrying the cancellation
+// cause — execution's last visible state plus why it stopped.
+func TestRunExplainCtxRecordsCancellation(t *testing.T) {
+	o := incomeObject(t)
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(errors.New("operator requested stop"))
+	res, span, err := RunExplainCtx(ctx, o, "SHOW average income BY year")
+	if err == nil || res != nil {
+		t.Fatalf("res=%v err=%v from canceled context", res, err)
+	}
+	if span == nil {
+		t.Fatal("no span returned on cancellation")
+	}
+	rendered := span.Render(obs.RenderOptions{})
+	if !strings.Contains(rendered, "canceled") {
+		t.Errorf("span tree does not record the cancellation:\n%s", rendered)
+	}
+	if !strings.Contains(rendered, "operator requested stop") {
+		t.Errorf("span tree does not carry the cause:\n%s", rendered)
+	}
+}
+
+// TestRunCtxBudget: a cell quota on the context bounds what a query may
+// produce, and the denial keeps the budget taxonomy.
+func TestRunCtxBudget(t *testing.T) {
+	o := incomeObject(t)
+	gov := budget.NewGovernor(budget.Limits{MaxCells: 1})
+	ctx := budget.WithGovernor(context.Background(), gov)
+	_, err := RunCtx(ctx, o, "SHOW average income BY year")
+	if !errors.Is(err, budget.ErrBudgetExceeded) {
+		t.Errorf("quota not enforced: %v", err)
+	}
+	if budget.IsCanceled(err) {
+		t.Errorf("budget denial misclassified as cancellation: %v", err)
+	}
+	// The same query under a generous budget succeeds and is charged.
+	gov2 := budget.NewGovernor(budget.Limits{MaxCells: 1 << 20, MaxBytes: 1 << 30})
+	ctx2 := budget.WithGovernor(context.Background(), gov2)
+	if _, err := RunCtx(ctx2, o, "SHOW average income BY year"); err != nil {
+		t.Fatalf("governed query failed: %v", err)
+	}
+	if gov2.CellsUsed() == 0 {
+		t.Error("governor was never charged")
+	}
+}
+
+// TestCanceledQueriesCounted: an abandoned query bumps
+// engine.queries_canceled exactly once.
+func TestCanceledQueriesCounted(t *testing.T) {
+	o := incomeObject(t)
+	before := obs.Default().Snapshot().Counters["engine.queries_canceled"]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCtx(ctx, o, "SHOW average income BY year"); err == nil {
+		t.Fatal("expected cancellation")
+	}
+	after := obs.Default().Snapshot().Counters["engine.queries_canceled"]
+	if after != before+1 {
+		t.Errorf("engine.queries_canceled went %d -> %d, want +1", before, after)
+	}
+}

@@ -1,11 +1,13 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"time"
 
+	"statcube/internal/budget"
 	"statcube/internal/core"
 	"statcube/internal/obs"
 )
@@ -74,12 +76,20 @@ func resolveName(o *core.StatObject, name string) (resolved, error) {
 // result as a derived statistical object (its dimensions are the BY and
 // WHERE names).
 func Eval(o *core.StatObject, q *Query) (*core.StatObject, error) {
-	return evalSpan(o, q, nil)
+	return EvalWithSpan(context.Background(), o, q, nil)
 }
 
-// evalSpan is Eval with tracing: resolution, automatic aggregation and
-// WHERE-collapse each open a child span on sp (nil disables tracing).
-func evalSpan(o *core.StatObject, q *Query, sp *obs.Span) (*core.StatObject, error) {
+// EvalCtx is Eval with a context: cancellation and deadlines are honored
+// between operators and between cell segments inside them, surfacing as
+// the typed budget.ErrCanceled; a budget.Governor attached to ctx caps the
+// memory and cells the evaluation may consume.
+func EvalCtx(ctx context.Context, o *core.StatObject, q *Query) (*core.StatObject, error) {
+	return EvalWithSpan(ctx, o, q, nil)
+}
+
+// EvalWithSpan is EvalCtx with tracing: resolution, automatic aggregation
+// and WHERE-collapse each open a child span on sp (nil disables tracing).
+func EvalWithSpan(ctx context.Context, o *core.StatObject, q *Query, sp *obs.Span) (*core.StatObject, error) {
 	if _, err := o.Measure(q.Measure); err != nil {
 		return nil, err
 	}
@@ -128,7 +138,7 @@ func evalSpan(o *core.StatObject, q *Query, sp *obs.Span) (*core.StatObject, err
 	}
 	rs.End()
 	aa := sp.Child("auto-aggregate")
-	res, err := o.AutoAggregateSpan(auto, aa)
+	res, err := o.AutoAggregateCtx(ctx, auto, aa)
 	aa.SetErr(err)
 	aa.End()
 	if err != nil {
@@ -150,13 +160,16 @@ func evalSpan(o *core.StatObject, q *Query, sp *obs.Span) (*core.StatObject, err
 		if res.Schema().NumDims() <= 1 {
 			break
 		}
+		if err := budget.Check(ctx); err != nil {
+			return nil, err
+		}
 		vals := whereOnly[dim]
 		cs := sp.Child("collapse:" + dim)
 		cs.AddInt("cells_scanned", int64(res.Cells()))
 		if len(vals) == 1 {
 			res, err = res.Slice(dim, vals[0])
 		} else {
-			res, err = res.SProjectSpan(cs, dim)
+			res, err = res.SProjectCtx(ctx, cs, dim)
 		}
 		if err != nil {
 			cs.SetErr(err)
@@ -171,13 +184,19 @@ func evalSpan(o *core.StatObject, q *Query, sp *obs.Span) (*core.StatObject, err
 
 // Run parses and evaluates in one step.
 func Run(o *core.StatObject, input string) (*core.StatObject, error) {
+	return RunCtx(context.Background(), o, input)
+}
+
+// RunCtx is Run with a context: parse, then evaluate under ctx's
+// cancellation, deadline and resource budget.
+func RunCtx(ctx context.Context, o *core.StatObject, input string) (*core.StatObject, error) {
 	start := time.Now()
 	q, err := Parse(input)
 	if err != nil {
 		recordQuery(start, err)
 		return nil, err
 	}
-	res, err := Eval(o, q)
+	res, err := EvalCtx(ctx, o, q)
 	recordQuery(start, err)
 	return res, err
 }
@@ -185,6 +204,11 @@ func Run(o *core.StatObject, input string) (*core.StatObject, error) {
 // RunScalar parses, evaluates, and reduces to one number, for queries
 // whose conditions select single values (the Figure 13 case).
 func RunScalar(o *core.StatObject, input string) (float64, error) {
+	return RunScalarCtx(context.Background(), o, input)
+}
+
+// RunScalarCtx is RunScalar with a context (see RunCtx).
+func RunScalarCtx(ctx context.Context, o *core.StatObject, input string) (float64, error) {
 	start := time.Now()
 	q, err := Parse(input)
 	if err != nil {
@@ -196,7 +220,7 @@ func RunScalar(o *core.StatObject, input string) (float64, error) {
 		recordQuery(start, err)
 		return 0, err
 	}
-	res, err := Eval(o, q)
+	res, err := EvalCtx(ctx, o, q)
 	if err != nil {
 		recordQuery(start, err)
 		return 0, err

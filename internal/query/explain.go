@@ -1,8 +1,10 @@
 package query
 
 import (
+	"context"
 	"time"
 
+	"statcube/internal/budget"
 	"statcube/internal/core"
 	"statcube/internal/obs"
 )
@@ -17,6 +19,16 @@ import (
 // The span is always returned, even on error (the failing step carries the
 // error message), so callers can show how far execution got.
 func RunExplain(o *core.StatObject, input string) (*core.StatObject, *obs.Span, error) {
+	return RunExplainCtx(context.Background(), o, input)
+}
+
+// RunExplainCtx is RunExplain under a context: cancellation, deadlines and
+// resource budgets are honored as in RunCtx. When the query is cut short —
+// canceled, timed out, or over budget — the root span records why in a
+// "canceled" attribute (the context's cause when there is one), so the
+// EXPLAIN ANALYZE tree shows both where execution stopped and what stopped
+// it.
+func RunExplainCtx(ctx context.Context, o *core.StatObject, input string) (*core.StatObject, *obs.Span, error) {
 	start := time.Now()
 	root := obs.NewSpan("query")
 	root.SetStr("text", input)
@@ -29,7 +41,14 @@ func RunExplain(o *core.StatObject, input string) (*core.StatObject, *obs.Span, 
 		recordQuery(start, err)
 		return nil, root, err
 	}
-	res, err := evalSpan(o, q, root)
+	res, err := EvalWithSpan(ctx, o, q, root)
+	if err != nil && budget.IsCanceled(err) {
+		cause := context.Cause(ctx)
+		if cause == nil {
+			cause = err
+		}
+		root.SetStr("canceled", cause.Error())
+	}
 	root.SetErr(err)
 	root.End()
 	recordQuery(start, err)

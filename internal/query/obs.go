@@ -3,6 +3,7 @@ package query
 import (
 	"time"
 
+	"statcube/internal/budget"
 	"statcube/internal/obs"
 )
 
@@ -11,6 +12,10 @@ import (
 //	query.queries      queries started
 //	query.errors       queries that returned an error (parse, resolve, eval)
 //	query.latency_ns   end-to-end latency histogram (ns)
+//
+// A canceled or timed-out query additionally bumps the engine-wide
+// engine.queries_canceled counter (owned by the budget package), once per
+// abandoned query.
 var (
 	qCount   = obs.Default().Counter("query.queries")
 	qErrors  = obs.Default().Counter("query.errors")
@@ -25,6 +30,9 @@ func recordQuery(start time.Time, err error) {
 	qCount.Inc()
 	if err != nil {
 		qErrors.Inc()
+		if budget.IsCanceled(err) {
+			budget.RecordCanceled()
+		}
 	}
 	qLatency.Observe(float64(time.Since(start).Nanoseconds()))
 }

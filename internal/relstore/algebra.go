@@ -1,9 +1,11 @@
 package relstore
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"statcube/internal/budget"
 	"statcube/internal/obs"
 	"statcube/internal/parallel"
 )
@@ -29,25 +31,41 @@ var (
 // pred must therefore be safe for concurrent calls; the pure predicates
 // used throughout (column comparisons, set membership) all qualify.
 func (r *Relation) Select(pred func(Row) bool) *Relation {
+	out, _ := r.SelectCtx(context.Background(), pred)
+	return out
+}
+
+// SelectCtx is Select under a context: the scan polls ctx between row
+// segments (sequential path) or aborts between fan-out segments (parallel
+// path), returning the typed budget.ErrCanceled and no relation.
+func (r *Relation) SelectCtx(ctx context.Context, pred func(Row) bool) (*Relation, error) {
 	out := MustNewRelation(r.name, r.cols...)
 	n := len(r.rows)
 	w := parallel.Workers(parWorkers, n)
 	if w <= 1 || n < parMinRows {
+		tick := budget.NewTicker(ctx, 0)
+		var tickErr error
 		r.Scan(func(row Row) bool {
+			if tickErr = tick.Tick(); tickErr != nil {
+				return false
+			}
 			if pred(row) {
 				out.rows = append(out.rows, row)
 			}
 			return true
 		})
-		return out
+		if tickErr != nil {
+			return nil, tickErr
+		}
+		return out, nil
 	}
 	type seg struct {
 		rows    []Row
 		scanned int64
 	}
 	per := (n + w - 1) / w
-	st := parallel.Stage{Name: "relstore.select", Workers: w}
-	parts, _ := parallel.Map(st, (n+per-1)/per, func(s int) (seg, error) {
+	st := parallel.Stage{Name: "relstore.select", Workers: w, Ctx: ctx}
+	parts, err := parallel.Map(st, (n+per-1)/per, func(s int) (seg, error) {
 		lo, hi := s*per, (s+1)*per
 		if hi > n {
 			hi = n
@@ -64,6 +82,9 @@ func (r *Relation) Select(pred func(Row) bool) *Relation {
 		}
 		return sg, nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	for _, sg := range parts {
 		r.scanned += sg.scanned
 		out.rows = append(out.rows, sg.rows...)
@@ -71,7 +92,7 @@ func (r *Relation) Select(pred func(Row) bool) *Relation {
 	if obs.On() {
 		rowsScanned.Add(int64(n))
 	}
-	return out
+	return out, nil
 }
 
 // SelectEq selects rows whose column equals the value.

@@ -1,0 +1,76 @@
+package relstore
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"statcube/internal/budget"
+)
+
+func cancelRelation(t *testing.T, rows int) *Relation {
+	t.Helper()
+	r := MustNewRelation("facts",
+		Column{Name: "k", Kind: KString},
+		Column{Name: "v", Kind: KFloat},
+	)
+	for i := 0; i < rows; i++ {
+		if err := r.Append(Row{S(fmt.Sprintf("k-%d", i%13)), F(float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+// TestSelectCtxPreCanceled: a done context aborts SelectCtx on both the
+// sequential and the forced-parallel path with the typed taxonomy.
+func TestSelectCtxPreCanceled(t *testing.T) {
+	r := cancelRelation(t, 20000)
+	pred := func(row Row) bool { return row[0].Str() == "k-3" }
+
+	for _, tc := range []struct {
+		name    string
+		minRows int
+		workers int
+	}{
+		{"sequential", 1 << 30, 1},
+		{"parallel", 0, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			oldMin, oldW := parMinRows, parWorkers
+			parMinRows, parWorkers = tc.minRows, tc.workers
+			t.Cleanup(func() { parMinRows, parWorkers = oldMin, oldW })
+
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			out, err := r.SelectCtx(ctx, pred)
+			if err == nil || out != nil {
+				t.Fatalf("SelectCtx: out=%v err=%v from canceled context", out, err)
+			}
+			if !budget.IsCanceled(err) {
+				t.Errorf("SelectCtx: %v is not ErrCanceled", err)
+			}
+		})
+	}
+}
+
+// TestSelectCtxMatchesPlain: with a live context SelectCtx must agree with
+// the plain Select on both execution paths.
+func TestSelectCtxMatchesPlain(t *testing.T) {
+	r := cancelRelation(t, 20000)
+	pred := func(row Row) bool { return row[0].Str() == "k-3" }
+	want := r.Select(pred)
+
+	for _, workers := range []int{1, 4} {
+		oldMin, oldW := parMinRows, parWorkers
+		parMinRows, parWorkers = 0, workers
+		got, err := r.SelectCtx(context.Background(), pred)
+		parMinRows, parWorkers = oldMin, oldW
+		if err != nil {
+			t.Fatalf("w=%d: %v", workers, err)
+		}
+		if got.NumRows() != want.NumRows() {
+			t.Errorf("w=%d: %d rows, want %d", workers, got.NumRows(), want.NumRows())
+		}
+	}
+}

@@ -28,6 +28,9 @@
 package statcube
 
 import (
+	"context"
+
+	"statcube/internal/budget"
 	"statcube/internal/catalog"
 	"statcube/internal/core"
 	"statcube/internal/hierarchy"
@@ -146,8 +149,21 @@ func FlatDimension(name string, values ...Value) Dimension {
 // [BY ...] [WHERE ...]"), returning the result as a statistical object.
 func Query(o *StatObject, q string) (*StatObject, error) { return query.Run(o, q) }
 
+// QueryCtx is Query under a context: cancellation and deadlines abort the
+// evaluation between operators and between cell segments inside them,
+// returning the typed ErrCanceled; a Governor attached with WithGovernor
+// caps the memory and cells the query may consume (ErrBudgetExceeded).
+func QueryCtx(ctx context.Context, o *StatObject, q string) (*StatObject, error) {
+	return query.RunCtx(ctx, o, q)
+}
+
 // QueryScalar evaluates a concise query that reduces to a single number.
 func QueryScalar(o *StatObject, q string) (float64, error) { return query.RunScalar(o, q) }
+
+// QueryScalarCtx is QueryScalar under a context (see QueryCtx).
+func QueryScalarCtx(ctx context.Context, o *StatObject, q string) (float64, error) {
+	return query.RunScalarCtx(ctx, o, q)
+}
 
 // RenderTable draws a statistical object as a 2-D statistical table.
 func RenderTable(o *StatObject, layout Layout2D, opts TableOptions) (string, error) {
@@ -255,6 +271,40 @@ type (
 func QueryExplain(o *StatObject, q string) (*StatObject, *Span, error) {
 	return query.RunExplain(o, q)
 }
+
+// QueryExplainCtx is QueryExplain under a context: when the query is cut
+// short — canceled, timed out, or over budget — the root span carries a
+// "canceled" attribute with the cause, so the trace shows both where
+// execution stopped and why.
+func QueryExplainCtx(ctx context.Context, o *StatObject, q string) (*StatObject, *Span, error) {
+	return query.RunExplainCtx(ctx, o, q)
+}
+
+// Resource governance re-exports: attach a Governor to a context to cap
+// what queries and cube builds evaluated under it may consume. See
+// DESIGN.md "Resource governance".
+type (
+	// Governor meters memory reservations and cell quotas for one query or
+	// workload.
+	Governor = budget.Governor
+	// Limits configures a Governor; zero fields mean unlimited.
+	Limits = budget.Limits
+)
+
+// Governance constructors and sentinel errors.
+var (
+	// NewGovernor creates a governor enforcing the limits.
+	NewGovernor = budget.NewGovernor
+	// WithGovernor attaches a governor to a context; engine entry points
+	// taking that context charge their allocations against it.
+	WithGovernor = budget.WithGovernor
+	// ErrBudgetExceeded reports a refused reservation or quota (errors.Is).
+	ErrBudgetExceeded = budget.ErrBudgetExceeded
+	// ErrCanceled reports an evaluation aborted by context cancellation or
+	// deadline; errors.Is also matches context.Canceled /
+	// context.DeadlineExceeded as appropriate.
+	ErrCanceled = budget.ErrCanceled
+)
 
 // Metrics snapshots the process-wide metrics registry.
 func Metrics() MetricsSnapshot { return obs.Default().Snapshot() }
