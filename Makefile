@@ -1,20 +1,23 @@
 # The CI pipeline's jobs, reproducible locally: `make verify` is the
-# tier-1 gate, `make fuzz-smoke` the fuzz job, `make bench` the
-# bench-regression job. See .github/workflows/ci.yml — each job runs the
-# matching target, so a green local make means a green pipeline.
+# tier-1 gate, `make lint` the lint job, `make fuzz-smoke` the fuzz job,
+# `make bench` the bench-regression job. See .github/workflows/ci.yml —
+# each job runs the matching target, so a green local make means a green
+# pipeline.
 
 GO ?= go
 FUZZTIME ?= 30s
 BENCH_OUT ?= bench_current.ndjson
 
-.PHONY: verify fmt vet build test fuzz-smoke bench bench-baseline
+.PHONY: verify fmt vet build test lint fuzz-smoke bench bench-baseline
 
 # Tier-1 gate: vet, build, race-checked order-shuffled tests.
 verify: vet build test
 
+# The explicit statlint dirs are asserted on top of the repo-wide sweep
+# so the linter's own code can never drift out of the gate.
 fmt:
-	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
-		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	@out="$$(gofmt -l . && gofmt -l cmd/statlint internal/lint)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out" | sort -u; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -24,6 +27,14 @@ build:
 
 test:
 	$(GO) test -race -shuffle=on ./...
+
+# Static analysis: the engine's own invariants (ctx plumbing/polling,
+# goroutines only via internal/parallel, errors.Is over ==, literal
+# unique obs metric names, deterministic internal/ paths), enforced by
+# cmd/statlint on stdlib tooling alone. Non-zero exit on any finding;
+# suppress per line with `//lint:ignore <analyzer> <reason>`.
+lint:
+	$(GO) run ./cmd/statlint ./...
 
 # Fuzz smoke: every Fuzz* target for $(FUZZTIME) each, seeded from the
 # committed corpora under */testdata/fuzz/.

@@ -18,6 +18,7 @@ package main
 import (
 	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -304,7 +305,7 @@ func loadCSV(path, dims, measureSpec string) (*statcube.StatObject, error) {
 	}
 	for {
 		rec, err := rd.Read()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

@@ -1,0 +1,91 @@
+// Command statlint runs the engine's custom static-analysis suite
+// (internal/lint + internal/lint/analyzers) over module packages: six
+// stdlib-only analyzers enforcing the conventions PRs 1–3 introduced —
+// context plumbing and polling, goroutines only through
+// internal/parallel, errors.Is over identity comparison, literal unique
+// obs metric names, and deterministic internal/ counter paths.
+//
+// Usage:
+//
+//	go run ./cmd/statlint ./...              # lint the whole module
+//	go run ./cmd/statlint -json ./internal/cube
+//	go run ./cmd/statlint -only errwrap,ctxpoll ./...
+//	go run ./cmd/statlint -list              # print the rule set
+//
+// Exit status: 0 clean, 1 findings, 2 usage/load/type errors. Findings
+// are suppressed per line with `//lint:ignore <analyzer> <reason>`; see
+// DESIGN.md §"Static analysis" for each rule and the suppression policy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"statcube/internal/lint"
+	"statcube/internal/lint/analyzers"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array instead of file:line:col text")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and their rules, then exit")
+	flag.Parse()
+
+	set := analyzers.All()
+	if *list {
+		for _, a := range set {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		var picked []*lint.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			a := analyzers.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "statlint: unknown analyzer %q (see -list)\n", name)
+				os.Exit(2)
+			}
+			picked = append(picked, a)
+		}
+		set = picked
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader("")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "statlint:", err)
+		os.Exit(2)
+	}
+	res, err := lint.Run(loader, patterns, set)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "statlint:", err)
+		os.Exit(2)
+	}
+	if len(res.TypeErrors) > 0 {
+		for _, e := range res.TypeErrors {
+			fmt.Fprintln(os.Stderr, "statlint: typecheck:", e)
+		}
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, res.Diagnostics); err != nil {
+			fmt.Fprintln(os.Stderr, "statlint:", err)
+			os.Exit(2)
+		}
+	} else if err := lint.WriteText(os.Stdout, res.Diagnostics); err != nil {
+		fmt.Fprintln(os.Stderr, "statlint:", err)
+		os.Exit(2)
+	}
+	if len(res.Diagnostics) > 0 {
+		fmt.Fprintf(os.Stderr, "statlint: %d finding(s)\n", len(res.Diagnostics))
+		os.Exit(1)
+	}
+}

@@ -248,6 +248,7 @@ const DefaultTickEvery = 4096
 // calls, and on the first). Not safe for concurrent use — each worker
 // keeps its own.
 type Ticker struct {
+	//lint:ignore ctxfirst Ticker is a loop-local poll amortizer created and dropped inside one call frame; storing ctx is its whole point
 	ctx   context.Context
 	every int
 	n     int

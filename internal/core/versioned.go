@@ -112,8 +112,13 @@ func (o *StatObject) SAggregateVersioned(dim string, versions *hierarchy.Version
 			return false
 		}
 		ancs, err := vm.cls.Ancestors(0, leafV, vm.li)
-		if err != nil || len(ancs) != 1 {
-			walkErr = fmt.Errorf("core: rollup of %q at period %q: %v", leafV, periodVals[coords[pi]], err)
+		if err != nil {
+			walkErr = fmt.Errorf("core: rollup of %q at period %q: %w", leafV, periodVals[coords[pi]], err)
+			return false
+		}
+		if len(ancs) != 1 {
+			walkErr = fmt.Errorf("core: rollup of %q at period %q: %d ancestors, want 1",
+				leafV, periodVals[coords[pi]], len(ancs))
 			return false
 		}
 		aOrd, err := mergedTrunc.ValueOrdinal(0, ancs[0])

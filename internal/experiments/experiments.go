@@ -84,8 +84,10 @@ func All() []Experiment {
 
 // timeIt runs fn once and returns the wall-clock duration.
 func timeIt(fn func()) time.Duration {
+	//lint:ignore nodeterm duration_ms is machine-dependent by declaration; benchdiff diffs only the deterministic counters
 	start := time.Now()
 	fn()
+	//lint:ignore nodeterm duration_ms is machine-dependent by declaration; benchdiff diffs only the deterministic counters
 	return time.Since(start)
 }
 

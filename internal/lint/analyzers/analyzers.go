@@ -1,0 +1,104 @@
+// Package analyzers holds the engine's rule set for the statlint driver
+// (internal/lint): six analyzers encoding the conventions PRs 1–3
+// introduced and nothing previously enforced. Each analyzer documents
+// its rule in Doc; DESIGN.md §"Static analysis" records the rationale
+// and the suppression policy.
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"statcube/internal/lint"
+)
+
+// All returns a fresh analyzer set. Fresh matters: metricname keeps a
+// cross-package uniqueness ledger in its closure, so a set must not be
+// shared between driver runs.
+func All() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		newCtxpoll(),
+		newCtxfirst(),
+		newNakedgoroutine(),
+		newErrwrap(),
+		newMetricname(),
+		newNodeterm(),
+	}
+}
+
+// ByName returns the analyzer with the given name from a fresh set, or
+// nil when unknown.
+func ByName(name string) *lint.Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// errorType is the universe error interface, for Implements checks.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t implements error (so sentinel values,
+// wrapped errors and concrete error types all count).
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorType)
+}
+
+// isUntypedNil reports whether the expression is the predeclared nil.
+func isUntypedNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (package function or method), or nil for builtins, conversions and
+// calls of function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isMethod reports whether f has a receiver.
+func isMethod(f *types.Func) bool {
+	return f.Type().(*types.Signature).Recv() != nil
+}
+
+// calleeFromPkg reports whether the call invokes the named package-level
+// function of the package whose import path has the given suffix.
+func calleeFromPkg(info *types.Info, call *ast.CallExpr, pathSuffix, name string) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || f.Name() != name {
+		return false
+	}
+	if recv := f.Type().(*types.Signature).Recv(); recv != nil {
+		return false
+	}
+	return pathHasSuffix(f.Pkg().Path(), pathSuffix)
+}
+
+// pathHasSuffix reports whether an import path equals suffix or ends with
+// "/"+suffix — so "internal/obs" matches both the real package and a
+// testdata corpus nested under the analyzer tests.
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}

@@ -1,0 +1,70 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"statcube/internal/lint"
+)
+
+// newCtxfirst enforces the standard Go context discipline the whole ctx
+// plumbing of PR 3 relies on: context.Context travels as the first
+// parameter of a call chain and is never stored in a struct, where it
+// would outlive the request that created it and silently decouple
+// cancellation from the work it governs. The two sanctioned exceptions
+// in the tree — budget.Ticker (a loop-local poll amortizer) and
+// parallel.Stage (an options struct consumed before the call returns) —
+// carry //lint:ignore directives with their reasons.
+func newCtxfirst() *lint.Analyzer {
+	a := &lint.Analyzer{
+		Name: "ctxfirst",
+		Doc:  "context.Context must be the first parameter and must not be stored in a struct field",
+	}
+	a.Run = func(pass *lint.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					checkParamOrder(pass, n.Type)
+				case *ast.FuncLit:
+					checkParamOrder(pass, n.Type)
+				case *ast.InterfaceType:
+					for _, m := range n.Methods.List {
+						if ft, ok := m.Type.(*ast.FuncType); ok {
+							checkParamOrder(pass, ft)
+						}
+					}
+				case *ast.StructType:
+					for _, field := range n.Fields.List {
+						if tv, ok := pass.Info.Types[field.Type]; ok && isContextType(tv.Type) {
+							pass.Reportf(field.Pos(),
+								"context.Context stored in a struct field: pass it as a parameter so cancellation follows the call")
+						}
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// checkParamOrder flags context.Context parameters that are not in the
+// leading position. A context after the first slot is reported once per
+// offending parameter.
+func checkParamOrder(pass *lint.Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0 // parameter index, counting names within a shared field
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if tv, ok := pass.Info.Types[field.Type]; ok && isContextType(tv.Type) && pos != 0 {
+			pass.Reportf(field.Pos(), "context.Context must be the first parameter")
+		}
+		pos += n
+	}
+}

@@ -1,0 +1,137 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"statcube/internal/lint"
+)
+
+// newCtxpoll enforces the cancellation contract on the engine's heavy
+// paths: an exported function or method named `…Ctx` that loops must
+// actually poll or delegate its context — `ctx.Err()`/`ctx.Done()`, a
+// `budget.Check(ctx)`/`budget.NewTicker(ctx, …)` call, a `Tick()` on an
+// amortizing ticker, or passing ctx to a callee. A `…Ctx` entry point
+// whose loops never consult ctx is uncancellable, which PR 3 made a bug:
+// every heavy path promises bounded cancellation latency.
+//
+// The check is function-granular by design: dictionary- or level-sized
+// loops legitimately run between polls (colstore's code-range scans), so
+// requiring a poll inside every loop would flag correct code. What the
+// rule catches is the real failure mode — a Ctx-suffixed API that takes
+// a context and ignores it.
+func newCtxpoll() *lint.Analyzer {
+	a := &lint.Analyzer{
+		Name: "ctxpoll",
+		Doc:  "exported …Ctx functions that loop must poll or delegate their context (ctx.Err, budget.Check, Ticker.Tick, or passing ctx on)",
+	}
+	a.Run = func(pass *lint.Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkCtxpoll(pass, fd)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+func checkCtxpoll(pass *lint.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	if !fd.Name.IsExported() || len(name) <= len("Ctx") || name[len(name)-3:] != "Ctx" {
+		return
+	}
+	ctxObj := firstCtxParam(pass.Info, fd)
+	if ctxObj == nil && !hasCtxParam(pass.Info, fd) {
+		return // no context parameter at all: not this analyzer's business
+	}
+
+	loops := 0
+	polled := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops++
+		case *ast.CallExpr:
+			if callPollsCtx(pass.Info, n, ctxObj) {
+				polled = true
+			}
+		}
+		return true
+	})
+	if loops > 0 && !polled {
+		pass.Reportf(fd.Name.Pos(),
+			"%s loops over work but never polls or delegates its context (use ctx.Err, budget.Check, a budget.Ticker, or pass ctx to callees)", name)
+	}
+}
+
+// firstCtxParam returns the object of the first parameter when it is a
+// named, non-blank context.Context; nil otherwise.
+func firstCtxParam(info *types.Info, fd *ast.FuncDecl) types.Object {
+	params := fd.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return nil
+	}
+	first := params.List[0]
+	if len(first.Names) == 0 || first.Names[0].Name == "_" {
+		return nil
+	}
+	obj := info.Defs[first.Names[0]]
+	if obj == nil || !isContextType(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+// hasCtxParam reports whether any parameter is a context.Context
+// (regardless of position or name).
+func hasCtxParam(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if tv, ok := info.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// callPollsCtx reports whether the call consults or forwards the context:
+// a method on ctx itself (Err, Done, Deadline, Value), ctx passed as any
+// argument, or a Tick() call on an amortizing ticker.
+func callPollsCtx(info *types.Info, call *ast.CallExpr, ctxObj types.Object) bool {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if ctxObj != nil && usesObject(info, sel.X, ctxObj) {
+			return true // ctx.Err() and friends
+		}
+		if sel.Sel.Name == "Tick" && len(call.Args) == 0 {
+			return true // budget.Ticker idiom: tick.Tick() inside the loop
+		}
+	}
+	if ctxObj == nil {
+		return false
+	}
+	for _, arg := range call.Args {
+		if usesObject(info, arg, ctxObj) {
+			return true
+		}
+	}
+	return false
+}
+
+// usesObject reports whether the expression mentions the object.
+func usesObject(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

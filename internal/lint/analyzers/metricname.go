@@ -1,0 +1,137 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"statcube/internal/lint"
+)
+
+// metricNameRE is the obs namespace grammar: lowercase dotted segments,
+// at least two deep ("layer.metric"), digits and underscores allowed
+// after the leading letter of each segment.
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$`)
+
+// newMetricname polices the obs namespace the bench-regression gate
+// diffs: every Registry.Counter/Gauge/Histogram registration and every
+// obs.Add/Inc/SetGauge/Observe/ObserveDuration recording must pass a
+// literal, lowercase dotted name, and a registration's name must be
+// unique across the repo (one kind, one site). Dynamic names are
+// unbounded cardinality — snapshots, /metrics output and
+// BENCH_BASELINE.json diffs all assume a fixed, stable name set — and a
+// name registered twice (or as two kinds) splits one logical metric
+// into aliased instruments.
+//
+// The uniqueness ledger lives in the analyzer's closure and spans the
+// whole driver run; the driver visits packages in sorted import-path
+// order, so the "first registered at" site is deterministic.
+func newMetricname() *lint.Analyzer {
+	type site struct {
+		kind string
+		pos  token.Position
+	}
+	registered := map[string]site{}
+
+	a := &lint.Analyzer{
+		Name: "metricname",
+		Doc:  "obs metric names must be literal, lowercase dotted, and registered at exactly one site repo-wide",
+	}
+	a.Run = func(pass *lint.Pass) error {
+		if pathHasSuffix(pass.ImportPath, "internal/obs") {
+			return nil // the registry's own implementation and helpers
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				kind, registering := metricCallKind(pass.Info, call)
+				if kind == "" {
+					return true
+				}
+				name, ok := literalString(pass.Info, call.Args[0])
+				if !ok {
+					pass.Reportf(call.Args[0].Pos(),
+						"obs %s name must be a literal string: dynamic names have unbounded cardinality and break baseline diffs", kind)
+					return true
+				}
+				if !metricNameRE.MatchString(name) {
+					pass.Reportf(call.Args[0].Pos(),
+						"obs %s name %q must be lowercase dotted (e.g. \"layer.metric_name\")", kind, name)
+					return true
+				}
+				if !registering {
+					return true
+				}
+				if prev, dup := registered[name]; dup {
+					if prev.kind != kind {
+						pass.Reportf(call.Args[0].Pos(),
+							"metric %q registered as %s but already registered as %s at %s", name, kind, prev.kind, prev.pos)
+					} else {
+						pass.Reportf(call.Args[0].Pos(),
+							"metric %q already registered at %s: register once and share the instrument", name, prev.pos)
+					}
+					return true
+				}
+				registered[name] = site{kind: kind, pos: pass.Fset.Position(call.Args[0].Pos())}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// metricCallKind classifies a call as an obs metric touchpoint. It
+// returns the instrument kind ("counter", "gauge", "histogram") and
+// whether the call registers (Registry methods) or merely records
+// (package-level helpers); kind "" means not a metric call.
+func metricCallKind(info *types.Info, call *ast.CallExpr) (kind string, registering bool) {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || !pathHasSuffix(f.Pkg().Path(), "internal/obs") {
+		return "", false
+	}
+	if recv := f.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Name() != "Registry" {
+			return "", false
+		}
+		switch f.Name() {
+		case "Counter":
+			return "counter", true
+		case "Gauge":
+			return "gauge", true
+		case "Histogram":
+			return "histogram", true
+		}
+		return "", false
+	}
+	switch f.Name() {
+	case "Add", "Inc":
+		return "counter", false
+	case "SetGauge":
+		return "gauge", false
+	case "Observe", "ObserveDuration":
+		return "histogram", false
+	}
+	return "", false
+}
+
+// literalString evaluates a string literal or a constant expression that
+// folds to a string (a named const is fine — it is still one static
+// name); anything runtime-dependent reports ok=false.
+func literalString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

@@ -1,0 +1,47 @@
+// Package ctxfirst is the want/nowant corpus for the ctxfirst analyzer:
+// context.Context first in every parameter list, never in a struct.
+package ctxfirst
+
+import "context"
+
+// Lookup takes ctx in second position.
+func Lookup(name string, ctx context.Context) error { // want "context.Context must be the first parameter"
+	_ = name
+	return ctx.Err()
+}
+
+// LookupOK is the required shape.
+func LookupOK(ctx context.Context, name string) error {
+	_ = name
+	return ctx.Err()
+}
+
+// lookupLit checks function literals too.
+var lookupLit = func(n int, ctx context.Context) error { // want "context.Context must be the first parameter"
+	_ = n
+	return ctx.Err()
+}
+
+// Job smuggles a context past its request's lifetime.
+type Job struct {
+	Name string
+	ctx  context.Context // want "context.Context stored in a struct field"
+}
+
+// Run keeps the stored context in use so the field is not dead code.
+func (j *Job) Run() error { return j.ctx.Err() }
+
+// amortizer demonstrates the sanctioned escape hatch: a suppressed,
+// reasoned exception in the style of budget.Ticker.
+type amortizer struct {
+	//lint:ignore ctxfirst loop-local poll amortizer created and dropped inside one call frame
+	ctx context.Context
+}
+
+func (a *amortizer) Tick() error { return a.ctx.Err() }
+
+// Doer propagates the rule into interface method signatures.
+type Doer interface {
+	Do(id int, ctx context.Context) error // want "context.Context must be the first parameter"
+	DoOK(ctx context.Context, id int) error
+}

@@ -1,0 +1,99 @@
+// Package ctxpoll is the want/nowant corpus for the ctxpoll analyzer:
+// exported …Ctx functions that loop must poll or delegate their context.
+package ctxpoll
+
+import "context"
+
+// SumRowsCtx loops over rows and never consults ctx: uncancellable.
+func SumRowsCtx(ctx context.Context, rows []float64) float64 { // want "never polls or delegates its context"
+	var s float64
+	for _, r := range rows {
+		s += r
+	}
+	return s
+}
+
+// BlankCtx discards the context by name and still loops.
+func BlankCtx(_ context.Context, rows []int) int { // want "never polls or delegates its context"
+	n := 0
+	for range rows {
+		n++
+	}
+	return n
+}
+
+// PollsCtx checks ctx.Err inside the loop: clean.
+func PollsCtx(ctx context.Context, rows []float64) (float64, error) {
+	var s float64
+	for _, r := range rows {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		s += r
+	}
+	return s, nil
+}
+
+// DelegatesCtx forwards ctx to a callee that owns the polling: clean.
+func DelegatesCtx(ctx context.Context, chunks [][]float64) (float64, error) {
+	var s float64
+	for _, c := range chunks {
+		v, err := sumChunk(ctx, c)
+		if err != nil {
+			return 0, err
+		}
+		s += v
+	}
+	return s, nil
+}
+
+// TicksCtx polls through an amortizing ticker: clean.
+func TicksCtx(ctx context.Context, rows []float64) (float64, error) {
+	t := newTicker(ctx)
+	var s float64
+	for _, r := range rows {
+		if err := t.Tick(); err != nil {
+			return 0, err
+		}
+		s += r
+	}
+	return s, nil
+}
+
+// NoLoopCtx has no loop, so there is nothing to poll between: clean.
+func NoLoopCtx(ctx context.Context) error { return ctx.Err() }
+
+// Total is not Ctx-suffixed; other analyzers own its contract.
+func Total(ctx context.Context, rows []float64) float64 {
+	var s float64
+	for _, r := range rows {
+		s += r
+	}
+	return s
+}
+
+// sumCtx is unexported: out of the rule's scope.
+func sumCtx(ctx context.Context, rows []float64) float64 {
+	var s float64
+	for _, r := range rows {
+		s += r
+	}
+	return s
+}
+
+func sumChunk(ctx context.Context, c []float64) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	var s float64
+	for _, v := range c {
+		s += v
+	}
+	return s, nil
+}
+
+type ticker struct{ ctx context.Context } //lint:ignore ctxfirst corpus helper mirroring budget.Ticker
+
+func newTicker(ctx context.Context) *ticker { return &ticker{ctx: ctx} }
+
+func (t *ticker) Tick() error { return t.ctx.Err() }

@@ -1,0 +1,64 @@
+// Package errwrap is the want/nowant corpus for the errwrap analyzer:
+// errors.Is over identity, %w over %v.
+package errwrap
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrMissing is this corpus's sentinel.
+var ErrMissing = errors.New("missing")
+
+// CompareEq matches a sentinel by identity; wrapped EOFs slip through.
+func CompareEq(err error) bool {
+	return err == io.EOF // want "errors compared with =="
+}
+
+// CompareNeq is the inverted form of the same bug, against the context
+// sentinel the engine always wraps (budget.cancelErr).
+func CompareNeq(err error) bool {
+	return err != context.Canceled // want "errors compared with !="
+}
+
+// CompareOK uses errors.Is, and nil comparison stays the idiom.
+func CompareOK(err error) bool {
+	return err != nil && errors.Is(err, ErrMissing)
+}
+
+// Classify compares by identity through a switch.
+func Classify(err error) string {
+	switch err {
+	case nil:
+		return "ok"
+	case io.EOF: // want "switch compares errors by identity"
+		return "eof"
+	default:
+		return "other"
+	}
+}
+
+// Wrap flattens the cause to text; errors.Is can no longer match it.
+func Wrap(err error) error {
+	return fmt.Errorf("loading: %v", err) // want "error formatted without %w"
+}
+
+// WrapOK keeps the chain intact.
+func WrapOK(err error) error {
+	return fmt.Errorf("loading: %w", err)
+}
+
+// WrapNoErr formats no error at all: out of scope.
+func WrapNoErr(n int) error {
+	return fmt.Errorf("loading row %d", n)
+}
+
+// sentinelErr implements the errors.Is protocol; the identity comparison
+// inside Is is the contract, not a finding.
+type sentinelErr struct{}
+
+func (sentinelErr) Error() string { return "sentinel" }
+
+func (sentinelErr) Is(target error) bool { return target == ErrMissing }

@@ -1,0 +1,30 @@
+// Package metricname is the want/nowant corpus for the metricname
+// analyzer: literal, lowercase dotted, uniquely registered obs names.
+package metricname
+
+import "statcube/internal/obs"
+
+// Registrations: one site per name, literal, lowercase dotted.
+var (
+	good     = obs.Default().Counter("corpus.good_counter")
+	badCase  = obs.Default().Counter("Corpus.BadCase")        // want "must be lowercase dotted"
+	flatName = obs.Default().Gauge("flat")                    // want "must be lowercase dotted"
+	dupSite  = obs.Default().Counter("corpus.good_counter")   // want "already registered at"
+	dupKind  = obs.Default().Histogram("corpus.good_counter") // want "already registered as counter"
+)
+
+// Dynamic builds a name at runtime: unbounded cardinality.
+func Dynamic(name string) *obs.Counter {
+	return obs.Default().Counter("corpus.dyn." + name) // want "must be a literal string"
+}
+
+// Record exercises the package-level recording helpers: names must be
+// literal and well-formed, but recording an existing name is normal use.
+func Record() {
+	good.Inc()
+	obs.Inc("corpus.recorded_ok")
+	obs.Inc("corpus.good_counter") // recording a registered name: fine
+	obs.SetGauge("NOPE", 1)        // want "must be lowercase dotted"
+}
+
+var _ = []any{badCase, flatName, dupSite, dupKind}

@@ -1,0 +1,14 @@
+// Package parallel stands in for the engine's fan-out layer: its import
+// path ends in internal/parallel, so the nakedgoroutine analyzer exempts
+// it — this is where goroutines are allowed to be born.
+package parallel
+
+// Spawn runs fn on its own goroutine and waits; no want expected here.
+func Spawn(fn func()) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	<-done
+}

@@ -1,0 +1,19 @@
+// Package nakedgoroutine is the want/nowant corpus for the
+// nakedgoroutine analyzer: no raw go statements outside the fan-out and
+// observability layers.
+package nakedgoroutine
+
+// Launch spawns outside internal/parallel: unaccounted concurrency.
+func Launch(fn func()) {
+	go fn() // want "naked goroutine"
+}
+
+// LaunchClosure is the same violation dressed as a closure.
+func LaunchClosure(done chan<- struct{}) {
+	go func() { // want "naked goroutine"
+		close(done)
+	}()
+}
+
+// Sequential stays on the calling goroutine: clean.
+func Sequential(fn func()) { fn() }

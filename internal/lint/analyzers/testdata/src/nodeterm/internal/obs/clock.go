@@ -1,0 +1,9 @@
+// Package obs stands in for the engine's observability layer: its import
+// path ends in internal/obs, so the nodeterm analyzer exempts it —
+// measuring wall-clock latency is its job.
+package obs
+
+import "time"
+
+// Stamp reads the wall clock; no want expected here.
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,38 @@
+// Package nodeterm is the want/nowant corpus for the nodeterm analyzer:
+// no wall-clock reads or global rand in deterministic internal/ paths.
+package nodeterm
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock in a counter path.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now in a deterministic counter path"
+}
+
+// Elapsed derives a value from the wall clock.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since in a deterministic counter path"
+}
+
+// Roll uses the global generator, randomly seeded since Go 1.20.
+func Roll() int {
+	return rand.Intn(6) // want "global rand.Intn is nondeterministically seeded"
+}
+
+// SeededRoll is the engine idiom: an explicit seeded source reproduces.
+func SeededRoll(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}
+
+// Format only renders a caller-supplied time: not a clock read.
+func Format(t time.Time) string { return t.Format(time.RFC3339) }
+
+// Suppressed shows the sanctioned escape hatch for latency probes.
+func Suppressed() int64 {
+	//lint:ignore nodeterm corpus latency probe feeding no diffed counter
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadSkipsTestdataAndTests locks in the walk rules the whole suite
+// depends on: `<dir>/...` skips testdata (where the analyzer corpora
+// seed deliberate violations) and _test.go files never load.
+func TestLoadSkipsTestdataAndTests(t *testing.T) {
+	loader, err := NewLoader("")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	// "." plus the analyzers subtree keeps the walk cheap while still
+	// crossing a testdata boundary (the corpora live under analyzers/).
+	pkgs, err := loader.Load([]string{".", "./analyzers/..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	var found bool
+	for _, p := range pkgs {
+		if strings.Contains(p.ImportPath, "/testdata/") {
+			t.Errorf("recursive walk descended into testdata: %s", p.ImportPath)
+		}
+		if p.ImportPath == "statcube/internal/lint" {
+			found = true
+			for _, f := range p.Files {
+				name := loader.Fset.Position(f.Pos()).Filename
+				if strings.HasSuffix(name, "_test.go") {
+					t.Errorf("loaded a test file: %s", name)
+				}
+			}
+			if len(p.TypeErrors) > 0 {
+				t.Errorf("type errors in a building package: %v", p.TypeErrors)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("statcube/internal/lint missing from ./... load (%d packages)", len(pkgs))
+	}
+}
+
+// TestLoadExplicitTestdataDir locks in that the harness can point at a
+// corpus directly: an explicit pattern root is always accepted even
+// though recursive walks skip testdata.
+func TestLoadExplicitTestdataDir(t *testing.T) {
+	loader, err := NewLoader("")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load([]string{"./analyzers/testdata/src/nakedgoroutine/..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2 (corpus root + nested exempt package)", len(pkgs))
+	}
+	for _, p := range pkgs {
+		if len(p.TypeErrors) > 0 {
+			t.Errorf("%s: corpus must type-check: %v", p.ImportPath, p.TypeErrors)
+		}
+	}
+}

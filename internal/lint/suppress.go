@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// A directive suppresses findings from the named analyzers on exactly one
+// line: the line it trails, or — when it stands alone on its line — the
+// line immediately below it. It never carries further, so a suppression
+// cannot silently swallow the next statement's findings. The reason is
+// mandatory; a directive without one is itself reported (analyzer
+// "directive") and suppresses nothing.
+
+// directivePrefix is matched after the comment marker is stripped. The
+// "lint:" namespace leaves room for future verbs (file-level ignores,
+// rule configuration) without breaking this parser.
+const directivePrefix = "lint:ignore"
+
+// directive is one parsed lint:ignore comment.
+type directive struct {
+	file      string   // absolute filename the directive lives in
+	line      int      // the single line the directive applies to
+	analyzers []string // analyzers the directive covers
+}
+
+// covers reports whether the directive names the analyzer.
+func (d directive) covers(analyzer string) bool {
+	for _, a := range d.analyzers {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// parseDirectives extracts every lint:ignore directive from the files.
+// src maps filename → source bytes (used to decide whether a directive
+// trails code or stands alone). Malformed directives — missing analyzer
+// list or missing reason — come back as diagnostics so they fail the run
+// instead of silently suppressing nothing.
+func parseDirectives(fset *token.FileSet, files []*ast.File, src map[string][]byte) ([]directive, []Diagnostic) {
+	var dirs []directive
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := directiveText(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				names, ok := splitDirective(rest)
+				if !ok {
+					bad = append(bad, Diagnostic{
+						Analyzer: "directive",
+						Position: pos,
+						Message:  "malformed lint:ignore directive: want //lint:ignore <analyzer>[,<analyzer>] <reason>",
+					})
+					continue
+				}
+				line := pos.Line
+				if startsLine(src[pos.Filename], pos) {
+					line++ // standalone directive applies to the next line
+				}
+				dirs = append(dirs, directive{file: pos.Filename, line: line, analyzers: names})
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// directiveText strips the comment marker and reports whether the comment
+// is a lint:ignore directive. Directives must use the // form with no
+// space before "lint:" (mirroring go:build and go:generate).
+func directiveText(comment string) (string, bool) {
+	body, ok := strings.CutPrefix(comment, "//")
+	if !ok {
+		return "", false // /* */ comments are never directives
+	}
+	return strings.CutPrefix(body, directivePrefix)
+}
+
+// splitDirective parses " <a,b> <reason...>" into analyzer names,
+// reporting ok=false when the list or the reason is missing or empty.
+func splitDirective(rest string) (names []string, ok bool) {
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return nil, false // no analyzer list, or no reason
+	}
+	for _, n := range strings.Split(fields[0], ",") {
+		if n == "" {
+			return nil, false
+		}
+		names = append(names, n)
+	}
+	return names, true
+}
+
+// startsLine reports whether only whitespace precedes the comment on its
+// source line. With no source available the column is the best signal.
+func startsLine(src []byte, pos token.Position) bool {
+	if src == nil {
+		return pos.Column == 1
+	}
+	start := pos.Offset - (pos.Column - 1)
+	if start < 0 || pos.Offset > len(src) {
+		return pos.Column == 1
+	}
+	return strings.TrimSpace(string(src[start:pos.Offset])) == ""
+}
+
+// filterSuppressed drops diagnostics covered by a directive on their line
+// and returns the kept set in the original order.
+func filterSuppressed(diags []Diagnostic, dirs []directive) []Diagnostic {
+	if len(dirs) == 0 {
+		return diags
+	}
+	type key struct {
+		file string
+		line int
+	}
+	byLine := map[key][]directive{}
+	for _, d := range dirs {
+		k := key{d.file, d.line}
+		byLine[k] = append(byLine[k], d)
+	}
+	keep := make([]Diagnostic, 0, len(diags))
+	for _, diag := range diags {
+		suppressed := false
+		for _, d := range byLine[key{diag.Position.Filename, diag.Position.Line}] {
+			if d.covers(diag.Analyzer) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			keep = append(keep, diag)
+		}
+	}
+	return keep
+}

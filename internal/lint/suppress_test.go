@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseSrc parses one in-memory file and returns everything
+// parseDirectives needs.
+func parseSrc(t *testing.T, src string) (*token.FileSet, []*ast.File, map[string][]byte) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, []*ast.File{f}, map[string][]byte{"x.go": []byte(src)}
+}
+
+// diagAt fabricates a finding from the named analyzer at a line of x.go.
+func diagAt(analyzer string, line int) Diagnostic {
+	return Diagnostic{
+		Analyzer: analyzer,
+		Position: token.Position{Filename: "x.go", Line: line, Column: 1},
+		Message:  "finding",
+	}
+}
+
+func TestSuppressionSemantics(t *testing.T) {
+	// Line numbers below are 1-based within each case's src.
+	cases := []struct {
+		name string
+		src  string
+		// diags fabricated per (analyzer, line); keptLines lists which
+		// survive filtering, in order.
+		diags     []Diagnostic
+		keptLines []int
+		// wantBad is the number of malformed-directive findings.
+		wantBad int
+	}{
+		{
+			name: "trailing directive suppresses its own line",
+			src: "package p\n" +
+				"var x = 1 //lint:ignore foo covered by spec FOO-7\n",
+			diags:     []Diagnostic{diagAt("foo", 2)},
+			keptLines: nil,
+		},
+		{
+			name: "standalone directive suppresses the next line only",
+			src: "package p\n" +
+				"//lint:ignore foo covered by spec FOO-7\n" +
+				"var x = 1\n" +
+				"var y = 2\n",
+			diags:     []Diagnostic{diagAt("foo", 3), diagAt("foo", 4)},
+			keptLines: []int{4},
+		},
+		{
+			name: "suppression does not leak past blank lines to later statements",
+			src: "package p\n" +
+				"//lint:ignore foo covered by spec FOO-7\n" +
+				"\n" +
+				"var y = 2\n",
+			diags:     []Diagnostic{diagAt("foo", 4)},
+			keptLines: []int{4},
+		},
+		{
+			name: "directive only covers the analyzers it names",
+			src: "package p\n" +
+				"var x = 1 //lint:ignore foo covered by spec FOO-7\n",
+			diags:     []Diagnostic{diagAt("bar", 2)},
+			keptLines: []int{2},
+		},
+		{
+			name: "comma list covers several analyzers",
+			src: "package p\n" +
+				"var x = 1 //lint:ignore foo,bar covered by spec FOO-7\n",
+			diags:     []Diagnostic{diagAt("foo", 2), diagAt("bar", 2), diagAt("baz", 2)},
+			keptLines: []int{2},
+		},
+		{
+			name: "missing reason is rejected and suppresses nothing",
+			src: "package p\n" +
+				"var x = 1 //lint:ignore foo\n",
+			diags:     []Diagnostic{diagAt("foo", 2)},
+			keptLines: []int{2},
+			wantBad:   1,
+		},
+		{
+			name: "empty analyzer in the list is rejected",
+			src: "package p\n" +
+				"var x = 1 //lint:ignore foo,, some reason\n",
+			diags:     []Diagnostic{diagAt("foo", 2)},
+			keptLines: []int{2},
+			wantBad:   1,
+		},
+		{
+			name: "block comments are never directives",
+			src: "package p\n" +
+				"var x = 1 /*lint:ignore foo some reason*/\n",
+			diags:     []Diagnostic{diagAt("foo", 2)},
+			keptLines: []int{2},
+		},
+		{
+			name: "unrelated comments pass through",
+			src: "package p\n" +
+				"// lint:ignore with a leading space is prose, not a directive\n" +
+				"var x = 1\n",
+			diags:     []Diagnostic{diagAt("foo", 3)},
+			keptLines: []int{3},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fset, files, src := parseSrc(t, tc.src)
+			dirs, bad := parseDirectives(fset, files, src)
+			if len(bad) != tc.wantBad {
+				t.Fatalf("malformed directives: got %d (%v), want %d", len(bad), bad, tc.wantBad)
+			}
+			kept := filterSuppressed(tc.diags, dirs)
+			var lines []int
+			for _, d := range kept {
+				lines = append(lines, d.Position.Line)
+			}
+			if len(lines) != len(tc.keptLines) {
+				t.Fatalf("kept %v, want lines %v", lines, tc.keptLines)
+			}
+			for i := range lines {
+				if lines[i] != tc.keptLines[i] {
+					t.Fatalf("kept %v, want lines %v", lines, tc.keptLines)
+				}
+			}
+		})
+	}
+}
+
+// TestSuppressionDifferentFile locks in that a directive in one file
+// cannot suppress a finding at the same line number of another file.
+func TestSuppressionDifferentFile(t *testing.T) {
+	fset, files, src := parseSrc(t, "package p\nvar x = 1 //lint:ignore foo reasoned\n")
+	dirs, bad := parseDirectives(fset, files, src)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", bad)
+	}
+	other := Diagnostic{
+		Analyzer: "foo",
+		Position: token.Position{Filename: "y.go", Line: 2, Column: 1},
+		Message:  "finding",
+	}
+	kept := filterSuppressed([]Diagnostic{other}, dirs)
+	if len(kept) != 1 {
+		t.Fatalf("directive in x.go suppressed a finding in y.go")
+	}
+}
+
+// TestMalformedDirectiveMessage pins the guidance text users see.
+func TestMalformedDirectiveMessage(t *testing.T) {
+	fset, files, src := parseSrc(t, "package p\nvar x = 1 //lint:ignore foo\n")
+	_, bad := parseDirectives(fset, files, src)
+	if len(bad) != 1 {
+		t.Fatalf("got %d malformed findings, want 1", len(bad))
+	}
+	if bad[0].Analyzer != "directive" || !strings.Contains(bad[0].Message, "//lint:ignore <analyzer>") {
+		t.Fatalf("unhelpful malformed-directive finding: %+v", bad[0])
+	}
+}

@@ -52,8 +52,12 @@ func equalObjects(a, b *core.StatObject) error {
 		}
 		for i, name := range names {
 			got, ok, err := b.CellValue(by, name)
-			if err != nil || !ok {
-				firstErr = fmt.Errorf("metadata: cell %v missing on one side (%v)", coords, err)
+			if err != nil {
+				firstErr = fmt.Errorf("metadata: cell %v missing on one side: %w", coords, err)
+				return false
+			}
+			if !ok {
+				firstErr = fmt.Errorf("metadata: cell %v missing on one side", coords)
 				return false
 			}
 			if math.Abs(got-vals[i]) > 1e-6*math.Max(1, math.Abs(vals[i])) {
@@ -145,9 +149,13 @@ func (s *Square) CheckAggregation(dim, toLevel string) error {
 	var walkErr error
 	s.Micro.Scan(func(row relstore.Row) bool {
 		parents, err := d.Class.Ancestors(0, row[ci].Str(), li)
-		if err != nil || len(parents) != 1 {
-			walkErr = fmt.Errorf("metadata: row value %q has %d ancestors at %q (%v)",
-				row[ci].Str(), len(parents), toLevel, err)
+		if err != nil {
+			walkErr = fmt.Errorf("metadata: row value %q has no ancestor at %q: %w", row[ci].Str(), toLevel, err)
+			return false
+		}
+		if len(parents) != 1 {
+			walkErr = fmt.Errorf("metadata: row value %q has %d ancestors at %q",
+				row[ci].Str(), len(parents), toLevel)
 			return false
 		}
 		nr := append(relstore.Row(nil), row...)

@@ -9,9 +9,10 @@
 //   - inputs smaller than MinWork stay sequential — fan-out overhead must
 //     never regress small queries;
 //   - every stage is observable through internal/obs (stage counters, a
-//     pool queue-depth gauge, per-stage worker-count gauges) and, when a
-//     span is attached, renders as a parallel:/sequential: child in
-//     EXPLAIN ANALYZE output;
+//     pool queue-depth gauge, a worker-count gauge) and, when a span is
+//     attached, renders as a parallel:/sequential: child in
+//     EXPLAIN ANALYZE output — the per-stage breakdown lives in the span
+//     tree, keeping the metric namespace literal and bounded;
 //   - every stage honors context cancellation and deadlines: a stage with
 //     a Ctx attached checks it between tasks (sequential and parallel
 //     paths alike), so cancellation latency is bounded by one task, the
@@ -60,16 +61,19 @@ type Stage struct {
 	Name    string
 	Workers int
 	Span    *obs.Span
-	Ctx     context.Context
+	//lint:ignore ctxfirst Stage is an options bundle consumed before ForEach/GroupReduce return; the context never outlives the call it configures
+	Ctx context.Context
 }
 
 // Stage metrics: how many stages ran parallel vs sequential, total tasks
-// executed, and the pool's remaining-task depth (sampled on each claim).
+// executed, the pool's remaining-task depth (sampled on each claim), and
+// the worker count of the most recent stage.
 var (
-	stagesPar  = obs.Default().Counter("parallel.stages_parallel")
-	stagesSeq  = obs.Default().Counter("parallel.stages_sequential")
-	tasksRun   = obs.Default().Counter("parallel.tasks")
-	queueDepth = obs.Default().Gauge("parallel.queue_depth")
+	stagesPar    = obs.Default().Counter("parallel.stages_parallel")
+	stagesSeq    = obs.Default().Counter("parallel.stages_sequential")
+	tasksRun     = obs.Default().Counter("parallel.tasks")
+	queueDepth   = obs.Default().Gauge("parallel.queue_depth")
+	workersGauge = obs.Default().Gauge("parallel.workers")
 )
 
 func (s Stage) name() string {
@@ -92,7 +96,7 @@ func (s Stage) Begin(par bool, tasks, workers int) *obs.Span {
 			stagesSeq.Inc()
 		}
 		tasksRun.Add(int64(tasks))
-		obs.Default().Gauge("parallel.workers." + s.name()).Set(float64(workers))
+		workersGauge.Set(float64(workers))
 	}
 	mode := "sequential:"
 	if par {

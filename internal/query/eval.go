@@ -190,6 +190,7 @@ func Run(o *core.StatObject, input string) (*core.StatObject, error) {
 // RunCtx is Run with a context: parse, then evaluate under ctx's
 // cancellation, deadline and resource budget.
 func RunCtx(ctx context.Context, o *core.StatObject, input string) (*core.StatObject, error) {
+	//lint:ignore nodeterm feeds only the query.latency_ns histogram, which no baseline diffs
 	start := time.Now()
 	q, err := Parse(input)
 	if err != nil {
@@ -209,6 +210,7 @@ func RunScalar(o *core.StatObject, input string) (float64, error) {
 
 // RunScalarCtx is RunScalar with a context (see RunCtx).
 func RunScalarCtx(ctx context.Context, o *core.StatObject, input string) (float64, error) {
+	//lint:ignore nodeterm feeds only the query.latency_ns histogram, which no baseline diffs
 	start := time.Now()
 	q, err := Parse(input)
 	if err != nil {

@@ -81,7 +81,7 @@ func ParseWide(r io.Reader, nRowDims int, colDim string, measure core.Measure) (
 	lineNo := 1
 	for {
 		rec, err := rd.Read()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		lineNo++
