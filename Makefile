@@ -1,14 +1,18 @@
 # The CI pipeline's jobs, reproducible locally: `make verify` is the
 # tier-1 gate, `make lint` the lint job, `make fuzz-smoke` the fuzz job,
-# `make bench` the bench-regression job. See .github/workflows/ci.yml —
-# each job runs the matching target, so a green local make means a green
-# pipeline.
+# `make bench` the bench-regression job, `make chaos` the fault-injection
+# job. See .github/workflows/ci.yml — each job runs the matching target,
+# so a green local make means a green pipeline.
 
 GO ?= go
 FUZZTIME ?= 30s
 BENCH_OUT ?= bench_current.ndjson
+# Fault-injection seeds: each is a full deterministic chaos schedule.
+# CI fans one seed per matrix leg (make chaos CHAOS_SEED=7); bare
+# `make chaos` runs the whole matrix sequentially.
+CHAOS_SEEDS ?= 1 7 42
 
-.PHONY: verify fmt vet build test lint fuzz-smoke bench bench-baseline
+.PHONY: verify fmt vet build test lint fuzz-smoke bench bench-baseline chaos
 
 # Tier-1 gate: vet, build, race-checked order-shuffled tests.
 verify: vet build test
@@ -30,9 +34,10 @@ test:
 
 # Static analysis: the engine's own invariants (ctx plumbing/polling,
 # goroutines only via internal/parallel, errors.Is over ==, literal
-# unique obs metric names, deterministic internal/ paths), enforced by
-# cmd/statlint on stdlib tooling alone. Non-zero exit on any finding;
-# suppress per line with `//lint:ignore <analyzer> <reason>`.
+# unique obs metric names, deterministic internal/ paths, recover() only
+# at sanctioned panic boundaries), enforced by cmd/statlint on stdlib
+# tooling alone. Non-zero exit on any finding; suppress per line with
+# `//lint:ignore <analyzer> <reason>`.
 lint:
 	$(GO) run ./cmd/statlint ./...
 
@@ -42,13 +47,25 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzParseInterval$$' -fuzztime=$(FUZZTIME) ./internal/hierarchy
 	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=$(FUZZTIME) ./internal/query
 	$(GO) test -run='^$$' -fuzz='^FuzzGovernorReserve$$' -fuzztime=$(FUZZTIME) ./internal/budget
+	$(GO) test -run='^$$' -fuzz='^FuzzSnapshotDecode$$' -fuzztime=$(FUZZTIME) ./internal/snapshot
 
-# Bench regression: the E9 micro-benchmarks (sanity, 1 iteration) plus the
-# full experiment suite's deterministic counters diffed against
+# Chaos: the fault-injection suites (injected errors, panics, torn
+# writes, bit-flips) under each fixed seed, race-checked. The suites
+# assert the engine's failure contract: byte-identical correct result or
+# clean typed error, never partial state, leaked reservation or
+# readable corrupt snapshot.
+chaos:
+	@for seed in $(if $(CHAOS_SEED),$(CHAOS_SEED),$(CHAOS_SEEDS)); do \
+		echo "== chaos seed $$seed =="; \
+		CHAOS_SEED=$$seed $(GO) test -race -count=1 ./internal/fault/... ./internal/snapshot/... || exit 1; \
+	done
+
+# Bench regression: the E9/E16 micro-benchmarks (sanity, 1 iteration) plus
+# the full experiment suite's deterministic counters diffed against
 # BENCH_BASELINE.json. Fails only on a tolerance breach (counters ±30%,
 # duration one-sided; see scripts/benchdiff.go).
 bench:
-	$(GO) test -bench=E9 -benchtime=1x -count=3 -run='^$$' .
+	$(GO) test -bench='E9|E16' -benchtime=1x -count=3 -run='^$$' .
 	$(GO) run ./cmd/cubebench -stats-json > $(BENCH_OUT)
 	$(GO) run ./scripts/benchdiff.go -baseline BENCH_BASELINE.json -current $(BENCH_OUT)
 

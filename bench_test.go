@@ -1,4 +1,4 @@
-// Benchmarks: one Benchmark family per experiment E1–E15 (see DESIGN.md's
+// Benchmarks: one Benchmark family per experiment E1–E16 (see DESIGN.md's
 // per-experiment index and EXPERIMENTS.md for the recorded results). Each
 // benchmark times the kernel of the corresponding figure/claim from
 // Shoshani's OLAP-vs-SDB survey; `cmd/cubebench` prints the full
@@ -6,6 +6,8 @@
 package statcube_test
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -568,4 +570,45 @@ func BenchmarkE6Answer(b *testing.B) {
 			}
 		}
 	})
+}
+
+// ---- E16: snapshot save/load (robustness) ----
+
+func BenchmarkE16SnapshotSave(b *testing.B) {
+	in := benchRetailInput(b)
+	v, err := cube.BuildROLAPSmallestParent(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := cube.EncodeViews(ctx, &buf, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+func BenchmarkE16SnapshotLoad(b *testing.B) {
+	in := benchRetailInput(b)
+	v, err := cube.BuildROLAPSmallestParent(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	var buf bytes.Buffer
+	if err := cube.EncodeViews(ctx, &buf, v); err != nil {
+		b.Fatal(err)
+	}
+	blob := buf.Bytes()
+	b.SetBytes(int64(len(blob)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cube.DecodeViews(ctx, bytes.NewReader(blob)); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

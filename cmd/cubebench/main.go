@@ -98,7 +98,7 @@ func main() {
 	}
 	for id := range want {
 		if !known[id] {
-			fmt.Fprintf(os.Stderr, "cubebench: unknown experiment %q (have E1..E15)\n", id)
+			fmt.Fprintf(os.Stderr, "cubebench: unknown experiment %q (have E1..E16)\n", id)
 			failed++
 		}
 	}

@@ -24,14 +24,50 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"statcube"
+	"statcube/internal/budget"
+	"statcube/internal/cube"
+	"statcube/internal/parallel"
+	"statcube/internal/snapshot"
 	"statcube/internal/workload"
 )
+
+// Exit codes, one per failure class, so scripts and the CI chaos job can
+// tell a budget refusal from corruption without parsing stderr. Listed
+// in -h output.
+const (
+	exitOK       = 0 // success
+	exitUsage    = 1 // bad invocation, unloadable input, query error
+	exitBudget   = 2 // a resource budget refused the work (ErrBudgetExceeded)
+	exitCanceled = 3 // interrupted or deadline exceeded (ErrCanceled)
+	exitPanic    = 4 // a worker panic was contained (ErrWorkerPanic)
+	exitCorrupt  = 5 // no loadable snapshot generation (ErrCorrupt)
+)
+
+// exitCode maps an error onto the exit-code taxonomy via errors.Is —
+// the CLI surface of the engine's typed-error discipline.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return exitOK
+	case errors.Is(err, budget.ErrBudgetExceeded):
+		return exitBudget
+	case budget.IsCanceled(err):
+		return exitCanceled
+	case errors.Is(err, parallel.ErrWorkerPanic):
+		return exitPanic
+	case errors.Is(err, snapshot.ErrCorrupt):
+		return exitCorrupt
+	default:
+		return exitUsage
+	}
+}
 
 func main() {
 	demo := flag.String("demo", "", "built-in dataset: employment, retail, census, hmo")
@@ -45,6 +81,20 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address and stay up after the work")
 	timeout := flag.Duration("timeout", 0, "per-query deadline (e.g. 500ms, 2s); 0 means none")
 	maxBytes := flag.Int64("max-bytes", 0, "per-query memory budget in bytes; 0 means unlimited")
+	snapshotDir := flag.String("snapshot-dir", "", "durable cube snapshots: load the dataset's newest good generation (recovering past corrupt ones), else build the cube and save it")
+	usage := flag.Usage
+	flag.Usage = func() {
+		usage()
+		fmt.Fprintf(flag.CommandLine.Output(), `
+Exit codes:
+  %d  success
+  %d  bad invocation, unloadable input, or query error
+  %d  resource budget exceeded (-max-bytes)
+  %d  canceled: interrupt or -timeout deadline
+  %d  a worker panic was contained and reported
+  %d  snapshot corrupt: no loadable generation in -snapshot-dir
+`, exitOK, exitUsage, exitBudget, exitCanceled, exitPanic, exitCorrupt)
+	}
 	flag.Parse()
 
 	// Interrupts cancel the in-flight query (and, later, the metrics wait
@@ -76,6 +126,16 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "statcli:", err)
 		os.Exit(1)
+	}
+	if *snapshotDir != "" {
+		sctx := ctx
+		if *maxBytes > 0 {
+			sctx = statcube.WithGovernor(sctx, statcube.NewGovernor(statcube.Limits{MaxBytes: *maxBytes}))
+		}
+		if err := snapshotCube(sctx, *snapshotDir, snapshotName(*demo, *csvPath), obj, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "statcli:", err)
+			os.Exit(exitCode(err))
+		}
 	}
 	if *showSchema {
 		fmt.Print(obj.Schema().String())
@@ -119,7 +179,7 @@ func main() {
 			fmt.Printf("cells scanned: %d\n", span.SumInt("cells_scanned"))
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "statcli: %q: %v\n", q, err)
-				os.Exit(1)
+				os.Exit(exitCode(err))
 			}
 			printCells(res)
 			continue
@@ -127,7 +187,7 @@ func main() {
 		res, err := statcube.QueryCtx(qctx, obj, q)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "statcli: %q: %v\n", q, err)
-			os.Exit(1)
+			os.Exit(exitCode(err))
 		}
 		fmt.Printf("> %s\n", q)
 		printCells(res)
@@ -148,6 +208,105 @@ func main() {
 	if *demo == "" && *csvPath == "" {
 		flag.Usage()
 	}
+}
+
+// snapshotName derives the store name for a dataset: the demo name, the
+// CSV base name, or the default demo. Snapshot names admit no dots or
+// separators, so anything else becomes a dash.
+func snapshotName(demo, csvPath string) string {
+	name := demo
+	if name == "" && csvPath != "" {
+		name = strings.TrimSuffix(filepath.Base(csvPath), filepath.Ext(csvPath))
+	}
+	if name == "" {
+		name = "employment"
+	}
+	clean := []byte(name)
+	for i, c := range clean {
+		if !('a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || '0' <= c && c <= '9' || c == '-' || c == '_') {
+			clean[i] = '-'
+		}
+	}
+	return string(clean)
+}
+
+// snapshotCube is the -snapshot-dir behavior: load the newest good cube
+// generation for the dataset, recovering past corrupt ones; if none
+// exists yet, build the full cube from the object and save it
+// crash-atomically. Every path reports what happened on w, and every
+// failure keeps its type so main can map it to an exit code.
+func snapshotCube(ctx context.Context, dir, name string, obj *statcube.StatObject, w io.Writer) error {
+	st, err := snapshot.OpenStore(dir)
+	if err != nil {
+		return err
+	}
+	v, gen, err := cube.LoadViews(ctx, st, name)
+	if err == nil {
+		views := 0
+		for _, m := range v.ByMask {
+			if m != nil {
+				views++
+			}
+		}
+		fmt.Fprintf(w, "statcli: snapshot: loaded %q generation %d (%d views)\n", name, gen, views)
+		return nil
+	}
+	if !errors.Is(err, snapshot.ErrNotFound) {
+		return err
+	}
+	in, err := cubeInput(obj)
+	if err != nil {
+		return err
+	}
+	v, err = cube.BuildROLAPSmallestParentCtx(ctx, in, cube.Options{})
+	if err != nil {
+		return err
+	}
+	gen, err = cube.SaveViews(ctx, st, name, v)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "statcli: snapshot: built and saved %q generation %d\n", name, gen)
+	return nil
+}
+
+// cubeInput codes a statistical object's cells into a cube fact table:
+// each dimension's leaf values index in classification order, one row
+// per stored cell, the first measure as the value.
+func cubeInput(obj *statcube.StatObject) (*cube.Input, error) {
+	dims := obj.Schema().Dimensions()
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("statcli: object has no dimensions to snapshot")
+	}
+	in := &cube.Input{Card: make([]int, len(dims))}
+	code := make([]map[statcube.Value]int, len(dims))
+	for i, d := range dims {
+		vals := d.Class.LeafLevel().Values
+		in.Card[i] = len(vals)
+		code[i] = make(map[statcube.Value]int, len(vals))
+		for j, v := range vals {
+			code[i][v] = j
+		}
+	}
+	var ferr error
+	obj.ForEach(func(coords []statcube.Value, vals []float64) bool {
+		row := make([]int, len(dims))
+		for i := range dims {
+			c, ok := code[i][coords[i]]
+			if !ok {
+				ferr = fmt.Errorf("statcli: cell value %q not at dimension %s's leaf level", coords[i], dims[i].Name)
+				return false
+			}
+			row[i] = c
+		}
+		in.Rows = append(in.Rows, row)
+		in.Vals = append(in.Vals, vals[0])
+		return true
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+	return in, in.Validate()
 }
 
 // printCells dumps a result object as "coords = value" lines.

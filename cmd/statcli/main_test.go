@@ -1,12 +1,19 @@
 package main
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"statcube"
+	"statcube/internal/budget"
+	"statcube/internal/cube"
+	"statcube/internal/parallel"
+	"statcube/internal/snapshot"
 )
 
 func TestParseMeasure(t *testing.T) {
@@ -106,6 +113,138 @@ func TestLoadCSV(t *testing.T) {
 	_ = os.WriteFile(bad, []byte("product,amount\nx,notanumber\n"), 0o644)
 	if _, err := loadCSV(bad, "product", "amount:sum:flow"); err == nil {
 		t.Error("bad numeric should fail")
+	}
+}
+
+// TestExitCodes: every failure class maps to its documented exit code,
+// and wrapping does not confuse the classification.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, exitOK},
+		{errors.New("anything else"), exitUsage},
+		{fmt.Errorf("wrap: %w", budget.ErrBudgetExceeded), exitBudget},
+		{fmt.Errorf("wrap: %w", budget.ErrCanceled), exitCanceled},
+		{fmt.Errorf("wrap: %w", parallel.ErrWorkerPanic), exitPanic},
+		{&snapshot.CorruptError{Detail: "bad byte"}, exitCorrupt},
+		{fmt.Errorf("wrap: %w", snapshot.ErrNotFound), exitUsage},
+	}
+	for _, c := range cases {
+		if got := exitCode(c.err); got != c.want {
+			t.Errorf("exitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+func TestSnapshotName(t *testing.T) {
+	cases := []struct{ demo, csv, want string }{
+		{"retail", "", "retail"},
+		{"", "/data/q3.sales.csv", "q3-sales"},
+		{"", "", "employment"},
+	}
+	for _, c := range cases {
+		if got := snapshotName(c.demo, c.csv); got != c.want {
+			t.Errorf("snapshotName(%q, %q) = %q, want %q", c.demo, c.csv, got, c.want)
+		}
+	}
+}
+
+// TestSnapshotCubeLifecycle: first call builds and saves, second loads;
+// a corrupted newest generation is recovered past; an over-tight budget
+// surfaces the typed error (exit code 2's cause).
+func TestSnapshotCubeLifecycle(t *testing.T) {
+	obj, err := loadDemo("employment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	ctx := context.Background()
+	var out strings.Builder
+	if err := snapshotCube(ctx, dir, "employment", obj, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "built and saved") {
+		t.Fatalf("first run should build: %s", out.String())
+	}
+	out.Reset()
+	if err := snapshotCube(ctx, dir, "employment", obj, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "loaded \"employment\" generation 1") {
+		t.Fatalf("second run should load: %s", out.String())
+	}
+	// Save a second generation, corrupt it, and confirm recovery.
+	st, err := snapshot.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := cubeInput(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := cube.BuildROLAPSmallestParentCtx(ctx, in, cube.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cube.SaveViews(ctx, st, "employment", v); err != nil {
+		t.Fatal(err)
+	}
+	g2 := filepath.Join(dir, "employment.00000002.snap")
+	b, err := os.ReadFile(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 1
+	if err := os.WriteFile(g2, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := snapshotCube(ctx, dir, "employment", obj, &out); err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "generation 1") {
+		t.Fatalf("should have recovered to generation 1: %s", out.String())
+	}
+	// A hopeless budget classifies as exitBudget, not a generic failure.
+	tight := statcube.WithGovernor(context.Background(),
+		statcube.NewGovernor(statcube.Limits{MaxBytes: 1}))
+	err = snapshotCube(tight, t.TempDir(), "employment", obj, &out)
+	if exitCode(err) != exitBudget {
+		t.Fatalf("tight-budget error %v maps to exit %d, want %d", err, exitCode(err), exitBudget)
+	}
+}
+
+// TestCubeInputMatchesObject: the coded fact table reproduces the
+// object's grand total through a cube build.
+func TestCubeInputMatchesObject(t *testing.T) {
+	obj, err := loadDemo("employment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := cubeInput(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Rows) != obj.Cells() {
+		t.Fatalf("rows = %d, cells = %d", len(in.Rows), obj.Cells())
+	}
+	v, err := cube.BuildROLAPSmallestParent(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cubeTotal float64
+	for _, x := range v.View(0) {
+		cubeTotal += x
+	}
+	m := obj.Measures()[0]
+	want, err := obj.Total(m.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := cubeTotal - want; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("cube total %v, object total %v", cubeTotal, want)
 	}
 }
 

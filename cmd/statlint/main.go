@@ -1,5 +1,5 @@
 // Command statlint runs the engine's custom static-analysis suite
-// (internal/lint + internal/lint/analyzers) over module packages: six
+// (internal/lint + internal/lint/analyzers) over module packages: seven
 // stdlib-only analyzers enforcing the conventions PRs 1–3 introduced —
 // context plumbing and polling, goroutines only through
 // internal/parallel, errors.Is over identity comparison, literal unique

@@ -30,6 +30,7 @@ import (
 
 	"statcube/internal/bitvec"
 	"statcube/internal/budget"
+	"statcube/internal/fault"
 	"statcube/internal/obs"
 	"statcube/internal/relstore"
 )
@@ -235,8 +236,13 @@ func (t *Table) SelectEq(col, val string) (*bitvec.Vector, error) {
 
 // SelectEqCtx is SelectEq under a context: the column scan polls ctx
 // between row segments, and a canceled scan returns the typed
-// budget.ErrCanceled with no vector.
+// budget.ErrCanceled with no vector. Every context-taking scan entry
+// point in this package is also the colstore.scan fault-injection hook —
+// the seam where chaos tests stand in for a failing column read.
 func (t *Table) SelectEqCtx(ctx context.Context, col, val string) (*bitvec.Vector, error) {
+	if err := fault.Hit(ctx, fault.PointColstoreScan); err != nil {
+		return nil, err
+	}
 	c, ok := t.cats[col]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotCategory, col)
@@ -262,6 +268,9 @@ func (t *Table) SelectIn(col string, vals ...string) (*bitvec.Vector, error) {
 // SelectInCtx is SelectIn under a context (see SelectEqCtx); cancellation
 // is additionally checked between the per-value column passes.
 func (t *Table) SelectInCtx(ctx context.Context, col string, vals ...string) (*bitvec.Vector, error) {
+	if err := fault.Hit(ctx, fault.PointColstoreScan); err != nil {
+		return nil, err
+	}
 	c, ok := t.cats[col]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotCategory, col)
@@ -292,6 +301,9 @@ func (t *Table) SelectRange(col, lo, hi string) (*bitvec.Vector, error) {
 
 // SelectRangeCtx is SelectRange under a context (see SelectEqCtx).
 func (t *Table) SelectRangeCtx(ctx context.Context, col, lo, hi string) (*bitvec.Vector, error) {
+	if err := fault.Hit(ctx, fault.PointColstoreScan); err != nil {
+		return nil, err
+	}
 	c, ok := t.cats[col]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotCategory, col)
@@ -349,6 +361,9 @@ func (t *Table) Sum(col string, sel *bitvec.Vector) (float64, error) {
 // between row segments; the popcount and selected paths are checked before
 // the (word-parallel, selection-bounded) work.
 func (t *Table) SumCtx(ctx context.Context, col string, sel *bitvec.Vector) (float64, error) {
+	if err := fault.Hit(ctx, fault.PointColstoreScan); err != nil {
+		return 0, err
+	}
 	c, ok := t.nums[col]
 	if !ok {
 		return 0, fmt.Errorf("%w: %q", ErrNotMeasure, col)
@@ -388,6 +403,9 @@ func (t *Table) GroupSum(groupCol, measureCol string, sel *bitvec.Vector) (map[s
 // between row segments, and a governor on ctx is charged for the result's
 // groups.
 func (t *Table) GroupSumCtx(ctx context.Context, groupCol, measureCol string, sel *bitvec.Vector) (map[string]float64, error) {
+	if err := fault.Hit(ctx, fault.PointColstoreScan); err != nil {
+		return nil, err
+	}
 	g, ok := t.cats[groupCol]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotCategory, groupCol)

@@ -1,0 +1,75 @@
+package colstore
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"statcube/internal/fault"
+	"statcube/internal/relstore"
+)
+
+// faultTable builds a small table for hook tests.
+func faultTable(t *testing.T) *Table {
+	t.Helper()
+	r := relstore.MustNewRelation("t",
+		relstore.Column{Name: "sex", Kind: relstore.KString},
+		relstore.Column{Name: "count", Kind: relstore.KFloat})
+	for i := 0; i < 100; i++ {
+		sex := "F"
+		if i%2 == 0 {
+			sex = "M"
+		}
+		r.MustAppend(relstore.Row{relstore.S(sex), relstore.F(float64(i))})
+	}
+	tab, err := FromRelation(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// TestScanHookFailsEveryEntryPoint: an armed colstore.scan injector
+// turns every scan entry point into the typed fault error — no partial
+// vectors or sums escape.
+func TestScanHookFailsEveryEntryPoint(t *testing.T) {
+	tab := faultTable(t)
+	inj := fault.New(fault.Schedule{Seed: 21, Rate: 1, Mode: fault.Error,
+		Points: []string{fault.PointColstoreScan}})
+	ctx := fault.WithInjector(context.Background(), inj)
+	if _, err := tab.SelectEqCtx(ctx, "sex", "F"); !errors.Is(err, fault.ErrInjected) {
+		t.Errorf("SelectEqCtx: %v", err)
+	}
+	if _, err := tab.SelectInCtx(ctx, "sex", "F", "M"); !errors.Is(err, fault.ErrInjected) {
+		t.Errorf("SelectInCtx: %v", err)
+	}
+	if _, err := tab.SelectRangeCtx(ctx, "sex", "F", "M"); !errors.Is(err, fault.ErrInjected) {
+		t.Errorf("SelectRangeCtx: %v", err)
+	}
+	if _, err := tab.SumCtx(ctx, "count", nil); !errors.Is(err, fault.ErrInjected) {
+		t.Errorf("SumCtx: %v", err)
+	}
+	if _, err := tab.GroupSumCtx(ctx, "sex", "count", nil); !errors.Is(err, fault.ErrInjected) {
+		t.Errorf("GroupSumCtx: %v", err)
+	}
+}
+
+// TestScanHookDisarmedIsFree: a context with no injector (or an injector
+// armed elsewhere) leaves results identical to the plain path.
+func TestScanHookDisarmedIsFree(t *testing.T) {
+	tab := faultTable(t)
+	inj := fault.New(fault.Schedule{Seed: 21, Rate: 1, Mode: fault.Error,
+		Points: []string{fault.PointRelstoreScan}}) // armed, but not for colstore
+	ctx := fault.WithInjector(context.Background(), inj)
+	want, err := tab.Sum("count", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tab.SumCtx(ctx, "count", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("armed-elsewhere injector changed a result: %v != %v", got, want)
+	}
+}

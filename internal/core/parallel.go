@@ -107,7 +107,7 @@ func (o *StatObject) groupFoldPar(ctx context.Context, st parallel.Stage, ms *Ma
 	for i := range parts {
 		parts[i] = map[uint64][]float64{}
 	}
-	ran := st.GroupReduce(n, parallel.HashOwner(w),
+	ran, grErr := st.GroupReduce(n, parallel.HashOwner(w),
 		func(chunk, i int, emit func(uint64)) {
 			if fanouts[chunk] == nil {
 				fanouts[chunk] = newFanout()
@@ -133,6 +133,12 @@ func (o *StatObject) groupFoldPar(ctx context.Context, st parallel.Stage, ms *Ma
 				m.merge(acc[lo:hi], src[lo:hi])
 			}
 		})
+	if grErr != nil {
+		// Contained worker panic: the partial maps are garbage and the
+		// sequential loop would re-panic uncontained — surface the typed
+		// error with nothing written to the output store.
+		return false, grErr
+	}
 	if !ran {
 		// Either the stage resolved to one worker or the context was
 		// canceled mid-reduction; in the latter case the partial maps are

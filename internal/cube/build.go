@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"statcube/internal/budget"
+	"statcube/internal/fault"
 	"statcube/internal/obs"
 	"statcube/internal/parallel"
 )
@@ -262,7 +263,14 @@ func BuildROLAPNaiveCtx(ctx context.Context, in *Input, opt Options) (*Views, er
 	st := opt.stage(ctx, "cube.rolap_naive", len(in.Rows))
 	acct := newAccountant(ctx)
 	defer acct.close()
+	inj := fault.From(ctx)
 	err := st.ForEach(nviews, func(mask int) error {
+		// Each view scan is a cube.view fault hook: chaos tests fail or
+		// panic a single view's computation and assert the whole build
+		// unwinds cleanly.
+		if err := inj.Hit(fault.PointCubeView); err != nil {
+			return err
+		}
 		dims := maskDims(mask, n)
 		m := map[uint64]float64{}
 		tick := budget.NewTicker(ctx, 0)
@@ -354,6 +362,9 @@ func BuildROLAPSmallestParentCtx(ctx context.Context, in *Input, opt Options) (*
 			parents[i] = smallestComputedParent(mask, out)
 		}
 		err := st.ForEach(len(level), func(i int) error {
+			if err := fault.Hit(ctx, fault.PointCubeView); err != nil {
+				return err
+			}
 			m := aggregateFromParent(out, parents[i], level[i], n)
 			if err := acct.chargeView(len(m), rolapEntryBytes); err != nil {
 				return err
@@ -383,9 +394,15 @@ func baseGroupBy(ctx context.Context, in *Input, dims []int, st parallel.Stage) 
 		for o := range parts {
 			parts[o] = map[uint64]float64{}
 		}
-		ran := st.GroupReduce(len(in.Rows), parallel.HashOwner(w),
+		ran, err := st.GroupReduce(len(in.Rows), parallel.HashOwner(w),
 			func(_, i int, out func(uint64)) { out(groupKey(in.Rows[i], dims, in.Card)) },
 			func(o int, key uint64, i, _ int) { parts[o][key] += in.Vals[i] })
+		if err != nil {
+			// A contained worker panic: the partial maps are garbage and a
+			// sequential retry would re-panic uncontained — surface the
+			// typed error instead.
+			return nil, err
+		}
 		if ran {
 			total := 0
 			for _, p := range parts {

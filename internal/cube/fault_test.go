@@ -1,0 +1,67 @@
+package cube
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"statcube/internal/fault"
+	"statcube/internal/parallel"
+)
+
+// TestBuildersFailCleanlyOnViewFault: an error injected at the cube.view
+// hook makes every builder return the typed error and nil Views — never
+// a partially-filled cube.
+func TestBuildersFailCleanlyOnViewFault(t *testing.T) {
+	in := snapshotInput(t)
+	builders := map[string]func(context.Context, *Input, Options) (*Views, error){
+		"rolap_naive": BuildROLAPNaiveCtx,
+		"rolap_sp":    BuildROLAPSmallestParentCtx,
+		"molap":       BuildMOLAPCtx,
+	}
+	for name, build := range builders {
+		inj := fault.New(fault.Schedule{Seed: 13, Rate: 1, Mode: fault.Error, MaxInjections: 1,
+			Points: []string{fault.PointCubeView}})
+		ctx := fault.WithInjector(context.Background(), inj)
+		v, err := build(ctx, in, Options{})
+		if !errors.Is(err, fault.ErrInjected) {
+			t.Errorf("%s: err = %v, want ErrInjected", name, err)
+		}
+		if v != nil {
+			t.Errorf("%s: partial Views escaped a failed build", name)
+		}
+	}
+}
+
+// TestBuildersSurviveInjectedPanic: a panic-mode injection inside a view
+// task is contained by the worker boundary and surfaced as the typed
+// worker-panic error — the process lives, the build returns nothing.
+func TestBuildersSurviveInjectedPanic(t *testing.T) {
+	in := snapshotInput(t)
+	inj := fault.New(fault.Schedule{Seed: 29, Rate: 1, Mode: fault.Panic, MaxInjections: 1,
+		Points: []string{fault.PointCubeView}})
+	ctx := fault.WithInjector(context.Background(), inj)
+	v, err := BuildROLAPNaiveCtx(ctx, in, Options{})
+	if !errors.Is(err, parallel.ErrWorkerPanic) {
+		t.Fatalf("err = %v, want ErrWorkerPanic", err)
+	}
+	if v != nil {
+		t.Fatal("partial Views escaped a panicked build")
+	}
+}
+
+// TestMaterializeFaultOnView: MaterializeCtx discards the set whole when
+// a requested view's computation fails.
+func TestMaterializeFaultOnView(t *testing.T) {
+	in := snapshotInput(t)
+	inj := fault.New(fault.Schedule{Seed: 31, Rate: 1, Mode: fault.Error, MaxInjections: 1,
+		Points: []string{fault.PointCubeView}})
+	ctx := fault.WithInjector(context.Background(), inj)
+	m, err := MaterializeCtx(ctx, in, []int{0b011, 0b101})
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if m != nil {
+		t.Fatal("partial MaterializedSet escaped")
+	}
+}

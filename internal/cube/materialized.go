@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"statcube/internal/budget"
+	"statcube/internal/fault"
 )
 
 // MaterializedSet is a set of actually-computed views with the lattice's
@@ -65,6 +66,10 @@ func MaterializeCtx(ctx context.Context, in *Input, masks []int) (*MaterializedS
 	sort.Slice(sorted, func(a, b int) bool { return PopCount(sorted[a]) > PopCount(sorted[b]) })
 	for _, mask := range sorted {
 		if err := budget.Check(ctx); err != nil {
+			recordBuildAbort(err)
+			return nil, err
+		}
+		if err := fault.Hit(ctx, fault.PointCubeView); err != nil {
 			recordBuildAbort(err)
 			return nil, err
 		}

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"statcube/internal/budget"
+	"statcube/internal/fault"
 	"statcube/internal/marray"
 	"statcube/internal/parallel"
 )
@@ -124,6 +125,9 @@ func BuildMOLAPCtx(ctx context.Context, in *Input, opt Options) (*Views, error) 
 			parents[i] = smallestDenseParent(mask, arrays)
 		}
 		err := st.ForEach(len(level), func(i int) error {
+			if err := fault.Hit(ctx, fault.PointCubeView); err != nil {
+				return err
+			}
 			arrays[level[i]] = arrays[parents[i]].rollup(level[i])
 			return nil
 		})
@@ -161,7 +165,7 @@ func BuildMOLAPCtx(ctx context.Context, in *Input, opt Options) (*Views, error) 
 func loadDense(ctx context.Context, in *Input, a *dense, st parallel.Stage) error {
 	w := parallel.Workers(st.Workers, len(in.Rows))
 	if w > 1 {
-		ran := st.GroupReduce(len(in.Rows), parallel.RangeOwner(w, uint64(len(a.vals))),
+		ran, err := st.GroupReduce(len(in.Rows), parallel.RangeOwner(w, uint64(len(a.vals))),
 			func(_, i int, out func(uint64)) {
 				pos := 0
 				row := in.Rows[i]
@@ -174,6 +178,11 @@ func loadDense(ctx context.Context, in *Input, a *dense, st parallel.Stage) erro
 				a.vals[key] += in.Vals[i]
 				a.present[key] = true
 			})
+		if err != nil {
+			// Contained worker panic — the array holds partial sums and the
+			// sequential retry would re-panic; surface the typed error.
+			return err
+		}
 		if ran {
 			return nil
 		}

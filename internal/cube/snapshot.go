@@ -1,0 +1,264 @@
+package cube
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"statcube/internal/fault"
+	"statcube/internal/snapshot"
+)
+
+// Cube snapshot payloads, layered on the snapshot container format
+// (which supplies versioning, checksums and atomic generations). Two
+// section kinds:
+//
+//	meta (1)  u8 ndims | ndims × u32 cardinality
+//	view (2)  u32 mask | u64 entries | entries × (u64 key | f64 sum)
+//
+// View entries are written in ascending key order, so encoding the same
+// cube twice yields byte-identical files — snapshots diff and dedupe
+// like any other deterministic artifact, and the chaos suite can assert
+// save/load round-trips by comparing bytes. Decoders trust nothing:
+// every structural surprise inside a CRC-valid section is still a typed
+// snapshot.ErrCorrupt, and each decoded view is charged against the
+// context's budget governor exactly like a freshly built one, so
+// loading a snapshot can never smuggle a cube past the memory quota.
+const (
+	sectionMeta = 1
+	sectionView = 2
+)
+
+// encodeCube writes the meta section plus one view section per mask in
+// masks order. The context's fault injector is consulted at every
+// section boundary (snapshot.section), the hook chaos tests use to die
+// mid-file.
+func encodeCube(ctx context.Context, w io.Writer, card []int, masks []int, view func(int) map[uint64]float64) error {
+	inj := fault.From(ctx)
+	enc, err := snapshot.NewEncoder(w)
+	if err != nil {
+		return err
+	}
+	meta := make([]byte, 1+4*len(card))
+	meta[0] = byte(len(card))
+	for d, c := range card {
+		binary.LittleEndian.PutUint32(meta[1+4*d:], uint32(c))
+	}
+	if err := inj.Hit(fault.PointSnapshotSection); err != nil {
+		return err
+	}
+	if err := enc.Section(sectionMeta, meta); err != nil {
+		return err
+	}
+	keys := make([]uint64, 0, 1024)
+	for _, mask := range masks {
+		m := view(mask)
+		keys = keys[:0]
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		payload := make([]byte, 4+8+16*len(keys))
+		binary.LittleEndian.PutUint32(payload, uint32(mask))
+		binary.LittleEndian.PutUint64(payload[4:], uint64(len(keys)))
+		off := 12
+		for _, k := range keys {
+			binary.LittleEndian.PutUint64(payload[off:], k)
+			binary.LittleEndian.PutUint64(payload[off+8:], math.Float64bits(m[k]))
+			off += 16
+		}
+		if err := inj.Hit(fault.PointSnapshotSection); err != nil {
+			return err
+		}
+		if err := enc.Section(sectionView, payload); err != nil {
+			return err
+		}
+	}
+	return enc.Close()
+}
+
+// corruptf builds a payload-level corruption error matching ErrCorrupt.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("cube snapshot: %w: %s", snapshot.ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// decodeCube reads a cube payload back: dimension cardinalities plus the
+// stored views. Each finished view is charged to the context's governor
+// (cells and bytes) before the next is decoded, so an over-budget load
+// fails with the typed budget error partway in instead of materializing
+// the whole cube first.
+func decodeCube(ctx context.Context, r io.Reader) ([]int, map[int]map[uint64]float64, error) {
+	dec, err := snapshot.NewDecoder(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	acct := newAccountant(ctx)
+	defer acct.close()
+	var card []int
+	views := map[int]map[uint64]float64{}
+	for {
+		kind, payload, err := dec.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		switch kind {
+		case sectionMeta:
+			if card != nil {
+				return nil, nil, corruptf("duplicate meta section")
+			}
+			if len(payload) < 1 {
+				return nil, nil, corruptf("empty meta section")
+			}
+			n := int(payload[0])
+			if n > 16 || len(payload) != 1+4*n {
+				return nil, nil, corruptf("meta section claims %d dims in %d bytes", n, len(payload))
+			}
+			card = make([]int, n)
+			for d := range card {
+				c := binary.LittleEndian.Uint32(payload[1+4*d:])
+				if c == 0 || c > 1<<28 {
+					return nil, nil, corruptf("dim %d cardinality %d", d, c)
+				}
+				card[d] = int(c)
+			}
+		case sectionView:
+			if card == nil {
+				return nil, nil, corruptf("view section before meta")
+			}
+			if len(payload) < 12 {
+				return nil, nil, corruptf("view section of %d bytes", len(payload))
+			}
+			mask := int(binary.LittleEndian.Uint32(payload))
+			if mask >= 1<<uint(len(card)) {
+				return nil, nil, corruptf("view mask %d beyond %d dims", mask, len(card))
+			}
+			if _, dup := views[mask]; dup {
+				return nil, nil, corruptf("duplicate view mask %d", mask)
+			}
+			n := binary.LittleEndian.Uint64(payload[4:])
+			if uint64(len(payload)) != 12+16*n {
+				return nil, nil, corruptf("view mask %d claims %d entries in %d bytes", mask, n, len(payload))
+			}
+			m := make(map[uint64]float64, n)
+			prev, off := uint64(0), 12
+			for i := uint64(0); i < n; i++ {
+				k := binary.LittleEndian.Uint64(payload[off:])
+				if i > 0 && k <= prev {
+					return nil, nil, corruptf("view mask %d keys out of order", mask)
+				}
+				prev = k
+				m[k] = math.Float64frombits(binary.LittleEndian.Uint64(payload[off+8:]))
+				off += 16
+			}
+			if err := acct.chargeView(len(m), rolapEntryBytes); err != nil {
+				return nil, nil, err
+			}
+			views[mask] = m
+		default:
+			return nil, nil, corruptf("unknown section kind %d", kind)
+		}
+	}
+	if card == nil {
+		return nil, nil, corruptf("no meta section")
+	}
+	return card, views, nil
+}
+
+// EncodeViews writes a full cube to w in the snapshot container format.
+func EncodeViews(ctx context.Context, w io.Writer, v *Views) error {
+	masks := make([]int, 0, len(v.ByMask))
+	for mask, m := range v.ByMask {
+		if m != nil {
+			masks = append(masks, mask)
+		}
+	}
+	return encodeCube(ctx, w, v.Card, masks, v.View)
+}
+
+// DecodeViews reads a full cube back. Masks absent from the snapshot
+// stay nil, exactly as an unbuilt view would be.
+func DecodeViews(ctx context.Context, r io.Reader) (*Views, error) {
+	card, views, err := decodeCube(ctx, r)
+	if err != nil {
+		return nil, err
+	}
+	v := &Views{Card: card, ByMask: make([]map[uint64]float64, 1<<uint(len(card)))}
+	for mask, m := range views {
+		v.ByMask[mask] = m
+	}
+	return v, nil
+}
+
+// SaveViews writes a full cube as the next generation of name in the
+// store, atomically. See Store.Save for the crash contract.
+func SaveViews(ctx context.Context, st *snapshot.Store, name string, v *Views) (uint64, error) {
+	return st.Save(ctx, name, func(w io.Writer) error { return EncodeViews(ctx, w, v) })
+}
+
+// LoadViews reads the newest loadable generation of name from the store,
+// recovering past corrupt generations (see Store.Load).
+func LoadViews(ctx context.Context, st *snapshot.Store, name string) (*Views, uint64, error) {
+	var v *Views
+	gen, err := st.Load(ctx, name, func(r io.Reader) error {
+		var err error
+		v, err = DecodeViews(ctx, r)
+		return err
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return v, gen, nil
+}
+
+// EncodeMaterialized writes a materialized-view set to w. Only the
+// stored views travel; scan-cost statistics are runtime state and reset
+// on load.
+func EncodeMaterialized(ctx context.Context, w io.Writer, m *MaterializedSet) error {
+	return encodeCube(ctx, w, m.card, m.MaterializedMasks(), func(mask int) map[uint64]float64 {
+		return m.views[mask]
+	})
+}
+
+// DecodeMaterialized reads a materialized-view set back. A snapshot
+// without the base cuboid is corrupt — a set that cannot answer every
+// query was never a valid MaterializedSet, and half-loaded state must
+// not impersonate one.
+func DecodeMaterialized(ctx context.Context, r io.Reader) (*MaterializedSet, error) {
+	card, views, err := decodeCube(ctx, r)
+	if err != nil {
+		return nil, err
+	}
+	base := 1<<uint(len(card)) - 1
+	if views[base] == nil {
+		return nil, corruptf("materialized set without its base cuboid")
+	}
+	return &MaterializedSet{card: card, views: views, base: base}, nil
+}
+
+// SaveMaterialized writes a materialized set as the next generation of
+// name in the store, atomically.
+func SaveMaterialized(ctx context.Context, st *snapshot.Store, name string, m *MaterializedSet) (uint64, error) {
+	return st.Save(ctx, name, func(w io.Writer) error { return EncodeMaterialized(ctx, w, m) })
+}
+
+// LoadMaterialized reads the newest loadable materialized set of name,
+// recovering past corrupt generations.
+func LoadMaterialized(ctx context.Context, st *snapshot.Store, name string) (*MaterializedSet, uint64, error) {
+	var m *MaterializedSet
+	gen, err := st.Load(ctx, name, func(r io.Reader) error {
+		var err error
+		m, err = DecodeMaterialized(ctx, r)
+		return err
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, gen, nil
+}

@@ -1,0 +1,225 @@
+package cube
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"statcube/internal/budget"
+	"statcube/internal/fault"
+	"statcube/internal/snapshot"
+)
+
+// snapshotInput builds a small but non-trivial coded fact table.
+func snapshotInput(t *testing.T) *Input {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	in := &Input{Card: []int{4, 3, 5}}
+	for i := 0; i < 500; i++ {
+		in.Rows = append(in.Rows, []int{rng.Intn(4), rng.Intn(3), rng.Intn(5)})
+		in.Vals = append(in.Vals, rng.NormFloat64())
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestViewsSnapshotRoundTrip: a full cube survives encode/decode exactly
+// — same masks, same keys, bit-identical sums.
+func TestViewsSnapshotRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	v, err := BuildROLAPSmallestParentCtx(ctx, snapshotInput(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeViews(ctx, &buf, v); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeViews(ctx, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Identical(got) {
+		t.Fatal("decoded cube differs from the original")
+	}
+}
+
+// TestViewsSnapshotDeterministic: encoding the same cube twice yields
+// byte-identical files — the sorted-key discipline holds.
+func TestViewsSnapshotDeterministic(t *testing.T) {
+	ctx := context.Background()
+	v, err := BuildROLAPNaiveCtx(ctx, snapshotInput(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := EncodeViews(ctx, &a, v); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeViews(ctx, &b, v); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two encodes of one cube differ")
+	}
+}
+
+// TestMaterializedSnapshotRoundTrip: a materialized set answers queries
+// identically after a save/load cycle through a store.
+func TestMaterializedSnapshotRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	in := snapshotInput(t)
+	m, err := MaterializeCtx(ctx, in, []int{0b011, 0b100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := snapshot.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SaveMaterialized(ctx, st, "mv", m); err != nil {
+		t.Fatal(err)
+	}
+	got, gen, err := LoadMaterialized(ctx, st, "mv")
+	if err != nil || gen != 1 {
+		t.Fatalf("LoadMaterialized: gen %d err %v", gen, err)
+	}
+	if want, have := m.MaterializedMasks(), got.MaterializedMasks(); len(want) != len(have) {
+		t.Fatalf("masks %v, want %v", have, want)
+	}
+	for mask := 0; mask < 1<<3; mask++ {
+		a, _, err := m.Answer(mask)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := got.Answer(mask)
+		if err != nil {
+			t.Fatal(err)
+		}
+		va := &Views{Card: in.Card, ByMask: make([]map[uint64]float64, 1<<3)}
+		vb := &Views{Card: in.Card, ByMask: make([]map[uint64]float64, 1<<3)}
+		va.ByMask[mask], vb.ByMask[mask] = a, b
+		if !va.Identical(vb) {
+			t.Fatalf("mask %b answers differ after reload", mask)
+		}
+	}
+}
+
+// TestLoadViewsChargesBudget: decoding a snapshot reserves against the
+// context's governor like a build does — a cube too big for the cell
+// quota fails the load with the typed budget error.
+func TestLoadViewsChargesBudget(t *testing.T) {
+	ctx := context.Background()
+	v, err := BuildROLAPNaiveCtx(ctx, snapshotInput(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeViews(ctx, &buf, v); err != nil {
+		t.Fatal(err)
+	}
+	gov := budget.NewGovernor(budget.Limits{MaxCells: 10})
+	tight := budget.WithGovernor(context.Background(), gov)
+	if _, err := DecodeViews(tight, bytes.NewReader(buf.Bytes())); !errors.Is(err, budget.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	// Cells are a cumulative production quota and stay charged; the byte
+	// ledger must drain to zero when the failed load unwinds.
+	if gov.BytesReserved() != 0 {
+		t.Fatalf("failed load leaked %d reserved bytes", gov.BytesReserved())
+	}
+}
+
+// TestDecodeViewsRejectsGarbagePayloads: structurally broken payloads
+// inside CRC-valid sections are still typed corruption, never a panic or
+// a silently wrong cube.
+func TestDecodeViewsRejectsGarbagePayloads(t *testing.T) {
+	ctx := context.Background()
+	cases := map[string]func(enc *snapshot.Encoder) error{
+		"no meta": func(enc *snapshot.Encoder) error {
+			return enc.Section(sectionView, make([]byte, 12))
+		},
+		"unknown kind": func(enc *snapshot.Encoder) error {
+			return enc.Section(9, []byte("?"))
+		},
+		"meta dims overflow": func(enc *snapshot.Encoder) error {
+			return enc.Section(sectionMeta, []byte{17})
+		},
+		"zero cardinality": func(enc *snapshot.Encoder) error {
+			return enc.Section(sectionMeta, []byte{1, 0, 0, 0, 0})
+		},
+	}
+	for name, build := range cases {
+		var buf bytes.Buffer
+		enc, err := snapshot.NewEncoder(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := build(enc); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeViews(ctx, bytes.NewReader(buf.Bytes())); !errors.Is(err, snapshot.ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+// TestSaveViewsFaultAtSectionBoundary: an error injected at the
+// snapshot.section hook fails the save cleanly — typed error, no new
+// generation, previous generation untouched.
+func TestSaveViewsFaultAtSectionBoundary(t *testing.T) {
+	ctx := context.Background()
+	v, err := BuildROLAPNaiveCtx(ctx, snapshotInput(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := snapshot.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SaveViews(ctx, st, "cube", v); err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.New(fault.Schedule{Seed: 5, Rate: 1, Mode: fault.Error, MaxInjections: 1,
+		Points: []string{fault.PointSnapshotSection}})
+	if _, err := SaveViews(fault.WithInjector(ctx, inj), st, "cube", v); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	gens, err := st.Generations("cube")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 1 {
+		t.Fatalf("generations after failed save = %v, want just the first", gens)
+	}
+	if _, _, err := LoadViews(ctx, st, "cube"); err != nil {
+		t.Fatalf("previous generation unloadable: %v", err)
+	}
+}
+
+// TestMaterializedSnapshotNeedsBase: a snapshot missing the base cuboid
+// must not reconstruct into a half-functional set.
+func TestMaterializedSnapshotNeedsBase(t *testing.T) {
+	ctx := context.Background()
+	var buf bytes.Buffer
+	enc, err := snapshot.NewEncoder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Section(sectionMeta, []byte{1, 2, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeMaterialized(ctx, bytes.NewReader(buf.Bytes())); !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}

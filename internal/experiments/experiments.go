@@ -79,6 +79,7 @@ func All() []Experiment {
 		{"E13", E13Homomorphism},
 		{"E14", E14Sampling},
 		{"E15", E15ClassificationMatching},
+		{"E16", E16Snapshot},
 	}
 }
 

@@ -1,0 +1,32 @@
+package fault
+
+import "context"
+
+type ctxKey struct{}
+
+// WithInjector attaches an injector to the context; hook sites recover it
+// with From (or evaluate directly through Hit). Attaching nil returns ctx
+// unchanged, mirroring budget.WithGovernor.
+func WithInjector(ctx context.Context, i *Injector) context.Context {
+	if i == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, i)
+}
+
+// From returns the context's injector, or nil (= no faults) when none is
+// attached. A nil context is accepted.
+func From(ctx context.Context) *Injector {
+	if ctx == nil {
+		return nil
+	}
+	i, _ := ctx.Value(ctxKey{}).(*Injector)
+	return i
+}
+
+// Hit evaluates the context's injector at a hook point — the one-line
+// form for operation boundaries that hold a context but no resolved
+// injector. Hot loops should resolve From(ctx) once instead.
+func Hit(ctx context.Context, point string) error {
+	return From(ctx).Hit(point)
+}

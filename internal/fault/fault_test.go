@@ -1,0 +1,228 @@
+package fault
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestNilInjectorIsInert: every method of a nil injector is a no-op, so
+// un-instrumented paths never branch on fault config.
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	if err := inj.Hit(PointCubeView); err != nil {
+		t.Fatalf("nil Hit = %v", err)
+	}
+	var buf bytes.Buffer
+	if w := inj.Writer(PointSnapshotWrite, &buf); w != &buf {
+		t.Fatal("nil Writer should return the writer unchanged")
+	}
+	if inj.Injected() != 0 || inj.Evaluations() != 0 {
+		t.Fatal("nil injector has counts")
+	}
+	if err := Hit(context.Background(), PointCubeView); err != nil {
+		t.Fatalf("Hit without injector = %v", err)
+	}
+	if From(nil) != nil {
+		t.Fatal("From(nil) should be nil")
+	}
+}
+
+// TestDeterministicDecisions: the same schedule replays the same per-point
+// decision sequence, and different seeds diverge.
+func TestDeterministicDecisions(t *testing.T) {
+	run := func(seed uint64) []bool {
+		inj := New(Schedule{Seed: seed, Rate: 0.3, Mode: Error})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = inj.Hit(PointColstoreScan) != nil
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs between identical schedules", i)
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical 200-decision sequences")
+	}
+}
+
+// TestRateExtremes: rate 1 fires every armed evaluation, rate 0 never.
+func TestRateExtremes(t *testing.T) {
+	hot := New(Schedule{Seed: 1, Rate: 1, Mode: Error})
+	for i := 0; i < 50; i++ {
+		if hot.Hit(PointCubeView) == nil {
+			t.Fatalf("rate 1 did not fire on hit %d", i)
+		}
+	}
+	cold := New(Schedule{Seed: 1, Rate: 0, Mode: Error})
+	for i := 0; i < 50; i++ {
+		if cold.Hit(PointCubeView) != nil {
+			t.Fatalf("rate 0 fired on hit %d", i)
+		}
+	}
+}
+
+// TestPointArming: only listed points fire; empty Points arms everything.
+func TestPointArming(t *testing.T) {
+	inj := New(Schedule{Seed: 1, Rate: 1, Mode: Error, Points: []string{PointRelstoreScan}})
+	if inj.Hit(PointColstoreScan) != nil {
+		t.Fatal("un-armed point fired")
+	}
+	if inj.Hit(PointRelstoreScan) == nil {
+		t.Fatal("armed point did not fire")
+	}
+	all := New(Schedule{Seed: 1, Rate: 1, Mode: Error})
+	if all.Hit(PointMarrayChunk) == nil {
+		t.Fatal("empty Points should arm every point")
+	}
+}
+
+// TestErrorTyping: fired errors carry the sentinel, the point and the hit
+// ordinal.
+func TestErrorTyping(t *testing.T) {
+	inj := New(Schedule{Seed: 3, Rate: 1, Mode: Error})
+	err := inj.Hit(PointCubeView)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected error does not match sentinel: %v", err)
+	}
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Point != PointCubeView || ie.Hit != 0 {
+		t.Fatalf("InjectedError = %+v", ie)
+	}
+	err = inj.Hit(PointCubeView)
+	if !errors.As(err, &ie) || ie.Hit != 1 {
+		t.Fatalf("second hit ordinal = %+v", ie)
+	}
+}
+
+// TestMaxInjections: the cap bounds total fired decisions across points.
+func TestMaxInjections(t *testing.T) {
+	inj := New(Schedule{Seed: 3, Rate: 1, Mode: Error, MaxInjections: 2})
+	fired := 0
+	for i := 0; i < 20; i++ {
+		if inj.Hit(PointCubeView) != nil {
+			fired++
+		}
+	}
+	if fired != 2 || inj.Injected() != 2 {
+		t.Fatalf("fired %d (counter %d), want cap 2", fired, inj.Injected())
+	}
+	if inj.Evaluations() != 20 {
+		t.Fatalf("evaluations %d, want 20", inj.Evaluations())
+	}
+}
+
+// TestPanicMode: a fired panic-mode decision panics with *InjectedPanic.
+func TestPanicMode(t *testing.T) {
+	inj := New(Schedule{Seed: 5, Rate: 1, Mode: Panic})
+	defer func() {
+		v := recover()
+		p, ok := v.(*InjectedPanic)
+		if !ok || p.Point != PointParallelTask {
+			t.Fatalf("recovered %v, want *InjectedPanic at %s", v, PointParallelTask)
+		}
+	}()
+	_ = inj.Hit(PointParallelTask)
+	t.Fatal("panic mode did not panic")
+}
+
+// TestWriterModesInertForHit: ShortWrite/BitFlip schedules never fire
+// from Hit, so scan hooks sharing the schedule stay clean.
+func TestWriterModesInertForHit(t *testing.T) {
+	for _, m := range []Mode{ShortWrite, BitFlip} {
+		inj := New(Schedule{Seed: 1, Rate: 1, Mode: m})
+		if err := inj.Hit(PointColstoreScan); err != nil {
+			t.Fatalf("mode %v fired from Hit: %v", m, err)
+		}
+	}
+}
+
+// TestShortWrite: a fired write persists a strict prefix and returns the
+// typed error.
+func TestShortWrite(t *testing.T) {
+	inj := New(Schedule{Seed: 1, Rate: 1, Mode: ShortWrite})
+	var buf bytes.Buffer
+	w := inj.Writer(PointSnapshotWrite, &buf)
+	payload := []byte("0123456789abcdef")
+	n, err := w.Write(payload)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write error = %v", err)
+	}
+	if n != len(payload)/2 || buf.Len() != len(payload)/2 {
+		t.Fatalf("persisted %d/%d bytes, want %d", n, buf.Len(), len(payload)/2)
+	}
+	if !bytes.Equal(buf.Bytes(), payload[:len(payload)/2]) {
+		t.Fatal("persisted bytes are not a prefix")
+	}
+}
+
+// TestBitFlip: a fired write succeeds, differs from the payload by exactly
+// one bit, and never mutates the caller's buffer.
+func TestBitFlip(t *testing.T) {
+	inj := New(Schedule{Seed: 9, Rate: 1, Mode: BitFlip})
+	var buf bytes.Buffer
+	w := inj.Writer(PointSnapshotWrite, &buf)
+	payload := []byte("0123456789abcdef")
+	orig := append([]byte(nil), payload...)
+	n, err := w.Write(payload)
+	if err != nil || n != len(payload) {
+		t.Fatalf("bit-flip write = %d, %v", n, err)
+	}
+	if !bytes.Equal(payload, orig) {
+		t.Fatal("caller's buffer was mutated")
+	}
+	diff := 0
+	for i := range orig {
+		x := orig[i] ^ buf.Bytes()[i]
+		for ; x != 0; x &= x - 1 {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bits differ, want exactly 1", diff)
+	}
+}
+
+// TestWriterPassThrough: error-mode schedules and un-armed points leave
+// the writer untouched.
+func TestWriterPassThrough(t *testing.T) {
+	var buf bytes.Buffer
+	inj := New(Schedule{Seed: 1, Rate: 1, Mode: Error})
+	if w := inj.Writer(PointSnapshotWrite, &buf); w != io.Writer(&buf) {
+		t.Fatal("error-mode Writer should pass through")
+	}
+	armed := New(Schedule{Seed: 1, Rate: 1, Mode: BitFlip, Points: []string{PointSnapshotSection}})
+	if w := armed.Writer(PointSnapshotWrite, &buf); w != io.Writer(&buf) {
+		t.Fatal("un-armed Writer should pass through")
+	}
+}
+
+// TestContextPlumbing: WithInjector/From round-trip, and Hit reads the
+// context's injector.
+func TestContextPlumbing(t *testing.T) {
+	inj := New(Schedule{Seed: 2, Rate: 1, Mode: Error})
+	ctx := WithInjector(context.Background(), inj)
+	if From(ctx) != inj {
+		t.Fatal("From did not return the attached injector")
+	}
+	if err := Hit(ctx, PointCubeView); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Hit through context = %v", err)
+	}
+	if got := WithInjector(context.Background(), nil); From(got) != nil {
+		t.Fatal("attaching nil should be a no-op")
+	}
+}

@@ -1,5 +1,5 @@
 // Package analyzers holds the engine's rule set for the statlint driver
-// (internal/lint): six analyzers encoding the conventions PRs 1–3
+// (internal/lint): seven analyzers encoding the conventions PRs 1–5
 // introduced and nothing previously enforced. Each analyzer documents
 // its rule in Doc; DESIGN.md §"Static analysis" records the rationale
 // and the suppression policy.
@@ -24,6 +24,7 @@ func All() []*lint.Analyzer {
 		newErrwrap(),
 		newMetricname(),
 		newNodeterm(),
+		newRecoverboundary(),
 	}
 }
 

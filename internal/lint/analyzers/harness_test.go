@@ -102,12 +102,13 @@ func collectWants(t *testing.T, dir string) map[string]*regexp.Regexp {
 	return wants
 }
 
-func TestCtxpollCorpus(t *testing.T)        { runCorpus(t, "ctxpoll") }
-func TestCtxfirstCorpus(t *testing.T)       { runCorpus(t, "ctxfirst") }
-func TestNakedgoroutineCorpus(t *testing.T) { runCorpus(t, "nakedgoroutine") }
-func TestErrwrapCorpus(t *testing.T)        { runCorpus(t, "errwrap") }
-func TestMetricnameCorpus(t *testing.T)     { runCorpus(t, "metricname") }
-func TestNodetermCorpus(t *testing.T)       { runCorpus(t, "nodeterm") }
+func TestCtxpollCorpus(t *testing.T)         { runCorpus(t, "ctxpoll") }
+func TestCtxfirstCorpus(t *testing.T)        { runCorpus(t, "ctxfirst") }
+func TestNakedgoroutineCorpus(t *testing.T)  { runCorpus(t, "nakedgoroutine") }
+func TestErrwrapCorpus(t *testing.T)         { runCorpus(t, "errwrap") }
+func TestMetricnameCorpus(t *testing.T)      { runCorpus(t, "metricname") }
+func TestNodetermCorpus(t *testing.T)        { runCorpus(t, "nodeterm") }
+func TestRecoverboundaryCorpus(t *testing.T) { runCorpus(t, "recoverboundary") }
 
 // TestAllFresh locks in that All returns fresh analyzer instances:
 // metricname's uniqueness ledger must not leak between driver runs, or

@@ -1,0 +1,63 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"statcube/internal/lint"
+)
+
+// newRecoverboundary confines recover() to the sanctioned panic
+// boundaries. The engine's failure model (DESIGN.md §"Failure model &
+// durability") is that a panic anywhere in a query crosses at most one
+// boundary — the internal/parallel worker loop, which converts it to a
+// typed ErrWorkerPanic — and otherwise crashes the process. A recover()
+// sprinkled into an engine package would silently swallow invariant
+// violations mid-build, leaving half-written views and unreleased budget
+// reservations: exactly the partial states the chaos suite exists to
+// rule out. Sanctioned boundaries:
+//
+//   - internal/parallel: the worker loop's containment point, where the
+//     recovered value becomes an error that the pool propagates.
+//   - cmd/ packages: a main func may recover to choose an exit code;
+//     CLIs own their process lifecycle.
+//   - _test.go files: never seen here — the loader excludes test files,
+//     so `if recover() == nil` panic assertions stay legal for free.
+func newRecoverboundary() *lint.Analyzer {
+	a := &lint.Analyzer{
+		Name: "recoverboundary",
+		Doc:  "recover() only in internal/parallel, cmd/ packages and _test.go files; panics elsewhere must reach a worker boundary",
+	}
+	a.Run = func(pass *lint.Pass) error {
+		if pathHasSuffix(pass.ImportPath, "internal/parallel") || hasCmdSegment(pass.ImportPath) {
+			return nil
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || id.Name != "recover" {
+					return true
+				}
+				if _, builtin := pass.Info.Uses[id].(*types.Builtin); !builtin {
+					return true // a local func shadowing the name
+				}
+				pass.Reportf(call.Pos(),
+					"recover() outside a sanctioned boundary: panics must surface as parallel.ErrWorkerPanic at the internal/parallel worker loop, not be swallowed mid-engine")
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// hasCmdSegment reports whether the import path contains a cmd/ path
+// segment ("cmd/statcli", "statcube/cmd/statlint", nested corpus paths).
+func hasCmdSegment(path string) bool {
+	return strings.HasPrefix(path, "cmd/") || strings.Contains(path, "/cmd/")
+}

@@ -1,0 +1,9 @@
+// Package main mirrors a CLI entry point: cmd/ packages own their
+// process lifecycle, so recovering to pick an exit code is clean.
+package main
+
+func main() {
+	defer func() {
+		_ = recover()
+	}()
+}

@@ -1,0 +1,15 @@
+// Package parallel mirrors the sanctioned worker-loop boundary: the one
+// engine location where recover() is the rule, not the violation.
+package parallel
+
+// RunTask contains a worker panic at the boundary — clean here, and
+// only here, inside internal/.
+func RunTask(task func()) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = nil // the real loop wraps v into ErrWorkerPanic
+		}
+	}()
+	task()
+	return nil
+}

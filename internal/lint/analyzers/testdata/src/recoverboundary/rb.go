@@ -1,0 +1,31 @@
+// Package recoverboundary is the want/nowant corpus for the
+// recoverboundary analyzer: recover() only at sanctioned panic
+// boundaries.
+package recoverboundary
+
+// Swallow recovers in an engine package: a panic here should have
+// crossed the worker boundary and become ErrWorkerPanic instead.
+func Swallow(fn func()) (err error) {
+	defer func() {
+		if recover() != nil { // want "recover\(\) outside a sanctioned boundary"
+			err = nil
+		}
+	}()
+	fn()
+	return nil
+}
+
+// SwallowBare is the same violation without the defer dressing.
+func SwallowBare() any {
+	return recover() // want "recover\(\) outside a sanctioned boundary"
+}
+
+// Shadowed calls a local function that happens to be named recover —
+// not the builtin, so clean.
+func Shadowed() any {
+	recover := func() any { return nil }
+	return recover()
+}
+
+// Propagate lets panics fly to the boundary: clean.
+func Propagate(fn func()) { fn() }

@@ -1,6 +1,12 @@
 package marray
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+
+	"statcube/internal/budget"
+	"statcube/internal/fault"
+)
 
 // Chunked is a data cube pre-partitioned into subcubes (Figure 23). A
 // range query reads only the chunks that overlap it; the access software
@@ -109,6 +115,15 @@ func (c *Chunked) Get(coords []int) (float64, error) {
 // the chunks overlapping the box and charging each exactly once — the
 // benefit the pre-partitioning buys (Section 6.4).
 func (c *Chunked) RangeSum(lo, hi []int) (float64, error) {
+	return c.RangeSumCtx(context.Background(), lo, hi)
+}
+
+// RangeSumCtx is RangeSum under a context: cancellation is polled and
+// the marray.chunk fault hook consulted once per chunk read — each chunk
+// being the unit a real array store would fetch from disk, it is the
+// natural place for a read to fail. A failed query returns the typed
+// error and no partial sum.
+func (c *Chunked) RangeSumCtx(ctx context.Context, lo, hi []int) (float64, error) {
 	if len(lo) != len(c.shape) || len(hi) != len(c.shape) {
 		return 0, fmt.Errorf("%w: range arity", ErrShape)
 	}
@@ -127,7 +142,14 @@ func (c *Chunked) RangeSum(lo, hi []int) (float64, error) {
 	sum := 0.0
 	ci := make([]int, n)
 	copy(ci, cLo)
+	inj := fault.From(ctx)
 	for {
+		if err := budget.Check(ctx); err != nil {
+			return 0, err
+		}
+		if err := inj.Hit(fault.PointMarrayChunk); err != nil {
+			return 0, err
+		}
 		sum += c.sumWithinChunk(ci, lo, hi)
 		// Advance the chunk-grid odometer.
 		d := n - 1

@@ -1,0 +1,57 @@
+package marray
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"statcube/internal/budget"
+	"statcube/internal/fault"
+)
+
+// chunkedFixture builds a 10×10 array chunked 5×5 with every cell set.
+func chunkedFixture(t *testing.T) *Chunked {
+	t.Helper()
+	c, err := NewChunked([]int{10, 10}, []int{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if err := c.Set([]int{i, j}, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return c
+}
+
+// TestRangeSumCtxFaultHook: an error injected at the per-chunk hook
+// fails the query with the typed error and no partial sum; the same
+// query re-run clean returns the full answer.
+func TestRangeSumCtxFaultHook(t *testing.T) {
+	c := chunkedFixture(t)
+	// Third chunk read fails: MaxInjections=1 with the ordinal landing
+	// mid-query is exercised via rate 1 — the very first chunk is hit.
+	inj := fault.New(fault.Schedule{Seed: 4, Rate: 1, Mode: fault.Error, MaxInjections: 1,
+		Points: []string{fault.PointMarrayChunk}})
+	ctx := fault.WithInjector(context.Background(), inj)
+	if _, err := c.RangeSumCtx(ctx, []int{0, 0}, []int{9, 9}); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	got, err := c.RangeSumCtx(context.Background(), []int{0, 0}, []int{9, 9})
+	if err != nil || got != 100 {
+		t.Fatalf("clean query = %v, %v; want 100", got, err)
+	}
+}
+
+// TestRangeSumCtxCanceled: a canceled context stops the chunk walk with
+// the typed cancellation error.
+func TestRangeSumCtxCanceled(t *testing.T) {
+	c := chunkedFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.RangeSumCtx(ctx, []int{0, 0}, []int{9, 9}); !budget.IsCanceled(err) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}

@@ -64,27 +64,49 @@ func RangeOwner(workers int, size uint64) func(uint64) int {
 //
 // emit runs concurrently across chunks but serially within one chunk;
 // reduce runs concurrently across owners but serially within one owner.
-// GroupReduce reports whether the parallel path ran to completion: false
-// means the stage resolved to a single worker (or n exceeds the int32
-// routing capacity), or the stage context was canceled mid-reduction. In
-// both cases the caller should run its plain sequential loop — a canceled
-// context makes that loop fail fast on its own context check, so partial
-// reductions written by an aborted parallel pass are never returned as
-// results. Workers poll the context between items, bounding cancellation
-// latency, and every goroutine drains before GroupReduce returns.
+// GroupReduce reports whether the parallel path ran to completion:
+// (false, nil) means the stage resolved to a single worker (or n exceeds
+// the int32 routing capacity), or the stage context was canceled
+// mid-reduction. In both cases the caller should run its plain
+// sequential loop — a canceled context makes that loop fail fast on its
+// own context check, so partial reductions written by an aborted
+// parallel pass are never returned as results. A panicking emit or
+// reduce is contained at the worker boundary instead: the phase aborts,
+// every goroutine drains, and GroupReduce returns (false, *PanicError) —
+// the caller must surface that typed error, not fall back, because the
+// sequential retry would deterministically re-panic with no containment.
+// Workers poll the context between items, bounding cancellation latency,
+// and every goroutine drains before GroupReduce returns.
 func (s Stage) GroupReduce(
 	n int,
 	ownerOf func(key uint64) int,
 	emit func(chunk, item int, out func(key uint64)),
 	reduce func(owner int, key uint64, item, sub int),
-) bool {
+) (bool, error) {
 	w := Workers(s.Workers, n)
 	if w <= 1 || n < 2 || n > math.MaxInt32 {
-		return false
+		return false, nil
 	}
 	sp := s.Begin(true, n, w)
 	defer sp.End()
-	var aborted atomic.Bool
+	var (
+		aborted  atomic.Bool
+		panicMu  sync.Mutex
+		panicErr *PanicError
+	)
+	// keepPanic records the first contained panic (by phase order, then
+	// lowest task index) and aborts the stage.
+	keepPanic := func(pe *PanicError) {
+		if pe == nil {
+			return
+		}
+		panicMu.Lock()
+		if panicErr == nil || pe.Task < panicErr.Task {
+			panicErr = pe
+		}
+		panicMu.Unlock()
+		aborted.Store(true)
+	}
 	// bufs[chunk][owner] holds the pairs chunk routed to owner; each inner
 	// slice is written by one chunk goroutine and read by one owner
 	// goroutine, strictly after the phase barrier.
@@ -102,7 +124,10 @@ func (s Stage) GroupReduce(
 			}
 			route := bufs[c]
 			tick := budget.NewTicker(s.Ctx, 0)
+			task := lo
+			defer func() { keepPanic(contain(task, recover())) }()
 			for i := lo; i < hi; i++ {
+				task = i
 				if tick.Tick() != nil || aborted.Load() {
 					aborted.Store(true)
 					return
@@ -118,16 +143,23 @@ func (s Stage) GroupReduce(
 	}
 	wg.Wait()
 	if aborted.Load() {
+		if panicErr != nil {
+			sp.SetErr(panicErr)
+			return false, panicErr
+		}
 		sp.SetErr(budget.Check(s.Ctx))
-		return false
+		return false, nil
 	}
 	for o := 0; o < w; o++ {
 		wg.Add(1)
 		go func(o int) {
 			defer wg.Done()
 			tick := budget.NewTicker(s.Ctx, 0)
+			task := -1
+			defer func() { keepPanic(contain(task, recover())) }()
 			for c := 0; c < w; c++ {
 				for _, p := range bufs[c][o] {
+					task = int(p.item)
 					if tick.Tick() != nil || aborted.Load() {
 						aborted.Store(true)
 						return
@@ -139,8 +171,12 @@ func (s Stage) GroupReduce(
 	}
 	wg.Wait()
 	if aborted.Load() {
+		if panicErr != nil {
+			sp.SetErr(panicErr)
+			return false, panicErr
+		}
 		sp.SetErr(budget.Check(s.Ctx))
-		return false
+		return false, nil
 	}
-	return true
+	return true, nil
 }

@@ -1,0 +1,66 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"statcube/internal/obs"
+)
+
+// Panic containment. A panicking task must not kill the process: the
+// worker that hit it recovers, the stage drains exactly as it does for a
+// task error, and the caller receives a typed *PanicError carrying the
+// panic value and stack. This is the engine's only sanctioned recover
+// boundary outside cmd/ main functions — the recoverboundary statlint
+// analyzer enforces that.
+//
+// The parallel and sequential paths contain identically (runTask wraps
+// both), so a deterministic panic produces the same typed error whatever
+// the worker count — the byte-identical contract extended to failure.
+
+// ErrWorkerPanic is the sentinel every contained panic matches:
+// errors.Is(err, parallel.ErrWorkerPanic).
+var ErrWorkerPanic = errors.New("parallel: worker panic")
+
+// panicsContained counts panics recovered at the worker boundary
+// (parallel.panics in the metrics registry).
+var panicsContained = obs.Default().Counter("parallel.panics")
+
+// PanicError is one contained worker panic: the task index that panicked,
+// the recovered value, and the goroutine stack captured at recovery.
+type PanicError struct {
+	Task  int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: worker panic on task %d: %v", e.Task, e.Value)
+}
+
+// Is matches the ErrWorkerPanic sentinel.
+func (e *PanicError) Is(target error) bool { return target == ErrWorkerPanic }
+
+// contain converts a recovered panic value into the typed error and
+// charges the parallel.panics counter. Callers pass the recover() result
+// directly; nil (no panic) maps to nil.
+func contain(task int, v any) *PanicError {
+	if v == nil {
+		return nil
+	}
+	if obs.On() {
+		panicsContained.Inc()
+	}
+	return &PanicError{Task: task, Value: v, Stack: debug.Stack()}
+}
+
+// runTask invokes fn(task), recovering a panic into *PanicError.
+func runTask(task int, fn func(int) error) (err error) {
+	defer func() {
+		if pe := contain(task, recover()); pe != nil {
+			err = pe
+		}
+	}()
+	return fn(task)
+}

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 
 	"statcube/internal/budget"
+	"statcube/internal/fault"
 	"statcube/internal/obs"
 )
 
@@ -123,9 +124,24 @@ func (s Stage) Begin(par bool, tasks, workers int) *obs.Span {
 // A stage whose tasks write disjoint outputs (distinct slice elements,
 // per-task maps) therefore produces identical results on the sequential
 // and parallel paths.
+//
+// Tasks are panic-contained: a panicking fn (or a panic-mode fault
+// injection at the parallel.task hook) is recovered at the worker
+// boundary and surfaced as a typed *PanicError matching ErrWorkerPanic,
+// with the same first-error and drain semantics as a returned error —
+// on both the sequential and parallel paths.
 func (s Stage) ForEach(n int, fn func(task int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	inj := fault.From(s.Ctx)
+	run := func(i int) error {
+		return runTask(i, func(i int) error {
+			if err := inj.Hit(fault.PointParallelTask); err != nil {
+				return err
+			}
+			return fn(i)
+		})
 	}
 	w := Workers(s.Workers, n)
 	if w <= 1 {
@@ -136,7 +152,7 @@ func (s Stage) ForEach(n int, fn func(task int) error) error {
 				sp.SetErr(err)
 				return err
 			}
-			if err := fn(i); err != nil {
+			if err := run(i); err != nil {
 				sp.SetErr(err)
 				return err
 			}
@@ -178,7 +194,7 @@ func (s Stage) ForEach(n int, fn func(task int) error) error {
 				if enabled {
 					queueDepth.Set(float64(n - 1 - i))
 				}
-				if err := fn(i); err != nil {
+				if err := run(i); err != nil {
 					record(i, err)
 				}
 			}

@@ -169,9 +169,12 @@ func TestGroupReduceByteIdentical(t *testing.T) {
 			for o := range parts {
 				parts[o] = make([]float64, nkeys)
 			}
-			ran := st.GroupReduce(n, HashOwner(w),
+			ran, err := st.GroupReduce(n, HashOwner(w),
 				func(_, i int, out func(uint64)) { out(keys[i]) },
 				func(o int, key uint64, i, _ int) { parts[o][key] += vals[i] })
+			if err != nil {
+				t.Fatalf("procs=%d workers=%d: %v", procs, workers, err)
+			}
 			got := make([]float64, nkeys)
 			if !ran {
 				if w > 1 {
@@ -205,7 +208,7 @@ func TestGroupReduceReplayOrder(t *testing.T) {
 	for o := range seen {
 		seen[o] = map[uint64][]ev{}
 	}
-	ran := st.GroupReduce(n, HashOwner(w),
+	ran, err := st.GroupReduce(n, HashOwner(w),
 		func(_, i int, out func(uint64)) {
 			// Two emissions per item, to distinct keys, exercising sub.
 			out(uint64(i % 13))
@@ -214,6 +217,9 @@ func TestGroupReduceReplayOrder(t *testing.T) {
 		func(o int, key uint64, item, sub int) {
 			seen[o][key] = append(seen[o][key], ev{item, sub})
 		})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ran {
 		t.Skip("single worker resolved; nothing to verify")
 	}

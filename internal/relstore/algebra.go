@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"statcube/internal/budget"
+	"statcube/internal/fault"
 	"statcube/internal/obs"
 	"statcube/internal/parallel"
 )
@@ -37,8 +38,13 @@ func (r *Relation) Select(pred func(Row) bool) *Relation {
 
 // SelectCtx is Select under a context: the scan polls ctx between row
 // segments (sequential path) or aborts between fan-out segments (parallel
-// path), returning the typed budget.ErrCanceled and no relation.
+// path), returning the typed budget.ErrCanceled and no relation. Entry
+// is the relstore.scan fault-injection hook — chaos tests fail the scan
+// here as a stand-in for an unreadable base table.
 func (r *Relation) SelectCtx(ctx context.Context, pred func(Row) bool) (*Relation, error) {
+	if err := fault.Hit(ctx, fault.PointRelstoreScan); err != nil {
+		return nil, err
+	}
 	out := MustNewRelation(r.name, r.cols...)
 	n := len(r.rows)
 	w := parallel.Workers(parWorkers, n)

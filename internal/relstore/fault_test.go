@@ -1,0 +1,34 @@
+package relstore
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"statcube/internal/fault"
+)
+
+// TestSelectCtxFaultHook: an armed relstore.scan injector fails the scan
+// with the typed error and no relation; disarmed, results are unchanged.
+func TestSelectCtxFaultHook(t *testing.T) {
+	r := MustNewRelation("t",
+		Column{Name: "k", Kind: KString},
+		Column{Name: "v", Kind: KFloat})
+	for i := 0; i < 50; i++ {
+		r.MustAppend(Row{S("a"), F(float64(i))})
+	}
+	inj := fault.New(fault.Schedule{Seed: 9, Rate: 1, Mode: fault.Error,
+		Points: []string{fault.PointRelstoreScan}})
+	ctx := fault.WithInjector(context.Background(), inj)
+	out, err := r.SelectCtx(ctx, func(Row) bool { return true })
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if out != nil {
+		t.Fatal("failed scan leaked a partial relation")
+	}
+	got, err := r.SelectCtx(context.Background(), func(Row) bool { return true })
+	if err != nil || got.NumRows() != 50 {
+		t.Fatalf("clean scan: len %d err %v", got.NumRows(), err)
+	}
+}

@@ -1,0 +1,88 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzSnapshotDecode drives the container decoder with hostile bytes —
+// the corpus seeds valid snapshots alongside truncated, bit-flipped and
+// garbage ones. The decoder's contract under attack: never panic, never
+// allocate beyond MaxSection for one payload, and classify every
+// malformation as a typed *CorruptError; any other error would mean bad
+// bytes escaped the taxonomy.
+func FuzzSnapshotDecode(f *testing.F) {
+	valid := func(sections ...[]byte) []byte {
+		var buf bytes.Buffer
+		enc, err := NewEncoder(&buf)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for i, p := range sections {
+			if err := enc.Section(uint8(i+1), p); err != nil {
+				f.Fatal(err)
+			}
+		}
+		if err := enc.Close(); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	good := valid([]byte("payload one"), bytes.Repeat([]byte{7}, 300))
+	f.Add(good)
+	f.Add(valid())
+	f.Add(good[:len(good)-5]) // truncated tail
+	f.Add(good[:headerSize])  // header only
+	flipped := bytes.Clone(good)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte("STCB"))
+	f.Add(append(bytes.Clone(good), 0xEE)) // trailing garbage
+	huge := bytes.Clone(good)
+	for i := 0; i < 8; i++ { // length field of the first section → 2^64-ish
+		huge[headerSize+1+i] = 0xFF
+	}
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := NewDecoder(bytes.NewReader(data))
+		if err != nil {
+			assertTyped(t, err, data)
+			return
+		}
+		// Bound payload allocations so a fuzzer-crafted length cannot OOM
+		// the harness; the cap itself must be enforced as corruption.
+		dec.MaxSection = 1 << 20
+		for {
+			_, payload, err := dec.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				assertTyped(t, err, data)
+				return
+			}
+			if int64(len(payload)) > dec.MaxSection {
+				t.Fatalf("payload of %d bytes exceeds the %d cap", len(payload), dec.MaxSection)
+			}
+		}
+	})
+}
+
+// assertTyped fails unless the decode error is the typed corruption.
+func assertTyped(t *testing.T, err error, data []byte) {
+	t.Helper()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("untyped decode error %v (%T) on %d bytes", err, err, len(data))
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("corruption without a *CorruptError in the chain: %v", err)
+	}
+	if ce.Offset < 0 || ce.Offset > int64(len(data)) {
+		t.Fatalf("corruption offset %d outside [0,%d]", ce.Offset, len(data))
+	}
+}

@@ -1,0 +1,235 @@
+package snapshot
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"statcube/internal/fault"
+	"statcube/internal/obs"
+)
+
+// Store durability metrics:
+//
+//	snapshot.saves             generations written successfully
+//	snapshot.loads             loads served (from any generation)
+//	snapshot.corrupt_detected  generations rejected by the decoder
+//	snapshot.recovered         loads served by an older generation after
+//	                           skipping corrupt newer ones
+var (
+	savesCounter    = obs.Default().Counter("snapshot.saves")
+	loadsCounter    = obs.Default().Counter("snapshot.loads")
+	corruptDetected = obs.Default().Counter("snapshot.corrupt_detected")
+	recoveredLoads  = obs.Default().Counter("snapshot.recovered")
+)
+
+// WriteFileCtx writes path atomically and durably: the content goes to a
+// temp file in the same directory, is fsynced, then renamed over path,
+// and the directory is fsynced — a crash at any step leaves either the
+// old file or the new one, never a torn mix. The context's fault
+// injector participates at the documented hooks: snapshot.write (the
+// data writer — torn writes and bit-flips land here), and
+// snapshot.rename (the window after the synced temp file exists and
+// before it becomes visible — the classic crash point the Store's
+// recovery is built for). On any failure the temp file is removed
+// (except when the process dies inside the crash window, which is the
+// point) and path is untouched.
+func WriteFileCtx(ctx context.Context, path string, write func(io.Writer) error) (err error) {
+	inj := fault.From(ctx)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(inj.Writer(fault.PointSnapshotWrite, tmp)); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	// The crash window: temp data is durable but invisible. A panic-mode
+	// injection here kills the process exactly where a power cut would.
+	if err = inj.Hit(fault.PointSnapshotRename); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Store keeps named snapshots as numbered generations in one directory
+// (name.00000001.snap, name.00000002.snap, …). Saves are crash-atomic
+// and never overwrite; loads walk generations newest-first and recover
+// past corrupt or truncated ones to the last good snapshot.
+type Store struct {
+	dir string
+	// Keep is how many generations Save retains per name (older ones are
+	// pruned best-effort). Values < 1 mean the default of 2 — the newest
+	// plus one fallback.
+	Keep int
+}
+
+// OpenStore creates (if needed) and opens a snapshot directory.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// checkName rejects names that would escape the store directory or
+// collide with the generation syntax.
+func checkName(name string) error {
+	if name == "" || strings.ContainsAny(name, "/\\.") {
+		return fmt.Errorf("snapshot: invalid snapshot name %q", name)
+	}
+	return nil
+}
+
+// genPath builds the file path of one generation.
+func (s *Store) genPath(name string, gen uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s.%08d.snap", name, gen))
+}
+
+// Generations returns the on-disk generation numbers for name, ascending.
+// Temp files and foreign names are ignored.
+func (s *Store) Generations(name string) ([]uint64, error) {
+	if err := checkName(name); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var gens []uint64
+	prefix := name + "."
+	for _, e := range entries {
+		fn := e.Name()
+		if e.IsDir() || !strings.HasPrefix(fn, prefix) || !strings.HasSuffix(fn, ".snap") {
+			continue
+		}
+		mid := strings.TrimSuffix(strings.TrimPrefix(fn, prefix), ".snap")
+		gen, err := strconv.ParseUint(mid, 10, 64)
+		if err != nil || mid == "" {
+			continue
+		}
+		gens = append(gens, gen)
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+// Save writes the next generation of name atomically (see WriteFileCtx
+// for the crash and fault-injection contract) and prunes old generations
+// beyond Keep. It returns the new generation number; on failure no new
+// generation becomes visible and nothing is pruned.
+func (s *Store) Save(ctx context.Context, name string, write func(io.Writer) error) (uint64, error) {
+	gens, err := s.Generations(name)
+	if err != nil {
+		return 0, err
+	}
+	next := uint64(1)
+	if len(gens) > 0 {
+		next = gens[len(gens)-1] + 1
+	}
+	if err := WriteFileCtx(ctx, s.genPath(name, next), write); err != nil {
+		return 0, err
+	}
+	if obs.On() {
+		savesCounter.Inc()
+	}
+	keep := s.Keep
+	if keep < 1 {
+		keep = 2
+	}
+	// Prune best-effort: the new generation plus keep-1 predecessors stay.
+	for i := 0; i+keep-1 < len(gens); i++ {
+		os.Remove(s.genPath(name, gens[i]))
+	}
+	return next, nil
+}
+
+// Load opens generations of name newest-first and hands each to read
+// until one succeeds, returning its generation number. A read failure
+// matching ErrCorrupt (or a vanished/unreadable file) skips to the next
+// older generation — recovery to the last good snapshot — while any
+// other failure (a budget refusal, a cancellation) aborts immediately:
+// those are the caller's errors, not bad bytes. With no generations at
+// all Load returns ErrNotFound; when every generation is corrupt it
+// returns the newest generation's corruption error.
+func (s *Store) Load(ctx context.Context, name string, read func(io.Reader) error) (uint64, error) {
+	gens, err := s.Generations(name)
+	if err != nil {
+		return 0, err
+	}
+	if len(gens) == 0 {
+		return 0, fmt.Errorf("%w: %s in %s", ErrNotFound, name, s.dir)
+	}
+	inj := fault.From(ctx)
+	var firstCorrupt error
+	for i := len(gens) - 1; i >= 0; i-- {
+		if err := inj.Hit(fault.PointSnapshotRead); err != nil {
+			return 0, err
+		}
+		err := s.loadGen(name, gens[i], read)
+		if err == nil {
+			if obs.On() {
+				loadsCounter.Inc()
+				if i != len(gens)-1 {
+					recoveredLoads.Inc()
+				}
+			}
+			return gens[i], nil
+		}
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, fs.ErrNotExist) {
+			return 0, err
+		}
+		if obs.On() {
+			corruptDetected.Inc()
+		}
+		if firstCorrupt == nil {
+			firstCorrupt = fmt.Errorf("generation %d of %s: %w", gens[i], name, err)
+		}
+	}
+	return 0, firstCorrupt
+}
+
+// loadGen opens one generation file and applies read.
+func (s *Store) loadGen(name string, gen uint64, read func(io.Reader) error) error {
+	f, err := os.Open(s.genPath(name, gen))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return read(f)
+}
