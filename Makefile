@@ -12,7 +12,7 @@ BENCH_OUT ?= bench_current.ndjson
 # `make chaos` runs the whole matrix sequentially.
 CHAOS_SEEDS ?= 1 7 42
 
-.PHONY: verify fmt vet build test lint fuzz-smoke bench bench-baseline chaos
+.PHONY: verify fmt vet build test lint fuzz-smoke bench bench-baseline chaos qlog-smoke
 
 # Tier-1 gate: vet, build, race-checked order-shuffled tests.
 verify: vet build test
@@ -68,6 +68,15 @@ bench:
 	$(GO) test -bench='E9|E16' -benchtime=1x -count=3 -run='^$$' .
 	$(GO) run ./cmd/cubebench -stats-json > $(BENCH_OUT)
 	$(GO) run ./scripts/benchdiff.go -baseline BENCH_BASELINE.json -current $(BENCH_OUT)
+
+# Flight-recorder smoke: run a short benchmark slice with the query
+# flight recorder on, then require statprof to reduce the NDJSON log to
+# a non-empty, well-formed workload profile (-check exits non-zero on an
+# empty log). qlog_profile.json is the CI artifact.
+qlog-smoke:
+	$(GO) run ./cmd/cubebench -stats-json -qlog qlog_smoke.ndjson E9 E16 > /dev/null
+	$(GO) run ./cmd/statprof -json -check qlog_smoke.ndjson > qlog_profile.json
+	$(GO) run ./cmd/statprof qlog_smoke.ndjson
 
 # Regenerate the committed baseline from this machine.
 bench-baseline:

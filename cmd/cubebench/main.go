@@ -23,6 +23,7 @@ import (
 
 	"statcube/internal/experiments"
 	"statcube/internal/obs"
+	"statcube/internal/qlog"
 )
 
 // statsLine is the -stats-json record for one experiment: the report plus
@@ -36,12 +37,28 @@ type statsLine struct {
 	Error      string           `json:"error,omitempty"`
 	DurationMS float64          `json:"duration_ms"`
 	Counters   map[string]int64 `json:"counters,omitempty"`
+	// Histograms carries the latency distributions the run moved, with
+	// the registry's p50/p95/p99 summaries (bucket-estimated, within 2x).
+	Histograms map[string]obs.HistStat `json:"histograms,omitempty"`
 }
 
 func main() {
 	statsJSON := flag.Bool("stats-json", false, "emit one JSON object per experiment instead of text reports")
 	timeout := flag.Duration("timeout", 0, "stop starting new experiments after this long (0 means no limit); an interrupt stops the suite the same way")
+	qlogPath := flag.String("qlog", "", "record every query and cube build the experiments run as NDJSON flight records in this file (analyze with statprof)")
 	flag.Parse()
+
+	if *qlogPath != "" {
+		f, err := os.OpenFile(*qlogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cubebench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		rec := qlog.Default()
+		rec.SetEnabled(true)
+		rec.SetSink(f, 1)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -76,6 +93,7 @@ func main() {
 			failed++
 		}
 		if *statsJSON {
+			delta := obs.Default().Snapshot().Sub(before)
 			line := statsLine{
 				ID:         rep.ID,
 				Title:      rep.Title,
@@ -83,7 +101,8 @@ func main() {
 				Lines:      rep.Lines,
 				Shape:      rep.Shape,
 				DurationMS: float64(elapsed.Microseconds()) / 1000,
-				Counters:   obs.Default().Snapshot().Sub(before).Counters,
+				Counters:   delta.Counters,
+				Histograms: delta.Histograms,
 			}
 			if rep.Err != nil {
 				line.Error = rep.Err.Error()

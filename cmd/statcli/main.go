@@ -34,6 +34,7 @@ import (
 	"statcube/internal/budget"
 	"statcube/internal/cube"
 	"statcube/internal/parallel"
+	"statcube/internal/qlog"
 	"statcube/internal/snapshot"
 	"statcube/internal/workload"
 )
@@ -82,6 +83,9 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-query deadline (e.g. 500ms, 2s); 0 means none")
 	maxBytes := flag.Int64("max-bytes", 0, "per-query memory budget in bytes; 0 means unlimited")
 	snapshotDir := flag.String("snapshot-dir", "", "durable cube snapshots: load the dataset's newest good generation (recovering past corrupt ones), else build the cube and save it")
+	qlogPath := flag.String("qlog", "", "append one NDJSON flight record per query to this file (analyze with statprof)")
+	slowMS := flag.Int64("slow-ms", 0, "report queries slower than this many milliseconds on stderr (and mark them slow in -qlog)")
+	history := flag.Int("history", 0, "after the queries, print the last n recorded flights (EXPLAIN history)")
 	usage := flag.Usage
 	flag.Usage = func() {
 		usage()
@@ -102,6 +106,32 @@ Exit codes:
 	// ErrCanceled and partial state is discarded.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Any flight-recorder flag turns the process-wide recorder on; the
+	// engine's entry points then log one record per query. The NDJSON sink
+	// writes whole lines through a single Write each, so no flush is owed
+	// on the os.Exit paths — a torn final line is the worst case, and
+	// statprof skips and counts torn lines by design.
+	if *qlogPath != "" || *slowMS > 0 || *history > 0 {
+		rec := qlog.Default()
+		rec.SetEnabled(true)
+		if *qlogPath != "" {
+			f, err := os.OpenFile(*qlogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "statcli:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			rec.SetSink(f, 1)
+		}
+		if *slowMS > 0 {
+			rec.SetSlowThreshold(time.Duration(*slowMS) * time.Millisecond)
+			rec.SetOnSlow(func(r *qlog.Record) {
+				fmt.Fprintf(os.Stderr, "statcli: slow query (%.1fms ≥ %dms): %s [%s]\n",
+					float64(r.WallNs)/1e6, *slowMS, flightName(r), r.Outcome)
+			})
+		}
+	}
 
 	var metrics *statcube.MetricsServer
 	if *metricsAddr != "" {
@@ -192,6 +222,9 @@ Exit codes:
 		fmt.Printf("> %s\n", q)
 		printCells(res)
 	}
+	if *history > 0 {
+		printHistory(os.Stdout, *history)
+	}
 	if metrics != nil {
 		// Stay up until interrupted, then drain connections gracefully
 		// instead of dropping them mid-response.
@@ -207,6 +240,37 @@ Exit codes:
 	}
 	if *demo == "" && *csvPath == "" {
 		flag.Usage()
+	}
+}
+
+// flightName picks the most descriptive identity a record carries: the
+// fingerprint when the plan parsed, else the raw text, else the kind.
+func flightName(r *qlog.Record) string {
+	if r.Fingerprint != "" {
+		return r.Fingerprint
+	}
+	if r.Text != "" {
+		return r.Text
+	}
+	return r.Kind
+}
+
+// printHistory renders the recorder's most recent n flights, newest last —
+// the EXPLAIN history: explain-traced runs carry their span tree, which is
+// reprinted verbatim under the summary line.
+func printHistory(w io.Writer, n int) {
+	recs := qlog.Default().Snapshot()
+	if len(recs) > n {
+		recs = recs[len(recs)-n:]
+	}
+	fmt.Fprintf(w, "flight history (%d of %d recorded):\n", len(recs), qlog.Default().Len())
+	for _, r := range recs {
+		fmt.Fprintf(w, "  #%d %s %.1fms [%s] %s\n", r.Seq, r.Kind, float64(r.WallNs)/1e6, r.Outcome, flightName(&r))
+		if r.Plan != "" {
+			for _, line := range strings.Split(strings.TrimRight(r.Plan, "\n"), "\n") {
+				fmt.Fprintln(w, "      "+line)
+			}
+		}
 	}
 }
 

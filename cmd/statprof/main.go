@@ -1,0 +1,77 @@
+// Command statprof aggregates a query-flight-recorder NDJSON log (written
+// by statcli -qlog or cubebench -qlog) into a workload profile: how often
+// each lattice node was hit, cost percentiles per node, the most expensive
+// plan fingerprints, and the outcome/degrade breakdown. It is the offline
+// half of the flight recorder — the recorder captures one compact record
+// per query with near-zero overhead; statprof answers "what did this
+// workload actually do" after the fact.
+//
+// Usage:
+//
+//	statprof queries.ndjson          human-readable profile tables
+//	statprof -json queries.ndjson    machine-readable profile
+//	statprof -top 5 queries.ndjson   limit the expensive-plan table
+//	cubebench -qlog /dev/stdout E9 | statprof -json -check
+//
+// With -check, statprof exits non-zero when the log holds no valid
+// records — the CI smoke test's assertion that recording end-to-end
+// works. Malformed (torn) lines are skipped and counted, never fatal:
+// the log is append-only NDJSON, so a crash tears at most the final line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"statcube/internal/qlog"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the profile as JSON instead of text tables")
+	topK := flag.Int("top", 10, "number of most-expensive plan fingerprints to report")
+	check := flag.Bool("check", false, "exit non-zero when the log contains no valid records")
+	flag.Parse()
+
+	if err := run(*jsonOut, *topK, *check, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "statprof:", err)
+		os.Exit(1)
+	}
+}
+
+func run(jsonOut bool, topK int, check bool, args []string) error {
+	var in io.Reader = os.Stdin
+	switch len(args) {
+	case 0:
+	case 1:
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	default:
+		return fmt.Errorf("expected at most one log file, got %d args", len(args))
+	}
+
+	recs, malformed, err := qlog.ReadAll(in)
+	if err != nil {
+		return fmt.Errorf("read log: %w", err)
+	}
+	if check && len(recs) == 0 {
+		return fmt.Errorf("no valid flight records (%d malformed lines)", malformed)
+	}
+	p := qlog.BuildProfile(recs, malformed, topK)
+	if jsonOut {
+		b, err := p.JSON()
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(b)
+		fmt.Println()
+		return nil
+	}
+	fmt.Print(p.Text())
+	return nil
+}

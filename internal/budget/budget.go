@@ -124,6 +124,7 @@ type Limits struct {
 type Governor struct {
 	limits Limits
 	bytes  atomic.Int64
+	peak   atomic.Int64 // high-water mark of bytes, CAS-maintained
 	cells  atomic.Int64
 }
 
@@ -145,6 +146,12 @@ func (g *Governor) Reserve(n int64) error {
 		}
 		return fmt.Errorf("%w: %d bytes requested, %d of %d reserved",
 			ErrBudgetExceeded, n, now-n, g.limits.MaxBytes)
+	}
+	for {
+		old := g.peak.Load()
+		if old >= now || g.peak.CompareAndSwap(old, now) {
+			break
+		}
 	}
 	if obs.On() {
 		reservations.Inc()
@@ -198,6 +205,18 @@ func (g *Governor) BytesReserved() int64 {
 		return 0
 	}
 	return g.bytes.Load()
+}
+
+// PeakBytes returns the ledger's high-water mark: the largest number of
+// bytes concurrently reserved over the governor's lifetime. Unlike
+// BytesReserved it never decreases, making it the per-query memory cost
+// the flight recorder and EXPLAIN ANALYZE report after the work is done
+// (and the ledger has drained).
+func (g *Governor) PeakBytes() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.peak.Load()
 }
 
 // CellsUsed returns the cells charged so far.

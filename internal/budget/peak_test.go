@@ -1,0 +1,73 @@
+package budget
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPeakBytesHighWaterMark(t *testing.T) {
+	g := NewGovernor(Limits{MaxBytes: 1000})
+	if g.PeakBytes() != 0 {
+		t.Fatalf("fresh governor peak = %d", g.PeakBytes())
+	}
+	mustReserve := func(n int64) {
+		t.Helper()
+		if err := g.Reserve(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustReserve(300)
+	mustReserve(200)
+	if g.PeakBytes() != 500 {
+		t.Errorf("peak after 300+200 = %d, want 500", g.PeakBytes())
+	}
+	g.Release(400)
+	mustReserve(100)
+	// Draining and re-reserving below the mark must not move it.
+	if g.PeakBytes() != 500 {
+		t.Errorf("peak after release+100 = %d, want 500", g.PeakBytes())
+	}
+	mustReserve(600) // 200 + 600 = 800: a new high-water mark
+	if g.PeakBytes() != 800 {
+		t.Errorf("peak = %d, want 800", g.PeakBytes())
+	}
+	// A refused reservation leaves the mark untouched.
+	if err := g.Reserve(500); err == nil {
+		t.Fatal("expected budget refusal")
+	}
+	if g.PeakBytes() != 800 {
+		t.Errorf("peak after refusal = %d, want 800", g.PeakBytes())
+	}
+	var nilGov *Governor
+	if nilGov.PeakBytes() != 0 {
+		t.Error("nil governor peak should be 0")
+	}
+}
+
+func TestPeakBytesConcurrent(t *testing.T) {
+	g := NewGovernor(Limits{})
+	const workers, per = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := g.Reserve(10); err != nil {
+					t.Error(err)
+					return
+				}
+				g.Release(10)
+			}
+		}()
+	}
+	wg.Wait()
+	// The mark saw at least one reservation and never more than the
+	// theoretical maximum of all workers holding at once.
+	if p := g.PeakBytes(); p < 10 || p > workers*10 {
+		t.Errorf("concurrent peak = %d, want within [10, %d]", p, workers*10)
+	}
+	if g.BytesReserved() != 0 {
+		t.Errorf("ledger did not drain: %d", g.BytesReserved())
+	}
+}

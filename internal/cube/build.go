@@ -12,6 +12,7 @@ import (
 	"statcube/internal/fault"
 	"statcube/internal/obs"
 	"statcube/internal/parallel"
+	"statcube/internal/qlog"
 )
 
 // This file implements full-cube construction — every view of the lattice
@@ -252,8 +253,16 @@ func BuildROLAPNaiveWith(in *Input, opt Options) (*Views, error) {
 // result trivially byte-identical to the sequential one. Cancellation is
 // checked between views and between row segments inside each scan, and a
 // governor on ctx is charged per finished view map; on any failure the
-// build returns the typed error and no Views.
+// build returns the typed error and no Views. An enabled flight recorder
+// logs the build's wall time, ledger peaks and typed outcome.
 func BuildROLAPNaiveCtx(ctx context.Context, in *Input, opt Options) (*Views, error) {
+	start := qlog.Start()
+	v, err := buildROLAPNaiveCtx(ctx, in, opt)
+	recordBuildFlight(ctx, "rolap_naive", start, in, opt, false, err)
+	return v, err
+}
+
+func buildROLAPNaiveCtx(ctx context.Context, in *Input, opt Options) (*Views, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -316,8 +325,16 @@ func BuildROLAPSmallestParentWith(in *Input, opt Options) (*Views, error) {
 // the sequential walk exactly and the concurrent tasks only read finished
 // parent views. Cancellation is checked between levels and between row
 // segments, bounding latency; a governor on ctx is charged one map-entry
-// reservation per finished view.
+// reservation per finished view. An enabled flight recorder logs the
+// build's wall time, ledger peaks and typed outcome.
 func BuildROLAPSmallestParentCtx(ctx context.Context, in *Input, opt Options) (*Views, error) {
+	start := qlog.Start()
+	v, err := buildROLAPSmallestParentCtx(ctx, in, opt)
+	recordBuildFlight(ctx, "rolap_sp", start, in, opt, false, err)
+	return v, err
+}
+
+func buildROLAPSmallestParentCtx(ctx context.Context, in *Input, opt Options) (*Views, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}

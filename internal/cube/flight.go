@@ -1,0 +1,38 @@
+package cube
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"statcube/internal/budget"
+	"statcube/internal/parallel"
+	"statcube/internal/qlog"
+)
+
+// recordBuildFlight captures one cube construction (or materialization)
+// into the flight recorder. Builders call it via defer with a start
+// captured by qlog.Start() at entry — the zero Time when the recorder is
+// off, which makes this a no-op, keeping the disabled hot path free of
+// clock reads and allocations.
+func recordBuildFlight(ctx context.Context, kind string, start time.Time, in *Input, opt Options, degraded bool, err error) {
+	if start.IsZero() || !qlog.On() {
+		return
+	}
+	rec := &qlog.Record{
+		Kind:        "cube." + kind,
+		Node:        "*cube*",
+		Fingerprint: fmt.Sprintf("%s[dims=%d rows=%d]", kind, len(in.Card), len(in.Rows)),
+		WallNs:      qlog.Since(start),
+		Workers:     parallel.Workers(opt.Workers, len(in.Rows)),
+		Outcome:     qlog.Classify(err, degraded),
+	}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	if gov := budget.From(ctx); gov != nil {
+		rec.Bytes = gov.PeakBytes()
+		rec.Cells = gov.CellsUsed()
+	}
+	qlog.Log(ctx, rec)
+}

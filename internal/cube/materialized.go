@@ -7,6 +7,7 @@ import (
 
 	"statcube/internal/budget"
 	"statcube/internal/fault"
+	"statcube/internal/qlog"
 )
 
 // MaterializedSet is a set of actually-computed views with the lattice's
@@ -31,8 +32,16 @@ func Materialize(in *Input, masks []int) (*MaterializedSet, error) {
 // between the base scan's row segments and between views, and a governor
 // on ctx is charged per materialized view. On any failure the set under
 // construction is discarded whole — callers never see (or register) a
-// partially-materialized set.
+// partially-materialized set. An enabled flight recorder logs the
+// materialization like the full-cube builders.
 func MaterializeCtx(ctx context.Context, in *Input, masks []int) (*MaterializedSet, error) {
+	start := qlog.Start()
+	m, err := materializeCtx(ctx, in, masks)
+	recordBuildFlight(ctx, "materialize", start, in, Options{}, false, err)
+	return m, err
+}
+
+func materializeCtx(ctx context.Context, in *Input, masks []int) (*MaterializedSet, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}

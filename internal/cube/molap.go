@@ -8,6 +8,7 @@ import (
 	"statcube/internal/fault"
 	"statcube/internal/marray"
 	"statcube/internal/parallel"
+	"statcube/internal/qlog"
 )
 
 // BuildMOLAP computes the full cube the multidimensional-array way
@@ -66,10 +67,19 @@ func EstimateMOLAPBytes(card []int) int64 {
 // and, when a Span is attached, a "degrade:molap→rolap_sp" child carrying
 // the refusal. Cancellation is checked between lattice levels and row
 // segments; on cancellation the typed budget.ErrCanceled is returned and
-// no Views.
+// no Views. An enabled flight recorder logs the build — outcome
+// "degraded" when the ROLAP downgrade was taken (the inner ROLAP build
+// additionally logs its own flight).
 func BuildMOLAPCtx(ctx context.Context, in *Input, opt Options) (*Views, error) {
+	start := qlog.Start()
+	v, degraded, err := buildMOLAPCtx(ctx, in, opt)
+	recordBuildFlight(ctx, "molap", start, in, opt, degraded, err)
+	return v, err
+}
+
+func buildMOLAPCtx(ctx context.Context, in *Input, opt Options) (*Views, bool, error) {
 	if err := in.Validate(); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	acct := newAccountant(ctx)
 	defer acct.close()
@@ -88,7 +98,8 @@ func BuildMOLAPCtx(ctx context.Context, in *Input, opt Options) (*Views, error) 
 			d.SetStr("reason", err.Error())
 			d.AddInt("estimated_bytes", est)
 			d.End()
-			return BuildROLAPSmallestParentCtx(ctx, in, opt)
+			v, err := BuildROLAPSmallestParentCtx(ctx, in, opt)
+			return v, true, err
 		}
 	}
 	n := len(in.Card)
@@ -100,7 +111,7 @@ func BuildMOLAPCtx(ctx context.Context, in *Input, opt Options) (*Views, error) 
 	st := opt.stage(ctx, "cube.molap", len(in.Rows))
 	if err := loadDense(ctx, in, arrays[base], st); err != nil {
 		recordBuildAbort(err)
-		return nil, err
+		return nil, false, err
 	}
 	order := make([]int, 0, nviews-1)
 	for mask := 0; mask < nviews; mask++ {
@@ -112,7 +123,7 @@ func BuildMOLAPCtx(ctx context.Context, in *Input, opt Options) (*Views, error) 
 	for lo := 0; lo < len(order); {
 		if err := budget.Check(ctx); err != nil {
 			recordBuildAbort(err)
-			return nil, err
+			return nil, false, err
 		}
 		hi := lo
 		pc := bits.OnesCount(uint(order[lo]))
@@ -133,7 +144,7 @@ func BuildMOLAPCtx(ctx context.Context, in *Input, opt Options) (*Views, error) 
 		})
 		if err != nil {
 			recordBuildAbort(err)
-			return nil, err
+			return nil, false, err
 		}
 		lo = hi
 	}
@@ -152,9 +163,9 @@ func BuildMOLAPCtx(ctx context.Context, in *Input, opt Options) (*Views, error) 
 	})
 	if err != nil {
 		recordBuildAbort(err)
-		return nil, err
+		return nil, false, err
 	}
-	return out, nil
+	return out, false, nil
 }
 
 // loadDense folds the rows into the base array. The parallel path owns the

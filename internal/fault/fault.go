@@ -58,6 +58,11 @@ const (
 	PointSnapshotRename = "snapshot.rename"
 	// PointSnapshotRead fires before each decoded snapshot section.
 	PointSnapshotRead = "snapshot.read"
+	// PointQlogWrite wraps the flight recorder's NDJSON sink append
+	// (error mode fails the append; short/torn writes and bit-flips
+	// corrupt the line — which the log reader must skip and count, never
+	// propagate into the recorded flight's own outcome).
+	PointQlogWrite = "qlog.write"
 )
 
 // Mode selects what an armed injector does when a decision fires.

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestMetricsEndpointHistogramSummaries asserts the /metrics surface of
+// the histogram percentile contract: every histogram line carries its
+// p50/p95/p99 summary, and /metrics.json exposes the same numbers as
+// structured HistStat fields.
+func TestMetricsEndpointHistogramSummaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test.latency_ns")
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	text := get("/metrics")
+	line := ""
+	for _, l := range strings.Split(text, "\n") {
+		if strings.Contains(l, "test.latency_ns") {
+			line = l
+		}
+	}
+	if line == "" {
+		t.Fatalf("/metrics missing the histogram:\n%s", text)
+	}
+	for _, want := range []string{"count=1000", "p50=", "p95=", "p99="} {
+		if !strings.Contains(line, want) {
+			t.Errorf("/metrics histogram line missing %q: %s", want, line)
+		}
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(get("/metrics.json")), &snap); err != nil {
+		t.Fatal(err)
+	}
+	hs, ok := snap.Histograms["test.latency_ns"]
+	if !ok {
+		t.Fatalf("/metrics.json missing the histogram: %+v", snap.Histograms)
+	}
+	if hs.Count != 1000 {
+		t.Errorf("count = %d, want 1000", hs.Count)
+	}
+	// Bucketed quantiles are 2x-bounded estimates; assert ordering and
+	// the bound rather than exact values.
+	if !(hs.P50 <= hs.P95 && hs.P95 <= hs.P99 && hs.P99 <= hs.Max) {
+		t.Errorf("percentiles not monotone: %+v", hs)
+	}
+	if hs.P50 < 250 || hs.P50 > 1000 {
+		t.Errorf("p50 = %g, want within 2x of 500", hs.P50)
+	}
+	if hs.P99 < 495 || hs.P99 > 1980 {
+		t.Errorf("p99 = %g, want within 2x of 990", hs.P99)
+	}
+}

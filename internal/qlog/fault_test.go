@@ -1,0 +1,90 @@
+package qlog
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"statcube/internal/fault"
+)
+
+// TestSinkUnderFaults drives the recorder with an injector armed at the
+// qlog.write hook and asserts the recorder's durability contract under
+// every failure mode: the ring (the flight record of what ran) is never
+// affected by a sink failure, failed or corrupted sink lines are counted
+// and skipped by the reader, and ReadAll itself never errors on content.
+func TestSinkUnderFaults(t *testing.T) {
+	const n = 40
+	for _, seed := range []uint64{1, 7, 42} {
+		for _, mode := range []fault.Mode{fault.Error, fault.ShortWrite, fault.BitFlip} {
+			t.Run(fmt.Sprintf("seed%d/%s", seed, mode), func(t *testing.T) {
+				r := NewRecorder(64)
+				r.SetEnabled(true)
+				var buf bytes.Buffer
+				r.SetSink(&buf, 1)
+				inj := fault.New(fault.Schedule{
+					Seed:   seed,
+					Points: []string{fault.PointQlogWrite},
+					Rate:   0.5,
+					Mode:   mode,
+				})
+				ctx := fault.WithInjector(context.Background(), inj)
+				for i := 0; i < n; i++ {
+					r.Record(ctx, &Record{Kind: "query", Node: "a", WallNs: int64(i), Outcome: OutcomeOK})
+				}
+
+				// The ring never loses a flight to a sink fault.
+				if got := r.Len(); got != n {
+					t.Fatalf("ring Len = %d, want %d", got, n)
+				}
+				snap := r.Snapshot()
+				if len(snap) != n {
+					t.Fatalf("snapshot holds %d records, want %d", len(snap), n)
+				}
+				for i, rec := range snap {
+					if rec.Seq != uint64(i) || rec.Outcome != OutcomeOK {
+						t.Fatalf("snapshot[%d] = seq %d outcome %q; sink fault leaked into the flight", i, rec.Seq, rec.Outcome)
+					}
+				}
+
+				// The reader recovers every intact line; damage is counted,
+				// never fatal.
+				recs, malformed, err := ReadAll(bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					t.Fatalf("ReadAll: %v", err)
+				}
+				if len(recs)+malformed > n {
+					t.Fatalf("reader produced %d records + %d malformed > %d written", len(recs), malformed, n)
+				}
+				injected := int(inj.Injected())
+				if inj.Evaluations() != n {
+					t.Fatalf("injector evaluated %d times, want %d", inj.Evaluations(), n)
+				}
+				switch mode {
+				case fault.Error:
+					// Error mode fails the append before any bytes land: the
+					// log simply misses those lines, nothing is torn.
+					if malformed != 0 || len(recs) != n-injected {
+						t.Errorf("error mode: %d records, %d malformed; want %d and 0", len(recs), malformed, n-injected)
+					}
+				case fault.ShortWrite:
+					// A torn line may also swallow the following record when
+					// the tear ate the newline — at most 2 lost per injection.
+					if len(recs) < n-2*injected {
+						t.Errorf("short-write mode: recovered %d records, want ≥ %d", len(recs), n-2*injected)
+					}
+				case fault.BitFlip:
+					// A flipped bit corrupts at most one line (or merges two,
+					// when the newline itself flipped).
+					if len(recs) < n-2*injected {
+						t.Errorf("bit-flip mode: recovered %d records, want ≥ %d", len(recs), n-2*injected)
+					}
+				}
+				if injected > 0 && mode == fault.Error && len(recs) == n {
+					t.Error("injections fired but every line survived")
+				}
+			})
+		}
+	}
+}

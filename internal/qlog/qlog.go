@@ -1,0 +1,347 @@
+// Package qlog is the engine's query flight recorder: one structured
+// record per query or cube build — normalized plan fingerprint, wall
+// time, bytes/cells charged against the budget ledger, parallelism, and
+// the typed outcome class — captured into a fixed-size, lock-light ring
+// buffer with an optional sampled NDJSON sink and a slow-query log.
+//
+// The paper's statistical-database model assumes long-running shared
+// workloads over static data; answering "what actually ran, and what did
+// it cost" after the fact is what turns the engine's aggregate counters
+// (internal/obs) into a measured workload profile. The recorded log is
+// the input to cmd/statprof, whose per-lattice-node frequencies and cost
+// histograms feed the [HUR96] adaptive view-materialization loop
+// (ROADMAP item 5) and the statd slow-query log (ROADMAP item 1).
+//
+// Concurrency and cost discipline mirror internal/obs: the ring is a
+// slice of atomic pointers indexed by an atomic sequence — writers never
+// block each other — and every recording site gates on On(), so a
+// disabled recorder costs one atomic load and zero allocations on the
+// hot path. The NDJSON sink is the only mutex in the package and is
+// written one line per record; a crash can tear at most the final line,
+// which the reader (ReadAll) skips and counts, the same
+// detect-and-recover discipline the snapshot store applies to torn
+// generations. Sink writes pass through the fault.PointQlogWrite hook so
+// the chaos suite can tear and corrupt them deliberately.
+package qlog
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"statcube/internal/budget"
+	"statcube/internal/fault"
+	"statcube/internal/obs"
+	"statcube/internal/parallel"
+	"statcube/internal/snapshot"
+)
+
+// Outcome classes: every record carries exactly one, derived from the
+// engine's typed error taxonomy (never from error strings).
+const (
+	OutcomeOK       = "ok"
+	OutcomeDegraded = "degraded" // MOLAP build downgraded to ROLAP
+	OutcomeCanceled = "canceled" // budget.ErrCanceled (deadline, interrupt)
+	OutcomeBudget   = "budget"   // budget.ErrBudgetExceeded
+	OutcomePanic    = "panic"    // parallel.ErrWorkerPanic (contained)
+	OutcomeFault    = "fault"    // fault.ErrInjected (chaos schedules)
+	OutcomeCorrupt  = "corrupt"  // snapshot.ErrCorrupt
+	OutcomeError    = "error"    // anything else (parse, resolve, ...)
+)
+
+// Record is one flight: a single query evaluation or cube build, with
+// its normalized plan identity and measured cost. Records are immutable
+// once handed to a Recorder.
+type Record struct {
+	// Seq is the recorder-assigned sequence number (dense, starting at 0).
+	Seq uint64 `json:"seq"`
+	// Kind names the entry point: "query", "query.scalar",
+	// "query.explain", "cube.rolap_naive", "cube.rolap_sp", "cube.molap",
+	// "cube.materialize".
+	Kind string `json:"kind"`
+	// Text is the raw query text (empty for cube builds).
+	Text string `json:"text,omitempty"`
+	// Fingerprint is the normalized plan identity: aggregate(measure),
+	// sorted BY names, sorted WHERE names — values dropped, so reruns of
+	// the same shape collide. See Fingerprint.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Node is the CUBE-lattice node the plan groups by: the sorted BY
+	// set ("profession,sex"), "()" for the fully-aggregated apex, or a
+	// builder tag like "*cube*" for full-cube constructions.
+	Node string `json:"node,omitempty"`
+	// Measure and Agg identify the summary attribute and function.
+	Measure string `json:"measure,omitempty"`
+	Agg     string `json:"agg,omitempty"`
+	// WallNs is the end-to-end wall-clock time in nanoseconds.
+	WallNs int64 `json:"wall_ns"`
+	// Bytes is the budget ledger's peak concurrent byte reservation and
+	// Cells its cumulative cell charge, when a governor was attached.
+	Bytes int64 `json:"bytes,omitempty"`
+	Cells int64 `json:"cells,omitempty"`
+	// Workers is the effective parallelism of the stage (builds).
+	Workers int `json:"workers,omitempty"`
+	// Outcome is one of the Outcome* classes; Error carries the message
+	// when the outcome is not "ok"/"degraded".
+	Outcome string `json:"outcome"`
+	Error   string `json:"error,omitempty"`
+	// Slow marks records at or past the recorder's slow threshold.
+	Slow bool `json:"slow,omitempty"`
+	// Plan is the EXPLAIN ANALYZE span tree (rendered without durations)
+	// and Spans its node count, for explain-traced runs — the recorder
+	// doubles as the EXPLAIN history.
+	Plan  string `json:"plan,omitempty"`
+	Spans int    `json:"spans,omitempty"`
+}
+
+// Flight-recorder metrics, one registration site each (the statlint
+// metricname ledger):
+//
+//	qlog.records       flights recorded into the ring
+//	qlog.slow_queries  flights at or past the slow threshold
+//	qlog.overwritten   ring slots overwritten by wraparound
+//	qlog.sink_records  records written to the NDJSON sink
+//	qlog.sink_errors   sink writes that failed (the flight stays recorded)
+var (
+	recCounter     = obs.Default().Counter("qlog.records")
+	slowCounter    = obs.Default().Counter("qlog.slow_queries")
+	overwriteCount = obs.Default().Counter("qlog.overwritten")
+	sinkRecords    = obs.Default().Counter("qlog.sink_records")
+	sinkErrors     = obs.Default().Counter("qlog.sink_errors")
+)
+
+// Classify maps an error onto the outcome taxonomy. degraded marks a
+// successful build that took the MOLAP→ROLAP downgrade path.
+func Classify(err error, degraded bool) string {
+	switch {
+	case err == nil && degraded:
+		return OutcomeDegraded
+	case err == nil:
+		return OutcomeOK
+	case budget.IsCanceled(err):
+		return OutcomeCanceled
+	case errors.Is(err, budget.ErrBudgetExceeded):
+		return OutcomeBudget
+	case errors.Is(err, parallel.ErrWorkerPanic):
+		return OutcomePanic
+	case errors.Is(err, fault.ErrInjected):
+		return OutcomeFault
+	case errors.Is(err, snapshot.ErrCorrupt):
+		return OutcomeCorrupt
+	default:
+		return OutcomeError
+	}
+}
+
+// Fingerprint builds the normalized plan identity: the aggregate and
+// measure, then the BY and WHERE name sets sorted and lowercased, with
+// condition values dropped — so every rerun of the same plan shape maps
+// to the same string regardless of literal values or clause order.
+func Fingerprint(agg, measure string, by, where []string) string {
+	var b strings.Builder
+	b.WriteString(strings.ToLower(agg))
+	b.WriteByte('(')
+	b.WriteString(strings.ToLower(measure))
+	b.WriteByte(')')
+	if len(by) > 0 {
+		b.WriteString(" by ")
+		b.WriteString(Node(by))
+	}
+	if len(where) > 0 {
+		norm := normNames(where)
+		b.WriteString(" where ")
+		b.WriteString(strings.Join(norm, ","))
+	}
+	return b.String()
+}
+
+// Node canonicalizes a BY set into its lattice-node key: names sorted
+// and lowercased, comma-joined; the empty set is the apex "()".
+func Node(by []string) string {
+	if len(by) == 0 {
+		return "()"
+	}
+	return strings.Join(normNames(by), ",")
+}
+
+// normNames lowercases, sorts and dedups a name list.
+func normNames(names []string) []string {
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		out = append(out, strings.ToLower(strings.TrimSpace(n)))
+	}
+	sort.Strings(out)
+	j := 0
+	for i, n := range out {
+		if i == 0 || n != out[j-1] {
+			out[j] = n
+			j++
+		}
+	}
+	return out[:j]
+}
+
+// Recorder is the flight recorder: a fixed-size power-of-two ring of
+// atomic record pointers plus the optional sink. All methods are safe
+// for concurrent use; the zero value is not valid — use NewRecorder.
+type Recorder struct {
+	enabled atomic.Bool
+	seq     atomic.Uint64
+	slowNs  atomic.Int64
+	sample  atomic.Int64 // sink keeps 1 record in N (≤1 keeps all)
+	onSlow  atomic.Pointer[func(*Record)]
+	ring    []atomic.Pointer[Record]
+	mask    uint64
+
+	sinkMu sync.Mutex
+	sink   sinkWriter
+}
+
+// NewRecorder returns a disabled recorder whose ring holds size records
+// (rounded up to a power of two, minimum 16).
+func NewRecorder(size int) *Recorder {
+	n := 16
+	for n < size {
+		n <<= 1
+	}
+	return &Recorder{ring: make([]atomic.Pointer[Record], n), mask: uint64(n - 1)}
+}
+
+// defaultRecorder is the process-wide recorder the engine's entry points
+// report into, disabled until a surface (statcli -qlog/-slow-ms,
+// cubebench -qlog) opts in.
+var defaultRecorder = NewRecorder(1024)
+
+// Default returns the process-wide recorder.
+func Default() *Recorder { return defaultRecorder }
+
+// On reports whether the default recorder is enabled — the hot-path
+// gate: instrumentation sites build a Record only after On() says yes,
+// so a disabled recorder costs one atomic load and zero allocations.
+func On() bool { return defaultRecorder.Enabled() }
+
+// Start returns the wall clock when the default recorder is enabled and
+// the zero Time otherwise — the paired gate for deferred recording
+// sites (a zero start makes Log a no-op for the flight).
+func Start() time.Time {
+	if !On() {
+		return time.Time{}
+	}
+	//lint:ignore nodeterm flight timestamps feed only the recorder's wall_ns, which no baseline diffs
+	return time.Now()
+}
+
+// Since returns the nanoseconds elapsed from a Start (0 for the zero
+// Time, keeping disabled paths clock-free).
+func Since(start time.Time) int64 {
+	if start.IsZero() {
+		return 0
+	}
+	//lint:ignore nodeterm flight timestamps feed only the recorder's wall_ns, which no baseline diffs
+	return time.Since(start).Nanoseconds()
+}
+
+// Log records one flight into the default recorder (see Recorder.Record).
+func Log(ctx context.Context, rec *Record) { defaultRecorder.Record(ctx, rec) }
+
+// Enabled reports whether the recorder accepts records.
+func (r *Recorder) Enabled() bool { return r != nil && r.enabled.Load() }
+
+// SetEnabled turns recording on or off.
+func (r *Recorder) SetEnabled(v bool) { r.enabled.Store(v) }
+
+// SetSlowThreshold marks records with wall time ≥ d as slow: they bump
+// qlog.slow_queries, bypass sink sampling, and fire the OnSlow callback.
+// A non-positive d disables the slow log.
+func (r *Recorder) SetSlowThreshold(d time.Duration) { r.slowNs.Store(d.Nanoseconds()) }
+
+// SetOnSlow installs a callback invoked synchronously for each slow
+// record (nil removes it). The callback must be safe for concurrent use.
+func (r *Recorder) SetOnSlow(fn func(*Record)) {
+	if fn == nil {
+		r.onSlow.Store(nil)
+		return
+	}
+	r.onSlow.Store(&fn)
+}
+
+// Record captures one flight: assigns the sequence number, stores the
+// record in the ring (overwriting the slot one ring-length back), and
+// writes it to the sink when one is attached and the sample gate (or the
+// slow flag) admits it. A disabled or nil recorder drops the record.
+// The context is consulted only for a fault injector arming the
+// qlog.write hook; recording itself never fails the recorded operation —
+// sink errors are counted in qlog.sink_errors and swallowed.
+func (r *Recorder) Record(ctx context.Context, rec *Record) {
+	if r == nil || rec == nil || !r.enabled.Load() {
+		return
+	}
+	rec.Seq = r.seq.Add(1) - 1
+	if t := r.slowNs.Load(); t > 0 && rec.WallNs >= t {
+		rec.Slow = true
+	}
+	if r.ring[rec.Seq&r.mask].Swap(rec) != nil && obs.On() {
+		overwriteCount.Inc()
+	}
+	if obs.On() {
+		recCounter.Inc()
+		if rec.Slow {
+			slowCounter.Inc()
+		}
+	}
+	if rec.Slow {
+		if fn := r.onSlow.Load(); fn != nil {
+			(*fn)(rec)
+		}
+	}
+	if n := r.sample.Load(); n > 1 && rec.Seq%uint64(n) != 0 && !rec.Slow {
+		return
+	}
+	r.writeSink(ctx, rec)
+}
+
+// Len returns how many records have been recorded (including ones the
+// ring has since overwritten).
+func (r *Recorder) Len() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.seq.Load()
+}
+
+// Snapshot copies the ring's live records in sequence order — the most
+// recent min(recorded, ring size) flights. Wraparound is deterministic:
+// record k lands in slot k mod size, so the snapshot after n records is
+// exactly records [max(0, n-size), n) regardless of writer interleaving.
+func (r *Recorder) Snapshot() []Record {
+	if r == nil {
+		return nil
+	}
+	out := make([]Record, 0, len(r.ring))
+	for i := range r.ring {
+		if p := r.ring[i].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Reset disables the recorder, clears the ring and sequence, and
+// detaches the sink and slow log. Intended for tests and between runs.
+func (r *Recorder) Reset() {
+	r.enabled.Store(false)
+	r.sinkMu.Lock()
+	r.sink = sinkWriter{}
+	r.sinkMu.Unlock()
+	for i := range r.ring {
+		r.ring[i].Store(nil)
+	}
+	r.seq.Store(0)
+	r.slowNs.Store(0)
+	r.sample.Store(0)
+	r.onSlow.Store(nil)
+}

@@ -1,0 +1,250 @@
+package qlog
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"statcube/internal/budget"
+	"statcube/internal/fault"
+	"statcube/internal/parallel"
+	"statcube/internal/snapshot"
+)
+
+func TestDisabledHotPathAllocatesNothing(t *testing.T) {
+	if Default().Enabled() {
+		t.Fatal("default recorder should start disabled")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if start := Start(); !start.IsZero() {
+			Log(context.Background(), &Record{Kind: "query"})
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("disabled hot path allocates %.1f per op, want 0", allocs)
+	}
+	if !Start().IsZero() {
+		t.Error("Start on a disabled recorder should return the zero Time")
+	}
+	if Since(time.Time{}) != 0 {
+		t.Error("Since(zero) should be 0")
+	}
+}
+
+func TestRingWraparoundDeterminism(t *testing.T) {
+	r := NewRecorder(16)
+	r.SetEnabled(true)
+	const n = 20
+	for i := 0; i < n; i++ {
+		r.Record(context.Background(), &Record{Kind: "query", WallNs: int64(i)})
+	}
+	if got := r.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 16 {
+		t.Fatalf("snapshot holds %d records, want 16", len(snap))
+	}
+	// Record k lands in slot k mod size, so after 20 records the ring is
+	// exactly records [4, 20) in sequence order.
+	for i, rec := range snap {
+		if want := uint64(n - 16 + i); rec.Seq != want {
+			t.Errorf("snapshot[%d].Seq = %d, want %d", i, rec.Seq, want)
+		}
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	r := NewRecorder(64)
+	r.SetEnabled(true)
+	var buf bytes.Buffer
+	r.SetSink(&buf, 1)
+	const writers, each = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Record(context.Background(), &Record{
+					Kind: "query", Node: fmt.Sprintf("w%d", w), WallNs: int64(i), Outcome: OutcomeOK,
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Len(); got != writers*each {
+		t.Fatalf("Len = %d, want %d", got, writers*each)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 64 {
+		t.Fatalf("snapshot holds %d records, want 64", len(snap))
+	}
+	seen := map[uint64]bool{}
+	for _, rec := range snap {
+		if seen[rec.Seq] {
+			t.Fatalf("duplicate seq %d in snapshot", rec.Seq)
+		}
+		seen[rec.Seq] = true
+		if rec.Seq >= writers*each {
+			t.Fatalf("seq %d out of range", rec.Seq)
+		}
+	}
+	recs, malformed, err := ReadAll(&buf)
+	if err != nil || malformed != 0 {
+		t.Fatalf("ReadAll: %d malformed, err %v", malformed, err)
+	}
+	if len(recs) != writers*each {
+		t.Fatalf("sink holds %d records, want %d", len(recs), writers*each)
+	}
+}
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	r := NewRecorder(16)
+	r.SetEnabled(true)
+	var buf bytes.Buffer
+	r.SetSink(&buf, 1)
+	in := []*Record{
+		{Kind: "query", Text: "SHOW x BY a", Fingerprint: "sum(x) by a", Node: "a",
+			Measure: "x", Agg: "sum", WallNs: 1234, Bytes: 99, Cells: 7, Outcome: OutcomeOK},
+		{Kind: "cube.molap", Node: "*cube*", WallNs: 9999, Workers: 4,
+			Outcome: OutcomeDegraded},
+		{Kind: "query.explain", WallNs: 55, Outcome: OutcomeError,
+			Error: "query: parse", Plan: "query\n  parse\n"},
+	}
+	for _, rec := range in {
+		r.Record(context.Background(), rec)
+	}
+	out, malformed, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil || malformed != 0 {
+		t.Fatalf("ReadAll: %d malformed, err %v", malformed, err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round-tripped %d records, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != *in[i] {
+			t.Errorf("record %d: got %+v, want %+v", i, out[i], *in[i])
+		}
+	}
+}
+
+func TestReadAllSkipsTornLines(t *testing.T) {
+	log := `{"seq":0,"kind":"query","wall_ns":10,"outcome":"ok"}
+{"seq":1,"kind":"query","wall_
+{"seq":2,"kind":"query","wall_ns":30,"outcome":"ok"}
+not json at all
+{"seq":3,"wall_ns":40,"outcome":"ok"}
+{"seq":4,"kind":"query","wall_ns":50,"outcome":"ok"}`
+	recs, malformed, err := ReadAll(bytes.NewReader([]byte(log)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The torn line, the garbage line, and the kind-less line are skipped.
+	if len(recs) != 3 || malformed != 3 {
+		t.Fatalf("got %d records, %d malformed; want 3 and 3", len(recs), malformed)
+	}
+	for i, want := range []uint64{0, 2, 4} {
+		if recs[i].Seq != want {
+			t.Errorf("recs[%d].Seq = %d, want %d", i, recs[i].Seq, want)
+		}
+	}
+}
+
+func TestSamplingIsDeterministicAndSlowBypasses(t *testing.T) {
+	r := NewRecorder(64)
+	r.SetEnabled(true)
+	r.SetSlowThreshold(100 * time.Nanosecond)
+	var buf bytes.Buffer
+	r.SetSink(&buf, 5)
+	var slow []uint64
+	r.SetOnSlow(func(rec *Record) { slow = append(slow, rec.Seq) })
+	for i := 0; i < 20; i++ {
+		wall := int64(1)
+		if i == 7 {
+			wall = 200 // past the slow threshold, not on the sample grid
+		}
+		r.Record(context.Background(), &Record{Kind: "query", WallNs: wall, Outcome: OutcomeOK})
+	}
+	recs, malformed, err := ReadAll(&buf)
+	if err != nil || malformed != 0 {
+		t.Fatalf("ReadAll: %d malformed, err %v", malformed, err)
+	}
+	// Sample 1-in-5 keeps seqs 0,5,10,15; the slow record 7 bypasses.
+	want := []uint64{0, 5, 7, 10, 15}
+	if len(recs) != len(want) {
+		t.Fatalf("sink kept %d records %v, want %v", len(recs), recs, want)
+	}
+	for i, rec := range recs {
+		if rec.Seq != want[i] {
+			t.Errorf("kept[%d].Seq = %d, want %d", i, rec.Seq, want[i])
+		}
+		if rec.Seq == 7 && !rec.Slow {
+			t.Error("record 7 should be marked slow")
+		}
+	}
+	if len(slow) != 1 || slow[0] != 7 {
+		t.Errorf("OnSlow fired for %v, want [7]", slow)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err      error
+		degraded bool
+		want     string
+	}{
+		{nil, false, OutcomeOK},
+		{nil, true, OutcomeDegraded},
+		{budget.ErrCanceled, false, OutcomeCanceled},
+		{fmt.Errorf("wrap: %w", budget.ErrBudgetExceeded), false, OutcomeBudget},
+		{parallel.ErrWorkerPanic, false, OutcomePanic},
+		{fault.ErrInjected, false, OutcomeFault},
+		{snapshot.ErrCorrupt, false, OutcomeCorrupt},
+		{errors.New("query: parse error"), false, OutcomeError},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err, c.degraded); got != c.want {
+			t.Errorf("Classify(%v, %v) = %q, want %q", c.err, c.degraded, got, c.want)
+		}
+	}
+}
+
+func TestFingerprintNormalization(t *testing.T) {
+	a := Fingerprint("SUM", "Amount", []string{"Region", "product", "region"}, []string{"Year"})
+	b := Fingerprint("sum", "amount", []string{"product", "region"}, []string{"year"})
+	if a != b {
+		t.Errorf("fingerprints differ: %q vs %q", a, b)
+	}
+	if want := "sum(amount) by product,region where year"; a != want {
+		t.Errorf("fingerprint = %q, want %q", a, want)
+	}
+	if got := Node(nil); got != "()" {
+		t.Errorf("Node(nil) = %q, want ()", got)
+	}
+	if got := Node([]string{"B", "a"}); got != "a,b" {
+		t.Errorf("Node = %q, want a,b", got)
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	r := NewRecorder(16)
+	r.SetEnabled(true)
+	var buf bytes.Buffer
+	r.SetSink(&buf, 2)
+	r.Record(context.Background(), &Record{Kind: "query"})
+	r.Reset()
+	if r.Enabled() || r.Len() != 0 || len(r.Snapshot()) != 0 {
+		t.Error("Reset should disable and clear the recorder")
+	}
+	buf.Reset()
+	r.SetEnabled(true)
+	r.Record(context.Background(), &Record{Kind: "query"})
+	if buf.Len() != 0 {
+		t.Error("Reset should detach the sink")
+	}
+}

@@ -1,0 +1,98 @@
+package qlog
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+
+	"statcube/internal/fault"
+	"statcube/internal/obs"
+)
+
+// sinkWriter is the attached NDJSON destination. The writer is used as
+// given; each record is marshaled and emitted as one Write call of
+// "<json>\n", so a crash or torn write corrupts at most one line.
+type sinkWriter struct {
+	w io.Writer
+}
+
+// SetSink attaches an NDJSON sink: every admitted record is appended as
+// one JSON line. sampleN > 1 keeps one record in N (by sequence number,
+// deterministically — no random stream) plus every slow record; ≤ 1
+// keeps all. A nil writer detaches the sink.
+func (r *Recorder) SetSink(w io.Writer, sampleN int) {
+	r.sinkMu.Lock()
+	r.sink = sinkWriter{w: w}
+	r.sinkMu.Unlock()
+	if sampleN < 1 {
+		sampleN = 1
+	}
+	r.sample.Store(int64(sampleN))
+}
+
+// writeSink appends one record to the sink, if attached. The write runs
+// through the fault.PointQlogWrite hook — an injector on ctx can fail,
+// tear, or bit-flip it — and a failed write only bumps qlog.sink_errors:
+// the flight recorder never fails the flight.
+func (r *Recorder) writeSink(ctx context.Context, rec *Record) {
+	r.sinkMu.Lock()
+	defer r.sinkMu.Unlock()
+	if r.sink.w == nil {
+		return
+	}
+	inj := fault.From(ctx)
+	if err := inj.Hit(fault.PointQlogWrite); err != nil {
+		if obs.On() {
+			sinkErrors.Inc()
+		}
+		return
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		if obs.On() {
+			sinkErrors.Inc()
+		}
+		return
+	}
+	line = append(line, '\n')
+	if _, err := inj.Writer(fault.PointQlogWrite, r.sink.w).Write(line); err != nil {
+		if obs.On() {
+			sinkErrors.Inc()
+		}
+		return
+	}
+	if obs.On() {
+		sinkRecords.Inc()
+	}
+}
+
+// maxLineBytes bounds one NDJSON line; EXPLAIN plans are the largest
+// field and stay far below this.
+const maxLineBytes = 1 << 20
+
+// ReadAll decodes an NDJSON flight log. Malformed lines — a line torn by
+// a crash mid-append, or corrupted bytes — are skipped and counted, not
+// fatal: the recorder's durability contract is that a crash loses at
+// most the line being written, and the reader recovers everything else.
+// Only a reader error (not malformed content) returns a non-nil error.
+func ReadAll(r io.Reader) (recs []Record, malformed int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if json.Unmarshal(line, &rec) != nil || rec.Kind == "" {
+			malformed++
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return recs, malformed, err
+	}
+	return recs, malformed, nil
+}

@@ -188,17 +188,21 @@ func Run(o *core.StatObject, input string) (*core.StatObject, error) {
 }
 
 // RunCtx is Run with a context: parse, then evaluate under ctx's
-// cancellation, deadline and resource budget.
+// cancellation, deadline and resource budget. When the flight recorder
+// is on, the completed query — fingerprint, lattice node, wall time,
+// ledger peaks, typed outcome — is logged as one qlog record.
 func RunCtx(ctx context.Context, o *core.StatObject, input string) (*core.StatObject, error) {
 	//lint:ignore nodeterm feeds only the query.latency_ns histogram, which no baseline diffs
 	start := time.Now()
 	q, err := Parse(input)
 	if err != nil {
 		recordQuery(start, err)
+		recordFlight(ctx, "query", input, o, nil, start, nil, err)
 		return nil, err
 	}
 	res, err := EvalCtx(ctx, o, q)
 	recordQuery(start, err)
+	recordFlight(ctx, "query", input, o, q, start, nil, err)
 	return res, err
 }
 
@@ -215,19 +219,23 @@ func RunScalarCtx(ctx context.Context, o *core.StatObject, input string) (float6
 	q, err := Parse(input)
 	if err != nil {
 		recordQuery(start, err)
+		recordFlight(ctx, "query.scalar", input, o, nil, start, nil, err)
 		return 0, err
 	}
 	if len(q.By) > 0 {
 		err := fmt.Errorf("query: BY queries return tables; use Run")
 		recordQuery(start, err)
+		recordFlight(ctx, "query.scalar", input, o, q, start, nil, err)
 		return 0, err
 	}
 	res, err := EvalCtx(ctx, o, q)
 	if err != nil {
 		recordQuery(start, err)
+		recordFlight(ctx, "query.scalar", input, o, q, start, nil, err)
 		return 0, err
 	}
 	v, err := res.Total(q.Measure)
 	recordQuery(start, err)
+	recordFlight(ctx, "query.scalar", input, o, q, start, nil, err)
 	return v, err
 }

@@ -40,6 +40,7 @@ func RunExplainCtx(ctx context.Context, o *core.StatObject, input string) (*core
 	if err != nil {
 		root.End()
 		recordQuery(start, err)
+		recordFlight(ctx, "query.explain", input, o, nil, start, root, err)
 		return nil, root, err
 	}
 	res, err := EvalWithSpan(ctx, o, q, root)
@@ -50,8 +51,17 @@ func RunExplainCtx(ctx context.Context, o *core.StatObject, input string) (*core
 		}
 		root.SetStr("canceled", cause.Error())
 	}
+	// The budget ledger's high-water marks belong in the EXPLAIN ANALYZE
+	// tree: peak concurrently-reserved bytes and cumulative cells charged,
+	// read after evaluation so degraded/failed paths show what they
+	// actually consumed (not just that a degrade event happened).
+	if gov := budget.From(ctx); gov != nil {
+		root.AddInt("budget_peak_bytes", gov.PeakBytes())
+		root.AddInt("budget_cells", gov.CellsUsed())
+	}
 	root.SetErr(err)
 	root.End()
 	recordQuery(start, err)
+	recordFlight(ctx, "query.explain", input, o, q, start, root, err)
 	return res, root, err
 }

@@ -1,0 +1,144 @@
+package query
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"statcube/internal/budget"
+	"statcube/internal/obs"
+	"statcube/internal/qlog"
+)
+
+// withRecorder enables the process-wide flight recorder for one test and
+// restores the disabled default afterwards.
+func withRecorder(t *testing.T) *qlog.Recorder {
+	t.Helper()
+	r := qlog.Default()
+	r.Reset()
+	r.SetEnabled(true)
+	t.Cleanup(r.Reset)
+	return r
+}
+
+func TestRunCtxRecordsFlight(t *testing.T) {
+	r := withRecorder(t)
+	o := incomeObject(t)
+	ctx := budget.WithGovernor(context.Background(),
+		budget.NewGovernor(budget.Limits{MaxBytes: 1 << 20}))
+	if _, err := RunCtx(ctx, o, "SHOW average income BY sex WHERE year = 1980"); err != nil {
+		t.Fatal(err)
+	}
+	recs := r.Snapshot()
+	if len(recs) != 1 {
+		t.Fatalf("recorded %d flights, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.Kind != "query" || rec.Outcome != qlog.OutcomeOK {
+		t.Errorf("kind=%q outcome=%q", rec.Kind, rec.Outcome)
+	}
+	if rec.Node != "sex" {
+		t.Errorf("node = %q, want sex", rec.Node)
+	}
+	if want := "avg(average income) by sex where year"; rec.Fingerprint != want {
+		t.Errorf("fingerprint = %q, want %q", rec.Fingerprint, want)
+	}
+	if rec.Measure != "average income" || rec.Agg != "avg" {
+		t.Errorf("measure=%q agg=%q", rec.Measure, rec.Agg)
+	}
+	if rec.WallNs <= 0 {
+		t.Errorf("wall_ns = %d, want > 0", rec.WallNs)
+	}
+}
+
+func TestFingerprintCollapsesSpellings(t *testing.T) {
+	r := withRecorder(t)
+	o := incomeObject(t)
+	ctx := context.Background()
+	// Three spellings of the same plan: clause order, level vs dimension
+	// naming, different literal values.
+	for _, q := range []string{
+		"SHOW average income BY sex WHERE year = 1980",
+		"SHOW average income BY sex WHERE year = 1981",
+	} {
+		if _, err := RunCtx(ctx, o, q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	recs := r.Snapshot()
+	if len(recs) != 2 {
+		t.Fatalf("recorded %d flights", len(recs))
+	}
+	if recs[0].Fingerprint != recs[1].Fingerprint {
+		t.Errorf("same-shape plans got distinct fingerprints: %q vs %q",
+			recs[0].Fingerprint, recs[1].Fingerprint)
+	}
+}
+
+func TestParseErrorStillRecorded(t *testing.T) {
+	r := withRecorder(t)
+	o := incomeObject(t)
+	if _, err := RunCtx(context.Background(), o, "NOT A QUERY"); err == nil {
+		t.Fatal("expected parse error")
+	}
+	recs := r.Snapshot()
+	if len(recs) != 1 {
+		t.Fatalf("recorded %d flights, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.Outcome != qlog.OutcomeError || rec.Error == "" {
+		t.Errorf("outcome=%q error=%q", rec.Outcome, rec.Error)
+	}
+	if rec.Text != "NOT A QUERY" || rec.Fingerprint != "" {
+		t.Errorf("text=%q fingerprint=%q", rec.Text, rec.Fingerprint)
+	}
+}
+
+func TestExplainRecordsPlanHistory(t *testing.T) {
+	r := withRecorder(t)
+	o := incomeObject(t)
+	_, span, err := RunExplainCtx(context.Background(), o, "SHOW average income BY sex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span == nil {
+		t.Fatal("no span")
+	}
+	recs := r.Snapshot()
+	if len(recs) != 1 {
+		t.Fatalf("recorded %d flights, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.Kind != "query.explain" {
+		t.Errorf("kind = %q", rec.Kind)
+	}
+	if rec.Plan == "" || !strings.Contains(rec.Plan, "auto-aggregate") {
+		t.Errorf("plan not captured: %q", rec.Plan)
+	}
+	if rec.Spans < 3 {
+		t.Errorf("spans = %d, want ≥ 3 (query, parse, resolve, ...)", rec.Spans)
+	}
+}
+
+func TestExplainCarriesBudgetLedger(t *testing.T) {
+	o := incomeObject(t)
+	gov := budget.NewGovernor(budget.Limits{MaxBytes: 1 << 20})
+	ctx := budget.WithGovernor(context.Background(), gov)
+	_, span, err := RunExplainCtx(ctx, o, "SHOW average income BY sex WHERE year = 1980")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := span.Render(obs.RenderOptions{})
+	if !strings.Contains(out, "budget_peak_bytes") || !strings.Contains(out, "budget_cells") {
+		t.Errorf("EXPLAIN tree missing budget ledger attributes:\n%s", out)
+	}
+	// Without a governor the attributes stay out of the tree (and out of
+	// the golden explain output).
+	_, span, err = RunExplainCtx(context.Background(), o, "SHOW average income BY sex WHERE year = 1980")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := span.Render(obs.RenderOptions{}); strings.Contains(out, "budget_peak_bytes") {
+		t.Errorf("governor-less EXPLAIN tree should not carry ledger attributes:\n%s", out)
+	}
+}
