@@ -12,7 +12,7 @@ BENCH_OUT ?= bench_current.ndjson
 # `make chaos` runs the whole matrix sequentially.
 CHAOS_SEEDS ?= 1 7 42
 
-.PHONY: verify fmt vet build test lint fuzz-smoke bench bench-baseline chaos qlog-smoke
+.PHONY: verify fmt vet build test lint fuzz-smoke bench bench-baseline chaos qlog-smoke serve-smoke
 
 # Tier-1 gate: vet, build, race-checked order-shuffled tests.
 verify: vet build test
@@ -57,7 +57,7 @@ fuzz-smoke:
 chaos:
 	@for seed in $(if $(CHAOS_SEED),$(CHAOS_SEED),$(CHAOS_SEEDS)); do \
 		echo "== chaos seed $$seed =="; \
-		CHAOS_SEED=$$seed $(GO) test -race -count=1 ./internal/fault/... ./internal/snapshot/... || exit 1; \
+		CHAOS_SEED=$$seed $(GO) test -race -count=1 ./internal/fault/... ./internal/snapshot/... ./internal/serve/... || exit 1; \
 	done
 
 # Bench regression: the E9/E16 micro-benchmarks (sanity, 1 iteration) plus
@@ -67,6 +67,7 @@ chaos:
 bench:
 	$(GO) test -bench='E9|E16' -benchtime=1x -count=3 -run='^$$' .
 	$(GO) run ./cmd/cubebench -stats-json > $(BENCH_OUT)
+	bash scripts/serve_smoke.sh bench >> $(BENCH_OUT)
 	$(GO) run ./scripts/benchdiff.go -baseline BENCH_BASELINE.json -current $(BENCH_OUT)
 
 # Flight-recorder smoke: run a short benchmark slice with the query
@@ -78,7 +79,16 @@ qlog-smoke:
 	$(GO) run ./cmd/statprof -json -check qlog_smoke.ndjson > qlog_profile.json
 	$(GO) run ./cmd/statprof qlog_smoke.ndjson
 
+# Serving-layer smoke: build statd + statload, drive a real daemon
+# through a warm-cache phase (hit ratio and p99 gated) and an
+# exhausted-governor phase (every request shed as a typed 429), and
+# require a clean SIGTERM exit after each. serve_load.ndjson is the CI
+# artifact.
+serve-smoke:
+	bash scripts/serve_smoke.sh
+
 # Regenerate the committed baseline from this machine.
 bench-baseline:
 	$(GO) run ./cmd/cubebench -stats-json > $(BENCH_OUT)
+	bash scripts/serve_smoke.sh bench >> $(BENCH_OUT)
 	$(GO) run ./scripts/benchdiff.go -baseline BENCH_BASELINE.json -current $(BENCH_OUT) -update

@@ -1,0 +1,256 @@
+// Command statd is the statcube query daemon: it loads a built-in
+// dataset and serves concise statistical queries over HTTP with an
+// admission-controlled, budget-bounded result cache (internal/serve).
+//
+// Usage:
+//
+//	statd -demo employment -addr 127.0.0.1:8080
+//	curl 'http://127.0.0.1:8080/query?q=SHOW+employment+BY+sex+WHERE+year+%3D+1992'
+//
+// Endpoints:
+//
+//	GET/POST /query      JSON result; ?q= or JSON body {"q": "..."}
+//	GET/POST /query.bin  the same result in the compact binary format
+//	GET      /healthz    liveness + cache/admission stats
+//	POST     /invalidate drop every cached result (admin)
+//	GET      /metrics    obs registry (plus /metrics.json, /debug/pprof/)
+//
+// With -snapshot-dir and -watch, the daemon polls the snapshot store's
+// generation list and invalidates the result cache when a new
+// generation is published — the serving half of the store's
+// crash-atomic publish protocol.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"statcube/internal/budget"
+	"statcube/internal/core"
+	"statcube/internal/metadata"
+	"statcube/internal/parallel"
+	"statcube/internal/qlog"
+	"statcube/internal/serve"
+	"statcube/internal/snapshot"
+	"statcube/internal/workload"
+)
+
+// Exit codes mirror statcli's taxonomy so scripts treat both binaries
+// uniformly.
+const (
+	exitOK       = 0 // clean shutdown
+	exitUsage    = 1 // bad invocation or unloadable dataset
+	exitBudget   = 2 // a resource budget refused startup work
+	exitCanceled = 3 // canceled before the daemon came up
+	exitPanic    = 4 // a worker panic was contained
+	exitCorrupt  = 5 // snapshot store corrupt
+)
+
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return exitOK
+	case errors.Is(err, budget.ErrBudgetExceeded):
+		return exitBudget
+	case budget.IsCanceled(err):
+		return exitCanceled
+	case errors.Is(err, parallel.ErrWorkerPanic):
+		return exitPanic
+	case errors.Is(err, snapshot.ErrCorrupt):
+		return exitCorrupt
+	default:
+		return exitUsage
+	}
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripts that used :0)")
+	demo := flag.String("demo", "employment", "built-in dataset: employment, retail, census, hmo")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline; 0 means none")
+	maxBytes := flag.Int64("max-bytes", 0, "serving ledger size in bytes shared by admissions and per-query memory (default 256 MiB)")
+	admitBytes := flag.Int64("admit-bytes", 0, "up-front ledger reservation per admitted request (default 1 MiB)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrently admitted requests (default 64)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "result cache budget in bytes (default 64 MiB; negative disables the bound)")
+	cacheShards := flag.Int("cache-shards", 0, "result cache shard count (default 16)")
+	snapshotDir := flag.String("snapshot-dir", "", "snapshot store to watch for generation changes (with -watch)")
+	watch := flag.Duration("watch", 0, "poll -snapshot-dir at this interval and invalidate the cache on a new generation; 0 disables")
+	qlogPath := flag.String("qlog", "", "append one NDJSON flight record per query to this file")
+	slowMS := flag.Int64("slow-ms", 0, "report queries slower than this many milliseconds on stderr")
+	usage := flag.Usage
+	flag.Usage = func() {
+		usage()
+		fmt.Fprintf(flag.CommandLine.Output(), `
+Exit codes:
+  %d  clean shutdown (interrupt or SIGTERM)
+  %d  bad invocation or unloadable dataset
+  %d  resource budget exceeded during startup
+  %d  canceled before the daemon came up
+  %d  a worker panic was contained and reported
+  %d  snapshot store corrupt
+`, exitOK, exitUsage, exitBudget, exitCanceled, exitPanic, exitCorrupt)
+	}
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "statd: unexpected arguments %q\n", flag.Args())
+		os.Exit(exitUsage)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *qlogPath != "" || *slowMS > 0 {
+		rec := qlog.Default()
+		rec.SetEnabled(true)
+		if *qlogPath != "" {
+			f, err := os.OpenFile(*qlogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "statd:", err)
+				os.Exit(exitUsage)
+			}
+			defer f.Close()
+			rec.SetSink(f, 1)
+		}
+		if *slowMS > 0 {
+			rec.SetSlowThreshold(time.Duration(*slowMS) * time.Millisecond)
+			rec.SetOnSlow(func(r *qlog.Record) {
+				fmt.Fprintf(os.Stderr, "statd: slow query (%.1fms ≥ %dms): %s [%s]\n",
+					float64(r.WallNs)/1e6, *slowMS, r.Text, r.Outcome)
+			})
+		}
+	}
+
+	obj, err := loadDemo(*demo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "statd:", err)
+		os.Exit(exitUsage)
+	}
+
+	srv, err := serve.New(serve.Config{
+		Object:      obj,
+		MaxInflight: *maxInflight,
+		MaxBytes:    *maxBytes,
+		AdmitBytes:  *admitBytes,
+		CacheBytes:  *cacheBytes,
+		CacheShards: *cacheShards,
+		Timeout:     *timeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "statd:", err)
+		os.Exit(exitUsage)
+	}
+
+	// Seed the generation from the store before serving, so the first
+	// poll doesn't spuriously invalidate a cold cache.
+	var store *snapshot.Store
+	if *snapshotDir != "" {
+		store, err = snapshot.OpenStore(*snapshotDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "statd:", err)
+			os.Exit(exitCode(err))
+		}
+		if gen, err := newestGeneration(store, *demo); err == nil {
+			srv.SetGeneration(gen)
+		}
+	}
+
+	hs, err := serve.ListenAndServe(*addr, srv.Handler())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "statd:", err)
+		os.Exit(exitUsage)
+	}
+	fmt.Fprintf(os.Stderr, "statd: serving %q on http://%s/query\n", *demo, hs.Addr())
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(hs.Addr().String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "statd:", err)
+			_ = hs.Close()
+			os.Exit(exitUsage)
+		}
+	}
+
+	// The main loop: wait for an interrupt, polling the snapshot store's
+	// generations in between when -watch is set. Polling runs here, not
+	// in a goroutine — the daemon's only background concurrency is the
+	// accept loop internal/serve owns.
+	var tick <-chan time.Time
+	if store != nil && *watch > 0 {
+		t := time.NewTicker(*watch)
+		defer t.Stop()
+		tick = t.C
+	}
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			break loop
+		case <-tick:
+			if gen, err := newestGeneration(store, *demo); err == nil {
+				srv.SetGeneration(gen) // no-op unless the generation changed
+			}
+		}
+	}
+
+	stop()
+	fmt.Fprintln(os.Stderr, "statd: shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		fmt.Fprintln(os.Stderr, "statd: shutdown:", err)
+		os.Exit(exitUsage)
+	}
+}
+
+// newestGeneration returns the highest published generation for the
+// dataset's snapshot name, 0 when none exist yet.
+func newestGeneration(st *snapshot.Store, name string) (uint64, error) {
+	gens, err := st.Generations(name)
+	if err != nil {
+		return 0, err
+	}
+	var max uint64
+	for _, g := range gens {
+		if g > max {
+			max = g
+		}
+	}
+	return max, nil
+}
+
+// loadDemo builds one of the built-in datasets (statcli's set).
+func loadDemo(name string) (*core.StatObject, error) {
+	switch name {
+	case "employment":
+		return workload.NewEmployment()
+	case "retail":
+		r, err := workload.NewRetail(40, 12, 60, 20000, 1)
+		if err != nil {
+			return nil, err
+		}
+		return r.Object, nil
+	case "census":
+		c, err := workload.NewCensus(20000, 5, 4, 1)
+		if err != nil {
+			return nil, err
+		}
+		return metadata.MacroFromMicro(c.Micro, c.Schema,
+			[]core.Measure{
+				{Name: "population", Func: core.Count, Type: core.Stock},
+				{Name: "avg income", Unit: "dollars", Func: core.Avg, Type: core.ValuePerUnit},
+			},
+			map[string]string{"population": "", "avg income": "income"})
+	case "hmo":
+		h, err := workload.NewHMO(100, 10000, 0.25, 1)
+		if err != nil {
+			return nil, err
+		}
+		return h.Object, nil
+	default:
+		return nil, fmt.Errorf("unknown demo %q (have employment, retail, census, hmo)", name)
+	}
+}

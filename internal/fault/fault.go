@@ -63,6 +63,15 @@ const (
 	// corrupt the line — which the log reader must skip and count, never
 	// propagate into the recorded flight's own outcome).
 	PointQlogWrite = "qlog.write"
+	// PointServeHandler fires at the top of the query daemon's request
+	// handler, after admission — an injected error must surface to the
+	// client as a typed error body, never a partial response.
+	PointServeHandler = "serve.handler"
+	// PointCacheFill fires after a result-cache fill computes but before
+	// the entry is stored — an injected error must leave the cache
+	// unpopulated (no poisoned partial result) and fail the request
+	// with a typed error.
+	PointCacheFill = "cache.fill"
 )
 
 // Mode selects what an armed injector does when a decision fires.

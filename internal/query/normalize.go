@@ -1,0 +1,74 @@
+package query
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"statcube/internal/core"
+	"statcube/internal/qlog"
+)
+
+// Normalize resolves a parsed query against an object and returns two
+// identities the serving layer builds on:
+//
+//   - fingerprint: the plan shape — aggregate(measure), sorted BY and
+//     WHERE names with literal values dropped — exactly the identity the
+//     flight recorder computes (qlog.Fingerprint), so the daemon's cache
+//     metrics and the workload profiler speak about the same plans.
+//   - key: the exact result identity — the fingerprint plus each
+//     condition's resolved name and its sorted, quoted value list — so
+//     two queries share a key only when they must return the same
+//     result: same plan shape and same literal restrictions, regardless
+//     of clause order, name spelling (dimension vs dimension.level) or
+//     IN-list ordering.
+//
+// Values are strconv-quoted into the key, so separator bytes inside a
+// quoted literal cannot collide two distinct restrictions. Name
+// resolution failures (unknown or ambiguous names) surface here, before
+// any engine work runs.
+func Normalize(o *core.StatObject, q *Query) (fingerprint, key string, err error) {
+	agg := ""
+	if m, merr := o.Measure(q.Measure); merr == nil {
+		agg = m.Func.String()
+	} else {
+		return "", "", merr
+	}
+	by := make([]string, 0, len(q.By))
+	for _, name := range q.By {
+		r, rerr := resolveName(o, name)
+		if rerr != nil {
+			return "", "", rerr
+		}
+		by = append(by, canonicalName(r))
+	}
+	conds := make([]string, 0, len(q.Where))
+	where := make([]string, 0, len(q.Where))
+	for _, c := range q.Where {
+		r, rerr := resolveName(o, c.Name)
+		if rerr != nil {
+			return "", "", rerr
+		}
+		name := canonicalName(r)
+		where = append(where, name)
+		vals := make([]string, 0, len(c.Values))
+		for _, v := range c.Values {
+			vals = append(vals, strconv.Quote(string(v)))
+		}
+		sort.Strings(vals)
+		conds = append(conds, strings.ToLower(name)+"="+strings.Join(vals, ","))
+	}
+	sort.Strings(conds)
+	fingerprint = qlog.Fingerprint(agg, q.Measure, by, where)
+	key = fingerprint + " § " + strings.Join(conds, "&")
+	return fingerprint, key, nil
+}
+
+// canonicalName renders a resolved name as its "dimension.level" form
+// (bare dimension when the level is the implied leaf).
+func canonicalName(r resolved) string {
+	if r.level == "" || r.level == r.dim {
+		return r.dim
+	}
+	return r.dim + "." + r.level
+}

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"statcube/internal/budget"
+	"statcube/internal/obs"
+)
+
+// ErrOverloaded is the admission controller's typed refusal: the daemon
+// is at its concurrency limit or the serving ledger is hot. The HTTP
+// layer maps it to 429 so clients know to back off and retry — shedding
+// load is the contract, not a failure.
+var ErrOverloaded = errors.New("serve: overloaded")
+
+// serve.inflight gauges the requests currently admitted (registered
+// here, next to the slot accounting that drives it).
+var inflightGauge = obs.Default().Gauge("serve.inflight")
+
+// admission is the daemon's load shedder: a fixed pool of concurrency
+// slots plus an up-front reservation against the serving ledger. Both
+// checks are non-blocking — a request that cannot be admitted NOW is
+// refused with ErrOverloaded rather than queued, which keeps tail
+// latency bounded and turns overload into clean 429s instead of a
+// growing backlog.
+//
+// The reservation ties shedding to real memory pressure: every admitted
+// request holds admitBytes on the shared governor for its lifetime, and
+// the engine's own per-query reservations land on the same ledger, so a
+// hot ledger (big queries in flight) refuses new admissions before the
+// process runs out of budget mid-query.
+type admission struct {
+	slots      chan struct{}
+	gov        *budget.Governor
+	admitBytes int64
+}
+
+func newAdmission(maxInflight int, gov *budget.Governor, admitBytes int64) *admission {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	return &admission{
+		slots:      make(chan struct{}, maxInflight),
+		gov:        gov,
+		admitBytes: admitBytes,
+	}
+}
+
+// admit tries to take a slot and the ledger reservation. On success it
+// returns a release that must run exactly once when the request ends —
+// releasing drains the ledger even when the request itself failed, the
+// invariant the pre-canceled-context test pins down. A context that is
+// already done is refused with the cancellation taxonomy (the work was
+// never admitted, so nothing is charged).
+func (a *admission) admit(ctx context.Context) (release func(), err error) {
+	if err := budget.Check(ctx); err != nil {
+		return nil, err
+	}
+	select {
+	case a.slots <- struct{}{}:
+	default:
+		return nil, fmt.Errorf("%w: %d requests already in flight", ErrOverloaded, cap(a.slots))
+	}
+	if err := a.gov.Reserve(a.admitBytes); err != nil {
+		<-a.slots
+		return nil, fmt.Errorf("%w: serving ledger hot: %w", ErrOverloaded, err)
+	}
+	if obs.On() {
+		inflightGauge.Set(float64(len(a.slots)))
+	}
+	return func() {
+		a.gov.Release(a.admitBytes)
+		<-a.slots
+		if obs.On() {
+			inflightGauge.Set(float64(len(a.slots)))
+		}
+	}, nil
+}
+
+// inflight returns the currently admitted request count.
+func (a *admission) inflight() int { return len(a.slots) }

@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"testing"
+
+	"statcube/internal/fault"
+)
+
+// The serving chaos suite: under seeded fault injection at the
+// serve.handler and cache.fill hook points, every request must end in
+// exactly one of two states — a 200 whose body is byte-identical to the
+// fault-free baseline, or a typed error envelope — and afterwards the
+// cache must hold no poisoned entry (every warm answer still matches
+// the baseline) and the serving ledger must drain to zero.
+//
+// Seeds come from a fixed matrix plus the CHAOS_SEED environment
+// variable (the CI chaos job runs one seed per matrix entry); a failure
+// message always names the seed, so any run is replayable locally with
+//
+//	CHAOS_SEED=<seed> go test -race -run Chaos ./internal/serve/
+
+// chaosSeeds returns the seed matrix: CHAOS_SEED if set, else defaults.
+func chaosSeeds(t *testing.T) []uint64 {
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		seed, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_SEED=%q: %v", s, err)
+		}
+		return []uint64{seed}
+	}
+	return []uint64{1, 7, 42}
+}
+
+// chaosQueries is the mix each chaos run drives, URL-encoded for ?q=.
+var chaosQueries = []string{
+	"SHOW+employment+BY+sex+WHERE+year+%3D+1992",
+	"SHOW+employment+BY+profession+WHERE+year+%3D+1992",
+	"SHOW+employment+BY+sex+WHERE+year+%3D+1991",
+	"SHOW+total+income+BY+sex+WHERE+year+%3D+1992",
+	"SHOW+employment+BY+professional+class+WHERE+year+%3D+1992",
+}
+
+// chaosDo drives one request, with an injector in the context when inj
+// is non-nil.
+func chaosDo(h http.Handler, q string, inj *fault.Injector) *httptest.ResponseRecorder {
+	req := httptest.NewRequest("GET", "/query?q="+q, nil)
+	if inj != nil {
+		req = req.WithContext(fault.WithInjector(req.Context(), inj))
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestChaosServeNeverPoisonsCache(t *testing.T) {
+	for _, seed := range chaosSeeds(t) {
+		seed := seed
+		t.Run(strconv.FormatUint(seed, 10), func(t *testing.T) {
+			s := newTestServer(t, Config{})
+			h := s.Handler()
+
+			// Fault-free baselines, computed before any injector exists.
+			baseline := make(map[string][]byte, len(chaosQueries))
+			for _, q := range chaosQueries {
+				w := chaosDo(h, q, nil)
+				if w.Code != http.StatusOK {
+					t.Fatalf("seed %d: baseline %s: status %d: %s", seed, q, w.Code, w.Body.String())
+				}
+				baseline[q] = append([]byte(nil), w.Body.Bytes()...)
+			}
+			// Start every round cold so cache.fill is actually exercised.
+			s.Cache().Invalidate()
+
+			inj := fault.New(fault.Schedule{
+				Seed:   seed,
+				Points: []string{fault.PointServeHandler, fault.PointCacheFill},
+				Rate:   0.5,
+				Mode:   fault.Error,
+			})
+			var failures, successes int
+			for round := 0; round < 8; round++ {
+				for _, q := range chaosQueries {
+					w := chaosDo(h, q, inj)
+					switch w.Code {
+					case http.StatusOK:
+						successes++
+						if !bytes.Equal(w.Body.Bytes(), baseline[q]) {
+							t.Fatalf("seed %d round %d: %s: 200 body differs from fault-free baseline", seed, round, q)
+						}
+					case http.StatusInternalServerError:
+						failures++
+						var eb errorBody
+						if err := json.Unmarshal(w.Body.Bytes(), &eb); err != nil {
+							t.Fatalf("seed %d round %d: %s: error body is not a typed envelope: %q", seed, round, q, w.Body.String())
+						}
+						if eb.Code == "" || eb.Error == "" {
+							t.Fatalf("seed %d round %d: %s: empty error envelope: %+v", seed, round, q, eb)
+						}
+					default:
+						t.Fatalf("seed %d round %d: %s: unexpected status %d: %s", seed, round, q, w.Code, w.Body.String())
+					}
+				}
+			}
+			if inj.Injected() == 0 || failures == 0 {
+				t.Fatalf("seed %d: schedule never fired (injected=%d failures=%d) — the chaos run proved nothing", seed, inj.Injected(), failures)
+			}
+			if successes == 0 {
+				t.Fatalf("seed %d: every request failed at rate 0.5 — schedule suspect", seed)
+			}
+
+			// Disarmed, every query must answer byte-identical to the
+			// baseline: no injected failure left a poisoned entry behind.
+			for _, q := range chaosQueries {
+				w := chaosDo(h, q, nil)
+				if w.Code != http.StatusOK {
+					t.Fatalf("seed %d: post-chaos %s: status %d: %s", seed, q, w.Code, w.Body.String())
+				}
+				if !bytes.Equal(w.Body.Bytes(), baseline[q]) {
+					t.Fatalf("seed %d: post-chaos %s: body differs from baseline — cache poisoned", seed, q)
+				}
+			}
+			// The serving ledger fully drains: admission and per-query
+			// reservations were all released despite the failures.
+			if got := s.Governor().BytesReserved(); got != 0 {
+				t.Fatalf("seed %d: serving ledger holds %d bytes after chaos, want 0", seed, got)
+			}
+			st := s.Cache().Stats()
+			if st.Entries != int64(len(chaosQueries)) {
+				t.Fatalf("seed %d: post-chaos entries = %d, want %d (one clean entry per query)", seed, st.Entries, len(chaosQueries))
+			}
+		})
+	}
+}
+
+// TestChaosCacheFillDiscardsPayload pins the cache.fill hook in
+// isolation: with only that point armed at rate 1, every cold request
+// fails typed, nothing is ever stored, and the first disarmed request
+// is a miss that fills cleanly.
+func TestChaosCacheFillDiscardsPayload(t *testing.T) {
+	for _, seed := range chaosSeeds(t) {
+		seed := seed
+		t.Run(strconv.FormatUint(seed, 10), func(t *testing.T) {
+			s := newTestServer(t, Config{})
+			h := s.Handler()
+			inj := fault.New(fault.Schedule{
+				Seed:   seed,
+				Points: []string{fault.PointCacheFill},
+				Rate:   1,
+				Mode:   fault.Error,
+			})
+			const q = "SHOW+employment+BY+sex+WHERE+year+%3D+1992"
+			for i := 0; i < 3; i++ {
+				w := chaosDo(h, q, inj)
+				if w.Code != http.StatusInternalServerError {
+					t.Fatalf("seed %d try %d: status %d, want 500: %s", seed, i, w.Code, w.Body.String())
+				}
+				var eb errorBody
+				if err := json.Unmarshal(w.Body.Bytes(), &eb); err != nil || eb.Code == "" {
+					t.Fatalf("seed %d try %d: untyped error body %q", seed, i, w.Body.String())
+				}
+				if st := s.Cache().Stats(); st.Entries != 0 || st.Bytes != 0 {
+					t.Fatalf("seed %d try %d: failed fill left cache state: %+v", seed, i, st)
+				}
+			}
+			w := chaosDo(h, q, nil)
+			if w.Code != http.StatusOK {
+				t.Fatalf("seed %d: disarmed request: status %d: %s", seed, w.Code, w.Body.String())
+			}
+			if got := w.Header().Get("X-Statd-Cache"); got != "miss" {
+				t.Fatalf("seed %d: disarmed request X-Statd-Cache = %q, want miss (nothing cached under faults)", seed, got)
+			}
+			if got := s.Governor().BytesReserved(); got != 0 {
+				t.Fatalf("seed %d: ledger holds %d bytes, want 0", seed, got)
+			}
+		})
+	}
+}

@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"statcube/internal/core"
+)
+
+// Result is the wire shape of one answered query: the result object's
+// dimensions (coordinate order), its measures (value order) and one row
+// per non-empty cell. Cells are sorted by their coordinate tuple so the
+// encoding of a result is byte-identical across runs — the property the
+// cache and the chaos suite's poisoning checks rely on.
+type Result struct {
+	Query    string   `json:"query"`
+	Dims     []string `json:"dims"`
+	Measures []string `json:"measures"`
+	Cells    []Cell   `json:"cells"`
+}
+
+// Cell is one result row: leaf/category values per dimension, one float
+// per measure.
+type Cell struct {
+	Coords []string  `json:"coords"`
+	Values []float64 `json:"values"`
+}
+
+// buildResult flattens a result object deterministically.
+func buildResult(q string, o *core.StatObject) *Result {
+	r := &Result{Query: q}
+	for _, d := range o.Schema().Dimensions() {
+		r.Dims = append(r.Dims, d.Name)
+	}
+	for _, m := range o.Measures() {
+		r.Measures = append(r.Measures, m.Name)
+	}
+	o.ForEach(func(coords []core.Value, vals []float64) bool {
+		c := Cell{Coords: make([]string, len(coords)), Values: make([]float64, len(vals))}
+		for i, v := range coords {
+			c.Coords[i] = string(v)
+		}
+		copy(c.Values, vals)
+		r.Cells = append(r.Cells, c)
+		return true
+	})
+	sort.Slice(r.Cells, func(i, j int) bool {
+		a, b := r.Cells[i].Coords, r.Cells[j].Coords
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return r
+}
+
+// Binary wire format (the compact endpoint): "STQ1" magic, then the
+// dimension and measure name tables, then the cell rows. All integers
+// little-endian; strings are u16-length-prefixed UTF-8; measure values
+// are IEEE-754 bits as u64.
+const binMagic = "STQ1"
+
+// EncodeBinary renders the result in the compact binary format.
+func (r *Result) EncodeBinary() []byte {
+	out := make([]byte, 0, 16+len(r.Cells)*(8*len(r.Measures)+16))
+	out = append(out, binMagic...)
+	out = appendStrings(out, r.Dims)
+	out = appendStrings(out, r.Measures)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(r.Cells)))
+	for _, c := range r.Cells {
+		for _, v := range c.Coords {
+			out = appendString(out, v)
+		}
+		for _, v := range c.Values {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+		}
+	}
+	return out
+}
+
+// DecodeBinary parses the compact binary format (the load harness's
+// -bin verification path and the serving tests use it to round-trip).
+func DecodeBinary(b []byte) (*Result, error) {
+	d := &bindec{b: b}
+	if string(d.take(4)) != binMagic {
+		return nil, fmt.Errorf("serve: binary result: bad magic")
+	}
+	r := &Result{}
+	var err error
+	if r.Dims, err = d.strings(); err != nil {
+		return nil, err
+	}
+	if r.Measures, err = d.strings(); err != nil {
+		return nil, err
+	}
+	n := d.u32()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if int(n) > len(d.b) { // each cell costs ≥1 byte; cap before allocating
+		return nil, fmt.Errorf("serve: binary result: cell count %d exceeds payload", n)
+	}
+	r.Cells = make([]Cell, 0, n)
+	for i := uint32(0); i < n; i++ {
+		c := Cell{Coords: make([]string, len(r.Dims)), Values: make([]float64, len(r.Measures))}
+		for j := range c.Coords {
+			if c.Coords[j], err = d.string(); err != nil {
+				return nil, err
+			}
+		}
+		for j := range c.Values {
+			c.Values[j] = math.Float64frombits(d.u64())
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+		r.Cells = append(r.Cells, c)
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("serve: binary result: %d trailing bytes", len(d.b))
+	}
+	return r, nil
+}
+
+func appendStrings(out []byte, ss []string) []byte {
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(ss)))
+	for _, s := range ss {
+		out = appendString(out, s)
+	}
+	return out
+}
+
+func appendString(out []byte, s string) []byte {
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(s)))
+	return append(out, s...)
+}
+
+// bindec is a cursor over the binary payload; the first short read
+// sticks in err and zero-fills everything after it.
+type bindec struct {
+	b   []byte
+	err error
+}
+
+func (d *bindec) take(n int) []byte {
+	if d.err != nil || len(d.b) < n {
+		if d.err == nil {
+			d.err = fmt.Errorf("serve: binary result: truncated")
+		}
+		return make([]byte, n)
+	}
+	out := d.b[:n]
+	d.b = d.b[n:]
+	return out
+}
+
+func (d *bindec) u16() uint16 { return binary.LittleEndian.Uint16(d.take(2)) }
+func (d *bindec) u32() uint32 { return binary.LittleEndian.Uint32(d.take(4)) }
+func (d *bindec) u64() uint64 { return binary.LittleEndian.Uint64(d.take(8)) }
+
+func (d *bindec) string() (string, error) {
+	n := d.u16()
+	s := string(d.take(int(n)))
+	return s, d.err
+}
+
+func (d *bindec) strings() ([]string, error) {
+	n := d.u32()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if int(n) > len(d.b) {
+		return nil, fmt.Errorf("serve: binary result: name count %d exceeds payload", n)
+	}
+	out := make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		s, err := d.string()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// payload is what the cache stores per plan: both encodings, computed
+// once at fill time so a hit is a map lookup plus a pre-encoded write.
+type payload struct {
+	json []byte
+	bin  []byte
+}
+
+// encodePayload renders both wire encodings of a result object.
+func encodePayload(q string, o *core.StatObject) (*payload, error) {
+	r := buildResult(q, o)
+	j, err := json.Marshal(r)
+	if err != nil {
+		return nil, err
+	}
+	return &payload{json: j, bin: r.EncodeBinary()}, nil
+}
+
+// entryOverhead approximates the bookkeeping bytes an entry costs beyond
+// its encoded payloads (map slot, list element, key, channel).
+const entryOverhead = 256
+
+// size is the bytes the cache charges to its governor for the payload.
+func (p *payload) size() int64 {
+	return int64(len(p.json)+len(p.bin)) + entryOverhead
+}

@@ -1,0 +1,407 @@
+// Package serve is the engine's serving layer: a concurrent HTTP query
+// daemon over internal/query with an admission-controlled, budget-
+// bounded, generation-invalidated result cache.
+//
+// The paper's workload model (§3) — static data, periodic bulk loads,
+// read-heavy aggregate queries — is the best case for result caching:
+// between loads every repeated plan can be answered from a stored,
+// pre-encoded payload. The layer composes the engine's existing
+// disciplines rather than inventing new ones: per-request deadlines and
+// memory flow through budget.Governor on the request context, refusals
+// are the typed taxonomy (ErrOverloaded, budget.ErrBudgetExceeded,
+// budget.ErrCanceled) mapped onto HTTP status codes, cache keys are the
+// normalized plan identities the flight recorder already fingerprints,
+// and invalidation rides the snapshot generation counter.
+//
+// Endpoints (see DESIGN.md "Serving layer" for the protocol):
+//
+//	GET/POST /query      JSON result; ?q= or JSON body {"q": "..."}
+//	GET/POST /query.bin  the same result in the compact binary format
+//	GET      /healthz    liveness + cache/admission stats
+//	POST     /invalidate drop every cached result (admin)
+//	GET      /metrics    obs registry (plus /metrics.json, /debug/pprof/)
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"statcube/internal/budget"
+	"statcube/internal/core"
+	"statcube/internal/fault"
+	"statcube/internal/obs"
+	"statcube/internal/qlog"
+	"statcube/internal/query"
+)
+
+// Config sizes a Server. Zero fields take the documented defaults.
+type Config struct {
+	// Object is the statistical object queries run against. Required.
+	Object *core.StatObject
+	// MaxInflight caps concurrently admitted requests (default 64).
+	MaxInflight int
+	// MaxBytes caps the serving ledger shared by admission reservations
+	// and the engine's per-query memory (default 256 MiB).
+	MaxBytes int64
+	// AdmitBytes is the up-front ledger reservation each admitted
+	// request holds (default 1 MiB); MaxBytes/AdmitBytes bounds
+	// admissions when the ledger is otherwise idle.
+	AdmitBytes int64
+	// CacheBytes bounds the result cache's stored payloads (default
+	// 64 MiB); 0 keeps the default, negative disables the bound.
+	CacheBytes int64
+	// CacheShards is the cache's shard count (default 16).
+	CacheShards int
+	// Timeout is the per-request deadline (default 0: none beyond the
+	// client's own).
+	Timeout time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 64
+	}
+	if c.MaxBytes == 0 {
+		c.MaxBytes = 256 << 20
+	}
+	if c.AdmitBytes == 0 {
+		c.AdmitBytes = 1 << 20
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	} else if c.CacheBytes < 0 {
+		c.CacheBytes = 0 // unbounded
+	}
+	if c.CacheShards == 0 {
+		c.CacheShards = 16
+	}
+}
+
+// Serving metrics, one registration site each (serve.inflight lives in
+// admission.go with the slot accounting):
+//
+//	serve.requests    query requests received (both encodings)
+//	serve.shed        requests refused with 429 (admission or budget)
+//	serve.errors      requests failed with any other error
+//	serve.latency_ns  end-to-end request latency
+var (
+	reqCounter  = obs.Default().Counter("serve.requests")
+	shedCounter = obs.Default().Counter("serve.shed")
+	errCounter  = obs.Default().Counter("serve.errors")
+	latencyHist = obs.Default().Histogram("serve.latency_ns")
+)
+
+// Server answers concise queries over one statistical object.
+type Server struct {
+	obj     *core.StatObject
+	gov     *budget.Governor
+	adm     *admission
+	cache   *Cache
+	timeout time.Duration
+	snapGen atomic.Uint64
+}
+
+// New builds a server from a config.
+func New(cfg Config) (*Server, error) {
+	if cfg.Object == nil {
+		return nil, fmt.Errorf("serve: Config.Object is required")
+	}
+	cfg.applyDefaults()
+	gov := budget.NewGovernor(budget.Limits{MaxBytes: cfg.MaxBytes})
+	return &Server{
+		obj:     cfg.Object,
+		gov:     gov,
+		adm:     newAdmission(cfg.MaxInflight, gov, cfg.AdmitBytes),
+		cache:   NewCache(cfg.CacheShards, cfg.CacheBytes),
+		timeout: cfg.Timeout,
+	}, nil
+}
+
+// Cache returns the server's result cache (tests and the daemon's
+// generation watcher use it).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Governor returns the serving ledger.
+func (s *Server) Governor() *budget.Governor { return s.gov }
+
+// SetGeneration records the dataset's snapshot generation; a change
+// invalidates the result cache — the serving half of the snapshot
+// store's publish protocol: a new generation means the data may differ,
+// so no result computed under the old one may be served.
+func (s *Server) SetGeneration(gen uint64) {
+	if s.snapGen.Swap(gen) != gen {
+		s.cache.Invalidate()
+	}
+}
+
+// Generation returns the last recorded snapshot generation.
+func (s *Server) Generation() uint64 { return s.snapGen.Load() }
+
+// Handler returns the daemon's full HTTP surface: the query endpoints
+// plus the obs registry (metrics, pprof) mounted alongside.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		s.handleQuery(w, r, false)
+	})
+	mux.HandleFunc("/query.bin", func(w http.ResponseWriter, r *http.Request) {
+		s.handleQuery(w, r, true)
+	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/invalidate", s.handleInvalidate)
+	metrics := obs.Handler()
+	mux.Handle("/metrics", metrics)
+	mux.Handle("/metrics.json", metrics)
+	mux.Handle("/debug/pprof/", metrics)
+	return mux
+}
+
+// errorBody is the JSON error envelope: a human message plus the typed
+// class ("overloaded", "budget", "canceled", "panic", "fault",
+// "corrupt", "query") so clients and the load harness branch on the
+// taxonomy, never on message text.
+type errorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// classify maps an error onto (HTTP status, typed class). Overload —
+// the admission controller's own refusal or a budget refusal anywhere
+// in the request — is 429: the request was well-formed and will succeed
+// once load drains. Cancellation is 504 (the deadline did the work in),
+// engine-internal failures 500, and everything else — parse errors,
+// unknown names — a plain 400.
+func classify(err error) (status int, code string) {
+	if errors.Is(err, ErrOverloaded) {
+		return http.StatusTooManyRequests, "overloaded"
+	}
+	switch out := qlog.Classify(err, false); out {
+	case qlog.OutcomeBudget:
+		return http.StatusTooManyRequests, out
+	case qlog.OutcomeCanceled:
+		return http.StatusGatewayTimeout, out
+	case qlog.OutcomePanic, qlog.OutcomeFault, qlog.OutcomeCorrupt:
+		return http.StatusInternalServerError, out
+	default:
+		return http.StatusBadRequest, "query"
+	}
+}
+
+// writeError emits the JSON error envelope and bumps the shed/error
+// counters.
+func writeError(w http.ResponseWriter, err error) {
+	status, code := classify(err)
+	if obs.On() {
+		if status == http.StatusTooManyRequests {
+			shedCounter.Inc()
+		} else {
+			errCounter.Inc()
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error(), Code: code})
+}
+
+// queryText extracts the query from ?q= or a JSON body {"q": "..."}.
+func queryText(r *http.Request) (string, error) {
+	if q := r.URL.Query().Get("q"); q != "" {
+		return q, nil
+	}
+	if r.Body == nil {
+		return "", fmt.Errorf("serve: missing query: pass ?q= or a JSON body {\"q\": \"...\"}")
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+	if err != nil {
+		return "", fmt.Errorf("serve: reading request body: %w", err)
+	}
+	var req struct {
+		Q string `json:"q"`
+	}
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			return "", fmt.Errorf("serve: request body is not JSON {\"q\": \"...\"}: %w", err)
+		}
+	}
+	if req.Q == "" {
+		return "", fmt.Errorf("serve: missing query: pass ?q= or a JSON body {\"q\": \"...\"}")
+	}
+	return req.Q, nil
+}
+
+// handleQuery is the request path: admit, normalize, answer from the
+// cache or fill through the engine, write the pre-encoded payload.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, binary bool) {
+	//lint:ignore nodeterm feeds only the serve.latency_ns histogram, which no baseline diffs
+	start := time.Now()
+	if obs.On() {
+		reqCounter.Inc()
+	}
+	ctx := r.Context()
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	ctx = budget.WithGovernor(ctx, s.gov)
+
+	release, err := s.adm.admit(ctx)
+	if err != nil {
+		writeError(w, err)
+		s.observeLatency(start)
+		return
+	}
+	defer release()
+	if err := fault.Hit(ctx, fault.PointServeHandler); err != nil {
+		writeError(w, err)
+		s.observeLatency(start)
+		return
+	}
+
+	qtext, err := queryText(r)
+	if err != nil {
+		writeError(w, err)
+		s.observeLatency(start)
+		return
+	}
+	q, err := query.Parse(qtext)
+	if err != nil {
+		writeError(w, err)
+		s.observeLatency(start)
+		return
+	}
+	_, key, err := query.Normalize(s.obj, q)
+	if err != nil {
+		writeError(w, err)
+		s.observeLatency(start)
+		return
+	}
+
+	pay, hit, err := s.cache.GetOrFill(ctx, key, func(ctx context.Context) (*payload, error) {
+		res, rerr := query.RunCtx(ctx, s.obj, qtext)
+		if rerr != nil {
+			return nil, rerr
+		}
+		return encodePayload(qtext, res)
+	})
+	if err != nil {
+		writeError(w, err)
+		s.observeLatency(start)
+		return
+	}
+
+	h := w.Header()
+	if hit {
+		h.Set("X-Statd-Cache", "hit")
+	} else {
+		h.Set("X-Statd-Cache", "miss")
+	}
+	h.Set("X-Statd-Generation", fmt.Sprint(s.snapGen.Load()))
+	if binary {
+		h.Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(pay.bin)
+	} else {
+		h.Set("Content-Type", "application/json")
+		_, _ = w.Write(pay.json)
+	}
+	s.observeLatency(start)
+}
+
+func (s *Server) observeLatency(start time.Time) {
+	if obs.On() {
+		//lint:ignore nodeterm feeds only the serve.latency_ns histogram, which no baseline diffs
+		latencyHist.Observe(float64(time.Since(start).Nanoseconds()))
+	}
+}
+
+// handleHealthz reports liveness plus the stats a smoke test asserts on.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(struct {
+		Status     string `json:"status"`
+		Generation uint64 `json:"generation"`
+		Inflight   int    `json:"inflight"`
+		Cache      Stats  `json:"cache"`
+	}{
+		Status:     "ok",
+		Generation: s.snapGen.Load(),
+		Inflight:   s.adm.inflight(),
+		Cache:      s.cache.Stats(),
+	})
+}
+
+// handleInvalidate is the admin hook: POST drops every cached result.
+func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.cache.Invalidate()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.cache.Stats())
+}
+
+// HTTPServer is a running daemon endpoint, mirroring obs.Server: the
+// handle owns the listener, the http.Server and the serve loop's exit
+// error, and Shutdown/Close join all three.
+type HTTPServer struct {
+	ln       net.Listener
+	srv      *http.Server
+	done     chan error
+	once     sync.Once
+	serveErr error
+}
+
+// ListenAndServe binds addr (":0" for ephemeral) and serves h in the
+// background; stop it with Shutdown (graceful drain) or Close.
+func ListenAndServe(addr string, h http.Handler) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &HTTPServer{ln: ln, srv: &http.Server{Handler: h}, done: make(chan error, 1)}
+	//lint:ignore nakedgoroutine the accept loop must outlive this call; its lifecycle is owned by Shutdown/Close, which join its exit error through the done channel
+	go func() { s.done <- s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *HTTPServer) Addr() net.Addr { return s.ln.Addr() }
+
+// waitServe collects the serve loop's exit exactly once, filtering the
+// deliberate http.ErrServerClosed.
+func (s *HTTPServer) waitServe() error {
+	s.once.Do(func() {
+		if err := <-s.done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.serveErr = err
+		}
+	})
+	return s.serveErr
+}
+
+// Shutdown stops accepting and drains active connections until ctx
+// expires; it returns the first error among shutdown and serve exit.
+func (s *HTTPServer) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if serveErr := s.waitServe(); err == nil {
+		err = serveErr
+	}
+	return err
+}
+
+// Close stops immediately, dropping active connections.
+func (s *HTTPServer) Close() error {
+	err := s.srv.Close()
+	if serveErr := s.waitServe(); err == nil {
+		err = serveErr
+	}
+	return err
+}

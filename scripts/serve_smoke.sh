@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — the serving layer's CI gate (make serve-smoke).
+#
+# Default mode drives two phases against a real statd process:
+#
+#   1. Light load: statload -check asserts zero errors, zero shed
+#      requests, a warm hit ratio >= 0.9 and a bounded p99, on both the
+#      JSON and the binary endpoint; the daemon must then exit cleanly
+#      on SIGTERM (a hang here is a goroutine leak).
+#   2. Exhausted governor: a serving ledger smaller than one admission
+#      reservation must shed every request as 429 with the typed error
+#      envelope — and still shut down cleanly.
+#
+# Every statload report line is appended to serve_load.ndjson (the CI
+# artifact).
+#
+# "bench" mode instead emits one deterministic benchdiff record on
+# stdout: a cold single-connection run of exactly 2000 requests over the
+# built-in 6-query mix, so the serve.*/cache.* counters are workload
+# functions (misses = 6, hits = 1994), not timing accidents.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+GO="${GO:-go}"
+OUT="${SERVE_LOAD_OUT:-serve_load.ndjson}"
+MODE="${1:-smoke}"
+
+WORK="$(mktemp -d)"
+STATD_PID=""
+cleanup() {
+    [ -n "$STATD_PID" ] && kill "$STATD_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+$GO build -o "$WORK/" ./cmd/statd ./cmd/statload
+
+# start_statd <logfile> [extra statd flags...] — binds an ephemeral port
+# and sets ADDR when the daemon is answering.
+start_statd() {
+    local log="$1"; shift
+    rm -f "$WORK/addr"
+    "$WORK/statd" -addr 127.0.0.1:0 -addr-file "$WORK/addr" "$@" 2>"$log" &
+    STATD_PID=$!
+    for _ in $(seq 1 100); do
+        [ -s "$WORK/addr" ] && break
+        sleep 0.1
+    done
+    if [ ! -s "$WORK/addr" ]; then
+        echo "serve-smoke: statd did not come up:" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+    ADDR="$(cat "$WORK/addr")"
+}
+
+# stop_statd — SIGTERM and bounded wait; a daemon that does not exit is
+# a leak and fails the gate.
+stop_statd() {
+    kill -TERM "$STATD_PID"
+    for _ in $(seq 1 100); do
+        kill -0 "$STATD_PID" 2>/dev/null || { STATD_PID=""; return 0; }
+        sleep 0.1
+    done
+    echo "serve-smoke: statd pid $STATD_PID did not exit within 10s of SIGTERM" >&2
+    exit 1
+}
+
+if [ "$MODE" = bench ]; then
+    start_statd "$WORK/statd_bench.log"
+    "$WORK/statload" -url "http://$ADDR" -c 1 -requests 2000 -id ServeCached 2>/dev/null
+    stop_statd
+    exit 0
+fi
+
+: > "$OUT"
+
+echo "== serve-smoke phase 1: light load, warm cache =="
+start_statd "$WORK/statd1.log"
+"$WORK/statload" -url "http://$ADDR" -c 8 -duration 2s \
+    -check -min-hit-ratio 0.9 -max-p99-ms 250 -id ServeLight | tee -a "$OUT"
+"$WORK/statload" -url "http://$ADDR" -c 8 -duration 1s -bin \
+    -check -min-hit-ratio 0.9 -max-p99-ms 250 -id ServeLightBin | tee -a "$OUT"
+stop_statd
+
+echo "== serve-smoke phase 2: exhausted governor sheds cleanly =="
+start_statd "$WORK/statd2.log" -max-bytes $((1 << 19)) -admit-bytes $((1 << 20))
+"$WORK/statload" -url "http://$ADDR" -c 8 -duration 1s \
+    -expect-shed -id ServeShed | tee -a "$OUT"
+stop_statd
+
+echo "serve-smoke: OK (report in $OUT)"
