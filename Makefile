@@ -12,7 +12,7 @@ BENCH_OUT ?= bench_current.ndjson
 # `make chaos` runs the whole matrix sequentially.
 CHAOS_SEEDS ?= 1 7 42
 
-.PHONY: verify fmt vet build test lint fuzz-smoke bench bench-baseline chaos qlog-smoke serve-smoke
+.PHONY: verify fmt vet build test lint lint-selfcheck lint-suppressions fuzz-smoke bench bench-baseline chaos qlog-smoke serve-smoke
 
 # Tier-1 gate: vet, build, race-checked order-shuffled tests.
 verify: vet build test
@@ -35,11 +35,32 @@ test:
 # Static analysis: the engine's own invariants (ctx plumbing/polling,
 # goroutines only via internal/parallel, errors.Is over ==, literal
 # unique obs metric names, deterministic internal/ paths, recover() only
-# at sanctioned panic boundaries), enforced by cmd/statlint on stdlib
-# tooling alone. Non-zero exit on any finding; suppress per line with
-# `//lint:ignore <analyzer> <reason>`.
+# at sanctioned panic boundaries) plus the path-sensitive resource-leak
+# suite (ledgerleak, spanend, closeleak, errdrop on the CFG/dataflow
+# layer), enforced by cmd/statlint on stdlib tooling alone. Non-zero
+# exit on any finding; suppress per line with
+# `//lint:ignore <analyzer> <reason>`. `make lint SARIF=out.sarif` also
+# writes the findings as SARIF 2.1.0 (CI uploads it for PR annotations).
 lint:
-	$(GO) run ./cmd/statlint ./...
+	$(GO) run ./cmd/statlint $(if $(SARIF),-sarif $(SARIF)) ./...
+
+# The linter must hold itself to its own bar: statlint over its driver,
+# CFG/dataflow layer and analyzers, zero findings required.
+lint-selfcheck:
+	$(GO) run ./cmd/statlint ./internal/lint/... ./cmd/statlint
+
+# Suppression budget: the count of //lint:ignore directives across the
+# module may only go down. Deleting a suppression? Lower the budget in
+# the same commit. Needing a new one needs a reasoned bump here, in
+# review's plain sight.
+SUPPRESSION_BUDGET ?= 14
+lint-suppressions:
+	@total=$$($(GO) run ./cmd/statlint -suppressions ./... | awk '$$1=="total"{print $$2}'); \
+	echo "//lint:ignore directives: $$total (budget $(SUPPRESSION_BUDGET))"; \
+	if [ -z "$$total" ] || [ "$$total" -gt "$(SUPPRESSION_BUDGET)" ]; then \
+		echo "suppression inventory grew past the budget: remove a //lint:ignore or raise SUPPRESSION_BUDGET with justification"; \
+		exit 1; \
+	fi
 
 # Fuzz smoke: every Fuzz* target for $(FUZZTIME) each, seeded from the
 # committed corpora under */testdata/fuzz/.

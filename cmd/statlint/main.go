@@ -1,9 +1,11 @@
 // Command statlint runs the engine's custom static-analysis suite
-// (internal/lint + internal/lint/analyzers) over module packages: seven
+// (internal/lint + internal/lint/analyzers) over module packages:
 // stdlib-only analyzers enforcing the conventions PRs 1–3 introduced —
 // context plumbing and polling, goroutines only through
 // internal/parallel, errors.Is over identity comparison, literal unique
-// obs metric names, and deterministic internal/ counter paths.
+// obs metric names, deterministic internal/ counter paths — plus the
+// path-sensitive resource-leak suite (ledgerleak, spanend, closeleak,
+// errdrop) built on internal/lint/cfg + dataflow.
 //
 // Usage:
 //
@@ -11,6 +13,11 @@
 //	go run ./cmd/statlint -json ./internal/cube
 //	go run ./cmd/statlint -only errwrap,ctxpoll ./...
 //	go run ./cmd/statlint -list              # print the rule set
+//	go run ./cmd/statlint -fix ./...         # apply suggested fixes in place
+//	go run ./cmd/statlint -sarif out.sarif ./...
+//	go run ./cmd/statlint -baseline lint.baseline ./...
+//	go run ./cmd/statlint -write-baseline lint.baseline ./...
+//	go run ./cmd/statlint -suppressions ./...
 //
 // Exit status: 0 clean, 1 findings, 2 usage/load/type errors. Findings
 // are suppressed per line with `//lint:ignore <analyzer> <reason>`; see
@@ -21,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"statcube/internal/lint"
@@ -31,6 +39,11 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array instead of file:line:col text")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and their rules, then exit")
+	fix := flag.Bool("fix", false, "apply suggested fixes in place, then report what remains")
+	sarifOut := flag.String("sarif", "", "also write findings as SARIF 2.1.0 to this file (\"-\" for stdout)")
+	baseline := flag.String("baseline", "", "suppress findings recorded in this baseline file; fail only on new ones")
+	writeBaseline := flag.String("write-baseline", "", "record current findings as the baseline file and exit")
+	suppressions := flag.Bool("suppressions", false, "print //lint:ignore directive counts per analyzer and exit")
 	flag.Parse()
 
 	set := analyzers.All()
@@ -75,17 +88,136 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *jsonOut {
-		if err := lint.WriteJSON(os.Stdout, res.Diagnostics); err != nil {
+	if *suppressions {
+		writeSuppressions(res, set, *jsonOut)
+		return
+	}
+
+	diags := res.Diagnostics
+
+	if *writeBaseline != "" {
+		f, err := os.Create(*writeBaseline)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "statlint:", err)
 			os.Exit(2)
 		}
-	} else if err := lint.WriteText(os.Stdout, res.Diagnostics); err != nil {
+		if err := lint.WriteBaseline(f, diags, loader.ModRoot()); err != nil {
+			fmt.Fprintln(os.Stderr, "statlint:", err)
+			os.Exit(2)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "statlint:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "statlint: wrote %d finding(s) to baseline %s\n", len(diags), *writeBaseline)
+		return
+	}
+
+	if *baseline != "" {
+		bl, err := lint.LoadBaseline(*baseline, loader.ModRoot())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "statlint:", err)
+			os.Exit(2)
+		}
+		fresh, matched := bl.Filter(diags)
+		if len(matched) > 0 {
+			fmt.Fprintf(os.Stderr, "statlint: %d finding(s) matched baseline %s\n", len(matched), *baseline)
+		}
+		diags = fresh
+	}
+
+	if *fix {
+		changed, applied, skipped := lint.ApplyFixes(diags, loader.Sources)
+		files := make([]string, 0, len(changed))
+		for file := range changed {
+			files = append(files, file)
+		}
+		sort.Strings(files)
+		for _, file := range files {
+			if err := os.WriteFile(file, changed[file], 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "statlint:", err)
+				os.Exit(2)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "statlint: applied %d fix(es) across %d file(s)", applied, len(files))
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, ", skipped %d conflicting (rerun -fix)", skipped)
+		}
+		fmt.Fprintln(os.Stderr)
+		if skipped > 0 {
+			os.Exit(1)
+		}
+		// Applied fixes resolve their findings; only fix-less ones remain.
+		var remaining []lint.Diagnostic
+		for _, d := range diags {
+			if d.Fix == nil {
+				remaining = append(remaining, d)
+			}
+		}
+		diags = remaining
+	}
+
+	if *sarifOut != "" {
+		w := os.Stdout
+		if *sarifOut != "-" {
+			f, err := os.Create(*sarifOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "statlint:", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := lint.WriteSARIF(w, diags, set, loader.ModRoot()); err != nil {
+			fmt.Fprintln(os.Stderr, "statlint:", err)
+			os.Exit(2)
+		}
+	}
+
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "statlint:", err)
+			os.Exit(2)
+		}
+	} else if err := lint.WriteText(os.Stdout, diags); err != nil {
 		fmt.Fprintln(os.Stderr, "statlint:", err)
 		os.Exit(2)
 	}
-	if len(res.Diagnostics) > 0 {
-		fmt.Fprintf(os.Stderr, "statlint: %d finding(s)\n", len(res.Diagnostics))
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "statlint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// writeSuppressions prints the //lint:ignore inventory: per-analyzer
+// directive counts plus a total, as text or JSON. CI records the totals
+// and fails when they grow.
+func writeSuppressions(res *lint.Result, set []*lint.Analyzer, jsonOut bool) {
+	names := make([]string, 0, len(res.Suppressions))
+	for name := range res.Suppressions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	total := 0
+	for _, n := range names {
+		total += res.Suppressions[n]
+	}
+	if jsonOut {
+		fmt.Print("{")
+		for i, n := range names {
+			if i > 0 {
+				fmt.Print(",")
+			}
+			fmt.Printf("%q:%d", n, res.Suppressions[n])
+		}
+		if len(names) > 0 {
+			fmt.Print(",")
+		}
+		fmt.Printf("%q:%d}\n", "total", total)
+		return
+	}
+	for _, n := range names {
+		fmt.Printf("%-16s %d\n", n, res.Suppressions[n])
+	}
+	fmt.Printf("%-16s %d\n", "total", total)
 }

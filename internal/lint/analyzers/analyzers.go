@@ -1,8 +1,11 @@
 // Package analyzers holds the engine's rule set for the statlint driver
-// (internal/lint): seven analyzers encoding the conventions PRs 1–5
-// introduced and nothing previously enforced. Each analyzer documents
-// its rule in Doc; DESIGN.md §"Static analysis" records the rationale
-// and the suppression policy.
+// (internal/lint): seven syntactic analyzers encoding the conventions
+// PRs 1–5 introduced and nothing previously enforced, plus four
+// path-sensitive ones (ledgerleak, spanend, closeleak, errdrop) built
+// on internal/lint/cfg + dataflow that prove acquire/release pairing on
+// every control-flow path. Each analyzer documents its rule in Doc;
+// DESIGN.md §"Static analysis" records the rationale, the CFG/dataflow
+// design and the suppression policy.
 package analyzers
 
 import (
@@ -25,6 +28,10 @@ func All() []*lint.Analyzer {
 		newMetricname(),
 		newNodeterm(),
 		newRecoverboundary(),
+		newLedgerleak(),
+		newSpanend(),
+		newCloseleak(),
+		newErrdrop(),
 	}
 }
 

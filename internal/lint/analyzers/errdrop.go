@@ -1,0 +1,268 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"statcube/internal/lint"
+	"statcube/internal/lint/cfg"
+	"statcube/internal/lint/dataflow"
+)
+
+// errdrop: an error-typed value assigned from a call must be READ —
+// checked, returned, wrapped, passed on, captured, or explicitly
+// discarded with `_ = err` — before it is overwritten or goes out of
+// scope. Go's compiler only rejects completely unused variables; `err`
+// reassigned before a check, or assigned on one branch and abandoned,
+// sails through and silently swallows the failure. This runs the same
+// forward dataflow as the leak analyzers with two fact flavors:
+//
+//   - a LIVE fact ("assigned at pos, not yet read"), killed by any
+//     identifier use (conditions, returns, call arguments, closures
+//     capturing the variable, `_ = err`, a naked return reading a named
+//     error result) and by terminating paths (panic, os.Exit);
+//   - a READ TOKEN minted when a live fact is killed by a read. Tokens
+//     are inert and flow to exit; a token reaching exit means the
+//     assignment WAS read on some path, which suppresses the report.
+//     This is deliberate: `if serveErr := wait(); err == nil { err =
+//     serveErr }` reads serveErr only on one branch, and that
+//     first-error-wins idiom is a check, not a drop.
+//
+// Only variables declared inside the analyzed function are tracked: a
+// closure assigning a captured accumulator (`walkErr = ...` inside a
+// store.ForEach callback) hands the value to its enclosing function,
+// whose read the closure's own CFG cannot see.
+//
+// Two findings result: a live fact at exit with no matching token
+// ("never checked"), and a live fact overwritten by a fresh assignment
+// with no token minted yet ("overwritten before being checked"),
+// reported at the ORIGINAL assignment so the dropped failure is what
+// gets the annotation.
+func newErrdrop() *lint.Analyzer {
+	a := &lint.Analyzer{
+		Name: "errdrop",
+		Doc:  "error results from calls must be checked, propagated, or explicitly discarded",
+	}
+	a.Run = func(pass *lint.Pass) error {
+		for _, f := range pass.Files {
+			for _, fn := range functionsOf(f) {
+				runErrdropFunc(pass, fn)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// errFact is one unread error assignment (read false) or the token
+// minted when it is read (read true).
+type errFact struct {
+	obj  types.Object
+	pos  token.Pos
+	read bool
+}
+
+type errdropEngine struct {
+	pass *lint.Pass
+	// fnPos/fnEnd bound the analyzed function: only objects declared
+	// inside are tracked.
+	fnPos, fnEnd token.Pos
+	// namedErrs holds the function's named error result objects, which a
+	// naked return reads implicitly.
+	namedErrs map[types.Object]bool
+}
+
+func runErrdropFunc(pass *lint.Pass, fn ast.Node) {
+	e := &errdropEngine{
+		pass:      pass,
+		fnPos:     fn.Pos(),
+		fnEnd:     fn.End(),
+		namedErrs: namedErrorResults(pass.Info, fn),
+	}
+	g := cfg.Build(fn)
+	res := dataflow.Forward(g, dataflow.Problem[errFact]{Transfer: e.transfer})
+
+	exit := res.AtExit()
+	wasRead := func(s dataflow.Set[errFact], f errFact) bool {
+		return s.Has(errFact{obj: f.obj, pos: f.pos, read: true})
+	}
+
+	reported := map[token.Pos]bool{}
+	// Replay for overwrite findings: a live fact whose variable this
+	// assignment rewrites — with no read recorded on any path in — was
+	// dropped here.
+	res.ReplayBlocks(func(n ast.Node, before dataflow.Set[errFact]) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return
+		}
+		writes := bareLHSObjs(e.pass.Info, as)
+		for fact := range before {
+			if fact.read || !writes[fact.obj] || containsPos(as, fact.pos) {
+				continue
+			}
+			if wasRead(before, fact) || reported[fact.pos] {
+				continue
+			}
+			reported[fact.pos] = true
+			pass.Reportf(fact.pos, "error assigned here is overwritten before being checked")
+		}
+	})
+	for fact := range exit {
+		if fact.read || reported[fact.pos] || wasRead(exit, fact) {
+			continue
+		}
+		reported[fact.pos] = true
+		pass.Reportf(fact.pos, "error %s is never checked (check it, return it, or discard with _ = %s)",
+			fact.obj.Name(), fact.obj.Name())
+	}
+}
+
+func (e *errdropEngine) transfer(n ast.Node, facts dataflow.Set[errFact]) {
+	// Terminating paths: the error is moot. Live facts die; read tokens
+	// survive (the read still happened on this path).
+	if es, ok := n.(*ast.ExprStmt); ok {
+		if call, ok := es.X.(*ast.CallExpr); ok && isTerminatorCall(call) {
+			for fact := range facts {
+				if !fact.read {
+					facts.Delete(fact)
+				}
+			}
+			return
+		}
+	}
+
+	readFact := func(fact errFact) {
+		facts.Delete(fact)
+		facts.Add(errFact{obj: fact.obj, pos: fact.pos, read: true})
+	}
+
+	if ret, ok := n.(*ast.ReturnStmt); ok && len(ret.Results) == 0 && len(e.namedErrs) > 0 {
+		// Naked return: the named error result is read implicitly.
+		for fact := range facts {
+			if !fact.read && e.namedErrs[fact.obj] {
+				readFact(fact)
+			}
+		}
+	}
+
+	as, isAssign := n.(*ast.AssignStmt)
+
+	// Reads: every identifier use in the node EXCEPT bare assignment
+	// targets (those are writes).
+	reads := map[types.Object]bool{}
+	collect := func(x ast.Node) {
+		for o := range mentionedObjs(e.pass.Info, x) {
+			reads[o] = true
+		}
+	}
+	if isAssign {
+		for _, rhs := range as.Rhs {
+			collect(rhs)
+		}
+		for _, lhs := range as.Lhs {
+			if _, bare := ast.Unparen(lhs).(*ast.Ident); !bare {
+				collect(lhs) // m[err] = v reads err
+			}
+		}
+	} else if rs, ok := n.(*ast.RangeStmt); ok {
+		// The range head node carries the whole loop; body statements have
+		// their own blocks, so only the ranged expression is read here.
+		collect(rs.X)
+	} else {
+		collect(n)
+	}
+	for fact := range facts {
+		if !fact.read && reads[fact.obj] {
+			readFact(fact)
+		}
+	}
+
+	if !isAssign {
+		return
+	}
+
+	// Writes kill the live fact without minting a token (the replay pass
+	// reports the overwrite); error-typed function-local targets assigned
+	// from a call gain a fresh fact.
+	writes := bareLHSObjs(e.pass.Info, as)
+	for fact := range facts {
+		if !fact.read && writes[fact.obj] {
+			facts.Delete(fact)
+		}
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := lhsObj(e.pass.Info, lhs)
+		if obj == nil || !isErrorType(obj.Type()) {
+			continue
+		}
+		if obj.Pos() < e.fnPos || obj.Pos() >= e.fnEnd {
+			continue // captured from an enclosing function: not ours to judge
+		}
+		if !rhsIsCall(as, i) {
+			continue
+		}
+		facts.Add(errFact{obj: obj, pos: id.Pos()})
+	}
+}
+
+// bareLHSObjs returns the objects written by plain-identifier assignment
+// targets.
+func bareLHSObjs(info *types.Info, as *ast.AssignStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, lhs := range as.Lhs {
+		if o := lhsObj(info, lhs); o != nil {
+			out[o] = true
+		}
+	}
+	return out
+}
+
+// rhsIsCall reports whether the value assigned to LHS index i comes from
+// a call: either the single multi-value call RHS, or a per-position
+// call in a parallel assignment.
+func rhsIsCall(as *ast.AssignStmt, i int) bool {
+	if len(as.Rhs) == 1 && len(as.Lhs) > len(as.Rhs) {
+		_, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		return ok
+	}
+	if i < len(as.Rhs) {
+		_, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+		return ok
+	}
+	return false
+}
+
+// containsPos reports whether pos falls inside n — used to tell a fact
+// created by THIS assignment (loop back-edge) from one it overwrites.
+func containsPos(n ast.Node, pos token.Pos) bool {
+	return n.Pos() <= pos && pos < n.End()
+}
+
+// namedErrorResults collects fn's named error-typed result objects.
+func namedErrorResults(info *types.Info, fn ast.Node) map[types.Object]bool {
+	var ft *ast.FuncType
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		ft = fn.Type
+	case *ast.FuncLit:
+		ft = fn.Type
+	}
+	out := map[types.Object]bool{}
+	if ft == nil || ft.Results == nil {
+		return out
+	}
+	for _, field := range ft.Results.List {
+		for _, name := range field.Names {
+			if o := info.Defs[name]; o != nil && isErrorType(o.Type()) {
+				out[o] = true
+			}
+		}
+	}
+	return out
+}

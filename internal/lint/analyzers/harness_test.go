@@ -109,6 +109,10 @@ func TestErrwrapCorpus(t *testing.T)         { runCorpus(t, "errwrap") }
 func TestMetricnameCorpus(t *testing.T)      { runCorpus(t, "metricname") }
 func TestNodetermCorpus(t *testing.T)        { runCorpus(t, "nodeterm") }
 func TestRecoverboundaryCorpus(t *testing.T) { runCorpus(t, "recoverboundary") }
+func TestLedgerleakCorpus(t *testing.T)      { runCorpus(t, "ledgerleak") }
+func TestSpanendCorpus(t *testing.T)         { runCorpus(t, "spanend") }
+func TestCloseleakCorpus(t *testing.T)       { runCorpus(t, "closeleak") }
+func TestErrdropCorpus(t *testing.T)         { runCorpus(t, "errdrop") }
 
 // TestAllFresh locks in that All returns fresh analyzer instances:
 // metricname's uniqueness ledger must not leak between driver runs, or

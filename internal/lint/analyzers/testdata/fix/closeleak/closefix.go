@@ -1,0 +1,29 @@
+// Package closefix is the autofix corpus for closeleak: the inserted
+// defer lands after the acquisition's adjacent error check, so the
+// failure path (nil handle) never runs it.
+package closefix
+
+import (
+	"errors"
+	"net/http"
+	"os"
+)
+
+func name(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	return f.Name(), nil
+}
+
+func ping(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return errors.New("statlint fixdata: bad status")
+	}
+	return nil
+}

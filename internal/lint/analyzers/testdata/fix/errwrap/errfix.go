@@ -1,0 +1,16 @@
+// Package errfix is the autofix corpus for errwrap's errors.Is rewrite:
+// both comparisons rewrite in one -fix pass and share a single inserted
+// "errors" import (the duplicate import edit deduplicates).
+package errfix
+
+import (
+	"io"
+)
+
+func atEOF(err error) bool {
+	return err == io.EOF
+}
+
+func pastEOF(err error) bool {
+	return err != io.EOF
+}

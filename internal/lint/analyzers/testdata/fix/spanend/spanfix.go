@@ -1,0 +1,19 @@
+// Package spanfix is the autofix corpus for spanend: every finding
+// carries a defer-insertion fix, applying the fixes must reproduce the
+// .golden file byte for byte, and the fixed file must type-check and
+// lint clean.
+package spanfix
+
+import "statcube/internal/obs"
+
+func scan() {
+	sp := obs.NewSpan("statlint.fixdata.scan")
+	sp.AddInt("rows", 42)
+}
+
+func merge() {
+	sp := obs.NewSpan("statlint.fixdata.merge")
+	defer sp.End()
+	child := sp.Child("statlint.fixdata.merge.sort")
+	child.SetStr("phase", "sort")
+}

@@ -1,0 +1,191 @@
+// Package closeleak is the want/nowant corpus for the closeleak
+// analyzer: files, net conns and HTTP response bodies closed (or handed
+// off) on every path — straight-line, branch, loop, defer and
+// early-return shapes.
+package closeleak
+
+import (
+	"errors"
+	"net"
+	"net/http"
+	"os"
+)
+
+func work() bool { return true }
+
+// --- straight-line ---
+
+func DiscardedOpen(path string) {
+	os.Open(path) // want "not released on every path"
+}
+
+func BalancedStraight(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	work()
+	return f.Close()
+}
+
+func DeferredClose(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	work()
+	return nil
+}
+
+// --- branch / early return ---
+
+func LeakEarlyReturn(path string, flag bool) error {
+	f, err := os.Open(path) // want "not released on every path"
+	if err != nil {
+		return err
+	}
+	if flag {
+		return nil // descriptor leaked on this path
+	}
+	return f.Close()
+}
+
+func BalancedBranches(path string, flag bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if flag {
+		f.Close()
+		return nil
+	}
+	return f.Close()
+}
+
+// --- http response bodies ---
+
+func LeakRespOnStatus(url string) error {
+	resp, err := http.Get(url) // want "not released on every path"
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return errors.New("bad status") // body never closed here
+	}
+	resp.Body.Close()
+	return nil
+}
+
+func BalancedResp(c *http.Client, req *http.Request) error {
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	work()
+	return nil
+}
+
+// --- net conns ---
+
+func LeakConn(addr string, flag bool) error {
+	conn, err := net.Dial("tcp", addr) // want "not released on every path"
+	if err != nil {
+		return err
+	}
+	if flag {
+		return nil
+	}
+	return conn.Close()
+}
+
+func BalancedListener(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	work()
+	return nil
+}
+
+// --- loop ---
+
+func LoopLeakOnBreak(paths []string) {
+	for _, p := range paths {
+		f, err := os.Open(p) // want "not released on every path"
+		if err != nil {
+			continue
+		}
+		if work() {
+			break // f leaked when leaving the loop early
+		}
+		f.Close()
+	}
+}
+
+func LoopBalanced(paths []string) {
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			continue
+		}
+		work()
+		f.Close()
+	}
+}
+
+// --- receiver-position use is not a hand-off ---
+
+func LeakReceiverUse(path string) (string, error) {
+	f, err := os.Open(path) // want "not released on every path"
+	if err != nil {
+		return "", err
+	}
+	return f.Name(), nil // reads a property of f; f itself never closed
+}
+
+// --- hand-off ---
+
+func HandoffReturn(dir string) (*os.File, error) {
+	tmp, err := os.CreateTemp(dir, "snap-*")
+	if err != nil {
+		return nil, err
+	}
+	return tmp, nil // caller owns the temp file
+}
+
+func HandoffClosure(path string) (func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return f.Close, nil // cleanup closure owns the descriptor
+}
+
+func HandoffField(s *struct{ f *os.File }, path string) error {
+	var err error
+	s.f, err = os.Open(path) // stored away: the struct owns it
+	return err
+}
+
+// --- terminating paths are exempt ---
+
+func PanicPathExempt(path string, flag bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	if flag {
+		panic("invariant broken")
+	}
+	return f.Close()
+}
+
+// --- suppression still applies ---
+
+func SuppressedLeak(path string) {
+	//lint:ignore closeleak closed by the harness teardown
+	os.Open(path)
+}

@@ -1,0 +1,177 @@
+// Package errdrop is the want/nowant corpus for the errdrop analyzer:
+// error results from calls must be checked, propagated, captured or
+// explicitly discarded before they are overwritten or go out of scope —
+// straight-line, branch, loop, defer and early-return shapes.
+package errdrop
+
+import (
+	"errors"
+	"fmt"
+)
+
+func step() error  { return nil }
+func step2() error { return nil }
+func fetch() (int, error) {
+	return 0, nil
+}
+
+// --- straight-line ---
+
+func TailDrop() {
+	err := step()
+	if err != nil {
+		return
+	}
+	err = step2() // want "never checked"
+}
+
+func Checked() error {
+	err := step()
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+func ExplicitDiscard() {
+	err := step()
+	_ = err // reasoned discard: the read is the acknowledgment
+}
+
+// --- overwrite before check ---
+
+func Overwritten() error {
+	err := step() // want "overwritten before being checked"
+	err = step2()
+	return err
+}
+
+func OverwrittenMulti() error {
+	_, err := fetch() // want "overwritten before being checked"
+	_, err = fetch()
+	return err
+}
+
+// --- branch / early return ---
+
+func BranchDrop(flag bool) {
+	err := step()
+	if err != nil {
+		return
+	}
+	if flag {
+		err = step2() // want "never checked"
+		return
+	}
+	err = step2()
+	_ = err
+}
+
+func BranchChecked(flag bool) error {
+	err := step()
+	if flag {
+		return fmt.Errorf("wrapping: %w", err) // wrap counts as a read
+	}
+	return err
+}
+
+// --- loop ---
+
+func LoopLastWins(xs []int) error {
+	var err error
+	for range xs {
+		err = step() // same site each iteration: last-error-wins, then read
+	}
+	return err
+}
+
+func LoopDrop(xs []int) {
+	err := step()
+	if err != nil {
+		return
+	}
+	for _, x := range xs {
+		if x > 0 {
+			err = step2() // want "never checked"
+		}
+	}
+}
+
+func LoopCheckedOnSomePath(xs []int) {
+	// Read on the normal path, deliberately skipped on continue: a check,
+	// not a drop.
+	var err error
+	for _, x := range xs {
+		err = step()
+		if x > 0 {
+			continue
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// --- propagation forms that count as reads ---
+
+func SentinelCheck() bool {
+	err := step()
+	return errors.Is(err, errors.New("x"))
+}
+
+func CapturedByClosure() func() error {
+	err := step()
+	return func() error { return err } // capture is a read
+}
+
+func NakedReturnNamed() (err error) {
+	err = step()
+	return // naked return reads the named result
+}
+
+// --- idioms that must stay clean ---
+
+func FirstErrorWins() error {
+	// serveErr is read only when err == nil; dropping it otherwise is the
+	// idiomatic first-error-wins merge, not a missed check.
+	err := step()
+	if serveErr := step2(); err == nil {
+		err = serveErr
+	}
+	return err
+}
+
+func ClosureAccumulator(each func(func(int) bool)) error {
+	// walkErr is assigned inside the callback but read by the enclosing
+	// function; the closure's own analysis must not claim it is dropped.
+	var walkErr error
+	each(func(x int) bool {
+		if x < 0 {
+			walkErr = step()
+			return false
+		}
+		return true
+	})
+	return walkErr
+}
+
+// --- terminating paths are exempt ---
+
+func PanicPath(flag bool) {
+	err := step()
+	if flag {
+		panic("fatal") // err is moot on a terminating path
+	}
+	_ = err
+}
+
+// --- suppression still applies ---
+
+func Suppressed() {
+	err := step()
+	if err != nil {
+		return
+	}
+	//lint:ignore errdrop best-effort cleanup, failure is acceptable here
+	err = step2()
+}

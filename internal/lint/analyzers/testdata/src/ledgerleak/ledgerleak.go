@@ -1,0 +1,141 @@
+// Package ledgerleak is the want/nowant corpus for the ledgerleak
+// analyzer: every Governor.Reserve balanced by Release or a hand-off on
+// every path — straight-line, branch, loop, defer and early-return
+// shapes.
+package ledgerleak
+
+import (
+	"statcube/internal/budget"
+)
+
+func work() bool { return true }
+
+// ledger stands in for the accountant pattern: a struct that takes over
+// a reservation's lifetime.
+type ledger struct{ total int64 }
+
+func (l *ledger) add(n int64) { l.total += n }
+
+// --- straight-line ---
+
+func LeakStraight(g *budget.Governor) {
+	_ = g.Reserve(64) // want "not released on every path"
+	work()
+}
+
+func BalancedStraight(g *budget.Governor) {
+	if err := g.Reserve(64); err != nil {
+		return
+	}
+	work()
+	g.Release(64)
+}
+
+// --- branch / early return ---
+
+func LeakEarlyReturn(g *budget.Governor, flag bool) {
+	if err := g.Reserve(64); err != nil { // want "not released on every path"
+		return
+	}
+	if flag {
+		return // holds the reservation out of the function
+	}
+	g.Release(64)
+}
+
+func BalancedBothBranches(g *budget.Governor, flag bool) {
+	if err := g.Reserve(64); err != nil {
+		return
+	}
+	if flag {
+		g.Release(64)
+		return
+	}
+	g.Release(64)
+}
+
+// --- defer ---
+
+func DeferRelease(g *budget.Governor, flag bool) {
+	if err := g.Reserve(64); err != nil {
+		return
+	}
+	defer g.Release(64)
+	if flag {
+		return // covered: the defer runs on this path too
+	}
+	work()
+}
+
+func DeferClosureRelease(g *budget.Governor) {
+	if err := g.Reserve(64); err != nil {
+		return
+	}
+	defer func() {
+		g.Release(64)
+	}()
+	work()
+}
+
+// --- loop ---
+
+func LoopBalanced(g *budget.Governor, sizes []int64) {
+	for _, n := range sizes {
+		if err := g.Reserve(n); err != nil {
+			continue
+		}
+		work()
+		g.Release(n)
+	}
+}
+
+func LoopLeakOnBreak(g *budget.Governor, sizes []int64) {
+	for _, n := range sizes {
+		if err := g.Reserve(n); err != nil { // want "not released on every path"
+			return
+		}
+		if n > 10 {
+			break // leaves the loop holding the reservation
+		}
+		g.Release(n)
+	}
+}
+
+// --- hand-off ---
+
+func HandoffAmount(g *budget.Governor, l *ledger, n int64) error {
+	if err := g.Reserve(n); err != nil {
+		return err
+	}
+	l.add(n) // the ledger owns the reservation now; its close releases wholesale
+	return nil
+}
+
+func HandoffClosure(g *budget.Governor) func() {
+	if err := g.Reserve(64); err != nil {
+		return func() {}
+	}
+	return func() {
+		g.Release(64) // caller-run release: capturing g hands it off
+	}
+}
+
+// --- terminating paths are exempt ---
+
+func PanicPathExempt(g *budget.Governor, flag bool) {
+	if err := g.Reserve(64); err != nil {
+		return
+	}
+	if flag {
+		panic("invariant broken") // process unwinds; not a leak path
+	}
+	g.Release(64)
+}
+
+// --- suppression still applies ---
+
+func SuppressedLeak(g *budget.Governor) {
+	//lint:ignore ledgerleak released by the test's cleanup hook
+	_ = g.Reserve(64)
+	work()
+}

@@ -1,0 +1,122 @@
+// Package spanend is the want/nowant corpus for the spanend analyzer:
+// obs spans ended (or handed off) on every path — straight-line,
+// branch, loop, defer and early-return shapes.
+package spanend
+
+import (
+	"statcube/internal/obs"
+)
+
+func work() bool { return true }
+
+// --- straight-line ---
+
+func LeakStraight() {
+	sp := obs.NewSpan("corpus.straight") // want "not released on every path"
+	work()
+	sp.AddInt("cells", 1) // receiver use: not a hand-off
+}
+
+func BalancedStraight() {
+	sp := obs.NewSpan("corpus.balanced")
+	work()
+	sp.End()
+}
+
+func DeferredEnd() {
+	sp := obs.NewSpan("corpus.deferred")
+	defer sp.End()
+	work()
+}
+
+// --- child spans ---
+
+func LeakChild(parent *obs.Span) {
+	child := parent.Child("corpus.child") // want "not released on every path"
+	work()
+	child.SetStr("phase", "scan") // receiver use: not a hand-off
+}
+
+func BalancedChild(parent *obs.Span) {
+	child := parent.Child("corpus.child_ok")
+	defer child.End()
+	work()
+}
+
+// --- branch / early return ---
+
+func LeakEarlyReturn(flag bool) {
+	sp := obs.NewSpan("corpus.early") // want "not released on every path"
+	if flag {
+		return // span never ended on this path
+	}
+	sp.End()
+}
+
+func BalancedBranches(flag bool) {
+	sp := obs.NewSpan("corpus.branches")
+	if flag {
+		sp.End()
+		return
+	}
+	sp.End()
+}
+
+// --- loop ---
+
+func LoopBalanced(names []string) {
+	for range names {
+		sp := obs.NewSpan("corpus.loop")
+		work()
+		sp.End()
+	}
+}
+
+func LoopLeakOnContinue(names []string) {
+	for _, n := range names {
+		sp := obs.NewSpan("corpus.loop_leak") // want "not released on every path"
+		if n == "" {
+			continue // span abandoned for this iteration
+		}
+		sp.End()
+	}
+}
+
+// --- hand-off ---
+
+func HandoffReturn() *obs.Span {
+	sp := obs.NewSpan("corpus.handoff")
+	work()
+	return sp // caller owns the span now
+}
+
+func HandoffArg(sink func(*obs.Span)) {
+	sp := obs.NewSpan("corpus.handoff_arg")
+	sink(sp)
+}
+
+func HandoffCapture() func() {
+	sp := obs.NewSpan("corpus.handoff_capture")
+	return func() {
+		sp.End()
+	}
+}
+
+// --- terminating paths are exempt ---
+
+func PanicPathExempt(flag bool) {
+	sp := obs.NewSpan("corpus.panic")
+	if flag {
+		panic("invariant broken")
+	}
+	sp.End()
+}
+
+// --- suppression still applies ---
+
+func SuppressedLeak() {
+	//lint:ignore spanend ended by the flight recorder's drain
+	sp := obs.NewSpan("corpus.suppressed")
+	work()
+	sp.AddInt("cells", 1)
+}

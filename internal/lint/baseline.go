@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Baselines (`statlint -baseline=<file>`): adopt the tool on a codebase
+// with pre-existing findings by recording them once
+// (`-write-baseline`) and failing CI only on NEW findings. Entries are
+// keyed WITHOUT line numbers — file, analyzer, message — so unrelated
+// edits that shift a finding up or down the file do not resurrect it;
+// the key is a multiset, so two identical findings in one file need two
+// baseline entries, and fixing one surfaces the other.
+
+// Baseline is a multiset of accepted findings.
+type Baseline struct {
+	counts map[string]int
+	// root makes file keys checkout-independent (module-relative).
+	root string
+}
+
+// baselineKey is the line-number-free identity of a finding.
+func (b *Baseline) baselineKey(d Diagnostic) string {
+	file := d.Position.Filename
+	if b.root != "" {
+		if rel, err := filepath.Rel(b.root, file); err == nil && filepath.IsLocal(rel) {
+			file = filepath.ToSlash(rel)
+		}
+	}
+	return fmt.Sprintf("%s: %s (%s)", file, d.Message, d.Analyzer)
+}
+
+// baselineLine parses one serialized entry; the format is the key
+// itself, so the file stays greppable and diffable.
+var baselineLine = regexp.MustCompile(`^(.+): (.+) \(([a-z][a-z0-9]*)\)$`)
+
+// NewBaseline returns an empty baseline for the given module root.
+func NewBaseline(root string) *Baseline {
+	return &Baseline{counts: map[string]int{}, root: root}
+}
+
+// LoadBaseline reads a baseline file written by Write. A missing file is
+// an error: silently treating it as empty would turn a typoed path into
+// a CI run that fails on every accepted finding.
+func LoadBaseline(path, root string) (*Baseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: baseline: %w", err)
+	}
+	defer f.Close()
+	b := NewBaseline(root)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if !baselineLine.MatchString(text) {
+			return nil, fmt.Errorf("lint: baseline %s:%d: malformed entry %q", path, line, text)
+		}
+		b.counts[text]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	return b, nil
+}
+
+// Filter splits diagnostics into new findings and baseline-matched ones,
+// consuming baseline entries as a multiset (the baseline itself is not
+// mutated across calls — consumption is per Filter call).
+func (b *Baseline) Filter(diags []Diagnostic) (fresh, matched []Diagnostic) {
+	remaining := make(map[string]int, len(b.counts))
+	for k, v := range b.counts {
+		remaining[k] = v
+	}
+	for _, d := range diags {
+		key := b.baselineKey(d)
+		if remaining[key] > 0 {
+			remaining[key]--
+			matched = append(matched, d)
+		} else {
+			fresh = append(fresh, d)
+		}
+	}
+	return fresh, matched
+}
+
+// WriteBaseline serializes the diagnostics as a baseline file: sorted,
+// one entry per finding, with a header explaining the contract.
+func WriteBaseline(w io.Writer, diags []Diagnostic, root string) error {
+	b := NewBaseline(root)
+	keys := make([]string, 0, len(diags))
+	for _, d := range diags {
+		keys = append(keys, b.baselineKey(d))
+	}
+	sort.Strings(keys)
+	if _, err := fmt.Fprintln(w, "# statlint baseline: accepted findings, keyed file/message/analyzer (no line numbers)."); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "# Regenerate with: statlint -write-baseline=<this file> <packages>"); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if _, err := fmt.Fprintln(w, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Size returns the number of entries in the baseline.
+func (b *Baseline) Size() int {
+	n := 0
+	for _, c := range b.counts {
+		n += c
+	}
+	return n
+}

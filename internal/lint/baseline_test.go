@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"bytes"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func baselineDiag(root, rel, analyzer, msg string) Diagnostic {
+	return Diagnostic{
+		Analyzer: analyzer,
+		Position: token.Position{Filename: filepath.Join(root, filepath.FromSlash(rel)), Line: 7, Column: 2},
+		Message:  msg,
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	root := filepath.FromSlash("/work/statcube")
+	diags := []Diagnostic{
+		baselineDiag(root, "internal/serve/cache.go", "ledgerleak", "budget reservation is not released"),
+		baselineDiag(root, "internal/serve/cache.go", "ledgerleak", "budget reservation is not released"),
+		baselineDiag(root, "cmd/statd/main.go", "errdrop", "error assigned and never checked"),
+	}
+
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, diags, root); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "# statlint baseline") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+
+	path := filepath.Join(t.TempDir(), "lint.baseline")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatalf("writing baseline: %v", err)
+	}
+	bl, err := LoadBaseline(path, root)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	if bl.Size() != 3 {
+		t.Fatalf("Size = %d, want 3 (duplicate entries are a multiset)", bl.Size())
+	}
+
+	// All recorded findings filter out; line-number changes don't matter.
+	shifted := make([]Diagnostic, len(diags))
+	copy(shifted, diags)
+	for i := range shifted {
+		shifted[i].Position.Line += 100
+	}
+	fresh, matched := bl.Filter(shifted)
+	if len(fresh) != 0 || len(matched) != 3 {
+		t.Fatalf("fresh=%d matched=%d, want 0/3", len(fresh), len(matched))
+	}
+}
+
+func TestBaselineMultisetConsumption(t *testing.T) {
+	root := filepath.FromSlash("/work/statcube")
+	one := baselineDiag(root, "a/a.go", "spanend", "span is not ended")
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, []Diagnostic{one}, root); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "lint.baseline")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatalf("writing baseline: %v", err)
+	}
+	bl, err := LoadBaseline(path, root)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+
+	// Two identical findings against one entry: the second is fresh.
+	fresh, matched := bl.Filter([]Diagnostic{one, one})
+	if len(fresh) != 1 || len(matched) != 1 {
+		t.Fatalf("fresh=%d matched=%d, want 1/1", len(fresh), len(matched))
+	}
+	// Filter must not consume the baseline across calls.
+	fresh, matched = bl.Filter([]Diagnostic{one})
+	if len(fresh) != 0 || len(matched) != 1 {
+		t.Fatalf("second Filter call: fresh=%d matched=%d, want 0/1", len(fresh), len(matched))
+	}
+}
+
+func TestBaselineUnrelatedFindingIsFresh(t *testing.T) {
+	root := filepath.FromSlash("/work/statcube")
+	recorded := baselineDiag(root, "a/a.go", "spanend", "span is not ended")
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, []Diagnostic{recorded}, root); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "lint.baseline")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatalf("writing baseline: %v", err)
+	}
+	bl, err := LoadBaseline(path, root)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	other := baselineDiag(root, "a/a.go", "closeleak", "file is not closed")
+	fresh, matched := bl.Filter([]Diagnostic{other})
+	if len(fresh) != 1 || len(matched) != 0 {
+		t.Fatalf("fresh=%d matched=%d, want 1/0", len(fresh), len(matched))
+	}
+}
+
+func TestLoadBaselineMissingFileIsError(t *testing.T) {
+	if _, err := LoadBaseline(filepath.Join(t.TempDir(), "nope.baseline"), ""); err == nil {
+		t.Fatal("missing baseline file must be an error, not an empty baseline")
+	}
+}
+
+func TestLoadBaselineMalformedEntryIsError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.baseline")
+	content := "# header\n\nthis line has no analyzer suffix\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatalf("writing baseline: %v", err)
+	}
+	_, err := LoadBaseline(path, "")
+	if err == nil || !strings.Contains(err.Error(), "malformed") {
+		t.Fatalf("want malformed-entry error, got %v", err)
+	}
+}

@@ -1,0 +1,497 @@
+// Package cfg builds per-function control-flow graphs from go/ast — the
+// foundation statlint's path-sensitive analyzers (ledgerleak, spanend,
+// closeleak, errdrop) run their dataflow over. Staying stdlib-only (the
+// module's standing constraint) means no x/tools/go/cfg; this builder
+// covers the statement forms the engine actually uses, with the
+// simplifications documented per case and in DESIGN.md §6.
+//
+// Shape: a Graph is a set of Blocks, each an ordered list of ast.Nodes
+// (statements, plus branch conditions as bare expressions) executed
+// straight through, connected by Edges. An Edge may be labeled with the
+// condition under which it is taken (Cond + CondVal), which is what lets
+// an analysis refine facts across an `if err != nil` split — the whole
+// point of building real CFGs instead of walking the AST.
+//
+// Modeling decisions:
+//
+//   - return edges go to Exit; a call that cannot return (panic,
+//     os.Exit, log.Fatal*, runtime.Goexit) also edges to Exit, so
+//     deferred cleanup — which runs on panic too — is modeled uniformly.
+//   - defer statements are ordinary nodes: an analysis that cares about
+//     deferred calls interprets them as path facts (a conditional defer
+//     only covers paths that executed it), which is strictly more
+//     precise than attaching defers to the exit block.
+//   - switch/select case edges carry no condition (the engine's
+//     refinement needs only the two-way if split); `fallthrough` chains
+//     case bodies.
+//   - goto targets a label's block; break/continue honor labels.
+//   - function literals are opaque: the builder does not descend into
+//     them (each FuncLit gets its own graph via Build).
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Graph is one function body's control-flow graph.
+type Graph struct {
+	// Entry is the block control enters at the top of the body.
+	Entry *Block
+	// Exit is the single synthetic exit: every return, panic and
+	// fall-off-the-end path edges here. It holds no nodes.
+	Exit *Block
+	// Blocks lists every block (Entry and Exit included) in creation
+	// order, so iteration is deterministic.
+	Blocks []*Block
+}
+
+// Block is a straight-line run of nodes with no internal branching.
+type Block struct {
+	// Index is the block's position in Graph.Blocks.
+	Index int
+	// Nodes holds statements, plus branch conditions as bare ast.Exprs,
+	// in execution order.
+	Nodes []ast.Node
+	// Succs are the outgoing edges in a deterministic order (true branch
+	// before false, case clauses in source order).
+	Succs []Edge
+}
+
+// Edge connects a block to a successor, optionally labeled with the
+// branch condition that selects it.
+type Edge struct {
+	To *Block
+	// Cond, when non-nil, is the controlling condition: the edge is taken
+	// exactly when Cond evaluates to CondVal. Nil means the edge carries
+	// no refinable condition (unconditional jumps, range/case edges).
+	Cond    ast.Expr
+	CondVal bool
+}
+
+// Build constructs the graph of fn's body. fn must be a *ast.FuncDecl or
+// *ast.FuncLit; a FuncDecl without a body (an external declaration)
+// returns an empty two-block graph.
+func Build(fn ast.Node) *Graph {
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	default:
+		panic(fmt.Sprintf("cfg.Build: not a function: %T", fn))
+	}
+	b := &builder{g: &Graph{}, labels: map[string]*labelInfo{}}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.jump(b.g.Exit) // falling off the end of the body
+	return b.g
+}
+
+// labelInfo tracks one label: the block a goto (or the labeled statement
+// itself) lands on. Labeled break/continue resolve through the scope
+// stack instead, which records the label on the construct it prefixes.
+type labelInfo struct {
+	target *Block // created on first reference, forward gotos included
+}
+
+// loopScope is one enclosing breakable/continuable construct.
+type loopScope struct {
+	label   string // "" for unlabeled
+	breakTo *Block
+	contTo  *Block // nil for switch/select (continue passes through)
+}
+
+type builder struct {
+	g      *Graph
+	cur    *Block // nil while control is unreachable
+	scopes []loopScope
+	labels map[string]*labelInfo
+	// labelNext carries a just-seen label into the loop/switch that
+	// follows it, so `break L` / `continue L` resolve to that construct.
+	labelNext string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// startBlock begins a fresh block and makes it current (for code after a
+// terminator — unreachable until an edge lands on it).
+func (b *builder) startBlock() *Block {
+	blk := b.newBlock()
+	b.cur = blk
+	return blk
+}
+
+// add appends a node to the current block, reviving an unreachable
+// region into a fresh predecessor-less block (facts never flow there).
+func (b *builder) add(n ast.Node) {
+	if b.cur == nil {
+		b.startBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// edge links from → to.
+func (b *builder) edge(from, to *Block, cond ast.Expr, val bool) {
+	from.Succs = append(from.Succs, Edge{To: to, Cond: cond, CondVal: val})
+}
+
+// jump ends the current block with an unconditional edge to target.
+func (b *builder) jump(target *Block) {
+	if b.cur == nil {
+		return
+	}
+	b.edge(b.cur, target, nil, false)
+	b.cur = nil
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		condBlock := b.cur
+		if condBlock == nil { // unreachable if; add() revived, keep going
+			condBlock = b.startBlock()
+		}
+		after := b.newBlock()
+		thenB := b.startBlock()
+		b.edge(condBlock, thenB, s.Cond, true)
+		b.stmt(s.Body)
+		b.jump(after)
+		if s.Else != nil {
+			elseB := b.startBlock()
+			b.edge(condBlock, elseB, s.Cond, false)
+			b.stmt(s.Else)
+			b.jump(after)
+		} else {
+			b.edge(condBlock, after, s.Cond, false)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		b.jump(head)
+		b.cur = head
+		after := b.newBlock()
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		contTo := head
+		if post != nil {
+			contTo = post
+		}
+		body := b.newBlock()
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.edge(b.cur, body, s.Cond, true)
+			b.edge(b.cur, after, s.Cond, false)
+		} else {
+			b.edge(b.cur, body, nil, false)
+		}
+		b.cur = body
+		b.pushScope(s, after, contTo)
+		b.stmt(s.Body)
+		b.popScope()
+		if post != nil {
+			b.jump(post)
+			b.cur = post
+			b.add(s.Post)
+			b.jump(head)
+		} else {
+			b.jump(head)
+		}
+		b.cur = after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.jump(head)
+		b.cur = head
+		// The whole RangeStmt is the head's node: an analysis sees the
+		// ranged expression and the per-iteration key/value assignment
+		// once per pass over the head.
+		b.add(s)
+		after := b.newBlock()
+		body := b.newBlock()
+		b.edge(b.cur, body, nil, false)
+		b.edge(b.cur, after, nil, false)
+		b.cur = body
+		b.pushScope(s, after, head)
+		b.stmt(s.Body)
+		b.popScope()
+		b.jump(head)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseBodies(s, s.Body.List, func(cc *ast.CaseClause) ([]ast.Node, []ast.Stmt, bool) {
+			nodes := make([]ast.Node, 0, len(cc.List))
+			for _, e := range cc.List {
+				nodes = append(nodes, e)
+			}
+			return nodes, cc.Body, cc.List == nil
+		})
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.caseBodies(s, s.Body.List, func(cc *ast.CaseClause) ([]ast.Node, []ast.Stmt, bool) {
+			return nil, cc.Body, cc.List == nil
+		})
+
+	case *ast.SelectStmt:
+		header := b.cur
+		if header == nil {
+			header = b.startBlock()
+		}
+		after := b.newBlock()
+		b.pushScope(s, after, nil)
+		hasDefault := false
+		for _, clause := range s.Body.List {
+			cc := clause.(*ast.CommClause)
+			caseB := b.startBlock()
+			b.edge(header, caseB, nil, false)
+			if cc.Comm != nil {
+				b.add(cc.Comm)
+			} else {
+				hasDefault = true
+			}
+			b.stmtList(cc.Body)
+			b.jump(after)
+		}
+		b.popScope()
+		// A select with no cases (or none ready and no default) blocks
+		// forever; model the header as still reaching after so facts are
+		// not silently dropped on an empty select.
+		if len(s.Body.List) == 0 && !hasDefault {
+			b.edge(header, after, nil, false)
+		}
+		b.cur = after
+
+	case *ast.LabeledStmt:
+		li := b.labelFor(s.Label.Name)
+		// The label's block: goto lands here, and the labeled statement
+		// itself runs from it.
+		b.jump(li.target)
+		b.cur = li.target
+		switch inner := s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			b.labelNext = s.Label.Name
+			b.stmt(inner)
+			b.labelNext = ""
+		default:
+			b.stmt(s.Stmt)
+		}
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.branchTarget(s.Label, true); t != nil {
+				b.jump(t)
+			} else {
+				b.cur = nil
+			}
+		case token.CONTINUE:
+			if t := b.branchTarget(s.Label, false); t != nil {
+				b.jump(t)
+			} else {
+				b.cur = nil
+			}
+		case token.GOTO:
+			b.jump(b.labelFor(s.Label.Name).target)
+		case token.FALLTHROUGH:
+			// handled by caseBodies; reaching here (malformed code)
+			// just ends the block
+			b.cur = nil
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.g.Exit)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && terminates(call) {
+			b.jump(b.g.Exit)
+		}
+
+	default:
+		// Assignments, declarations, defer, go, send, inc/dec, empty:
+		// straight-line nodes.
+		if _, ok := s.(*ast.EmptyStmt); ok {
+			return
+		}
+		b.add(s)
+	}
+}
+
+// pushScope enters a breakable construct, consuming any pending label.
+func (b *builder) pushScope(stmt ast.Stmt, breakTo, contTo *Block) {
+	label := b.labelNext
+	b.labelNext = ""
+	b.scopes = append(b.scopes, loopScope{label: label, breakTo: breakTo, contTo: contTo})
+}
+
+func (b *builder) popScope() { b.scopes = b.scopes[:len(b.scopes)-1] }
+
+// branchTarget resolves break/continue (optionally labeled) to a block.
+func (b *builder) branchTarget(label *ast.Ident, isBreak bool) *Block {
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		sc := b.scopes[i]
+		if label != nil && sc.label != label.Name {
+			continue
+		}
+		if isBreak {
+			return sc.breakTo
+		}
+		if sc.contTo != nil {
+			return sc.contTo
+		}
+		// continue inside a switch/select refers to the enclosing loop;
+		// keep walking out.
+	}
+	return nil
+}
+
+// labelFor returns (creating on demand) the label's info.
+func (b *builder) labelFor(name string) *labelInfo {
+	li, ok := b.labels[name]
+	if !ok {
+		li = &labelInfo{target: b.newBlock()}
+		b.labels[name] = li
+	}
+	return li
+}
+
+// caseBodies builds the shared case-clause structure of switch and
+// type-switch: every clause block hangs off the header, a missing
+// default adds a header→after edge, fallthrough chains bodies.
+func (b *builder) caseBodies(sw ast.Stmt, clauses []ast.Stmt, split func(*ast.CaseClause) (exprs []ast.Node, body []ast.Stmt, isDefault bool)) {
+	header := b.cur
+	if header == nil {
+		header = b.startBlock()
+	}
+	after := b.newBlock()
+	b.pushScope(sw, after, nil)
+	hasDefault := false
+	// First pass creates the clause blocks so fallthrough can target the
+	// lexically next one.
+	caseBlocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		caseBlocks[i] = b.newBlock()
+	}
+	for i, clause := range clauses {
+		cc := clause.(*ast.CaseClause)
+		exprs, body, isDefault := split(cc)
+		if isDefault {
+			hasDefault = true
+		}
+		b.edge(header, caseBlocks[i], nil, false)
+		b.cur = caseBlocks[i]
+		for _, e := range exprs {
+			b.add(e)
+		}
+		fellThrough := false
+		for j, st := range body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && j == len(body)-1 {
+				if i+1 < len(caseBlocks) {
+					b.jump(caseBlocks[i+1])
+					fellThrough = true
+				}
+				break
+			}
+			b.stmt(st)
+		}
+		if !fellThrough {
+			b.jump(after)
+		}
+	}
+	b.popScope()
+	if !hasDefault {
+		b.edge(header, after, nil, false)
+	}
+	b.cur = after
+}
+
+// terminates reports whether a call never returns: the panic builtin and
+// the conventional process/goroutine terminators. Method calls are never
+// terminators (a *T).Fatal would need type info the builder does not
+// carry; the dataflow layer treats unknown calls as returning, which is
+// the conservative direction for leak detection.
+func terminates(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch pkg.Name + "." + fun.Sel.Name {
+		case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the graph for debugging and the unit tests: one line
+// per block with node kinds and successor indices.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d:", blk.Index)
+		switch blk {
+		case g.Entry:
+			sb.WriteString(" (entry)")
+		case g.Exit:
+			sb.WriteString(" (exit)")
+		}
+		for _, n := range blk.Nodes {
+			fmt.Fprintf(&sb, " %T", n)
+		}
+		sb.WriteString(" ->")
+		for _, e := range blk.Succs {
+			if e.Cond != nil {
+				fmt.Fprintf(&sb, " b%d(%v)", e.To.Index, e.CondVal)
+			} else {
+				fmt.Fprintf(&sb, " b%d", e.To.Index)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

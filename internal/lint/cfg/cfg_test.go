@@ -1,0 +1,319 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFunc parses a function body and builds its graph.
+func buildFunc(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Build(file.Decls[0].(*ast.FuncDecl))
+}
+
+// edgesInto counts edges arriving at b.
+func edgesInto(g *Graph, b *Block) int {
+	n := 0
+	for _, blk := range g.Blocks {
+		for _, e := range blk.Succs {
+			if e.To == b {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// condEdges returns b's condition-labeled successors as a val→target map.
+func condEdges(t *testing.T, g *Graph, cond string) map[bool]*Block {
+	t.Helper()
+	out := map[bool]*Block{}
+	for _, blk := range g.Blocks {
+		for _, e := range blk.Succs {
+			if e.Cond != nil {
+				out[e.CondVal] = e.To
+			}
+		}
+	}
+	return out
+}
+
+func TestStraightLine(t *testing.T) {
+	g := buildFunc(t, "x := 1\ny := x\n_ = y")
+	if len(g.Entry.Nodes) != 3 {
+		t.Fatalf("entry nodes = %d, want 3\n%s", len(g.Entry.Nodes), g)
+	}
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0].To != g.Exit {
+		t.Fatalf("entry should edge straight to exit\n%s", g)
+	}
+	if len(g.Exit.Nodes) != 0 {
+		t.Fatalf("exit must hold no nodes")
+	}
+}
+
+func TestIfElseCondEdges(t *testing.T) {
+	g := buildFunc(t, "x := 1\nif x > 0 {\nx = 2\n} else {\nx = 3\n}\n_ = x")
+	edges := condEdges(t, g, "x > 0")
+	if edges[true] == nil || edges[false] == nil {
+		t.Fatalf("missing labeled branch edges\n%s", g)
+	}
+	if edges[true] == edges[false] {
+		t.Fatalf("true and false branches must differ\n%s", g)
+	}
+	// Both branches rejoin: the join block has two incoming edges.
+	var join *Block
+	for _, blk := range g.Blocks {
+		if len(blk.Nodes) == 1 && edgesInto(g, blk) == 2 {
+			join = blk
+		}
+	}
+	if join == nil {
+		t.Fatalf("no join block with 2 predecessors\n%s", g)
+	}
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	g := buildFunc(t, "x := 1\nif x > 0 {\nx = 2\n}\n_ = x")
+	edges := condEdges(t, g, "x > 0")
+	if edges[false] == nil {
+		t.Fatalf("if without else still needs a false edge to the join\n%s", g)
+	}
+}
+
+func TestForLoopBackEdge(t *testing.T) {
+	g := buildFunc(t, "for i := 0; i < 3; i++ {\n_ = i\n}")
+	// The head block (holding the condition) must be reachable from both
+	// the entry side and the post block — a back edge.
+	var head *Block
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if _, ok := n.(*ast.BinaryExpr); ok {
+				head = blk
+			}
+		}
+	}
+	if head == nil {
+		t.Fatalf("no block holds the loop condition\n%s", g)
+	}
+	if edgesInto(g, head) < 2 {
+		t.Fatalf("loop head needs entry + back edge, got %d\n%s", edgesInto(g, head), g)
+	}
+	edges := condEdges(t, g, "i < 3")
+	if edges[true] == nil || edges[false] == nil {
+		t.Fatalf("loop condition edges missing\n%s", g)
+	}
+}
+
+func TestInfiniteForNoExitFromHead(t *testing.T) {
+	g := buildFunc(t, "for {\nbreak\n}\nreturn")
+	// `for {}` has no condition edge out; only the break reaches after.
+	if edgesInto(g, g.Exit) == 0 {
+		t.Fatalf("break should let control reach exit\n%s", g)
+	}
+}
+
+func TestReturnEdgesToExit(t *testing.T) {
+	g := buildFunc(t, "x := 1\nif x > 0 {\nreturn\n}\n_ = x")
+	n := edgesInto(g, g.Exit)
+	if n != 2 { // early return + fall-off-the-end
+		t.Fatalf("exit in-edges = %d, want 2\n%s", n, g)
+	}
+}
+
+func TestPanicTerminates(t *testing.T) {
+	g := buildFunc(t, "x := 1\nif x > 0 {\npanic(\"boom\")\n}\n_ = x")
+	// The panic block's only successor is exit.
+	var panicBlock *Block
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+						panicBlock = blk
+					}
+				}
+			}
+		}
+	}
+	if panicBlock == nil {
+		t.Fatalf("panic node not placed\n%s", g)
+	}
+	if len(panicBlock.Succs) != 1 || panicBlock.Succs[0].To != g.Exit {
+		t.Fatalf("panic must edge only to exit\n%s", g)
+	}
+}
+
+func TestOSExitTerminates(t *testing.T) {
+	g := buildFunc(t, "os.Exit(1)\nx := 1\n_ = x")
+	// Code after os.Exit lives in a block no edge reaches.
+	for _, blk := range g.Blocks {
+		if blk == g.Entry || blk == g.Exit {
+			continue
+		}
+		if len(blk.Nodes) > 0 && edgesInto(g, blk) != 0 {
+			t.Fatalf("post-Exit block should be unreachable\n%s", g)
+		}
+	}
+}
+
+func TestSwitchNoDefaultHasFallthroughEdge(t *testing.T) {
+	g := buildFunc(t, "x := 1\nswitch x {\ncase 1:\nx = 2\ncase 2:\nx = 3\n}\n_ = x")
+	// Header must edge to: case1, case2, and after (no default).
+	var header *Block
+	for _, blk := range g.Blocks {
+		if len(blk.Succs) == 3 {
+			header = blk
+		}
+	}
+	if header == nil {
+		t.Fatalf("switch header should have 3 successors (2 cases + no-match)\n%s", g)
+	}
+}
+
+func TestSwitchFallthroughChainsCases(t *testing.T) {
+	g := buildFunc(t, "x := 1\nswitch x {\ncase 1:\nx = 2\nfallthrough\ncase 2:\nx = 3\ndefault:\nx = 4\n}\n_ = x")
+	s := g.String()
+	if !strings.Contains(s, "AssignStmt") {
+		t.Fatalf("cases should hold assignments\n%s", s)
+	}
+	// Find the case-1 block (holds the case expr + assignment) and check
+	// it edges to another node-bearing block, not straight to the join.
+	var case1 *Block
+	for _, blk := range g.Blocks {
+		if len(blk.Nodes) == 2 {
+			if _, ok := blk.Nodes[0].(*ast.BasicLit); ok {
+				case1 = blk
+				break
+			}
+		}
+	}
+	if case1 == nil {
+		t.Fatalf("case 1 block not found\n%s", s)
+	}
+	if len(case1.Succs) != 1 || len(case1.Succs[0].To.Nodes) == 0 {
+		t.Fatalf("fallthrough must chain into the next case body\n%s", s)
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := buildFunc(t, "outer:\nfor {\nfor {\nbreak outer\n}\n}\nreturn")
+	if edgesInto(g, g.Exit) == 0 {
+		t.Fatalf("break outer should reach the return\n%s", g)
+	}
+}
+
+func TestLabeledContinue(t *testing.T) {
+	g := buildFunc(t, "outer:\nfor i := 0; i < 3; i++ {\nfor {\ncontinue outer\n}\n}")
+	// The outer post block (i++) must have 2 in-edges: body fallthrough is
+	// unreachable (inner for{} never exits) but continue outer lands there.
+	var post *Block
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if _, ok := n.(*ast.IncDecStmt); ok {
+				post = blk
+			}
+		}
+	}
+	if post == nil {
+		t.Fatalf("post block not found\n%s", g)
+	}
+	if edgesInto(g, post) == 0 {
+		t.Fatalf("continue outer should land on the post block\n%s", g)
+	}
+}
+
+func TestGotoForwardAndBack(t *testing.T) {
+	g := buildFunc(t, "x := 0\nloop:\nx++\nif x < 3 {\ngoto loop\n}\n_ = x")
+	// The label block must have 2 in-edges: fallthrough + goto.
+	var label *Block
+	for _, blk := range g.Blocks {
+		if edgesInto(g, blk) >= 2 && blk != g.Exit {
+			label = blk
+		}
+	}
+	if label == nil {
+		t.Fatalf("goto target should have fallthrough + jump edges\n%s", g)
+	}
+}
+
+func TestRangeLoop(t *testing.T) {
+	g := buildFunc(t, "xs := []int{1}\nfor _, x := range xs {\n_ = x\n}\nreturn")
+	// Range head: two out-edges (body, after), body jumps back.
+	var head *Block
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				head = blk
+			}
+		}
+	}
+	if head == nil {
+		t.Fatalf("range stmt not placed in a head block\n%s", g)
+	}
+	if len(head.Succs) != 2 {
+		t.Fatalf("range head should branch to body and after\n%s", g)
+	}
+	if edgesInto(g, head) < 2 {
+		t.Fatalf("range head needs entry + back edge\n%s", g)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	g := buildFunc(t, "ch := make(chan int)\nselect {\ncase <-ch:\ncase v := <-ch:\n_ = v\n}\nreturn")
+	if edgesInto(g, g.Exit) == 0 {
+		t.Fatalf("select cases should rejoin and reach exit\n%s", g)
+	}
+}
+
+func TestDeferIsOrdinaryNode(t *testing.T) {
+	g := buildFunc(t, "defer println()\nreturn")
+	found := false
+	for _, n := range g.Entry.Nodes {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("defer must appear as a plain node in its block\n%s", g)
+	}
+}
+
+func TestFuncLitOpaque(t *testing.T) {
+	g := buildFunc(t, "f := func() {\nreturn\n}\nf()")
+	// The literal's return must NOT contribute an edge to the outer exit:
+	// exactly one in-edge (the fall-off) is expected.
+	if n := edgesInto(g, g.Exit); n != 1 {
+		t.Fatalf("exit in-edges = %d, want 1 (FuncLit must be opaque)\n%s", n, g)
+	}
+}
+
+func TestBuildNonFunctionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Build on a non-function must panic")
+		}
+	}()
+	Build(&ast.BadStmt{})
+}
+
+func TestBodylessFuncDecl(t *testing.T) {
+	src := "package p\nfunc f()"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	g := Build(file.Decls[0].(*ast.FuncDecl))
+	if len(g.Entry.Nodes) != 0 {
+		t.Fatalf("bodyless decl should build an empty graph\n%s", g)
+	}
+}

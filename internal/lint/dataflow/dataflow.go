@@ -1,0 +1,147 @@
+// Package dataflow runs forward may-analyses over internal/lint/cfg
+// graphs: a worklist fixpoint over sets of facts, with per-edge
+// refinement so a branch on `err != nil` can kill facts on exactly one
+// side of the split. The acquire/release analyzers (ledgerleak, spanend,
+// closeleak) and the use-tracking one (errdrop) are all instances of the
+// same scheme:
+//
+//   - a Transfer function folds one node's effect into the fact set
+//     (acquisitions add facts, releases and hand-offs kill them);
+//   - a Refine function adjusts the set on a condition-labeled edge
+//     (a failed acquisition's facts die on the error branch);
+//   - the fixpoint unions fact sets at join points — "may", because a
+//     resource live on ANY path into a block is a leak candidate there.
+//
+// Termination: fact universes are finite (keyed by token.Pos and
+// types.Object within one function) and in-sets only grow, so the
+// worklist drains. Transfer must be deterministic and monotone in the
+// obvious sense (adding an input fact never removes an unrelated output
+// fact) — the analyzers' add/kill structure satisfies this by
+// construction.
+//
+// After the fixpoint, Result.ReplayBlocks re-runs Transfer once per
+// block over the stable in-sets so an analyzer can report findings
+// exactly once per program point, independent of how many fixpoint
+// iterations visited the block.
+package dataflow
+
+import (
+	"go/ast"
+
+	"statcube/internal/lint/cfg"
+)
+
+// Set is a fact set. Facts must be comparable; analyzers key them by
+// acquisition position and bound variable.
+type Set[F comparable] map[F]struct{}
+
+// Clone copies the set.
+func (s Set[F]) Clone() Set[F] {
+	out := make(Set[F], len(s))
+	for f := range s {
+		out[f] = struct{}{}
+	}
+	return out
+}
+
+// Add inserts a fact.
+func (s Set[F]) Add(f F) { s[f] = struct{}{} }
+
+// Delete removes a fact.
+func (s Set[F]) Delete(f F) { delete(s, f) }
+
+// Has reports membership.
+func (s Set[F]) Has(f F) bool { _, ok := s[f]; return ok }
+
+// union folds src into dst, reporting whether dst grew.
+func union[F comparable](dst, src Set[F]) bool {
+	grew := false
+	for f := range src {
+		if _, ok := dst[f]; !ok {
+			dst[f] = struct{}{}
+			grew = true
+		}
+	}
+	return grew
+}
+
+// Problem is one analysis: how facts move through nodes and edges.
+type Problem[F comparable] struct {
+	// Transfer folds node n's effect into facts, mutating in place.
+	// It runs many times during the fixpoint; reporting belongs in the
+	// replay pass, not here.
+	Transfer func(n ast.Node, facts Set[F])
+	// Refine, if non-nil, adjusts facts crossing an edge labeled with
+	// condition cond evaluating to val (mutating in place). Typical use:
+	// kill acquisitions whose error variable is non-nil on this branch.
+	Refine func(cond ast.Expr, val bool, facts Set[F])
+}
+
+// Result carries the converged per-block input sets.
+type Result[F comparable] struct {
+	g  *cfg.Graph
+	p  Problem[F]
+	in map[*cfg.Block]Set[F]
+}
+
+// Forward runs the fixpoint over g and returns the converged result.
+func Forward[F comparable](g *cfg.Graph, p Problem[F]) *Result[F] {
+	in := make(map[*cfg.Block]Set[F], len(g.Blocks))
+	for _, b := range g.Blocks {
+		in[b] = Set[F]{}
+	}
+	// Worklist seeded with every block in index order: unreachable
+	// blocks converge immediately (empty in-set), reachable ones iterate.
+	work := make([]*cfg.Block, len(g.Blocks))
+	copy(work, g.Blocks)
+	queued := make([]bool, len(g.Blocks))
+	for i := range queued {
+		queued[i] = true
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+
+		out := in[b].Clone()
+		for _, n := range b.Nodes {
+			p.Transfer(n, out)
+		}
+		for _, e := range b.Succs {
+			contrib := out
+			if e.Cond != nil && p.Refine != nil {
+				contrib = out.Clone()
+				p.Refine(e.Cond, e.CondVal, contrib)
+			}
+			if union(in[e.To], contrib) && !queued[e.To.Index] {
+				queued[e.To.Index] = true
+				work = append(work, e.To)
+			}
+		}
+	}
+	return &Result[F]{g: g, p: p, in: in}
+}
+
+// In returns the converged fact set flowing into b (shared; do not
+// mutate).
+func (r *Result[F]) In(b *cfg.Block) Set[F] { return r.in[b] }
+
+// AtExit returns the facts that reach the function's exit block — for a
+// leak analysis, the resources still live on some path out of the
+// function.
+func (r *Result[F]) AtExit() Set[F] { return r.in[r.g.Exit] }
+
+// ReplayBlocks re-runs transfer once per block over the converged
+// in-sets, calling visit before each node with the facts live at that
+// point. This is the reporting pass: each (block, node) pair is visited
+// exactly once, in block-index then node order, so diagnostics are
+// deterministic and deduplicated by construction.
+func (r *Result[F]) ReplayBlocks(visit func(n ast.Node, before Set[F])) {
+	for _, b := range r.g.Blocks {
+		facts := r.in[b].Clone()
+		for _, n := range b.Nodes {
+			visit(n, facts)
+			r.p.Transfer(n, facts)
+		}
+	}
+}

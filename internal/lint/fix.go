@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Suggested fixes: a diagnostic may carry one machine-applicable Fix — a
+// set of byte-offset textual edits (`statlint -fix` applies them in
+// place). Fixes are deliberately textual, not AST-rewriting: the analyzer
+// computed exact positions from the parsed file, and splicing bytes
+// preserves every comment and formatting choice around the edit. The
+// golden round-trip harness (analyzers/testdata/fix) locks in that
+// applying a corpus's fixes yields compiling code with zero remaining
+// findings.
+
+// TextEdit replaces the half-open byte range [Start, End) of File with
+// New. Start == End is a pure insertion.
+type TextEdit struct {
+	File  string `json:"file"`
+	Start int    `json:"start"`
+	End   int    `json:"end"`
+	New   string `json:"new"`
+}
+
+// Fix is one suggested edit set, applied atomically.
+type Fix struct {
+	// Message describes the rewrite ("insert defer sp.End()",
+	// "rewrite with errors.Is").
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
+// ApplyFixes applies every fix carried by diags to the sources map
+// (filename → content) and returns the rewritten files. Identical edits
+// (same range and replacement — e.g. two fixes both adding the same
+// import line) are deduplicated; a fix whose edits overlap an already
+// accepted edit is skipped whole, and the skipped count reports how many
+// fixes were dropped that way. Sources are not mutated.
+func ApplyFixes(diags []Diagnostic, sources map[string][]byte) (changed map[string][]byte, applied, skipped int) {
+	type span struct{ start, end int }
+	accepted := map[string][]TextEdit{}
+	taken := map[string][]span{}
+	seen := map[TextEdit]bool{}
+
+	overlaps := func(file string, start, end int) bool {
+		for _, s := range taken[file] {
+			// Two insertions at the same point do conflict (order would
+			// be ambiguous); identical edits were already deduplicated.
+			if start < s.end && end > s.start || (start == s.start && end == s.end) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		fresh := make([]TextEdit, 0, len(d.Fix.Edits))
+		conflict := false
+		for _, e := range d.Fix.Edits {
+			if seen[e] {
+				continue // identical edit already accepted
+			}
+			if overlaps(e.File, e.Start, e.End) {
+				conflict = true
+				break
+			}
+			fresh = append(fresh, e)
+		}
+		if conflict {
+			skipped++
+			continue
+		}
+		for _, e := range fresh {
+			seen[e] = true
+			accepted[e.File] = append(accepted[e.File], e)
+			taken[e.File] = append(taken[e.File], span{e.Start, e.End})
+		}
+		applied++
+	}
+
+	changed = map[string][]byte{}
+	for file, edits := range accepted {
+		src, ok := sources[file]
+		if !ok {
+			continue
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].Start > edits[j].Start })
+		out := append([]byte(nil), src...)
+		for _, e := range edits {
+			if e.Start < 0 || e.End > len(out) || e.Start > e.End {
+				continue // stale offsets; leave the file alone rather than corrupt it
+			}
+			out = append(out[:e.Start], append([]byte(e.New), out[e.End:]...)...)
+		}
+		changed[file] = out
+	}
+	return changed, applied, skipped
+}
+
+// FixCount returns how many of the diagnostics carry a suggested fix.
+func FixCount(diags []Diagnostic) int {
+	n := 0
+	for _, d := range diags {
+		if d.Fix != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders an edit for logs.
+func (e TextEdit) String() string {
+	return fmt.Sprintf("%s[%d:%d)=%q", e.File, e.Start, e.End, e.New)
+}

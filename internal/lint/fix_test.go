@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"bytes"
+	"go/token"
+	"testing"
+)
+
+func diagWithFix(file string, edits ...TextEdit) Diagnostic {
+	return Diagnostic{
+		Analyzer: "testfix",
+		Position: token.Position{Filename: file, Line: 1, Column: 1},
+		Message:  "test finding",
+		Fix:      &Fix{Message: "test fix", Edits: edits},
+	}
+}
+
+func TestApplyFixesReplaceAndInsert(t *testing.T) {
+	src := map[string][]byte{"a.go": []byte("abcdef")}
+	diags := []Diagnostic{
+		diagWithFix("a.go", TextEdit{File: "a.go", Start: 2, End: 4, New: "XY"}),
+		diagWithFix("a.go", TextEdit{File: "a.go", Start: 6, End: 6, New: "!"}),
+	}
+	changed, applied, skipped := ApplyFixes(diags, src)
+	if applied != 2 || skipped != 0 {
+		t.Fatalf("applied=%d skipped=%d, want 2/0", applied, skipped)
+	}
+	if got := string(changed["a.go"]); got != "abXYef!" {
+		t.Fatalf("got %q, want %q", got, "abXYef!")
+	}
+	if string(src["a.go"]) != "abcdef" {
+		t.Fatalf("sources mutated: %q", src["a.go"])
+	}
+}
+
+func TestApplyFixesDeduplicatesIdenticalEdits(t *testing.T) {
+	// Two fixes both inserting the same import line: the edit applies
+	// once, both fixes count as applied.
+	src := map[string][]byte{"a.go": []byte("head body")}
+	imp := TextEdit{File: "a.go", Start: 0, End: 0, New: "import\n"}
+	diags := []Diagnostic{
+		diagWithFix("a.go", TextEdit{File: "a.go", Start: 5, End: 9, New: "one"}, imp),
+		diagWithFix("a.go", TextEdit{File: "a.go", Start: 4, End: 5, New: "-"}, imp),
+	}
+	changed, applied, skipped := ApplyFixes(diags, src)
+	if applied != 2 || skipped != 0 {
+		t.Fatalf("applied=%d skipped=%d, want 2/0", applied, skipped)
+	}
+	if got := string(changed["a.go"]); got != "import\nhead-one" {
+		t.Fatalf("got %q, want %q", got, "import\nhead-one")
+	}
+}
+
+func TestApplyFixesSkipsOverlappingFixWhole(t *testing.T) {
+	// The second fix's first edit overlaps an accepted range: the whole
+	// fix (both edits) is dropped, not just the conflicting edit.
+	src := map[string][]byte{"a.go": []byte("0123456789")}
+	diags := []Diagnostic{
+		diagWithFix("a.go", TextEdit{File: "a.go", Start: 2, End: 6, New: "AA"}),
+		diagWithFix("a.go",
+			TextEdit{File: "a.go", Start: 4, End: 8, New: "BB"},
+			TextEdit{File: "a.go", Start: 9, End: 10, New: "C"}),
+	}
+	changed, applied, skipped := ApplyFixes(diags, src)
+	if applied != 1 || skipped != 1 {
+		t.Fatalf("applied=%d skipped=%d, want 1/1", applied, skipped)
+	}
+	if got := string(changed["a.go"]); got != "01AA6789" {
+		t.Fatalf("got %q, want %q", got, "01AA6789")
+	}
+}
+
+func TestApplyFixesSameAnchorInsertionsConflict(t *testing.T) {
+	// Two different insertions at the same offset would apply in an
+	// ambiguous order: the later fix is skipped.
+	src := map[string][]byte{"a.go": []byte("xy")}
+	diags := []Diagnostic{
+		diagWithFix("a.go", TextEdit{File: "a.go", Start: 1, End: 1, New: "A"}),
+		diagWithFix("a.go", TextEdit{File: "a.go", Start: 1, End: 1, New: "B"}),
+	}
+	changed, applied, skipped := ApplyFixes(diags, src)
+	if applied != 1 || skipped != 1 {
+		t.Fatalf("applied=%d skipped=%d, want 1/1", applied, skipped)
+	}
+	if got := string(changed["a.go"]); got != "xAy" {
+		t.Fatalf("got %q, want %q", got, "xAy")
+	}
+}
+
+func TestApplyFixesIgnoresFixlessAndUnknownFiles(t *testing.T) {
+	src := map[string][]byte{"a.go": []byte("abc")}
+	diags := []Diagnostic{
+		{Analyzer: "plain", Position: token.Position{Filename: "a.go", Line: 1}, Message: "no fix"},
+		diagWithFix("missing.go", TextEdit{File: "missing.go", Start: 0, End: 1, New: "Z"}),
+	}
+	changed, applied, skipped := ApplyFixes(diags, src)
+	if applied != 1 || skipped != 0 {
+		t.Fatalf("applied=%d skipped=%d, want 1/0", applied, skipped)
+	}
+	if len(changed) != 0 {
+		t.Fatalf("no loaded file should change, got %v", changed)
+	}
+	if FixCount(diags) != 1 {
+		t.Fatalf("FixCount = %d, want 1", FixCount(diags))
+	}
+}
+
+func TestApplyFixesDescendingApplication(t *testing.T) {
+	// Multiple edits in one file must apply back to front so earlier
+	// offsets stay valid.
+	src := map[string][]byte{"a.go": []byte("aa bb cc")}
+	diags := []Diagnostic{
+		diagWithFix("a.go",
+			TextEdit{File: "a.go", Start: 0, End: 2, New: "XXXX"},
+			TextEdit{File: "a.go", Start: 3, End: 5, New: "Y"},
+			TextEdit{File: "a.go", Start: 6, End: 8, New: "ZZZ"}),
+	}
+	changed, _, _ := ApplyFixes(diags, src)
+	if got := string(changed["a.go"]); got != "XXXX Y ZZZ" {
+		t.Fatalf("got %q, want %q", got, "XXXX Y ZZZ")
+	}
+}
+
+func TestTextEditString(t *testing.T) {
+	e := TextEdit{File: "a.go", Start: 1, End: 3, New: "x"}
+	if got := e.String(); !bytes.Contains([]byte(got), []byte("a.go[1:3)")) {
+		t.Fatalf("TextEdit.String() = %q", got)
+	}
+}

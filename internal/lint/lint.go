@@ -55,8 +55,23 @@ type Pass struct {
 	// ImportPath is the package's module-relative import path (e.g.
 	// statcube/internal/cube).
 	ImportPath string
+	// Src maps absolute filenames to source bytes for every file in
+	// Files — suggested-fix builders slice it for indentation and
+	// expression text.
+	Src map[string][]byte
 
 	report func(Diagnostic)
+}
+
+// ReportFix records a finding at pos carrying a suggested fix (nil fix
+// degrades to a plain finding).
+func (p *Pass) ReportFix(pos token.Pos, fix *Fix, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Fix:      fix,
+	})
 }
 
 // Reportf records a finding at pos.
@@ -68,11 +83,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Diagnostic is one finding: which rule, where, what.
+// Diagnostic is one finding: which rule, where, what — plus, for rules
+// with a mechanical remedy, a suggested Fix that `statlint -fix`
+// applies.
 type Diagnostic struct {
 	Analyzer string         `json:"analyzer"`
 	Position token.Position `json:"-"`
 	Message  string         `json:"message"`
+	Fix      *Fix           `json:"fix,omitempty"`
 
 	// Flattened position for JSON output.
 	File string `json:"file"`

@@ -97,6 +97,11 @@ func modulePath(data []byte) string {
 	return ""
 }
 
+// ModRoot returns the module root directory the loader resolved — the
+// base SARIF and baseline output use to make file paths
+// checkout-independent.
+func (l *Loader) ModRoot() string { return l.modRoot }
+
 // Load expands the patterns and returns the matched packages sorted by
 // import path. Supported patterns: a directory ("./internal/cube"), or a
 // recursive pattern ("./...", "./internal/..."). Directories named

@@ -1,6 +1,8 @@
 package lint
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -61,5 +63,118 @@ func TestLoadExplicitTestdataDir(t *testing.T) {
 		if len(p.TypeErrors) > 0 {
 			t.Errorf("%s: corpus must type-check: %v", p.ImportPath, p.TypeErrors)
 		}
+	}
+}
+
+// scratchModule lays out a throwaway module for loader error-path tests
+// and returns its root.
+func scratchModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("mkdir: %v", err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatalf("write %s: %v", rel, err)
+		}
+	}
+	return root
+}
+
+func TestNewLoaderNoModule(t *testing.T) {
+	_, err := NewLoader(t.TempDir())
+	if err == nil || !strings.Contains(err.Error(), "no go.mod") {
+		t.Fatalf("want no-go.mod error, got %v", err)
+	}
+}
+
+func TestNewLoaderModFileWithoutModuleLine(t *testing.T) {
+	root := scratchModule(t, map[string]string{"go.mod": "go 1.22\n"})
+	_, err := NewLoader(root)
+	if err == nil || !strings.Contains(err.Error(), "no module line") {
+		t.Fatalf("want no-module-line error, got %v", err)
+	}
+}
+
+func TestLoadPatternErrors(t *testing.T) {
+	root := scratchModule(t, map[string]string{
+		"go.mod":  "module scratch\n\ngo 1.22\n",
+		"file.go": "package scratch\n",
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if _, err := loader.Load([]string{filepath.Join(root, "missing")}); err == nil {
+		t.Error("want error for a pattern naming a missing directory")
+	}
+	if _, err := loader.Load([]string{filepath.Join(root, "file.go")}); err == nil ||
+		!strings.Contains(err.Error(), "not a directory") {
+		t.Errorf("want not-a-directory error for a file pattern, got %v", err)
+	}
+}
+
+func TestLoadParseErrorSurfaces(t *testing.T) {
+	root := scratchModule(t, map[string]string{
+		"go.mod":  "module scratch\n\ngo 1.22\n",
+		"bad.go":  "package scratch\nfunc {",
+		"good.go": "package scratch\n",
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	_, err = loader.Load([]string{root})
+	if err == nil || !strings.Contains(err.Error(), "parsing") {
+		t.Fatalf("want parse error, got %v", err)
+	}
+}
+
+func TestLoadTypeErrorCollectedNotFatal(t *testing.T) {
+	root := scratchModule(t, map[string]string{
+		"go.mod": "module scratch\n\ngo 1.22\n",
+		"a.go":   "package scratch\n\nfunc f() int { return \"not an int\" }\n",
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load([]string{root})
+	if err != nil {
+		t.Fatalf("Load must not fail on soft type errors: %v", err)
+	}
+	if len(pkgs) != 1 || len(pkgs[0].TypeErrors) == 0 {
+		t.Fatalf("type errors must be collected on the package; got %+v", pkgs)
+	}
+	if pkgs[0].Info == nil || pkgs[0].Types == nil {
+		t.Fatal("Info/Types must stay usable for whatever did check")
+	}
+}
+
+func TestLoadGoFreeDirsYieldNoPackage(t *testing.T) {
+	// Dirs holding no non-test Go files (module root with just go.mod,
+	// docs, test-only dirs) walk clean without producing packages.
+	root := scratchModule(t, map[string]string{
+		"go.mod":         "module scratch\n\ngo 1.22\n",
+		"docs/README.md": "not go\n",
+		"only/x_test.go": "package only\n",
+		"real/real.go":   "package real\n",
+	})
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load([]string{root + "/..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].ImportPath != "scratch/real" {
+		var paths []string
+		for _, p := range pkgs {
+			paths = append(paths, p.ImportPath)
+		}
+		t.Fatalf("want only scratch/real, got %v", paths)
 	}
 }

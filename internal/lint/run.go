@@ -13,6 +13,11 @@ import (
 type Result struct {
 	Diagnostics []Diagnostic
 	TypeErrors  []error
+	// Suppressions counts the //lint:ignore directives seen, keyed by the
+	// analyzer each names (a multi-analyzer directive counts once per
+	// name). CI gates on these totals so the suppression inventory can
+	// only shrink.
+	Suppressions map[string]int
 }
 
 // Run loads the packages matched by patterns and applies every analyzer,
@@ -25,7 +30,7 @@ func Run(loader *Loader, patterns []string, analyzers []*Analyzer) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{}
+	res := &Result{Suppressions: map[string]int{}}
 	var diags []Diagnostic
 	var dirs []directive
 	for _, pkg := range pkgs {
@@ -33,6 +38,11 @@ func Run(loader *Loader, patterns []string, analyzers []*Analyzer) (*Result, err
 		d, bad := parseDirectives(loader.Fset, pkg.Files, loader.Sources)
 		dirs = append(dirs, d...)
 		diags = append(diags, bad...)
+		for _, dir := range d {
+			for _, name := range dir.analyzers {
+				res.Suppressions[name]++
+			}
+		}
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:   a,
@@ -41,6 +51,7 @@ func Run(loader *Loader, patterns []string, analyzers []*Analyzer) (*Result, err
 				Pkg:        pkg.Types,
 				Info:       pkg.Info,
 				ImportPath: pkg.ImportPath,
+				Src:        loader.Sources,
 				report:     func(d Diagnostic) { diags = append(diags, d) },
 			}
 			if err := a.Run(pass); err != nil {

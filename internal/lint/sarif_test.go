@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteSARIF(t *testing.T) {
+	root := filepath.FromSlash("/work/statcube")
+	analyzers := []*Analyzer{
+		{Name: "zeta", Doc: "last rule"},
+		{Name: "alpha", Doc: "first rule"},
+	}
+	diags := []Diagnostic{
+		{
+			Analyzer: "alpha",
+			Position: token.Position{Filename: filepath.Join(root, "internal", "cube", "cube.go"), Line: 12, Column: 3},
+			Message:  "something is off",
+		},
+		{
+			Analyzer: "zeta",
+			Position: token.Position{Filename: filepath.FromSlash("/elsewhere/out.go"), Line: 1, Column: 1},
+			Message:  "outside the module",
+		},
+	}
+
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, diags, analyzers, root); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || log.Schema == "" {
+		t.Fatalf("bad version/schema: %q %q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("want 1 run, got %d", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "statlint" {
+		t.Fatalf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != 2 ||
+		run.Tool.Driver.Rules[0].ID != "alpha" || run.Tool.Driver.Rules[1].ID != "zeta" {
+		t.Fatalf("rules not sorted by ID: %+v", run.Tool.Driver.Rules)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("want 2 results, got %d", len(run.Results))
+	}
+	first := run.Results[0]
+	if first.RuleID != "alpha" || first.Level != "warning" {
+		t.Fatalf("bad result: %+v", first)
+	}
+	if uri := first.Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "internal/cube/cube.go" {
+		t.Fatalf("in-module URI must be module-relative with forward slashes, got %q", uri)
+	}
+	if line := first.Locations[0].PhysicalLocation.Region.StartLine; line != 12 {
+		t.Fatalf("startLine = %d, want 12", line)
+	}
+	if uri := run.Results[1].Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != filepath.FromSlash("/elsewhere/out.go") {
+		t.Fatalf("out-of-module URI must pass through unchanged, got %q", uri)
+	}
+}

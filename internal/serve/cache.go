@@ -214,6 +214,7 @@ func (c *Cache) GetOrFill(ctx context.Context, key string, fill func(context.Con
 // hold the payload even with an empty cache.
 func (c *Cache) reserve(size int64) bool {
 	for {
+		//lint:ignore ledgerleak returning true hands the reservation to the cache; dropLocked/Release on eviction balances it
 		if err := c.gov.Reserve(size); err == nil {
 			return true
 		}
