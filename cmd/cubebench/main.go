@@ -117,7 +117,7 @@ func main() {
 	}
 	for id := range want {
 		if !known[id] {
-			fmt.Fprintf(os.Stderr, "cubebench: unknown experiment %q (have E1..E16)\n", id)
+			fmt.Fprintf(os.Stderr, "cubebench: unknown experiment %q (have E1..E17)\n", id)
 			failed++
 		}
 	}

@@ -37,6 +37,7 @@ import (
 	"statcube/internal/qlog"
 	"statcube/internal/snapshot"
 	"statcube/internal/workload"
+	"statcube/internal/writer"
 )
 
 // Exit codes, one per failure class, so scripts and the CI chaos job can
@@ -83,6 +84,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-query deadline (e.g. 500ms, 2s); 0 means none")
 	maxBytes := flag.Int64("max-bytes", 0, "per-query memory budget in bytes; 0 means unlimited")
 	snapshotDir := flag.String("snapshot-dir", "", "durable cube snapshots: load the dataset's newest good generation (recovering past corrupt ones), else build the cube and save it")
+	appendCSV := flag.String("append", "", "offline load: append facts from a CSV (one column per dimension's leaf value in schema order, then the measure value; optional header) into -snapshot-dir as one crash-atomic load, publishing a new generation")
 	qlogPath := flag.String("qlog", "", "append one NDJSON flight record per query to this file (analyze with statprof)")
 	slowMS := flag.Int64("slow-ms", 0, "report queries slower than this many milliseconds on stderr (and mark them slow in -qlog)")
 	history := flag.Int("history", 0, "after the queries, print the last n recorded flights (EXPLAIN history)")
@@ -163,6 +165,20 @@ Exit codes:
 			sctx = statcube.WithGovernor(sctx, statcube.NewGovernor(statcube.Limits{MaxBytes: *maxBytes}))
 		}
 		if err := snapshotCube(sctx, *snapshotDir, snapshotName(*demo, *csvPath), obj, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "statcli:", err)
+			os.Exit(exitCode(err))
+		}
+	}
+	if *appendCSV != "" {
+		if *snapshotDir == "" {
+			fmt.Fprintln(os.Stderr, "statcli: -append requires -snapshot-dir (the load publishes a generation there)")
+			os.Exit(exitUsage)
+		}
+		actx := ctx
+		if *maxBytes > 0 {
+			actx = statcube.WithGovernor(actx, statcube.NewGovernor(statcube.Limits{MaxBytes: *maxBytes}))
+		}
+		if err := appendLoad(actx, *snapshotDir, snapshotName(*demo, *csvPath), obj, *appendCSV, os.Stderr); err != nil {
 			fmt.Fprintln(os.Stderr, "statcli:", err)
 			os.Exit(exitCode(err))
 		}
@@ -334,43 +350,96 @@ func snapshotCube(ctx context.Context, dir, name string, obj *statcube.StatObjec
 	return nil
 }
 
-// cubeInput codes a statistical object's cells into a cube fact table:
-// each dimension's leaf values index in classification order, one row
-// per stored cell, the first measure as the value.
+// cubeInput codes a statistical object's cells into a cube fact table
+// (moved to workload so the daemon's write path shares the coding).
 func cubeInput(obj *statcube.StatObject) (*cube.Input, error) {
+	return workload.CubeInputFromObject(obj)
+}
+
+// appendLoad is the -append behavior: an offline load through the same
+// write path the daemon uses. The CSV's dimension values are coded
+// through the object's leaf dictionaries, the batch folds into the
+// store's newest cube generation (delta-maintaining every view it
+// carries), and the result publishes as the next crash-atomic
+// generation — a failed or interrupted load leaves the store exactly as
+// it was.
+func appendLoad(ctx context.Context, dir, name string, obj *statcube.StatObject, csvPath string, w io.Writer) error {
 	dims := obj.Schema().Dimensions()
 	if len(dims) == 0 {
-		return nil, fmt.Errorf("statcli: object has no dimensions to snapshot")
+		return fmt.Errorf("object has no dimensions to append into")
 	}
-	in := &cube.Input{Card: make([]int, len(dims))}
-	code := make([]map[statcube.Value]int, len(dims))
+	code := make([]map[string]int, len(dims))
 	for i, d := range dims {
 		vals := d.Class.LeafLevel().Values
-		in.Card[i] = len(vals)
-		code[i] = make(map[statcube.Value]int, len(vals))
+		code[i] = make(map[string]int, len(vals))
 		for j, v := range vals {
 			code[i][v] = j
 		}
 	}
-	var ferr error
-	obj.ForEach(func(coords []statcube.Value, vals []float64) bool {
+	f, err := os.Open(csvPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rdr := csv.NewReader(f)
+	rdr.TrimLeadingSpace = true
+	records, err := rdr.ReadAll()
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", csvPath, err)
+	}
+	var rows [][]int
+	var vals []float64
+	for ri, rec := range records {
+		if len(rec) != len(dims)+1 {
+			return fmt.Errorf("%s row %d has %d fields, want %d dims + 1 value", csvPath, ri+1, len(rec), len(dims))
+		}
 		row := make([]int, len(dims))
+		bad := false
 		for i := range dims {
-			c, ok := code[i][coords[i]]
+			c, ok := code[i][rec[i]]
 			if !ok {
-				ferr = fmt.Errorf("statcli: cell value %q not at dimension %s's leaf level", coords[i], dims[i].Name)
-				return false
+				bad = true
+				break
 			}
 			row[i] = c
 		}
-		in.Rows = append(in.Rows, row)
-		in.Vals = append(in.Vals, vals[0])
-		return true
-	})
-	if ferr != nil {
-		return nil, ferr
+		if bad {
+			if ri == 0 {
+				continue // header row
+			}
+			return fmt.Errorf("%s row %d: values do not match the object's leaf levels", csvPath, ri+1)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rec[len(dims)]), 64)
+		if err != nil {
+			return fmt.Errorf("%s row %d: value %q: %w", csvPath, ri+1, rec[len(dims)], err)
+		}
+		rows = append(rows, row)
+		vals = append(vals, v)
 	}
-	return in, in.Validate()
+	if len(rows) == 0 {
+		return fmt.Errorf("%s holds no data rows", csvPath)
+	}
+	st, err := snapshot.OpenStore(dir)
+	if err != nil {
+		return err
+	}
+	base, err := cubeInput(obj)
+	if err != nil {
+		return err
+	}
+	wr, err := writer.Open(ctx, writer.Config{Store: st, Name: name, Base: base})
+	if err != nil {
+		return err
+	}
+	if err := wr.Append(ctx, rows, vals); err != nil {
+		return err
+	}
+	gen, err := wr.Flush(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "statcli: append: loaded %d rows from %s as %q generation %d\n", len(rows), csvPath, name, gen)
+	return wr.Close(ctx)
 }
 
 // printCells dumps a result object as "coords = value" lines.

@@ -11,14 +11,18 @@
 //
 //	GET/POST /query      JSON result; ?q= or JSON body {"q": "..."}
 //	GET/POST /query.bin  the same result in the compact binary format
-//	GET      /healthz    liveness + cache/admission stats
+//	POST     /append     fold a fact batch into the cube, publish a generation (-write)
+//	GET      /healthz    liveness + cache/admission stats (+ writer load status)
 //	POST     /invalidate drop every cached result (admin)
 //	GET      /metrics    obs registry (plus /metrics.json, /debug/pprof/)
 //
-// With -snapshot-dir and -watch, the daemon polls the snapshot store's
-// generation list and invalidates the result cache when a new
-// generation is published — the serving half of the store's
-// crash-atomic publish protocol.
+// With -write the daemon mounts the MVCC write path: POST /append
+// batches fold into the dataset's cube by delta maintenance and publish
+// as crash-atomic snapshot generations (durable under -snapshot-dir),
+// and each publish live-invalidates the result cache. With
+// -snapshot-dir and -watch, the daemon additionally polls the store's
+// generation list and invalidates when another process publishes — the
+// serving half of the store's crash-atomic publish protocol.
 package main
 
 import (
@@ -39,6 +43,7 @@ import (
 	"statcube/internal/serve"
 	"statcube/internal/snapshot"
 	"statcube/internal/workload"
+	"statcube/internal/writer"
 )
 
 // Exit codes mirror statcli's taxonomy so scripts treat both binaries
@@ -79,8 +84,13 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "max concurrently admitted requests (default 64)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "result cache budget in bytes (default 64 MiB; negative disables the bound)")
 	cacheShards := flag.Int("cache-shards", 0, "result cache shard count (default 16)")
-	snapshotDir := flag.String("snapshot-dir", "", "snapshot store to watch for generation changes (with -watch)")
+	snapshotDir := flag.String("snapshot-dir", "", "snapshot store to watch for generation changes (with -watch) and to publish write-path generations into (with -write)")
 	watch := flag.Duration("watch", 0, "poll -snapshot-dir at this interval and invalidate the cache on a new generation; 0 disables")
+	writePath := flag.Bool("write", false, "mount the write path: POST /append folds batched facts into the dataset's cube and publishes MVCC snapshot generations (durable with -snapshot-dir, in-memory otherwise)")
+	flushRows := flag.Int("flush-rows", 0, "with -write: auto-publish a load once this many appended rows are buffered; 0 publishes on every non-buffered append")
+	rate := flag.Float64("rate", 0, "per-client (remote address) rate limit in requests/second, refused ahead of admission; 0 disables")
+	burst := flag.Int("burst", 0, "per-client burst capacity (default: one second's worth of -rate)")
+	negTTL := flag.Duration("neg-ttl", 0, "negative-result cache TTL for repeated parse/bind failures (default 30s; negative disables)")
 	qlogPath := flag.String("qlog", "", "append one NDJSON flight record per query to this file")
 	slowMS := flag.Int64("slow-ms", 0, "report queries slower than this many milliseconds on stderr")
 	usage := flag.Usage
@@ -132,22 +142,6 @@ Exit codes:
 		os.Exit(exitUsage)
 	}
 
-	srv, err := serve.New(serve.Config{
-		Object:      obj,
-		MaxInflight: *maxInflight,
-		MaxBytes:    *maxBytes,
-		AdmitBytes:  *admitBytes,
-		CacheBytes:  *cacheBytes,
-		CacheShards: *cacheShards,
-		Timeout:     *timeout,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "statd:", err)
-		os.Exit(exitUsage)
-	}
-
-	// Seed the generation from the store before serving, so the first
-	// poll doesn't spuriously invalidate a cold cache.
 	var store *snapshot.Store
 	if *snapshotDir != "" {
 		store, err = snapshot.OpenStore(*snapshotDir)
@@ -155,6 +149,65 @@ Exit codes:
 			fmt.Fprintln(os.Stderr, "statd:", err)
 			os.Exit(exitCode(err))
 		}
+	}
+
+	// The write path: a single-writer MVCC append buffer over the
+	// dataset's cube, published to the snapshot store when one is
+	// configured. OnPublish live-invalidates the result cache the moment
+	// a load becomes reader-visible — no poll latency on the write path
+	// itself (-watch still covers generations published by OTHER
+	// processes, e.g. statcli -append against the same store).
+	var srv *serve.Server
+	var wr *writer.Writer
+	if *writePath {
+		base, err := workload.CubeInputFromObject(obj)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "statd:", err)
+			os.Exit(exitUsage)
+		}
+		wr, err = writer.Open(ctx, writer.Config{
+			Store:     store,
+			Name:      *demo,
+			Base:      base,
+			FlushRows: *flushRows,
+			OnPublish: func(gen uint64) {
+				if srv != nil {
+					srv.SetGeneration(gen)
+				}
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "statd:", err)
+			os.Exit(exitCode(err))
+		}
+		fmt.Fprintf(os.Stderr, "statd: write path up at generation %d\n", wr.Generation())
+	}
+
+	srv, err = serve.New(serve.Config{
+		Object:      obj,
+		MaxInflight: *maxInflight,
+		MaxBytes:    *maxBytes,
+		AdmitBytes:  *admitBytes,
+		CacheBytes:  *cacheBytes,
+		CacheShards: *cacheShards,
+		Timeout:     *timeout,
+		RatePerSec:  *rate,
+		RateBurst:   *burst,
+		NegTTL:      *negTTL,
+		Writer:      wr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "statd:", err)
+		os.Exit(exitUsage)
+	}
+
+	// Seed the generation before serving, so the first poll doesn't
+	// spuriously invalidate a cold cache. The writer's opening
+	// generation wins when the write path is up (it recovered the
+	// newest loadable one); otherwise the store's newest file does.
+	if wr != nil {
+		srv.SetGeneration(wr.Generation())
+	} else if store != nil {
 		if gen, err := newestGeneration(store, *demo); err == nil {
 			srv.SetGeneration(gen)
 		}
@@ -203,6 +256,14 @@ loop:
 	if err := hs.Shutdown(sctx); err != nil {
 		fmt.Fprintln(os.Stderr, "statd: shutdown:", err)
 		os.Exit(exitUsage)
+	}
+	if wr != nil {
+		// Publish any buffered rows before exiting — a clean shutdown
+		// never drops an acknowledged append.
+		if err := wr.Close(sctx); err != nil {
+			fmt.Fprintln(os.Stderr, "statd: final flush:", err)
+			os.Exit(exitCode(err))
+		}
 	}
 }
 

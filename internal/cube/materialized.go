@@ -3,7 +3,9 @@ package cube
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
+	"sync/atomic"
 
 	"statcube/internal/budget"
 	"statcube/internal/fault"
@@ -16,10 +18,13 @@ import (
 // the scan cost — exactly the linear cost model [HUR96] analyze. The base
 // cuboid is always materialized.
 type MaterializedSet struct {
-	card     []int
-	views    map[int]map[uint64]float64
-	base     int
-	scanCost int64
+	card  []int
+	views map[int]map[uint64]float64
+	base  int
+	// scanCost is atomic so a published, immutable set can serve Answer
+	// to any number of concurrent readers (the MVCC read path) — the
+	// views themselves are never written after construction.
+	scanCost atomic.Int64
 }
 
 // Materialize computes the base cuboid plus the requested view masks from
@@ -136,13 +141,13 @@ func (m *MaterializedSet) Answer(mask int) (map[uint64]float64, int64, error) {
 	}
 	parent := m.smallestParent(mask)
 	cost := int64(len(m.views[parent]))
-	m.scanCost += cost
+	m.scanCost.Add(cost)
 	recordAnswer(false, cost)
 	return m.aggregate(parent, mask), cost, nil
 }
 
 // ScanCost returns the cumulative rows scanned by Answer calls.
-func (m *MaterializedSet) ScanCost() int64 { return m.scanCost }
+func (m *MaterializedSet) ScanCost() int64 { return m.scanCost.Load() }
 
 // MaterializedMasks returns the stored view masks, sorted.
 func (m *MaterializedSet) MaterializedMasks() []int {
@@ -173,6 +178,19 @@ func (m *MaterializedSet) StorageEntries() int64 {
 // scratch. It returns the number of view entries touched (the update
 // cost a full rematerialization is compared against).
 func (m *MaterializedSet) AppendRows(rows [][]int, vals []float64) (int64, error) {
+	return m.AppendRowsCtx(context.Background(), rows, vals)
+}
+
+// AppendRowsCtx is AppendRows with a context: cancellation and budget
+// are checked between views, and the context's fault injector fires at
+// the writer.delta hook before each view's fold. Views are folded in
+// ascending mask order, so a fault schedule replays the same per-view
+// decision sequence on every run. On any failure the set is left
+// PARTIALLY updated — some views folded, some not — so the caller must
+// discard it whole; internal/writer stages the fold on a private clone
+// and publishes only complete ones, which is how a partial delta is
+// never reader-visible.
+func (m *MaterializedSet) AppendRowsCtx(ctx context.Context, rows [][]int, vals []float64) (int64, error) {
 	if len(rows) != len(vals) {
 		return 0, fmt.Errorf("cube: %d rows, %d values", len(rows), len(vals))
 	}
@@ -187,8 +205,23 @@ func (m *MaterializedSet) AppendRows(rows [][]int, vals []float64) (int64, error
 			}
 		}
 	}
+	inj := fault.From(ctx)
+	gov := budget.From(ctx)
 	var touched int64
-	for mask, view := range m.views {
+	for _, mask := range m.MaterializedMasks() {
+		if err := budget.Check(ctx); err != nil {
+			return touched, err
+		}
+		// Delta maintenance produces cells like any build: charge the
+		// governor one cell per folded row per view, so a quota bounds
+		// write amplification the same way it bounds query output.
+		if err := gov.AddCells(int64(len(rows))); err != nil {
+			return touched, err
+		}
+		if err := inj.Hit(fault.PointWriterDelta); err != nil {
+			return touched, err
+		}
+		view := m.views[mask]
 		dims := maskDims(mask, n)
 		for ri, row := range rows {
 			view[groupKey(row, dims, m.card)] += vals[ri]
@@ -196,4 +229,62 @@ func (m *MaterializedSet) AppendRows(rows [][]int, vals []float64) (int64, error
 		}
 	}
 	return touched, nil
+}
+
+// Clone returns a deep copy of the set: fresh view maps, zero scan-cost
+// accounting. The write path stages each load on a clone of the
+// published generation, so readers of the original never observe a
+// half-applied delta — copy-on-load MVCC without persistent structures.
+// The copy moves O(entries) bytes but recomputes nothing: no fact-table
+// scan, no aggregation.
+func (m *MaterializedSet) Clone() *MaterializedSet {
+	c := &MaterializedSet{
+		card:  append([]int(nil), m.card...),
+		views: make(map[int]map[uint64]float64, len(m.views)),
+		base:  m.base,
+	}
+	for mask, view := range m.views {
+		nv := make(map[uint64]float64, len(view))
+		for k, v := range view {
+			nv[k] = v
+		}
+		c.views[mask] = nv
+	}
+	return c
+}
+
+// Entries returns the total stored entries across every materialized
+// view — the footprint a clone copies and a budget governor charges.
+func (m *MaterializedSet) Entries() int64 {
+	var t int64
+	for _, view := range m.views {
+		t += int64(len(view))
+	}
+	return t
+}
+
+// Card returns the per-dimension cardinalities (a copy).
+func (m *MaterializedSet) Card() []int { return append([]int(nil), m.card...) }
+
+// Identical reports exact equality: same materialized masks, same keys,
+// bit-identical float values. The write path's chaos suite uses it to
+// assert that a recovered, retried load converges to the same bytes a
+// fault-free load produces.
+func (m *MaterializedSet) Identical(o *MaterializedSet) bool {
+	if len(m.views) != len(o.views) {
+		return false
+	}
+	for mask, a := range m.views {
+		b, ok := o.views[mask]
+		if !ok || len(a) != len(b) {
+			return false
+		}
+		for k, av := range a {
+			bv, ok := b[k]
+			if !ok || math.Float64bits(av) != math.Float64bits(bv) {
+				return false
+			}
+		}
+	}
+	return true
 }

@@ -80,6 +80,7 @@ func All() []Experiment {
 		{"E14", E14Sampling},
 		{"E15", E15ClassificationMatching},
 		{"E16", E16Snapshot},
+		{"E17", E17SustainedAppends},
 	}
 }
 

@@ -72,6 +72,21 @@ const (
 	// unpopulated (no poisoned partial result) and fail the request
 	// with a typed error.
 	PointCacheFill = "cache.fill"
+	// PointWriterAppend fires at the start of one write-path load, after
+	// the batch is taken from the append buffer — an injected error must
+	// return the batch to the buffer and leave the published generation
+	// untouched.
+	PointWriterAppend = "writer.append"
+	// PointWriterDelta fires before each view's delta fold during a load —
+	// an injected error must discard the staged generation whole; a
+	// partially delta-maintained view is never visible.
+	PointWriterDelta = "writer.delta"
+	// PointWriterPublish fires after the staged generation is durably
+	// saved and before it becomes reader-visible — the write path's own
+	// crash window on top of snapshot.rename. A fault here leaves the
+	// previous generation authoritative; the retried load converges to a
+	// byte-identical state.
+	PointWriterPublish = "writer.publish"
 )
 
 // Mode selects what an armed injector does when a decision fires.

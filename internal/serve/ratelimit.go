@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"statcube/internal/obs"
+)
+
+// ErrRateLimited is the per-client token bucket's typed refusal: THIS
+// caller is sending too fast, independent of how loaded the daemon is.
+// It maps to the same 429 a shed gets — back off and retry — but with
+// its own code ("ratelimited" vs "overloaded"/"budget") and its own
+// counter, because the operator's responses differ: shedding means the
+// daemon needs capacity, rate limiting means one client needs a leash.
+var ErrRateLimited = errors.New("serve: rate limited")
+
+// serve.ratelimited counts requests refused by the per-client limiter
+// (registered here, next to the bucket accounting that drives it; the
+// shed counter in serve.go deliberately excludes these).
+var ratelimitedCounter = obs.Default().Counter("serve.ratelimited")
+
+// limiter is a per-remote-address token bucket checked ahead of
+// admission: a single hot client is turned away before it can occupy
+// admission slots or ledger reservations that belong to everyone.
+//
+// The limiter never reads a clock — every decision takes the request's
+// existing arrival timestamp as input, so the only time source in the
+// request path stays the one latency measurement point.
+type limiter struct {
+	rate    float64 // tokens refilled per second
+	burst   float64 // bucket capacity
+	maxKeys int     // bucket map bound; stale buckets are swept past it
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+// bucket is one client's token state.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newLimiter builds a limiter allowing rate requests/second with the
+// given burst (<=0 means a burst of max(1, rate) — one second's worth).
+// A rate <= 0 disables limiting entirely (nil limiter, nil-safe allow).
+func newLimiter(rate float64, burst int) *limiter {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if burst <= 0 {
+		b = rate
+		if b < 1 {
+			b = 1
+		}
+	}
+	return &limiter{rate: rate, burst: b, maxKeys: 8192, buckets: map[string]*bucket{}}
+}
+
+// allow spends one token from key's bucket as of now, reporting whether
+// the request may proceed. Nil-safe: a nil limiter allows everything.
+func (l *limiter) allow(key string, now time.Time) bool {
+	if l == nil {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[key]
+	if b == nil {
+		if len(l.buckets) >= l.maxKeys {
+			l.sweep(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else if el := now.Sub(b.last).Seconds(); el > 0 {
+		b.tokens += el * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// sweep drops buckets idle long enough to have refilled completely — a
+// full bucket and a fresh one are indistinguishable, so forgetting the
+// client loses nothing. Called with mu held, only when the map is at
+// its bound; if every bucket is hot the map simply stays at the bound
+// and new clients evict nothing (they are created regardless — the map
+// may briefly exceed maxKeys under address churn, bounded by sweep
+// frequency).
+func (l *limiter) sweep(now time.Time) {
+	for k, b := range l.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+}
+
+// clientKey reduces a request's remote address to the per-client bucket
+// key: the host without the ephemeral port, so one client's connections
+// share a bucket.
+func clientKey(remoteAddr string) string {
+	if host, _, err := net.SplitHostPort(remoteAddr); err == nil {
+		return host
+	}
+	return remoteAddr
+}

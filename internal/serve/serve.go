@@ -40,6 +40,7 @@ import (
 	"statcube/internal/obs"
 	"statcube/internal/qlog"
 	"statcube/internal/query"
+	"statcube/internal/writer"
 )
 
 // Config sizes a Server. Zero fields take the documented defaults.
@@ -63,6 +64,21 @@ type Config struct {
 	// Timeout is the per-request deadline (default 0: none beyond the
 	// client's own).
 	Timeout time.Duration
+	// RatePerSec enables per-client (remote address) token-bucket rate
+	// limiting ahead of admission at this many requests/second; 0
+	// disables it.
+	RatePerSec float64
+	// RateBurst is the per-client bucket capacity (default: one second's
+	// worth of RatePerSec).
+	RateBurst int
+	// NegTTL is the negative-result cache's entry lifetime: repeated
+	// parse/bind failures are answered from memory for this long.
+	// Default 30s; negative disables the cache.
+	NegTTL time.Duration
+	// Writer, when set, mounts the write path: POST /append feeds it,
+	// /healthz reports its Status, and the daemon should hook the
+	// writer's OnPublish to SetGeneration for live cache invalidation.
+	Writer *writer.Writer
 }
 
 func (c *Config) applyDefaults() {
@@ -82,6 +98,11 @@ func (c *Config) applyDefaults() {
 	}
 	if c.CacheShards == 0 {
 		c.CacheShards = 16
+	}
+	if c.NegTTL == 0 {
+		c.NegTTL = 30 * time.Second
+	} else if c.NegTTL < 0 {
+		c.NegTTL = 0 // disabled
 	}
 }
 
@@ -105,6 +126,9 @@ type Server struct {
 	gov     *budget.Governor
 	adm     *admission
 	cache   *Cache
+	lim     *limiter
+	neg     *negCache
+	wr      *writer.Writer
 	timeout time.Duration
 	snapGen atomic.Uint64
 }
@@ -121,6 +145,9 @@ func New(cfg Config) (*Server, error) {
 		gov:     gov,
 		adm:     newAdmission(cfg.MaxInflight, gov, cfg.AdmitBytes),
 		cache:   NewCache(cfg.CacheShards, cfg.CacheBytes),
+		lim:     newLimiter(cfg.RatePerSec, cfg.RateBurst),
+		neg:     newNegCache(cfg.NegTTL),
+		wr:      cfg.Writer,
 		timeout: cfg.Timeout,
 	}, nil
 }
@@ -139,6 +166,9 @@ func (s *Server) Governor() *budget.Governor { return s.gov }
 func (s *Server) SetGeneration(gen uint64) {
 	if s.snapGen.Swap(gen) != gen {
 		s.cache.Invalidate()
+		// A load can change what's valid (new categories, new names), so
+		// remembered failures go with the results.
+		s.neg.invalidate()
 	}
 }
 
@@ -157,6 +187,7 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/invalidate", s.handleInvalidate)
+	mux.HandleFunc("/append", s.handleAppend)
 	metrics := obs.Handler()
 	mux.Handle("/metrics", metrics)
 	mux.Handle("/metrics.json", metrics)
@@ -180,6 +211,9 @@ type errorBody struct {
 // engine-internal failures 500, and everything else — parse errors,
 // unknown names — a plain 400.
 func classify(err error) (status int, code string) {
+	if errors.Is(err, ErrRateLimited) {
+		return http.StatusTooManyRequests, "ratelimited"
+	}
 	if errors.Is(err, ErrOverloaded) {
 		return http.StatusTooManyRequests, "overloaded"
 	}
@@ -195,20 +229,47 @@ func classify(err error) (status int, code string) {
 	}
 }
 
-// writeError emits the JSON error envelope and bumps the shed/error
-// counters.
+// writeError emits the JSON error envelope and bumps the taxonomy
+// counters: rate-limit refusals get their own counter (the operator's
+// response to a hot client differs from a capacity problem), other 429s
+// are sheds, the rest errors.
 func writeError(w http.ResponseWriter, err error) {
 	status, code := classify(err)
 	if obs.On() {
-		if status == http.StatusTooManyRequests {
+		switch {
+		case code == "ratelimited":
+			ratelimitedCounter.Inc()
+		case status == http.StatusTooManyRequests:
 			shedCounter.Inc()
-		} else {
+		default:
 			errCounter.Inc()
 		}
 	}
+	writeErrorEnvelope(w, status, code, err.Error())
+}
+
+// writeErrorEnvelope emits one typed error envelope.
+func writeErrorEnvelope(w http.ResponseWriter, status int, code, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error(), Code: code})
+	_ = json.NewEncoder(w).Encode(errorBody{Error: msg, Code: code})
+}
+
+// negCacheable reports whether an error may enter the negative cache:
+// only plain caller errors (400) qualify. Budget refusals, overload,
+// cancellation and internal failures are moment-dependent — caching
+// them would turn transient pressure into a sticky answer.
+func negCacheable(status int) bool { return status == http.StatusBadRequest }
+
+// noteFailure records a query-shaped failure in the negative cache when
+// it qualifies, then writes the normal error response.
+func (s *Server) noteFailure(w http.ResponseWriter, qtext string, err error, now time.Time) {
+	if s.neg != nil {
+		if status, code := classify(err); negCacheable(status) {
+			s.neg.put(qtext, status, code, err.Error(), now)
+		}
+	}
+	writeError(w, err)
 }
 
 // queryText extracts the query from ?q= or a JSON body {"q": "..."}.
@@ -245,6 +306,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, binary bool
 	if obs.On() {
 		reqCounter.Inc()
 	}
+	// The per-client limiter runs ahead of admission: a hot client is
+	// refused before it can take slots or ledger reservations from
+	// everyone else. The arrival timestamp doubles as the bucket clock.
+	if !s.lim.allow(clientKey(r.RemoteAddr), start) {
+		writeError(w, fmt.Errorf("%w: client %s over %s", ErrRateLimited, clientKey(r.RemoteAddr), "per-client rate"))
+		s.observeLatency(start)
+		return
+	}
 	ctx := r.Context()
 	if s.timeout > 0 {
 		var cancel context.CancelFunc
@@ -272,15 +341,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, binary bool
 		s.observeLatency(start)
 		return
 	}
+	// A query text that failed recently fails identically now — answer
+	// the retry loop from memory, skipping parse and bind entirely.
+	if e, ok := s.neg.get(qtext, start); ok {
+		if obs.On() {
+			negHitsCounter.Inc()
+			errCounter.Inc()
+		}
+		w.Header().Set("X-Statd-Cache", "neg")
+		writeErrorEnvelope(w, e.status, e.code, e.msg)
+		s.observeLatency(start)
+		return
+	}
 	q, err := query.Parse(qtext)
 	if err != nil {
-		writeError(w, err)
+		s.noteFailure(w, qtext, err, start)
 		s.observeLatency(start)
 		return
 	}
 	_, key, err := query.Normalize(s.obj, q)
 	if err != nil {
-		writeError(w, err)
+		s.noteFailure(w, qtext, err, start)
 		s.observeLatency(start)
 		return
 	}
@@ -293,7 +374,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, binary bool
 		return encodePayload(qtext, res)
 	})
 	if err != nil {
-		writeError(w, err)
+		s.noteFailure(w, qtext, err, start)
 		s.observeLatency(start)
 		return
 	}
@@ -322,20 +403,108 @@ func (s *Server) observeLatency(start time.Time) {
 	}
 }
 
-// handleHealthz reports liveness plus the stats a smoke test asserts on.
+// handleHealthz reports liveness plus the stats a smoke test asserts on
+// — including the write path's load status when a writer is mounted.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	var wst *writer.Status
+	if s.wr != nil {
+		st := s.wr.Status()
+		wst = &st
+	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(struct {
-		Status     string `json:"status"`
-		Generation uint64 `json:"generation"`
-		Inflight   int    `json:"inflight"`
-		Cache      Stats  `json:"cache"`
+		Status     string         `json:"status"`
+		Generation uint64         `json:"generation"`
+		Inflight   int            `json:"inflight"`
+		Cache      Stats          `json:"cache"`
+		NegEntries int            `json:"neg_entries"`
+		Writer     *writer.Status `json:"writer,omitempty"`
 	}{
 		Status:     "ok",
 		Generation: s.snapGen.Load(),
 		Inflight:   s.adm.inflight(),
 		Cache:      s.cache.Stats(),
+		NegEntries: s.neg.entries(),
+		Writer:     wst,
 	})
+}
+
+// appendRequest is POST /append's body: coded fact rows plus their
+// measure values, optionally buffered instead of published immediately.
+type appendRequest struct {
+	Rows [][]int   `json:"rows"`
+	Vals []float64 `json:"vals"`
+	// Buffer true appends without publishing — rows wait for the
+	// writer's FlushRows threshold or a later publishing append.
+	Buffer bool `json:"buffer,omitempty"`
+}
+
+// handleAppend is the write path's HTTP face: validate and buffer the
+// batch, publish a new generation (unless the client asked to buffer),
+// and return the writer's status. Admission applies like any request —
+// loads hold a slot so a write burst degrades into clean 429s, not an
+// unbounded load queue; the per-client limiter applies ahead of it.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	//lint:ignore nodeterm feeds only the serve.latency_ns histogram, which no baseline diffs
+	start := time.Now()
+	if s.wr == nil {
+		http.Error(w, "no writer mounted", http.StatusNotFound)
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if obs.On() {
+		reqCounter.Inc()
+	}
+	if !s.lim.allow(clientKey(r.RemoteAddr), start) {
+		writeError(w, fmt.Errorf("%w: client %s over %s", ErrRateLimited, clientKey(r.RemoteAddr), "per-client rate"))
+		s.observeLatency(start)
+		return
+	}
+	ctx := r.Context()
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	ctx = budget.WithGovernor(ctx, s.gov)
+	release, err := s.adm.admit(ctx)
+	if err != nil {
+		writeError(w, err)
+		s.observeLatency(start)
+		return
+	}
+	defer release()
+
+	body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+	if err != nil {
+		writeError(w, fmt.Errorf("serve: reading append body: %w", err))
+		s.observeLatency(start)
+		return
+	}
+	var req appendRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, fmt.Errorf("serve: append body is not JSON {\"rows\": [[...]], \"vals\": [...]}: %w", err))
+		s.observeLatency(start)
+		return
+	}
+	if err := s.wr.Append(ctx, req.Rows, req.Vals); err != nil {
+		writeError(w, err)
+		s.observeLatency(start)
+		return
+	}
+	if !req.Buffer {
+		if _, err := s.wr.Flush(ctx); err != nil {
+			writeError(w, err)
+			s.observeLatency(start)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.wr.Status())
+	s.observeLatency(start)
 }
 
 // handleInvalidate is the admin hook: POST drops every cached result.

@@ -1,0 +1,349 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"statcube/internal/writer"
+)
+
+// TestLimiterBucketMath: tokens drain per request and refill with time;
+// the clock is entirely the caller's.
+func TestLimiterBucketMath(t *testing.T) {
+	l := newLimiter(2, 2) // 2 rps, burst 2
+	t0 := time.Unix(1000, 0)
+	if !l.allow("a", t0) || !l.allow("a", t0) {
+		t.Fatal("burst of 2 refused")
+	}
+	if l.allow("a", t0) {
+		t.Fatal("third request within the burst allowed")
+	}
+	// An independent client has its own bucket.
+	if !l.allow("b", t0) {
+		t.Fatal("second client refused by first client's bucket")
+	}
+	// Half a second refills one token at 2 rps.
+	if !l.allow("a", t0.Add(500*time.Millisecond)) {
+		t.Fatal("refilled token refused")
+	}
+	if l.allow("a", t0.Add(500*time.Millisecond)) {
+		t.Fatal("token double-spent")
+	}
+	// A nil limiter (rate 0) allows everything.
+	var nilLim *limiter
+	if !nilLim.allow("a", t0) || newLimiter(0, 5) != nil {
+		t.Fatal("disabled limiter limited")
+	}
+}
+
+// TestLimiterSweep: stale (fully refilled) buckets are dropped at the
+// map bound; hot buckets survive.
+func TestLimiterSweep(t *testing.T) {
+	l := newLimiter(1, 1)
+	l.maxKeys = 4
+	t0 := time.Unix(1000, 0)
+	for _, k := range []string{"a", "b", "c", "d"} {
+		l.allow(k, t0)
+	}
+	// Much later, every old bucket has refilled; a new client sweeps them.
+	l.allow("e", t0.Add(time.Hour))
+	if n := len(l.buckets); n != 1 {
+		t.Fatalf("buckets after sweep = %d, want 1", n)
+	}
+}
+
+// TestClientKey strips the ephemeral port so one client's connections
+// share a bucket.
+func TestClientKey(t *testing.T) {
+	if got := clientKey("10.0.0.7:54321"); got != "10.0.0.7" {
+		t.Fatalf("clientKey = %q", got)
+	}
+	if got := clientKey("[::1]:8080"); got != "::1" {
+		t.Fatalf("clientKey = %q", got)
+	}
+	if got := clientKey("no-port"); got != "no-port" {
+		t.Fatalf("clientKey = %q", got)
+	}
+}
+
+// TestServeRateLimited: the per-client limiter refuses with its own 429
+// code before admission, and an unrelated client is untouched.
+func TestServeRateLimited(t *testing.T) {
+	s := newTestServer(t, Config{RatePerSec: 1, RateBurst: 2})
+	h := s.Handler()
+	hot := func() *httptest.ResponseRecorder {
+		req := httptest.NewRequest("GET", "/query?q="+qSex, nil)
+		req.RemoteAddr = "10.1.1.1:40000"
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		return w
+	}
+	if w := hot(); w.Code != http.StatusOK {
+		t.Fatalf("first request = %d: %s", w.Code, w.Body.String())
+	}
+	if w := hot(); w.Code != http.StatusOK {
+		t.Fatalf("second request (burst) = %d", w.Code)
+	}
+	w := hot()
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("third request = %d, want 429", w.Code)
+	}
+	if eb := decodeErr(t, w); eb.Code != "ratelimited" {
+		t.Fatalf("code = %q, want ratelimited (distinct from overloaded)", eb.Code)
+	}
+	// A different remote address has its own bucket.
+	req := httptest.NewRequest("GET", "/query?q="+qSex, nil)
+	req.RemoteAddr = "10.2.2.2:40000"
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("unrelated client = %d, want 200", rec.Code)
+	}
+}
+
+// TestNegCacheUnit: TTL'd entries, expiry on read, capacity sweep, and
+// the disabled (nil) cache.
+func TestNegCacheUnit(t *testing.T) {
+	n := newNegCache(time.Second)
+	t0 := time.Unix(1000, 0)
+	n.put("SHOW bogus", http.StatusBadRequest, "query", "no such measure", t0)
+	if e, ok := n.get("SHOW bogus", t0.Add(900*time.Millisecond)); !ok || e.code != "query" {
+		t.Fatalf("fresh entry: ok=%v e=%+v", ok, e)
+	}
+	if _, ok := n.get("SHOW bogus", t0.Add(1100*time.Millisecond)); ok {
+		t.Fatal("expired entry served")
+	}
+	if n.entries() != 0 {
+		t.Fatalf("entries = %d after expiry read, want 0", n.entries())
+	}
+	// At capacity with all-fresh entries, inserts are skipped, not evicted.
+	n.max = 2
+	n.put("q1", 400, "query", "m", t0)
+	n.put("q2", 400, "query", "m", t0)
+	n.put("q3", 400, "query", "m", t0)
+	if n.entries() != 2 {
+		t.Fatalf("entries = %d at cap, want 2", n.entries())
+	}
+	if _, ok := n.get("q3", t0); ok {
+		t.Fatal("over-cap insert stored")
+	}
+	// Disabled cache is nil-safe everywhere.
+	var nilNeg *negCache
+	nilNeg.put("q", 400, "query", "m", t0)
+	if _, ok := nilNeg.get("q", t0); ok || nilNeg.entries() != 0 {
+		t.Fatal("nil negcache stored something")
+	}
+	nilNeg.invalidate()
+	if newNegCache(-1) != nil {
+		t.Fatal("negative TTL did not disable the cache")
+	}
+}
+
+// TestServeNegativeCache: a repeated broken query is answered from the
+// negative cache (same envelope, marked header) and a generation bump
+// drops remembered failures along with results.
+func TestServeNegativeCache(t *testing.T) {
+	s := newTestServer(t, Config{})
+	h := s.Handler()
+	const bad = "/query?q=SHOW+nonsense+BY+sex"
+	w1 := do(h, "GET", bad, "")
+	if w1.Code != http.StatusBadRequest {
+		t.Fatalf("first broken query = %d, want 400", w1.Code)
+	}
+	if got := w1.Header().Get("X-Statd-Cache"); got == "neg" {
+		t.Fatal("first failure claimed a neg hit")
+	}
+	w2 := do(h, "GET", bad, "")
+	if w2.Code != http.StatusBadRequest {
+		t.Fatalf("repeated broken query = %d, want 400", w2.Code)
+	}
+	if got := w2.Header().Get("X-Statd-Cache"); got != "neg" {
+		t.Fatalf("X-Statd-Cache = %q on repeat, want neg", got)
+	}
+	if w1.Body.String() != w2.Body.String() {
+		t.Fatalf("neg hit changed the envelope: %q vs %q", w1.Body.String(), w2.Body.String())
+	}
+	if s.neg.entries() != 1 {
+		t.Fatalf("neg entries = %d, want 1", s.neg.entries())
+	}
+	s.SetGeneration(7)
+	if s.neg.entries() != 0 {
+		t.Fatal("generation bump kept remembered failures")
+	}
+	w3 := do(h, "GET", bad, "")
+	if got := w3.Header().Get("X-Statd-Cache"); got == "neg" {
+		t.Fatal("neg hit after invalidation")
+	}
+}
+
+// TestServeNegativeCacheSkipsTransientErrors: a budget refusal (429) is
+// moment-dependent and must never enter the negative cache.
+func TestServeNegativeCacheSkipsTransientErrors(t *testing.T) {
+	s := newTestServer(t, Config{AdmitBytes: 1 << 20, MaxBytes: 1 << 10})
+	h := s.Handler()
+	w := do(h, "GET", "/query?q="+qSex, "")
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("hot-ledger query = %d, want 429", w.Code)
+	}
+	if s.neg.entries() != 0 {
+		t.Fatalf("neg entries = %d after a shed, want 0", s.neg.entries())
+	}
+	// The same query succeeds once capacity returns — nothing sticky.
+	s2 := newTestServer(t, Config{})
+	if w := do(s2.Handler(), "GET", "/query?q="+qSex, ""); w.Code != http.StatusOK {
+		t.Fatalf("query under normal capacity = %d, want 200", w.Code)
+	}
+}
+
+// appendBody builds a POST /append payload.
+func appendBody(t *testing.T, rows [][]int, vals []float64, buffer bool) string {
+	t.Helper()
+	b, err := json.Marshal(appendRequest{Rows: rows, Vals: vals, Buffer: buffer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestServeAppend: POST /append publishes a generation through the
+// writer, OnPublish live-invalidates the result cache, and /healthz
+// reports the write path's status.
+func TestServeAppend(t *testing.T) {
+	var s *Server
+	wr, err := writer.Open(context.Background(), writer.Config{
+		Card:      []int{4, 3, 2},
+		OnPublish: func(gen uint64) { s.SetGeneration(gen) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = newTestServer(t, Config{Writer: wr})
+	h := s.Handler()
+
+	// Warm the result cache, then append: the publish must invalidate it.
+	if w := do(h, "GET", "/query?q="+qSex, ""); w.Code != http.StatusOK {
+		t.Fatalf("warm query = %d", w.Code)
+	}
+	if w := do(h, "GET", "/query?q="+qSex, ""); w.Header().Get("X-Statd-Cache") != "hit" {
+		t.Fatal("second query was not a cache hit")
+	}
+
+	w := do(h, "POST", "/append", appendBody(t, [][]int{{1, 2, 1}, {0, 0, 0}}, []float64{10, 5}, false))
+	if w.Code != http.StatusOK {
+		t.Fatalf("append = %d: %s", w.Code, w.Body.String())
+	}
+	var st writer.Status
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Generation != 2 || st.Loads != 1 || st.PendingRows != 0 {
+		t.Fatalf("append status = %+v", st)
+	}
+	if got := s.Generation(); got != 2 {
+		t.Fatalf("server generation = %d after publish, want 2", got)
+	}
+	if w := do(h, "GET", "/query?q="+qSex, ""); w.Header().Get("X-Statd-Cache") != "miss" {
+		t.Fatal("publish did not invalidate the result cache")
+	}
+
+	// Buffered append: rows wait, no publish.
+	w = do(h, "POST", "/append", appendBody(t, [][]int{{3, 1, 0}}, []float64{2}, true))
+	if w.Code != http.StatusOK {
+		t.Fatalf("buffered append = %d: %s", w.Code, w.Body.String())
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Generation != 2 || st.PendingRows != 1 {
+		t.Fatalf("buffered status = %+v", st)
+	}
+
+	// healthz carries the writer block.
+	hw := do(h, "GET", "/healthz", "")
+	var hz struct {
+		Writer *writer.Status `json:"writer"`
+	}
+	if err := json.Unmarshal(hw.Body.Bytes(), &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Writer == nil || hz.Writer.Generation != 2 || hz.Writer.PendingRows != 1 {
+		t.Fatalf("healthz writer = %+v", hz.Writer)
+	}
+}
+
+// TestServeAppendRefusals: bad batches are 400s, a missing writer 404,
+// wrong method 405.
+func TestServeAppendRefusals(t *testing.T) {
+	var s *Server
+	wr, err := writer.Open(context.Background(), writer.Config{Card: []int{4, 3, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = newTestServer(t, Config{Writer: wr})
+	h := s.Handler()
+	w := do(h, "POST", "/append", appendBody(t, [][]int{{9, 9, 9}}, []float64{1}, false))
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("out-of-range append = %d, want 400", w.Code)
+	}
+	if w := do(h, "POST", "/append", "not json"); w.Code != http.StatusBadRequest {
+		t.Fatalf("non-JSON append = %d, want 400", w.Code)
+	}
+	if w := do(h, "GET", "/append", ""); w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET append = %d, want 405", w.Code)
+	}
+	bare := newTestServer(t, Config{})
+	if w := do(bare.Handler(), "POST", "/append", "{}"); w.Code != http.StatusNotFound {
+		t.Fatalf("append without writer = %d, want 404", w.Code)
+	}
+}
+
+// TestServeAppendsNeverBlockQueries: sustained appends through the
+// handler while readers hammer /query — every query must complete
+// successfully (no read ever waits on the write path). Run under -race
+// this doubles as the serving write path's concurrency proof.
+func TestServeAppendsNeverBlockQueries(t *testing.T) {
+	var s *Server
+	wr, err := writer.Open(context.Background(), writer.Config{
+		Card:      []int{4, 3, 2},
+		OnPublish: func(gen uint64) { s.SetGeneration(gen) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = newTestServer(t, Config{Writer: wr})
+	h := s.Handler()
+
+	done := make(chan error, 3)
+	for r := 0; r < 2; r++ {
+		go func() {
+			for i := 0; i < 50; i++ {
+				w := do(h, "GET", "/query?q="+qSex, "")
+				if w.Code != http.StatusOK {
+					done <- fmt.Errorf("query = %d: %s", w.Code, w.Body.String())
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	go func() {
+		for i := 0; i < 20; i++ {
+			w := do(h, "POST", "/append", appendBody(t, [][]int{{1, 1, 1}}, []float64{1}, false))
+			if w.Code != http.StatusOK {
+				done <- fmt.Errorf("append = %d: %s", w.Code, w.Body.String())
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < 3; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"statcube/internal/fault"
 	"statcube/internal/obs"
@@ -94,6 +95,19 @@ type Store struct {
 	// pruned best-effort). Values < 1 mean the default of 2 — the newest
 	// plus one fallback.
 	Keep int
+
+	// pinMu guards pins: refcounts of (name, generation) pairs a reader
+	// currently holds. Save's pruning never removes a pinned generation,
+	// whatever Keep says — MVCC readers pin the generation they answer
+	// from, so a long query can outlive several publishes without its
+	// snapshot being deleted out from under it.
+	pinMu sync.Mutex
+	pins  map[pinKey]int
+}
+
+type pinKey struct {
+	name string
+	gen  uint64
 }
 
 // OpenStore creates (if needed) and opens a snapshot directory.
@@ -101,7 +115,45 @@ func OpenStore(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &Store{dir: dir}, nil
+	return &Store{dir: dir, pins: map[pinKey]int{}}, nil
+}
+
+// Pin marks one generation of name as in use by a reader: Save's pruning
+// will not remove it until a matching Unpin. Pins nest — each Pin needs
+// its own Unpin. Pinning is advisory bookkeeping against this Store
+// handle, not the filesystem: a second process with its own Store does
+// not observe it.
+func (s *Store) Pin(name string, gen uint64) {
+	s.pinMu.Lock()
+	defer s.pinMu.Unlock()
+	if s.pins == nil {
+		s.pins = map[pinKey]int{}
+	}
+	s.pins[pinKey{name, gen}]++
+}
+
+// Unpin releases one Pin. Unpinning below zero panics — an unbalanced
+// release is a reader lifecycle bug, not a recoverable state.
+func (s *Store) Unpin(name string, gen uint64) {
+	s.pinMu.Lock()
+	defer s.pinMu.Unlock()
+	k := pinKey{name, gen}
+	n := s.pins[k] - 1
+	if n < 0 {
+		panic(fmt.Sprintf("snapshot: unbalanced Unpin of %s generation %d", name, gen))
+	}
+	if n == 0 {
+		delete(s.pins, k)
+	} else {
+		s.pins[k] = n
+	}
+}
+
+// pinned reports whether a generation is currently pinned.
+func (s *Store) pinned(name string, gen uint64) bool {
+	s.pinMu.Lock()
+	defer s.pinMu.Unlock()
+	return s.pins[pinKey{name, gen}] > 0
 }
 
 // Dir returns the store's directory.
@@ -172,8 +224,14 @@ func (s *Store) Save(ctx context.Context, name string, write func(io.Writer) err
 	if keep < 1 {
 		keep = 2
 	}
-	// Prune best-effort: the new generation plus keep-1 predecessors stay.
+	// Prune best-effort: the new generation plus keep-1 predecessors stay,
+	// and pinned generations stay regardless — a reader answering from an
+	// older generation keeps its snapshot until it unpins (the next
+	// unpinned Save sweeps it).
 	for i := 0; i+keep-1 < len(gens); i++ {
+		if s.pinned(name, gens[i]) {
+			continue
+		}
 		os.Remove(s.genPath(name, gens[i]))
 	}
 	return next, nil

@@ -356,3 +356,45 @@ func NewHMO(nPhysicians, nVisits int, multiFraction float64, seed int64) (*HMO, 
 	}
 	return &HMO{Object: obj, Physicians: cls, Specialties: specs, MultiCount: multi}, nil
 }
+
+// CubeInputFromObject codes a statistical object's cells into a cube
+// fact table: each dimension's leaf values index in classification
+// order, one row per stored cell, the first measure as the value. The
+// CLIs use it to snapshot an object as a cube and to code appended
+// facts through the same dictionary, so offline loads and the daemon's
+// write path share one lineage.
+func CubeInputFromObject(obj *core.StatObject) (*cube.Input, error) {
+	dims := obj.Schema().Dimensions()
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("workload: object has no dimensions to snapshot")
+	}
+	in := &cube.Input{Card: make([]int, len(dims))}
+	code := make([]map[core.Value]int, len(dims))
+	for i, d := range dims {
+		vals := d.Class.LeafLevel().Values
+		in.Card[i] = len(vals)
+		code[i] = make(map[core.Value]int, len(vals))
+		for j, v := range vals {
+			code[i][v] = j
+		}
+	}
+	var ferr error
+	obj.ForEach(func(coords []core.Value, vals []float64) bool {
+		row := make([]int, len(dims))
+		for i := range dims {
+			c, ok := code[i][coords[i]]
+			if !ok {
+				ferr = fmt.Errorf("workload: cell value %q not at dimension %s's leaf level", coords[i], dims[i].Name)
+				return false
+			}
+			row[i] = c
+		}
+		in.Rows = append(in.Rows, row)
+		in.Vals = append(in.Vals, vals[0])
+		return true
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+	return in, in.Validate()
+}
